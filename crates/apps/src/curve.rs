@@ -1,0 +1,183 @@
+use serde::{Deserialize, Serialize};
+
+/// Parametric power-cap → performance curve (the ground truth the
+/// simulator runs; the controller never sees this — it must learn the
+/// relationship through feedback).
+///
+/// For a cap fraction `c = cap/TDP`, define the normalized position
+/// `x = (c − min_cap_frac)/(sat_frac − min_cap_frac)` clamped to `[0, 1]`.
+/// Relative performance (fraction of the performance at TDP) is
+///
+/// ```text
+/// perf(c) = 1 − max_degradation · (1 − x)^shape
+/// ```
+///
+/// `max_degradation` is the performance loss at the minimum cap (the left
+/// edge of Fig. 3) and `shape > 1` makes the curve flat near the top and
+/// steep near the floor — the signature of the high-sensitivity class;
+/// `shape` near 1 gives the gentle quasi-linear slope of the
+/// low-sensitivity class.
+///
+/// `sat_frac` is the cap fraction where the curve *saturates*: a cap above
+/// the application's peak power draw cannot throttle anything, so
+/// performance is flat beyond it. This is clearly visible in Fig. 3 —
+/// the low-sensitivity applications (average draw 27–57% of TDP) reach
+/// 100% well below 290 W, while the high-sensitivity, compute-bound
+/// applications keep gaining all the way to TDP. The headroom between a
+/// job's consumption and its saturation cap is exactly the power PERQ
+/// reclaims.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfCurve {
+    /// Performance loss at the minimum power cap, in `[0, 1)`.
+    pub max_degradation: f64,
+    /// Curvature exponent (≥ 1).
+    pub shape: f64,
+    /// Cap fraction where the curve bottoms out (90/290 for the paper's
+    /// testbed).
+    pub min_cap_frac: f64,
+    /// Cap fraction above which performance saturates at 100%.
+    pub sat_frac: f64,
+}
+
+impl PerfCurve {
+    /// Creates a curve saturating at TDP (`sat_frac = 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_degradation ∉ [0, 1)`, `shape < 1`, or
+    /// `min_cap_frac ∉ (0, 1)` — profile constants are static data, so a
+    /// bad value is a programming error.
+    pub fn new(max_degradation: f64, shape: f64, min_cap_frac: f64) -> Self {
+        Self::with_saturation(max_degradation, shape, min_cap_frac, 1.0)
+    }
+
+    /// Creates a curve that saturates at `sat_frac` of TDP.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameter ranges (see [`PerfCurve::new`]) or if
+    /// `sat_frac` is not in `(min_cap_frac, 1]`.
+    pub fn with_saturation(
+        max_degradation: f64,
+        shape: f64,
+        min_cap_frac: f64,
+        sat_frac: f64,
+    ) -> Self {
+        assert!(
+            (0.0..1.0).contains(&max_degradation),
+            "max_degradation must be in [0,1)"
+        );
+        assert!(shape >= 1.0, "shape must be >= 1");
+        assert!(
+            min_cap_frac > 0.0 && min_cap_frac < 1.0,
+            "min_cap_frac must be in (0,1)"
+        );
+        assert!(
+            sat_frac > min_cap_frac && sat_frac <= 1.0,
+            "sat_frac must be in (min_cap_frac, 1]"
+        );
+        PerfCurve {
+            max_degradation,
+            shape,
+            min_cap_frac,
+            sat_frac,
+        }
+    }
+
+    /// Relative performance (fraction of performance at TDP) at a given
+    /// cap fraction, optionally scaled by a phase `intensity` multiplier
+    /// on the degradation (compute-heavy phases are more sensitive).
+    pub fn perf_frac_with_intensity(&self, cap_frac: f64, intensity: f64) -> f64 {
+        let x = ((cap_frac - self.min_cap_frac) / (self.sat_frac - self.min_cap_frac))
+            .clamp(0.0, 1.0);
+        let degradation = (self.max_degradation * intensity).clamp(0.0, 0.97);
+        1.0 - degradation * (1.0 - x).powf(self.shape)
+    }
+
+    /// Relative performance at a cap fraction with nominal intensity.
+    pub fn perf_frac(&self, cap_frac: f64) -> f64 {
+        self.perf_frac_with_intensity(cap_frac, 1.0)
+    }
+
+    /// Local slope `d perf / d cap_frac` (zero above saturation / below
+    /// the floor).
+    pub fn slope(&self, cap_frac: f64) -> f64 {
+        let span = self.sat_frac - self.min_cap_frac;
+        let x = (cap_frac - self.min_cap_frac) / span;
+        if !(0.0..=1.0).contains(&x) {
+            return 0.0;
+        }
+        self.max_degradation * self.shape * (1.0 - x).powf(self.shape - 1.0) / span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIN_FRAC: f64 = 90.0 / 290.0;
+
+    #[test]
+    fn perf_is_one_at_tdp() {
+        let c = PerfCurve::new(0.6, 2.0, MIN_FRAC);
+        assert!((c.perf_frac(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perf_at_floor_is_one_minus_degradation() {
+        let c = PerfCurve::new(0.6, 2.0, MIN_FRAC);
+        assert!((c.perf_frac(MIN_FRAC) - 0.4).abs() < 1e-12);
+        // Below the floor it stays clamped.
+        assert!((c.perf_frac(0.1) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_non_decreasing_in_cap() {
+        let c = PerfCurve::new(0.65, 2.5, MIN_FRAC);
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let cap = MIN_FRAC + (1.0 - MIN_FRAC) * i as f64 / 100.0;
+            let p = c.perf_frac(cap);
+            assert!(p >= prev - 1e-12);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn high_shape_is_flatter_near_tdp() {
+        let gentle = PerfCurve::new(0.6, 1.0, MIN_FRAC);
+        let steep = PerfCurve::new(0.6, 3.0, MIN_FRAC);
+        // At 90% of the cap range both lose something, but the steep curve
+        // loses less near the top.
+        let cap = MIN_FRAC + 0.9 * (1.0 - MIN_FRAC);
+        assert!(steep.perf_frac(cap) > gentle.perf_frac(cap));
+        // And its descent is steeper near the floor (larger local slope).
+        let cap_low = MIN_FRAC + 0.1 * (1.0 - MIN_FRAC);
+        assert!(steep.slope(cap_low) > gentle.slope(cap_low));
+    }
+
+    #[test]
+    fn intensity_scales_degradation() {
+        let c = PerfCurve::new(0.4, 2.0, MIN_FRAC);
+        let mild = c.perf_frac_with_intensity(MIN_FRAC, 0.5);
+        let nominal = c.perf_frac(MIN_FRAC);
+        let harsh = c.perf_frac_with_intensity(MIN_FRAC, 1.5);
+        assert!(mild > nominal && nominal > harsh);
+        // Extreme intensity is clamped below total starvation.
+        assert!(c.perf_frac_with_intensity(MIN_FRAC, 100.0) > 0.0);
+    }
+
+    #[test]
+    fn slope_positive_inside_range_zero_outside() {
+        let c = PerfCurve::new(0.6, 2.0, MIN_FRAC);
+        assert!(c.slope(0.5) > 0.0);
+        assert_eq!(c.slope(1.5), 0.0);
+        assert_eq!(c.slope(0.1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_degradation")]
+    fn rejects_total_degradation() {
+        PerfCurve::new(1.0, 2.0, MIN_FRAC);
+    }
+}

@@ -1,0 +1,49 @@
+//! Synthetic HPC application power/performance profiles.
+//!
+//! The paper's evaluation is driven by ten applications from the Exascale
+//! Computing Project proxy-app suite measured on Intel Xeon E5-2686 nodes
+//! (Table 1 average powers, Fig. 2 phase behaviour, Fig. 3 power-cap
+//! sensitivity curves). Those measurements are not redistributable, so
+//! this crate encodes the published characteristics as parametric
+//! profiles:
+//!
+//! - [`PerfCurve`]: the power-cap → relative-performance map, a saturating
+//!   family calibrated per app to the three sensitivity classes of Fig. 3;
+//! - [`Phase`]: a segment of execution with its own power demand and
+//!   compute intensity, reproducing the Fig. 2 time-varying draw;
+//! - [`AppProfile`]: a named application with curve, phases, and Table 1
+//!   average power; [`ecp_suite`] returns the ten evaluation apps.
+//! - [`npb_training_suite`]: a *disjoint* NPB-like set used only to
+//!   identify the controller's node model, mirroring the paper's
+//!   train-on-NPB / evaluate-on-unseen-apps protocol.
+//!
+//! Node electrical constants ([`TDP_WATTS`], [`MIN_CAP_WATTS`],
+//! [`IDLE_WATTS`]) follow the paper's testbed (TDP 290 W; Fig. 3 sweeps
+//! caps from 90 W; idle nodes still draw power — Fig. 12 caption).
+
+mod curve;
+mod phase;
+mod profile;
+mod suite;
+
+pub use curve::PerfCurve;
+pub use phase::Phase;
+pub use profile::{AppProfile, Sensitivity};
+pub use suite::{ecp_suite, npb_training_suite};
+
+/// Thermal design power of one node, in watts (Intel Xeon E5-2686 per the
+/// paper).
+pub const TDP_WATTS: f64 = 290.0;
+
+/// Lowest admissible RAPL power cap, in watts (Fig. 3's sweep floor).
+pub const MIN_CAP_WATTS: f64 = 90.0;
+
+/// Power drawn by an idle node, in watts. The paper notes (Fig. 12) that
+/// "the power-cap setting has a minimum limit too (as an idle node still
+/// consumes power)".
+pub const IDLE_WATTS: f64 = 35.0;
+
+/// Reference per-node instruction rate at TDP, in instructions per second.
+/// Job IPS values in the paper's Fig. 8 are in the 1e9–1e11 range for
+/// multi-node jobs; 2e9 per node reproduces that magnitude.
+pub const BASE_NODE_IPS: f64 = 2.0e9;

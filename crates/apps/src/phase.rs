@@ -1,0 +1,104 @@
+use serde::{Deserialize, Serialize};
+
+/// One phase of an application's repeating execution cycle.
+///
+/// HPC applications are iterative: they cycle through compute-, memory-,
+/// and communication-dominated segments, which is why their power draw
+/// varies over time (Fig. 2) and why their power-cap sensitivity "changes
+/// according to the phase it is in" (Observation 3). A profile's phase
+/// list is played back cyclically over the job's runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Phase length in seconds. The paper notes phases "are often
+    /// sufficiently long in duration, and do not change very frequently",
+    /// i.e. long relative to the 10 s control interval.
+    pub duration_s: f64,
+    /// Natural (uncapped) power draw in this phase, as a fraction of TDP.
+    pub demand_frac: f64,
+    /// Sensitivity multiplier: > 1 for compute-bound phases (power-capping
+    /// hurts more), < 1 for memory/communication-bound phases.
+    pub intensity: f64,
+}
+
+impl Phase {
+    /// Creates a phase, validating ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive duration, demand outside `(0, 1]`, or
+    /// non-positive intensity — phases are static profile data.
+    pub fn new(duration_s: f64, demand_frac: f64, intensity: f64) -> Self {
+        assert!(duration_s > 0.0, "phase duration must be positive");
+        assert!(
+            demand_frac > 0.0 && demand_frac <= 1.0,
+            "demand must be in (0,1]"
+        );
+        assert!(intensity > 0.0, "intensity must be positive");
+        Phase {
+            duration_s,
+            demand_frac,
+            intensity,
+        }
+    }
+}
+
+/// Selects the phase active at time `t` (seconds since job start) from a
+/// cyclic phase list, together with the index of that phase.
+pub fn phase_at(phases: &[Phase], t: f64) -> (usize, &Phase) {
+    assert!(!phases.is_empty(), "profile must have at least one phase");
+    let cycle: f64 = phases.iter().map(|p| p.duration_s).sum();
+    let mut pos = t.rem_euclid(cycle);
+    for (i, p) in phases.iter().enumerate() {
+        if pos < p.duration_s {
+            return (i, p);
+        }
+        pos -= p.duration_s;
+    }
+    (phases.len() - 1, phases.last().expect("non-empty"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phases() -> Vec<Phase> {
+        vec![
+            Phase::new(10.0, 0.5, 1.0),
+            Phase::new(20.0, 0.7, 1.5),
+            Phase::new(5.0, 0.3, 0.5),
+        ]
+    }
+
+    #[test]
+    fn selects_by_offset() {
+        let ps = phases();
+        assert_eq!(phase_at(&ps, 0.0).0, 0);
+        assert_eq!(phase_at(&ps, 9.9).0, 0);
+        assert_eq!(phase_at(&ps, 10.0).0, 1);
+        assert_eq!(phase_at(&ps, 29.9).0, 1);
+        assert_eq!(phase_at(&ps, 30.0).0, 2);
+        assert_eq!(phase_at(&ps, 34.9).0, 2);
+    }
+
+    #[test]
+    fn wraps_cyclically() {
+        let ps = phases();
+        // Cycle is 35 s.
+        assert_eq!(phase_at(&ps, 35.0).0, 0);
+        assert_eq!(phase_at(&ps, 70.0 + 12.0).0, 1);
+        assert_eq!(phase_at(&ps, 1e6 * 35.0 + 31.0).0, 2);
+    }
+
+    #[test]
+    fn negative_time_wraps_too() {
+        let ps = phases();
+        // rem_euclid keeps the offset in [0, cycle).
+        assert_eq!(phase_at(&ps, -1.0).0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "demand")]
+    fn rejects_zero_demand() {
+        Phase::new(1.0, 0.0, 1.0);
+    }
+}

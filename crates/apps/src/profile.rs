@@ -1,0 +1,163 @@
+use crate::curve::PerfCurve;
+use crate::phase::{phase_at, Phase};
+use serde::{Deserialize, Serialize};
+
+/// Power-cap sensitivity class (Fig. 3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sensitivity {
+    /// Memory/communication intensive; < ~20% degradation at the cap floor
+    /// (ASPA, CoHMM, HPCCG, RSBench).
+    Low,
+    /// In-between behaviour (CoMD, XSBench, miniFE).
+    Medium,
+    /// Compute intensive; > ~60% degradation with a steep curve (SWFFT,
+    /// SimpleMOC, miniMD).
+    High,
+}
+
+/// A synthetic application profile: the ground-truth behaviour the
+/// simulator and prototype nodes execute.
+///
+/// The controller never reads these fields — it interacts with the
+/// application only through applied power-caps and observed IPS, exactly
+/// as PERQ interacts with real jobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// Application name (e.g. "CoMD").
+    pub name: String,
+    /// Science domain, from Table 1.
+    pub domain: String,
+    /// Sensitivity class.
+    pub sensitivity: Sensitivity,
+    /// Ground-truth power-cap → performance curve.
+    pub curve: PerfCurve,
+    /// Repeating execution phases (Fig. 2).
+    pub phases: Vec<Phase>,
+}
+
+impl AppProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty — every application draws power
+    /// somewhere.
+    pub fn new(
+        name: impl Into<String>,
+        domain: impl Into<String>,
+        sensitivity: Sensitivity,
+        curve: PerfCurve,
+        phases: Vec<Phase>,
+    ) -> Self {
+        assert!(!phases.is_empty(), "profile needs at least one phase");
+        AppProfile {
+            name: name.into(),
+            domain: domain.into(),
+            sensitivity,
+            curve,
+            phases,
+        }
+    }
+
+    /// Time-averaged uncapped power draw as a fraction of TDP — the
+    /// quantity reported in Table 1.
+    pub fn avg_power_frac(&self) -> f64 {
+        let cycle: f64 = self.phases.iter().map(|p| p.duration_s).sum();
+        self.phases
+            .iter()
+            .map(|p| p.demand_frac * p.duration_s)
+            .sum::<f64>()
+            / cycle
+    }
+
+    /// The phase active `t` seconds into execution.
+    pub fn phase(&self, t: f64) -> &Phase {
+        phase_at(&self.phases, t).1
+    }
+
+    /// Index of the phase active at time `t`.
+    pub fn phase_index(&self, t: f64) -> usize {
+        phase_at(&self.phases, t).0
+    }
+
+    /// Ground-truth relative performance (fraction of performance at TDP)
+    /// under a power cap `cap_frac` (fraction of TDP) at time `t`.
+    pub fn perf_frac(&self, cap_frac: f64, t: f64) -> f64 {
+        let phase = self.phase(t);
+        self.curve
+            .perf_frac_with_intensity(cap_frac, phase.intensity)
+    }
+
+    /// Ground-truth power draw (fraction of TDP) under a cap at time `t`:
+    /// the node consumes its phase demand, clipped by the RAPL cap.
+    pub fn power_frac(&self, cap_frac: f64, t: f64) -> f64 {
+        self.phase(t).demand_frac.min(cap_frac)
+    }
+
+    /// Length of one full phase cycle in seconds.
+    pub fn cycle_s(&self) -> f64 {
+        self.phases.iter().map(|p| p.duration_s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> AppProfile {
+        AppProfile::new(
+            "test",
+            "testing",
+            Sensitivity::Medium,
+            PerfCurve::new(0.4, 1.5, 90.0 / 290.0),
+            vec![
+                Phase::new(30.0, 0.5, 1.0),
+                Phase::new(10.0, 0.8, 1.4),
+            ],
+        )
+    }
+
+    #[test]
+    fn avg_power_is_duration_weighted() {
+        let p = profile();
+        let expect = (0.5 * 30.0 + 0.8 * 10.0) / 40.0;
+        assert!((p.avg_power_frac() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perf_varies_with_phase() {
+        let p = profile();
+        let cap = 0.5;
+        let perf_calm = p.perf_frac(cap, 0.0); // intensity 1.0
+        let perf_hot = p.perf_frac(cap, 35.0); // intensity 1.4
+        assert!(perf_hot < perf_calm);
+    }
+
+    #[test]
+    fn power_clips_at_cap() {
+        let p = profile();
+        // Phase 0 demand 0.5: uncapped draw is 0.5.
+        assert!((p.power_frac(1.0, 0.0) - 0.5).abs() < 1e-12);
+        // Cap below demand clips.
+        assert!((p.power_frac(0.4, 0.0) - 0.4).abs() < 1e-12);
+        // Phase 1 demand 0.8.
+        assert!((p.power_frac(1.0, 35.0) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_length() {
+        assert!((profile().cycle_s() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_panics() {
+        AppProfile::new(
+            "x",
+            "y",
+            Sensitivity::Low,
+            PerfCurve::new(0.1, 1.0, 0.3),
+            vec![],
+        );
+    }
+}

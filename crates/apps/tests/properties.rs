@@ -1,0 +1,77 @@
+//! Property-based tests for the application profiles.
+
+use perq_apps::{ecp_suite, npb_training_suite, AppProfile, PerfCurve, Phase, Sensitivity};
+use proptest::prelude::*;
+
+fn arb_curve() -> impl Strategy<Value = PerfCurve> {
+    (0.0f64..0.9, 1.0f64..3.0, 0.4f64..1.0).prop_map(|(d, s, sat)| {
+        PerfCurve::with_saturation(d, s, 0.31, sat.max(0.32))
+    })
+}
+
+proptest! {
+    #[test]
+    fn curve_monotone_and_bounded(curve in arb_curve(), caps in prop::collection::vec(0.0f64..1.2, 2..50)) {
+        let mut sorted = caps.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut prev = f64::NEG_INFINITY;
+        for c in sorted {
+            let p = curve.perf_frac(c);
+            prop_assert!((0.0..=1.0).contains(&p), "perf {p} out of range");
+            prop_assert!(p >= prev - 1e-12, "not monotone");
+            prev = p;
+        }
+        // Saturation: perf is exactly 1 at and above sat_frac.
+        prop_assert!((curve.perf_frac(curve.sat_frac) - 1.0).abs() < 1e-12);
+        prop_assert!((curve.perf_frac(1.2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slope_is_nonnegative_and_zero_outside(curve in arb_curve(), cap in -0.5f64..1.5) {
+        let s = curve.slope(cap);
+        prop_assert!(s >= 0.0);
+        if cap > curve.sat_frac || cap < curve.min_cap_frac {
+            prop_assert_eq!(s, 0.0);
+        }
+    }
+
+    #[test]
+    fn phase_lookup_covers_all_time(t in 0.0f64..1e6) {
+        for app in ecp_suite() {
+            let phase = app.phase(t);
+            prop_assert!(phase.duration_s > 0.0);
+            prop_assert!(phase.demand_frac > 0.0 && phase.demand_frac <= 1.0);
+        }
+    }
+
+    #[test]
+    fn power_draw_never_exceeds_cap_or_demand(cap in 0.0f64..1.0, t in 0.0f64..1e4) {
+        for app in ecp_suite().into_iter().chain(npb_training_suite()) {
+            let draw = app.power_frac(cap, t);
+            prop_assert!(draw <= cap + 1e-12);
+            prop_assert!(draw <= app.phase(t).demand_frac + 1e-12);
+        }
+    }
+
+    #[test]
+    fn intensity_ordering_preserved(curve in arb_curve(), cap in 0.31f64..0.99) {
+        // Higher intensity can never *increase* performance.
+        let lo = curve.perf_frac_with_intensity(cap, 0.5);
+        let hi = curve.perf_frac_with_intensity(cap, 1.5);
+        prop_assert!(hi <= lo + 1e-12);
+    }
+}
+
+#[test]
+fn custom_profile_round_trips_through_serde() {
+    let app = AppProfile::new(
+        "custom",
+        "test domain",
+        Sensitivity::Medium,
+        PerfCurve::with_saturation(0.3, 1.5, 0.31, 0.8),
+        vec![Phase::new(30.0, 0.5, 1.0)],
+    );
+    let json = serde_json::to_string(&app).expect("serializes");
+    let back: AppProfile = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(app, back);
+}

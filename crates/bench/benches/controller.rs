@@ -1,0 +1,85 @@
+//! Criterion micro-benchmark of the MPC controller decision time — the
+//! Fig. 13 measurement in benchmark form: decision latency vs concurrent
+//! job count and prediction horizon.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perq_core::{train_node_model, MpcController, MpcInput, MpcJobState, MpcSettings, NodeModel};
+use perq_sysid::KalmanObserver;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn jobs(ctrl: &MpcController, model: &NodeModel, n: usize, seed: u64) -> Vec<MpcJobState> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let cap = rng.gen_range(0.32..1.0);
+            let gain = rng.gen_range(0.1..2.0);
+            let mut obs = KalmanObserver::new(model.ss.clone(), 0.05, 1e-3);
+            obs.seed_steady_state(model.curve.eval(cap), model.curve.eval(cap));
+            MpcJobState {
+                size: 1 << rng.gen_range(9..13),
+                target: rng.gen_range(0.5..1.0),
+                current_cap_frac: cap,
+                gain,
+                free_response: ctrl.free_response(model, obs.state()),
+                curve_value: model.curve.eval(cap),
+                curve_slope: model.curve.secant_slope(cap, 0.10),
+                bias: 0.0,
+                charged: rng.gen_bool(0.6),
+            }
+        })
+        .collect()
+}
+
+fn bench_decision_by_jobs(c: &mut Criterion) {
+    let (model, _) = train_node_model(13);
+    let mut group = c.benchmark_group("controller/decide-by-jobs");
+    group.sample_size(20);
+    let ctrl = MpcController::new(&model, MpcSettings::default());
+    for n in [10usize, 25, 50, 100] {
+        let js = jobs(&ctrl, &model, n, n as u64);
+        let budget: f64 = js.iter().map(|j| j.size as f64).sum::<f64>() * 0.55;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let input = MpcInput {
+                jobs: &js,
+                system_target: 3.5,
+                budget_nodes: budget,
+                cap_min_frac: 90.0 / 290.0,
+                wp_nodes: 49_152.0,
+            };
+            b.iter(|| ctrl.decide(&input).expect("jobs present"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decision_by_horizon(c: &mut Criterion) {
+    let (model, _) = train_node_model(13);
+    let mut group = c.benchmark_group("controller/decide-by-horizon");
+    group.sample_size(20);
+    for horizon in [2usize, 3, 4, 5] {
+        let ctrl = MpcController::new(
+            &model,
+            MpcSettings {
+                horizon,
+                ..MpcSettings::default()
+            },
+        );
+        let js = jobs(&ctrl, &model, 50, 7);
+        let budget: f64 = js.iter().map(|j| j.size as f64).sum::<f64>() * 0.55;
+        group.bench_with_input(BenchmarkId::from_parameter(horizon), &horizon, |b, _| {
+            let input = MpcInput {
+                jobs: &js,
+                system_target: 3.5,
+                budget_nodes: budget,
+                cap_min_frac: 90.0 / 290.0,
+                wp_nodes: 49_152.0,
+            };
+            b.iter(|| ctrl.decide(&input).expect("jobs present"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision_by_jobs, bench_decision_by_horizon);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Scaled-down end-to-end pipelines for the headline figures, so
+//! `cargo bench` exercises every figure's code path: a Fig. 6-style
+//! evaluation cell, a Fig. 9-style interval variation, and a Fig.
+//! 12-style prototype power-trading run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perq_bench::{Evaluation, PolicyKind};
+use perq_core::{PerqConfig, PerqPolicy};
+use perq_proto::{ProtoCluster, ProtoConfig};
+use perq_sim::{ClusterConfig, JobSpec, SystemModel};
+
+fn bench_fig6_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/fig6-cell");
+    group.sample_size(10);
+    let eval = Evaluation::new(SystemModel::tardis(), 1800.0, 6);
+    group.bench_function("tardis-30min-perq", |b| {
+        b.iter(|| eval.run(2.0, PolicyKind::Perq).throughput())
+    });
+    group.bench_function("tardis-30min-srn", |b| {
+        b.iter(|| eval.run(2.0, PolicyKind::Srn).throughput())
+    });
+    group.finish();
+}
+
+fn bench_fig9_interval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/fig9-interval");
+    group.sample_size(10);
+    let eval = Evaluation::new(SystemModel::tardis(), 1800.0, 6);
+    for interval in [10.0, 40.0] {
+        let mut config = ClusterConfig::for_system(&eval.system, 2.0, eval.duration_s);
+        config.interval_s = interval;
+        group.bench_function(format!("interval-{interval}s"), |b| {
+            b.iter(|| {
+                eval.run_with_config(config.clone(), PolicyKind::Perq)
+                    .throughput()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig12_prototype(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/fig12-prototype");
+    group.sample_size(10);
+    group.bench_function("two-node-power-trading", |b| {
+        b.iter(|| {
+            let config = ProtoConfig::tardis(1, 2.0, 30);
+            let jobs = vec![
+                JobSpec {
+                    id: 0,
+                    app_index: 0,
+                    size: 1,
+                    runtime_tdp_s: 150.0,
+                    runtime_estimate_s: 200.0,
+                },
+                JobSpec {
+                    id: 1,
+                    app_index: 5,
+                    size: 1,
+                    runtime_tdp_s: 200.0,
+                    runtime_estimate_s: 260.0,
+                },
+            ];
+            let mut perq = PerqPolicy::new(PerqConfig::default());
+            ProtoCluster::new(config).run(jobs, &mut perq).throughput()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6_cell, bench_fig9_interval, bench_fig12_prototype);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks of the cluster simulator: end-to-end run
+//! throughput under the cheap FOP policy (isolates simulator overhead
+//! from controller cost) and trace generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perq_sim::{Cluster, ClusterConfig, FairPolicy, SystemModel, TraceGenerator};
+
+fn bench_sim_hour(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/one-hour-fop");
+    group.sample_size(10);
+    for (name, system) in [
+        ("tardis", SystemModel::tardis()),
+        ("trinity", SystemModel::trinity()),
+    ] {
+        let config = ClusterConfig::for_system(&system, 2.0, 3600.0);
+        let jobs = TraceGenerator::new(system.clone(), 3)
+            .generate_saturating(config.nodes, config.duration_s);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                let mut cluster = Cluster::new(config.clone(), jobs.clone(), 3);
+                cluster.run(&mut FairPolicy::new()).throughput()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/trace-gen");
+    group.bench_function("mira-10k-jobs", |b| {
+        b.iter(|| TraceGenerator::new(SystemModel::mira(), 5).generate(10_000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_hour, bench_trace_generation);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks for the identification pipeline: ARX
+//! fitting, monotone-curve fitting, RLS updates, and the full node-model
+//! training.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perq_core::train_node_model_with;
+use perq_sysid::{excite, fit_arx, fit_monotone_curve, Rls};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_arx_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sysid/arx-fit");
+    group.sample_size(20);
+    for n in [500usize, 2000] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let u = excite::uniform_switching(&mut rng, n, 0.31, 1.0, 5);
+        // First-order plant with measurement ripple (a static map would
+        // make the regressors collinear and correctly error out).
+        let mut y = vec![0.0_f64; n];
+        for k in 0..n {
+            let prev = if k > 0 { y[k - 1] } else { 0.0 };
+            y[k] = 0.5 * prev + 0.45 * u[k] + 0.01 * ((k as f64) * 0.37).sin();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| fit_arx(&u, &y, 3, 4).expect("solvable"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_curve_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sysid/curve-fit");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(2);
+    let u = excite::uniform_switching(&mut rng, 5000, 0.31, 1.0, 3);
+    let y: Vec<f64> = u.iter().map(|&v| v.min(0.8) * 1.2).collect();
+    group.bench_function("5000pts-21knots", |b| {
+        b.iter(|| fit_monotone_curve(&u, &y, 21).expect("solvable"))
+    });
+    group.finish();
+}
+
+fn bench_rls_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sysid/rls");
+    group.bench_function("update-dim2", |b| {
+        let mut rls = Rls::new(2, 0.98, 10.0);
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            let x = (k % 17) as f64 / 17.0;
+            rls.update(&[x, 1.0], 3.0 * x + 1.0)
+        })
+    });
+    group.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sysid/train-node-model");
+    group.sample_size(10);
+    group.bench_function("8apps-300steps", |b| {
+        b.iter(|| train_node_model_with(perq_apps::npb_training_suite(), 10.0, 300, 3))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_arx_fit,
+    bench_curve_fit,
+    bench_rls_update,
+    bench_training
+);
+criterion_main!(benches);

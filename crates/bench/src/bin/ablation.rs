@@ -1,0 +1,83 @@
+//! Ablation studies for the design choices called out in DESIGN.md and
+//! the paper's side notes:
+//!
+//! - **LJS** (largest-job-first): §3 reports that prioritizing large jobs
+//!   "actually degrades system throughput".
+//! - **PERQ-T** (throughput-only weights): §3 reports up to ~5% more
+//!   throughput than PERQ but maximum degradation near 70%.
+//! - **PERQ without dither**: removes the identification excitation; the
+//!   per-job sensitivity estimates go stale and the allocation collapses
+//!   toward fair sharing.
+//! - **PERQ trained on the evaluation apps**: the over-fitting check —
+//!   the paper deliberately trains on NPB and evaluates on unseen apps;
+//!   this arm quantifies how much (little) an in-distribution model buys.
+//!
+//! ```text
+//! cargo run --release -p perq-bench --bin ablation -- [hours]
+//! ```
+
+use perq_bench::{improvement_pct, Evaluation, PolicyKind};
+use perq_core::{train_node_model_with, PerqConfig, PerqPolicy};
+use perq_sim::{compare_fairness, Cluster, ClusterConfig, SystemModel};
+
+fn main() {
+    let hours: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(6.0);
+    let f = 2.0;
+    let eval = Evaluation::new(SystemModel::mira(), hours * 3600.0, 20190622);
+    let baseline = eval.baseline_throughput();
+    let fop = eval.run(f, PolicyKind::Fop);
+    println!("Ablations (Mira, {hours} h, f = {f}); f=1 baseline {baseline} jobs");
+    println!(
+        "{:<22} {:>6} {:>12} {:>11} {:>11}",
+        "arm", "jobs", "improv(%)", "meandeg(%)", "maxdeg(%)"
+    );
+
+    let report = |name: &str, result: perq_sim::SimResult| {
+        let fairness = compare_fairness(&result, &fop);
+        println!(
+            "{:<22} {:>6} {:>12.1} {:>11.1} {:>11.1}",
+            name,
+            result.throughput(),
+            improvement_pct(result.throughput(), baseline),
+            fairness.mean_degradation_pct,
+            fairness.max_degradation_pct
+        );
+    };
+
+    report("FOP", fop.clone());
+    report("PERQ", eval.run(f, PolicyKind::Perq));
+    report("LJS (largest-first)", eval.run(f, PolicyKind::Ljs));
+    report("PERQ-T (thru-only)", eval.run(f, PolicyKind::PerqThroughput));
+
+    // PERQ without identification dither.
+    {
+        let config = ClusterConfig::for_system(&eval.system, f, eval.duration_s);
+        let jobs = eval.trace(config.nodes);
+        let mut cfg = PerqConfig::default();
+        cfg.dither_frac = 0.0;
+        let mut policy = PerqPolicy::with_model(eval.model.clone(), cfg);
+        let result = Cluster::new(config, jobs, eval.seed).run(&mut policy);
+        report("PERQ (no dither)", result);
+    }
+
+    // PERQ with a model trained on the *evaluation* suite (over-fit arm).
+    {
+        let config = ClusterConfig::for_system(&eval.system, f, eval.duration_s);
+        let jobs = eval.trace(config.nodes);
+        let (model, _) = train_node_model_with(perq_apps::ecp_suite(), 10.0, 600, 7);
+        let mut policy = PerqPolicy::with_model(model, PerqConfig::default());
+        let result = Cluster::new(config, jobs, eval.seed).run(&mut policy);
+        report("PERQ (eval-trained)", result);
+    }
+
+    println!();
+    println!("expected: LJS far below FOP with SJS-like unfairness (the paper dropped it");
+    println!("for this reason); PERQ-T above PERQ in throughput at a multiple of its");
+    println!("degradation; no-dither PERQ gains some throughput but tracks fairness");
+    println!("several times worse (the dither buys sensitivity estimates, which buy");
+    println!("precise targeting); eval-trained PERQ ≈ PERQ — training on the unseen NPB");
+    println!("suite costs nothing, validating the paper's no-overfitting protocol.");
+}

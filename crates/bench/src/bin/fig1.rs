@@ -1,0 +1,43 @@
+//! Fig. 1: CDF of job runtimes on Mira and Trinity. Prints the CDF at
+//! fixed runtime grid points plus the summary statistics the paper cites
+//! (mean runtime; fraction of jobs above 30 minutes).
+
+use perq_sim::{SystemModel, TraceGenerator};
+
+fn stats(system: SystemModel, seed: u64) -> (Vec<f64>, f64, f64) {
+    let jobs = TraceGenerator::new(system, seed).generate(50_000);
+    let mut runtimes_h: Vec<f64> = jobs.iter().map(|j| j.runtime_tdp_s / 3600.0).collect();
+    runtimes_h.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mean_min = runtimes_h.iter().sum::<f64>() / runtimes_h.len() as f64 * 60.0;
+    let over30 = runtimes_h.iter().filter(|&&h| h > 0.5).count() as f64
+        / runtimes_h.len() as f64;
+    (runtimes_h, mean_min, over30)
+}
+
+fn cdf_at(sorted: &[f64], x: f64) -> f64 {
+    let idx = sorted.partition_point(|&v| v <= x);
+    idx as f64 / sorted.len() as f64
+}
+
+fn main() {
+    println!("Fig. 1: CDF of job runtimes (synthetic traces calibrated to the published stats)");
+    let (mira, mira_mean, mira_over30) = stats(SystemModel::mira(), 1);
+    let (trinity, tri_mean, tri_over30) = stats(SystemModel::trinity(), 2);
+
+    println!("{:>12} {:>10} {:>10}", "runtime(h)", "Mira", "Trinity");
+    for x in [0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 20.0] {
+        println!(
+            "{:>12.2} {:>10.3} {:>10.3}",
+            x,
+            cdf_at(&mira, x),
+            cdf_at(&trinity, x)
+        );
+    }
+    println!();
+    println!("paper: Mira mean 72 min, 62% > 30 min | Trinity mean 30 min, 46% > 30 min");
+    println!(
+        "ours : Mira mean {mira_mean:.0} min, {:.0}% > 30 min | Trinity mean {tri_mean:.0} min, {:.0}% > 30 min",
+        100.0 * mira_over30,
+        100.0 * tri_over30
+    );
+}

@@ -1,0 +1,68 @@
+//! Fig. 12: power trading on the prototype — a low-sensitivity app (ASPA)
+//! holds the cluster's power until a high-sensitivity app (SimpleMOC)
+//! arrives; PERQ detects the difference and migrates the budget without
+//! hurting the low-sensitivity job.
+
+use perq_core::{PerqConfig, PerqPolicy};
+use perq_proto::{ProtoCluster, ProtoConfig};
+use perq_sim::JobSpec;
+
+fn main() {
+    let mut config = ProtoConfig::tardis(1, 2.0, 70);
+    config.trace_jobs = vec![0, 1];
+
+    let jobs = vec![
+        // ASPA: low sensitivity, starts immediately.
+        JobSpec {
+            id: 0,
+            app_index: 0,
+            size: 1,
+            runtime_tdp_s: 230.0,
+            runtime_estimate_s: 300.0,
+        },
+        // SimpleMOC: high sensitivity, enters the queue behind job 0 and
+        // starts on the second node within the first interval.
+        JobSpec {
+            id: 1,
+            app_index: 5,
+            size: 1,
+            runtime_tdp_s: 380.0,
+            runtime_estimate_s: 480.0,
+        },
+    ];
+
+    let mut perq = PerqPolicy::new(PerqConfig::default());
+    let result = ProtoCluster::new(config).run(jobs, &mut perq);
+    let t0 = result.traces.get(&0).cloned().unwrap_or_default();
+    let t1 = result.traces.get(&1).cloned().unwrap_or_default();
+    let peak = |t: &perq_sim::JobTrace| t.points.iter().map(|p| p.ips).fold(1e-9_f64, f64::max);
+    let (p0, p1) = (peak(&t0), peak(&t1));
+
+    println!("Fig. 12: PERQ power trading between sensitivity classes (prototype)");
+    println!(
+        "{:>6} | {:>9} {:>9} {:>8} | {:>9} {:>9} {:>8}",
+        "t(s)", "ASPA cap", "draw(W)", "perf(%)", "SMOC cap", "draw(W)", "perf(%)"
+    );
+    for k in 0..70 {
+        let t = k as f64 * 10.0;
+        let a = t0.points.iter().find(|p| (p.t_s - t).abs() < 1e-6);
+        let b = t1.points.iter().find(|p| (p.t_s - t).abs() < 1e-6);
+        if a.is_none() && b.is_none() && k > 3 {
+            break;
+        }
+        let fmt = |p: Option<&perq_sim::TracePoint>, peak: f64| match p {
+            Some(p) => format!(
+                "{:>8.1}W {:>8.1}W {:>7.1}%",
+                p.cap_w,
+                p.power_w,
+                100.0 * p.ips / peak
+            ),
+            None => format!("{:>9} {:>9} {:>8}", "-", "-", "-"),
+        };
+        println!("{:>6.0} | {} | {}", t, fmt(a, p0), fmt(b, p1));
+    }
+    println!();
+    println!("expected shape: the controller gradually shifts power from the low- to the");
+    println!("high-sensitivity job; the low-sensitivity job stays near 100% of its peak");
+    println!("performance even at low power; allocations end up swapped (paper ~150 s mark).");
+}

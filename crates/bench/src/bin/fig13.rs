@@ -1,0 +1,141 @@
+//! Fig. 13: CDF of the MPC controller's decision time for MPC prediction
+//! horizons 2–5, at the concurrent-job counts of the Mira and Trinity
+//! simulations. The paper reports > 80% of decisions within 0.5 s.
+//!
+//! ```text
+//! cargo run --release -p perq-bench --bin fig13 -- [instances]
+//! ```
+
+use perq_core::{train_node_model, MpcController, MpcInput, MpcJobState, MpcSettings};
+use perq_sysid::KalmanObserver;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn random_jobs(
+    ctrl: &MpcController,
+    model: &perq_core::NodeModel,
+    n: usize,
+    rng: &mut StdRng,
+) -> Vec<MpcJobState> {
+    (0..n)
+        .map(|_| {
+            let cap = rng.gen_range(0.32..1.0);
+            let gain: f64 = rng.gen_range(0.1..2.0);
+            let mut obs = KalmanObserver::new(model.ss.clone(), 0.05, 1e-3);
+            obs.seed_steady_state(model.curve.eval(cap), gain.min(1.2) * model.curve.eval(cap));
+            MpcJobState {
+                size: *[512usize, 1024, 2048, 4096]
+                    .get(rng.gen_range(0..4))
+                    .expect("index in range"),
+                target: rng.gen_range(0.5..1.0),
+                current_cap_frac: cap,
+                gain,
+                free_response: ctrl.free_response(model, obs.state()),
+                curve_value: model.curve.eval(cap),
+                curve_slope: model.curve.secant_slope(cap, 0.10),
+                bias: rng.gen_range(-0.1..0.1),
+                charged: rng.gen_bool(0.6),
+            }
+        })
+        .collect()
+}
+
+fn run_cdf(system: &str, n_jobs: usize, wp_nodes: f64, instances: usize) {
+    println!("-- {system}: {n_jobs} concurrent jobs --");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "horizon", "p50(ms)", "p80(ms)", "p95(ms)", "max(ms)", "<0.5s (%)"
+    );
+    let (model, _) = train_node_model(13);
+    for horizon in [2usize, 3, 4, 5] {
+        let ctrl = MpcController::new(
+            &model,
+            MpcSettings {
+                horizon,
+                ..MpcSettings::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(13 + horizon as u64);
+        let mut times_ms: Vec<f64> = Vec::with_capacity(instances);
+        for _ in 0..instances {
+            let jobs = random_jobs(&ctrl, &model, n_jobs, &mut rng);
+            let budget: f64 = jobs.iter().map(|j| j.size as f64).sum::<f64>() * 0.55;
+            let input = MpcInput {
+                jobs: &jobs,
+                system_target: 3.5,
+                budget_nodes: budget,
+                cap_min_frac: 90.0 / 290.0,
+                wp_nodes,
+            };
+            let t0 = Instant::now();
+            let d = ctrl.decide(&input).expect("jobs present");
+            times_ms.push(t0.elapsed().as_secs_f64() * 1000.0);
+            std::hint::black_box(d);
+        }
+        times_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let pct = |p: f64| times_ms[((times_ms.len() as f64 - 1.0) * p) as usize];
+        let under_half_s =
+            times_ms.iter().filter(|&&t| t < 500.0).count() as f64 / times_ms.len() as f64;
+        println!(
+            "{:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>11.1}%",
+            horizon,
+            pct(0.5),
+            pct(0.8),
+            pct(0.95),
+            times_ms.last().expect("non-empty"),
+            100.0 * under_half_s
+        );
+    }
+    println!();
+}
+
+fn grouped_scaling(instances: usize) {
+    println!("-- grouped decisions at scale (§3: \"creating groups of jobs with");
+    println!("   similar characteristics\"; 64 groups, horizon 4) --");
+    println!("{:>10} {:>12} {:>12}", "jobs", "p50(ms)", "max(ms)");
+    let (model, _) = train_node_model(13);
+    let ctrl = MpcController::new(&model, MpcSettings::default());
+    for n in [200usize, 1000, 10_000] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let mut times_ms = Vec::new();
+        for _ in 0..instances.min(30) {
+            let jobs = random_jobs(&ctrl, &model, n, &mut rng);
+            let budget: f64 = jobs.iter().map(|j| j.size as f64).sum::<f64>() * 0.55;
+            let input = MpcInput {
+                jobs: &jobs,
+                system_target: 3.5,
+                budget_nodes: budget,
+                cap_min_frac: 90.0 / 290.0,
+                wp_nodes: 49_152.0,
+            };
+            let t0 = Instant::now();
+            let d = ctrl.decide_grouped(&input, 64).expect("jobs present");
+            times_ms.push(t0.elapsed().as_secs_f64() * 1000.0);
+            std::hint::black_box(d);
+        }
+        times_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        println!(
+            "{:>10} {:>12.2} {:>12.2}",
+            n,
+            times_ms[times_ms.len() / 2],
+            times_ms.last().expect("non-empty")
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let instances: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200);
+    println!("Fig. 13: MPC decision-time distribution ({instances} instances per point)");
+    println!();
+    // Concurrent-job counts of the paper's 24 h simulations:
+    // Mira ≈ N_OP / mean size ≈ 98304/1894 ≈ 52; Trinity ≈ 38840/1830 ≈ 21.
+    run_cdf("Mira", 52, 49_152.0, instances);
+    run_cdf("Trinity", 21, 19_420.0, instances);
+    grouped_scaling(instances);
+    println!("paper: > 80% of decisions within 0.5 s at horizon 4; time grows with horizon.");
+}

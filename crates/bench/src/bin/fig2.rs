@@ -1,0 +1,41 @@
+//! Fig. 2: power-consumption profiles of HPCCG, miniMD, and RSBench over
+//! their runtime (uncapped), showing phase-driven variation.
+
+use perq_apps::{ecp_suite, TDP_WATTS};
+use perq_rapl::{CapLimits, PowerCapDevice, SimulatedRapl};
+
+fn main() {
+    println!("Fig. 2: power profiles over runtime at TDP cap (watts)");
+    let suite = ecp_suite();
+    let names = ["HPCCG", "miniMD", "RSBench"];
+    let apps: Vec<_> = names
+        .iter()
+        .map(|n| suite.iter().find(|a| &a.name == n).expect("app exists"))
+        .collect();
+
+    // Sample two full cycles of the longest app at 5 s resolution.
+    let horizon = apps.iter().map(|a| a.cycle_s()).fold(0.0, f64::max) * 2.0;
+    let mut rapls: Vec<SimulatedRapl> = (0..apps.len())
+        .map(|i| SimulatedRapl::new(CapLimits::new(90.0, TDP_WATTS), 0.0, 0.005, i as u64))
+        .collect();
+
+    println!("{:>8} {:>10} {:>10} {:>10}", "t(%)", names[0], names[1], names[2]);
+    let steps = 40;
+    for k in 0..=steps {
+        let t = horizon * k as f64 / steps as f64;
+        let mut row = format!("{:>7.0}%", 100.0 * k as f64 / steps as f64);
+        for (app, rapl) in apps.iter().zip(rapls.iter_mut()) {
+            let demand = app.phase(t).demand_frac * TDP_WATTS;
+            let p = rapl.advance(5.0, demand);
+            row.push_str(&format!(" {:>10.1}", p));
+        }
+        println!("{row}");
+    }
+    println!();
+    println!("paper ranges: HPCCG 100-180 W, miniMD 100-220 W, RSBench 80-140 W");
+    for app in &apps {
+        let lo = app.phases.iter().map(|p| p.demand_frac).fold(1.0_f64, f64::min) * TDP_WATTS;
+        let hi = app.phases.iter().map(|p| p.demand_frac).fold(0.0_f64, f64::max) * TDP_WATTS;
+        println!("ours : {:<8} {:>4.0}-{:>4.0} W", app.name, lo, hi);
+    }
+}

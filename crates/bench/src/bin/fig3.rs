@@ -1,0 +1,29 @@
+//! Fig. 3: application performance (% of performance at 290 W) versus the
+//! node power cap, grouped by sensitivity class.
+
+use perq_apps::{ecp_suite, Sensitivity, TDP_WATTS};
+
+fn main() {
+    println!("Fig. 3: performance vs power cap (% of perf at 290 W)");
+    let suite = ecp_suite();
+    for class in [Sensitivity::Low, Sensitivity::Medium, Sensitivity::High] {
+        let apps: Vec<_> = suite.iter().filter(|a| a.sensitivity == class).collect();
+        println!();
+        println!("-- {class:?} sensitivity --");
+        print!("{:>8}", "cap(W)");
+        for a in &apps {
+            print!(" {:>10}", a.name);
+        }
+        println!();
+        for cap_w in [90.0, 115.0, 140.0, 165.0, 190.0, 215.0, 240.0, 265.0, 290.0] {
+            print!("{:>8.0}", cap_w);
+            for a in &apps {
+                let perf = a.curve.perf_frac(cap_w / TDP_WATTS);
+                print!(" {:>9.1}%", 100.0 * perf);
+            }
+            println!();
+        }
+    }
+    println!();
+    println!("paper: low-sensitivity apps lose < 20% at 90 W; high-sensitivity > 60%.");
+}

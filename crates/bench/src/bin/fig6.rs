@@ -1,0 +1,32 @@
+//! Fig. 6: Mira-driven evaluation — system-throughput improvement over
+//! the f = 1 baseline, and mean/max performance degradation vs FOP, for
+//! FOP / SJS / SRN / PERQ at over-provisioning factors 1.0–2.0.
+//!
+//! ```text
+//! cargo run --release -p perq-bench --bin fig6 -- [hours]
+//! ```
+//!
+//! Default 8 simulated hours (the paper uses 24; pass `24` for the full
+//! day — a single-core run takes ~15 minutes).
+
+use perq_bench::{print_rows, Evaluation};
+use perq_sim::SystemModel;
+
+fn main() {
+    let hours: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8.0);
+    let eval = Evaluation::new(SystemModel::mira(), hours * 3600.0, 20190622);
+    let baseline = eval.baseline_throughput();
+    println!("Fig. 6 (Mira, {hours} h): baseline f=1.0 throughput = {baseline} jobs");
+    let mut all_rows = Vec::new();
+    for f in [1.0, 1.2, 1.4, 1.6, 1.8, 2.0] {
+        let rows = eval.headline_rows(f, baseline);
+        all_rows.extend(rows);
+    }
+    print_rows(&all_rows);
+    println!();
+    println!("expected shape: PERQ improvement ~ proportional to f and above SRN > FOP;");
+    println!("SJS/SRN mean degradation several times PERQ's; PERQ mean < ~8%, max < ~30%.");
+}

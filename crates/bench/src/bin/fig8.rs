@@ -1,0 +1,104 @@
+//! Fig. 8: per-job tracking traces under PERQ on Trinity — power cap,
+//! target IPS, and actual IPS over each job's execution, for four jobs
+//! with diverse characteristics.
+//!
+//! ```text
+//! cargo run --release -p perq-bench --bin fig8 -- [hours]
+//! ```
+
+use perq_core::{PerqConfig, PerqPolicy};
+use perq_sim::{Cluster, ClusterConfig, SystemModel, TraceGenerator};
+
+fn main() {
+    let hours: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4.0);
+    let system = SystemModel::trinity();
+    let seed = 8;
+    let mut config = ClusterConfig::for_system(&system, 2.0, hours * 3600.0);
+    let jobs = TraceGenerator::new(system, seed).generate_saturating(config.nodes, config.duration_s);
+
+    // Trace a handful of early jobs with different sizes/apps; report four.
+    config.trace_jobs = (0..16).collect();
+    let mut perq = PerqPolicy::new(PerqConfig::default());
+    let mut cluster = Cluster::new(config, jobs.clone(), seed);
+    let result = cluster.run(&mut perq);
+
+    // Pick four traced jobs with the most points (longest running) and
+    // distinct apps.
+    let mut candidates: Vec<(u64, usize)> = result
+        .traces
+        .iter()
+        .map(|(&id, t)| (id, t.points.len()))
+        .collect();
+    candidates.sort_by_key(|&(id, len)| (std::cmp::Reverse(len), id));
+    let mut picked: Vec<u64> = Vec::new();
+    let mut seen_apps: Vec<String> = Vec::new();
+    for (id, _) in candidates {
+        let app = result
+            .records
+            .iter()
+            .find(|r| r.spec.id == id)
+            .map(|r| r.app_name.clone())
+            .unwrap_or_default();
+        if !seen_apps.contains(&app) {
+            seen_apps.push(app);
+            picked.push(id);
+        }
+        if picked.len() == 4 {
+            break;
+        }
+    }
+
+    for (panel, id) in picked.iter().enumerate() {
+        let rec = result.records.iter().find(|r| r.spec.id == *id).expect("record");
+        let trace = &result.traces[id];
+        println!(
+            "(panel {}) job {} — app {}, {} nodes, runtime {:.2} h",
+            (b'a' + panel as u8) as char,
+            id,
+            rec.app_name,
+            rec.spec.size,
+            rec.runtime_s() / 3600.0
+        );
+        println!(
+            "{:>9} {:>14} {:>14} {:>14}",
+            "t(h)", "cap(kW)", "target IPS", "actual IPS"
+        );
+        let stride = (trace.points.len() / 24).max(1);
+        for p in trace.points.iter().step_by(stride) {
+            println!(
+                "{:>9.2} {:>14.2} {:>14.3e} {:>14.3e}",
+                (p.t_s - rec.start_s) / 3600.0,
+                p.cap_w * rec.spec.size as f64 / 1000.0,
+                p.target_ips.unwrap_or(0.0),
+                p.ips
+            );
+        }
+        // Tracking quality summary over the post-convergence tail: the
+        // signed mean offset (overshoot is expected, §3: "slightly better
+        // performance than the target") and the spread around it.
+        let tail: Vec<&perq_sim::TracePoint> = trace.points.iter().skip(6).collect();
+        if !tail.is_empty() {
+            let signed: f64 = tail
+                .iter()
+                .filter_map(|p| p.target_ips.map(|t| (p.ips - t) / t))
+                .sum::<f64>()
+                / tail.len() as f64;
+            let spread: f64 = tail
+                .iter()
+                .filter_map(|p| p.target_ips.map(|t| ((p.ips - t) / t - signed).abs()))
+                .sum::<f64>()
+                / tail.len() as f64;
+            println!(
+                "tracking after convergence: mean offset {:+.1}% of target (overshoot is                  expected — the system objective asks for more), spread ±{:.1}%",
+                100.0 * signed,
+                100.0 * spread
+            );
+        }
+        println!();
+    }
+    println!("expected shape: IPS converges to target within a few intervals and stays");
+    println!("stable; low-sensitivity jobs may run below their power share at no perf cost.");
+}

@@ -1,0 +1,42 @@
+//! Fig. 9: sensitivity of PERQ to the control-interval length on the Mira
+//! trace. The paper reports < 3% throughput loss up to 120 s intervals
+//! and mean degradation above 5% only past 40 s.
+//!
+//! ```text
+//! cargo run --release -p perq-bench --bin fig9 -- [hours]
+//! ```
+
+use perq_bench::{improvement_pct, Evaluation, PolicyKind};
+use perq_sim::{ClusterConfig, SystemModel};
+
+fn main() {
+    let hours: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4.0);
+    let eval = Evaluation::new(SystemModel::mira(), hours * 3600.0, 9);
+    println!("Fig. 9 (Mira, {hours} h, f = 2.0): control-interval sweep");
+    println!(
+        "{:>12} {:>8} {:>16} {:>12}",
+        "interval(s)", "jobs", "vs 5s bar (%)", "meandeg(%)"
+    );
+    let mut bar1: Option<usize> = None;
+    for interval in [5.0, 10.0, 20.0, 40.0, 60.0, 120.0] {
+        let mut config = ClusterConfig::for_system(&eval.system, 2.0, eval.duration_s);
+        config.interval_s = interval;
+        let fop = eval.run_with_config(config.clone(), PolicyKind::Fop);
+        let perq = eval.run_with_config(config, PolicyKind::Perq);
+        let fairness = perq_sim::compare_fairness(&perq, &fop);
+        let base = *bar1.get_or_insert(perq.throughput());
+        println!(
+            "{:>12.0} {:>8} {:>16.2} {:>12.1}",
+            interval,
+            perq.throughput(),
+            improvement_pct(perq.throughput(), base),
+            fairness.mean_degradation_pct
+        );
+    }
+    println!();
+    println!("expected shape: small throughput loss (|Δ| < ~3%) even at 120 s; mean");
+    println!("degradation grows noticeably only for intervals above ~40 s.");
+}

@@ -1,0 +1,37 @@
+//! Table 1: applications from the ECP proxy-app suite with their average
+//! per-node power consumption (% of TDP), measured by running each
+//! profile uncapped in the node simulator.
+
+use perq_apps::{ecp_suite, TDP_WATTS};
+use perq_rapl::{CapLimits, PowerCapDevice, SimulatedRapl};
+
+fn main() {
+    println!("Table 1: ECP proxy applications, average power as % of TDP");
+    println!("{:<12} {:<36} {:>10} {:>10}", "Application", "Domain", "profile%", "measured%");
+    for (i, app) in ecp_suite().iter().enumerate() {
+        // Measure with the RAPL simulation: run two full phase cycles
+        // uncapped and average the meter readings.
+        let mut rapl = SimulatedRapl::new(
+            CapLimits::new(90.0, TDP_WATTS),
+            0.0,
+            0.0,
+            i as u64,
+        );
+        let dt = 1.0;
+        let steps = (2.0 * app.cycle_s() / dt).ceil() as usize;
+        let mut total = 0.0;
+        for k in 0..steps {
+            let t = k as f64 * dt;
+            let demand = app.phase(t).demand_frac * TDP_WATTS;
+            total += rapl.advance(dt, demand);
+        }
+        let measured_pct = 100.0 * total / steps as f64 / TDP_WATTS;
+        println!(
+            "{:<12} {:<36} {:>9.0}% {:>9.1}%",
+            app.name,
+            app.domain,
+            100.0 * app.avg_power_frac(),
+            measured_pct
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Ad-hoc tuning driver (not part of the figure set): runs one system at
+//! one f for a given duration with configurable PERQ weights.
+//!
+//! ```text
+//! cargo run --release -p perq-bench --bin tune -- <system> <f> <hours> [wt_sys] [w_dp] [ratio]
+//! ```
+
+use perq_bench::Evaluation;
+use perq_sim::SystemModel;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let system = match args.next().as_deref() {
+        Some("trinity") => SystemModel::trinity(),
+        Some("tardis") => SystemModel::tardis(),
+        _ => SystemModel::mira(),
+    };
+    let f: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2.0);
+    let hours: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(6.0);
+    let wt_sys: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1.0);
+    let w_dp: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1.0);
+    let ratio: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(4.0);
+
+    let mut eval = Evaluation::new(system, hours * 3600.0, 20190622);
+    eval.perq_config.mpc.wt_sys = wt_sys;
+    eval.perq_config.mpc.w_dp = w_dp;
+    eval.perq_config.improvement_ratio = ratio;
+
+    let baseline = eval.baseline_throughput();
+    println!("f=1 baseline: {baseline} jobs  (wt_sys={wt_sys}, w_dp={w_dp}, ratio={ratio})");
+    let rows = eval.headline_rows(f, baseline);
+    perq_bench::print_rows(&rows);
+}

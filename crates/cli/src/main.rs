@@ -1,0 +1,221 @@
+//! `perq` — command-line interface to the PERQ power-management toolkit.
+//!
+//! Subcommands:
+//!
+//! - `perq simulate` — run a policy on a simulated cluster and print the
+//!   throughput/fairness summary (optionally a JSON report).
+//! - `perq train` — identify the node model from the NPB-like suite and
+//!   print its diagnostics.
+//! - `perq prototype` — run the TCP prototype cluster under a policy.
+//! - `perq stress` — the report-collection stress test.
+//!
+//! Run `perq help` (or any subcommand with `--help`-style ignorance) for
+//! usage. The CLI keeps zero non-workspace dependencies: argument parsing
+//! is a hand-rolled key=value scheme, which is all these four commands
+//! need.
+
+use perq_core::{baselines, train_node_model, PerqConfig, PerqPolicy};
+use perq_sim::{
+    compare_fairness, Cluster, ClusterConfig, FairPolicy, PowerPolicy, SimResult, SystemModel,
+    TraceGenerator,
+};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "perq — fair and efficient power management (HPDC'19 reproduction)
+
+USAGE:
+    perq simulate  [system=mira|trinity|tardis] [policy=perq|fop|sjs|ljs|srn] [f=2.0]
+                   [hours=4] [seed=42] [interval=10] [json=out.json]
+    perq train     [seed=7]
+    perq prototype [wp=8] [f=2.0] [policy=perq|fop|sjs|ljs|srn] [jobs=200] [intervals=600]
+    perq stress    [clients=100000] [connections=4]
+    perq help
+
+Examples:
+    perq simulate system=trinity policy=perq f=1.8 hours=8
+    perq prototype wp=4 f=2.0 policy=srn
+"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    for a in args {
+        if let Some((k, v)) = a.split_once('=') {
+            map.insert(k.to_string(), v.to_string());
+        }
+    }
+    map
+}
+
+fn get<T: std::str::FromStr>(map: &HashMap<String, String>, key: &str, default: T) -> T {
+    map.get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn system(map: &HashMap<String, String>) -> SystemModel {
+    match map.get("system").map(String::as_str) {
+        Some("trinity") => SystemModel::trinity(),
+        Some("tardis") => SystemModel::tardis(),
+        Some("mira") | None => SystemModel::mira(),
+        Some(other) => {
+            eprintln!("unknown system '{other}', using mira");
+            SystemModel::mira()
+        }
+    }
+}
+
+fn policy(map: &HashMap<String, String>) -> Box<dyn PowerPolicy> {
+    match map.get("policy").map(String::as_str) {
+        Some("fop") => Box::new(FairPolicy::new()),
+        Some("sjs") => Box::new(baselines::sjs()),
+        Some("ljs") => Box::new(baselines::ljs()),
+        Some("srn") => Box::new(baselines::srn()),
+        Some("perq") | None => Box::new(PerqPolicy::new(PerqConfig::default())),
+        Some(other) => {
+            eprintln!("unknown policy '{other}', using perq");
+            Box::new(PerqPolicy::new(PerqConfig::default()))
+        }
+    }
+}
+
+fn summarize(result: &SimResult, fop: Option<&SimResult>) {
+    println!("policy            : {}", result.policy);
+    println!("f                 : {:.2}", result.f);
+    println!("jobs completed    : {}", result.throughput());
+    println!("budget violations : {}", result.budget_violations);
+    let mean_decision_ms = 1000.0 * result.decision_times_s.iter().sum::<f64>()
+        / result.decision_times_s.len().max(1) as f64;
+    println!("mean decision time: {mean_decision_ms:.2} ms");
+    if let Some(fop) = fop {
+        let rep = compare_fairness(result, fop);
+        println!(
+            "fairness vs FOP   : mean degradation {:.1}% (max {:.1}%) over {} of {} jobs",
+            rep.mean_degradation_pct, rep.max_degradation_pct, rep.degraded_jobs, rep.compared_jobs
+        );
+    }
+}
+
+fn cmd_simulate(map: HashMap<String, String>) -> ExitCode {
+    let system = system(&map);
+    let f: f64 = get(&map, "f", 2.0);
+    let hours: f64 = get(&map, "hours", 4.0);
+    let seed: u64 = get(&map, "seed", 42);
+    let interval: f64 = get(&map, "interval", 10.0);
+
+    let mut config = ClusterConfig::for_system(&system, f, hours * 3600.0);
+    config.interval_s = interval;
+    let jobs = TraceGenerator::new(system.clone(), seed)
+        .generate_saturating(config.nodes, config.duration_s);
+    println!(
+        "simulating {}: {} nodes (wp {}), {} queued jobs, {hours} h at {interval} s intervals",
+        system.name,
+        config.nodes,
+        config.wp_nodes,
+        jobs.len()
+    );
+
+    // Always run the FOP reference for the fairness metrics.
+    let fop_result = Cluster::new(config.clone(), jobs.clone(), seed).run(&mut FairPolicy::new());
+    let mut chosen = policy(&map);
+    let result = if chosen.name() == "FOP" {
+        fop_result.clone()
+    } else {
+        Cluster::new(config, jobs, seed).run(chosen.as_mut())
+    };
+    summarize(&result, Some(&fop_result));
+
+    if let Some(path) = map.get("json") {
+        match serde_json::to_string_pretty(&result) {
+            Ok(body) => {
+                if let Err(e) = std::fs::write(path, body) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("full result written to {path}");
+            }
+            Err(e) => {
+                eprintln!("failed to serialize result: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_train(map: HashMap<String, String>) -> ExitCode {
+    let seed: u64 = get(&map, "seed", 7);
+    let (model, report) = train_node_model(seed);
+    println!("node model identified from the NPB-like training suite");
+    println!("benchmarks        : {}", report.benchmarks);
+    println!("training samples  : {}", report.samples);
+    println!("one-step fit      : {:.1}%", report.dynamic_fit_pct);
+    println!("model order       : {}", model.ss.order());
+    println!("stable            : {}", model.ss.is_stable());
+    println!("dc gain           : {:?}", model.ss.dc_gain());
+    println!("static curve      :");
+    for cap_w in [90.0, 140.0, 190.0, 240.0, 290.0] {
+        println!(
+            "  {:>5.0} W -> {:>5.1}% of base IPS",
+            cap_w,
+            100.0 * model.curve.eval(cap_w / 290.0)
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_prototype(map: HashMap<String, String>) -> ExitCode {
+    use perq_proto::{ProtoCluster, ProtoConfig};
+    let wp: usize = get(&map, "wp", 8);
+    let f: f64 = get(&map, "f", 2.0);
+    let n_jobs: usize = get(&map, "jobs", 200);
+    let intervals: usize = get(&map, "intervals", 600);
+
+    let mut jobs = TraceGenerator::new(SystemModel::tardis(), get(&map, "seed", 42)).generate(n_jobs);
+    for j in jobs.iter_mut() {
+        j.runtime_tdp_s = j.runtime_tdp_s.clamp(120.0, 1200.0);
+        j.runtime_estimate_s = j.runtime_tdp_s * 1.3;
+    }
+    let config = ProtoConfig::tardis(wp, f, intervals);
+    println!(
+        "prototype: {} workers (budget {} nodes), {} jobs, {} intervals",
+        config.nodes, config.wp_nodes, n_jobs, intervals
+    );
+    let mut chosen = policy(&map);
+    let result = ProtoCluster::new(config).run(jobs, chosen.as_mut());
+    summarize(&result, None);
+    ExitCode::SUCCESS
+}
+
+fn cmd_stress(map: HashMap<String, String>) -> ExitCode {
+    let clients: usize = get(&map, "clients", 100_000);
+    let connections: usize = get(&map, "connections", 4);
+    let report = perq_proto::stress::run_stress(clients, connections);
+    println!(
+        "collected {} reports in {:.3} s ({:.0} reports/s)",
+        report.clients,
+        report.collection_time.as_secs_f64(),
+        report.reports_per_second
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let map = parse_args(&args[1..]);
+    match cmd.as_str() {
+        "simulate" => cmd_simulate(map),
+        "train" => cmd_train(map),
+        "prototype" => cmd_prototype(map),
+        "stress" => cmd_stress(map),
+        _ => usage(),
+    }
+}

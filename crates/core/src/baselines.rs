@@ -1,0 +1,230 @@
+//! Throughput-oriented baseline policies from §3 of the paper.
+//!
+//! All three are priority water-filling allocators: jobs are sorted by a
+//! priority key, then power is granted in priority order — each job's
+//! nodes are raised from the minimum cap toward TDP until the busy-node
+//! budget is exhausted; everyone else stays at the floor. This is exactly
+//! the "give maximum power to jobs which …" construction the paper
+//! describes, and it is what makes them fast but unfair.
+
+use perq_sim::{PolicyContext, PowerAssignment, PowerPolicy};
+
+/// Priority key used by a water-filling baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Priority {
+    /// Smallest job size first (SJS): "allocates more power to small
+    /// jobs, anticipating that accelerating them would improve system
+    /// throughput".
+    SmallestJob,
+    /// Largest job size first (LJS): the paper reports this variant
+    /// actually degrades throughput; included for the ablation.
+    LargestJob,
+    /// Smallest remaining node-hours first (SRN): "diverts power to
+    /// shortest and smallest jobs, knowing that finishing them would
+    /// improve throughput. It uses future knowledge of when the job is
+    /// going to finish."
+    SmallestRemaining,
+}
+
+/// A water-filling baseline policy; construct via [`sjs`], [`ljs`], or
+/// [`srn`].
+#[derive(Debug, Clone)]
+pub struct WaterfillPolicy {
+    priority: Priority,
+    name: &'static str,
+}
+
+/// Smallest-job-size policy (SJS).
+pub fn sjs() -> WaterfillPolicy {
+    WaterfillPolicy {
+        priority: Priority::SmallestJob,
+        name: "SJS",
+    }
+}
+
+/// Largest-job-size policy (LJS).
+pub fn ljs() -> WaterfillPolicy {
+    WaterfillPolicy {
+        priority: Priority::LargestJob,
+        name: "LJS",
+    }
+}
+
+/// Smallest-remaining-node-hours policy (SRN). Uses the oracle
+/// `remaining_node_hours` field.
+pub fn srn() -> WaterfillPolicy {
+    WaterfillPolicy {
+        priority: Priority::SmallestRemaining,
+        name: "SRN",
+    }
+}
+
+impl PowerPolicy for WaterfillPolicy {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn assign(&mut self, ctx: &PolicyContext<'_>) -> Vec<PowerAssignment> {
+        let n = ctx.jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+
+        // Order of service.
+        let mut order: Vec<usize> = (0..n).collect();
+        match self.priority {
+            Priority::SmallestJob => {
+                order.sort_by_key(|&i| (ctx.jobs[i].size, ctx.jobs[i].id));
+            }
+            Priority::LargestJob => {
+                order.sort_by_key(|&i| (std::cmp::Reverse(ctx.jobs[i].size), ctx.jobs[i].id));
+            }
+            Priority::SmallestRemaining => {
+                order.sort_by(|&a, &b| {
+                    ctx.jobs[a]
+                        .remaining_node_hours
+                        .partial_cmp(&ctx.jobs[b].remaining_node_hours)
+                        .expect("finite node-hours")
+                        .then(ctx.jobs[a].id.cmp(&ctx.jobs[b].id))
+                });
+            }
+        }
+
+        // Water-fill: everyone at the floor, then raise in priority order.
+        let mut caps = vec![ctx.cap_min_w; n];
+        let floor_total: f64 = ctx
+            .jobs
+            .iter()
+            .map(|j| ctx.cap_min_w * j.size as f64)
+            .sum();
+        let mut headroom = (ctx.busy_budget_w - floor_total).max(0.0);
+        for &i in &order {
+            if headroom <= 0.0 {
+                break;
+            }
+            let size = ctx.jobs[i].size as f64;
+            let want = (ctx.cap_max_w - ctx.cap_min_w) * size;
+            let grant = want.min(headroom);
+            caps[i] = ctx.cap_min_w + grant / size;
+            headroom -= grant;
+        }
+        caps.into_iter().map(PowerAssignment::cap).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perq_sim::JobView;
+
+    fn job(id: u64, size: usize, remaining_nh: f64) -> JobView {
+        JobView {
+            id,
+            size,
+            elapsed_s: 0.0,
+            measured_ips: Some(1e9),
+            current_cap_w: 145.0,
+            measured_power_w: Some(140.0),
+            remaining_node_hours: remaining_nh,
+            is_new: false,
+        }
+    }
+
+    fn ctx<'a>(jobs: &'a [JobView], busy_budget_w: f64) -> PolicyContext<'a> {
+        PolicyContext {
+            time_s: 0.0,
+            interval_s: 10.0,
+            busy_budget_w,
+            cap_min_w: 90.0,
+            cap_max_w: 290.0,
+            total_nodes: 32,
+            wp_nodes: 16,
+            jobs,
+        }
+    }
+
+    #[test]
+    fn sjs_gives_tdp_to_smallest_first() {
+        let jobs = vec![job(0, 8, 10.0), job(1, 2, 10.0), job(2, 4, 10.0)];
+        // Budget: floors 14*90=1260; headroom for exactly the 2-node and
+        // 4-node jobs at TDP: (290-90)*(2+4)=1200. Total 2460.
+        let c = ctx(&jobs, 2460.0);
+        let out = sjs().assign(&c);
+        assert!((out[1].cap_w - 290.0).abs() < 1e-9, "smallest at TDP");
+        assert!((out[2].cap_w - 290.0).abs() < 1e-9, "next smallest at TDP");
+        assert!((out[0].cap_w - 90.0).abs() < 1e-9, "largest starved");
+    }
+
+    #[test]
+    fn ljs_reverses_priority() {
+        let jobs = vec![job(0, 8, 10.0), job(1, 2, 10.0)];
+        // Headroom only for the 8-node job: (290-90)*8 = 1600; floors 900.
+        let c = ctx(&jobs, 2500.0);
+        let out = ljs().assign(&c);
+        assert!((out[0].cap_w - 290.0).abs() < 1e-9);
+        assert!((out[1].cap_w - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn srn_prioritizes_nearest_completion() {
+        let jobs = vec![job(0, 4, 50.0), job(1, 4, 1.0), job(2, 4, 20.0)];
+        // Headroom for exactly one job at TDP.
+        let floors = 12.0 * 90.0;
+        let c = ctx(&jobs, floors + 200.0 * 4.0);
+        let out = srn().assign(&c);
+        assert!((out[1].cap_w - 290.0).abs() < 1e-9, "{out:?}");
+        assert!((out[0].cap_w - 90.0).abs() < 1e-9);
+        assert!((out[2].cap_w - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_grant_when_headroom_runs_out() {
+        let jobs = vec![job(0, 4, 1.0), job(1, 4, 2.0)];
+        let floors = 8.0 * 90.0;
+        // Headroom = 1.5 jobs' worth.
+        let c = ctx(&jobs, floors + 200.0 * 6.0);
+        let out = srn().assign(&c);
+        assert!((out[0].cap_w - 290.0).abs() < 1e-9);
+        assert!((out[1].cap_w - 190.0).abs() < 1e-9); // 90 + 1200-800=400/4
+    }
+
+    #[test]
+    fn budget_respected_exactly() {
+        let jobs = vec![job(0, 3, 5.0), job(1, 5, 2.0), job(2, 7, 9.0)];
+        let c = ctx(&jobs, 2000.0);
+        for policy in [sjs(), ljs(), srn()] {
+            let mut p = policy;
+            let out = p.assign(&c);
+            let committed: f64 = out
+                .iter()
+                .zip(c.jobs.iter())
+                .map(|(a, j)| a.cap_w * j.size as f64)
+                .sum();
+            assert!(committed <= 2000.0 + 1e-6, "{}: {committed}", p.name());
+        }
+    }
+
+    #[test]
+    fn ties_broken_by_job_id_for_determinism() {
+        let jobs = vec![job(5, 4, 1.0), job(3, 4, 1.0)];
+        let floors = 8.0 * 90.0;
+        let c = ctx(&jobs, floors + 200.0 * 4.0);
+        let out = sjs().assign(&c);
+        // Same size: lower id (3, at index 1) wins.
+        assert!((out[1].cap_w - 290.0).abs() < 1e-9);
+        assert!((out[0].cap_w - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_overfull() {
+        let jobs: Vec<JobView> = vec![];
+        let c = ctx(&jobs, 1000.0);
+        assert!(sjs().assign(&c).is_empty());
+        // Budget below floors: everyone at the floor (simulator will
+        // record the violation).
+        let jobs = vec![job(0, 10, 1.0)];
+        let c = ctx(&jobs, 100.0);
+        let out = srn().assign(&c);
+        assert!((out[0].cap_w - 90.0).abs() < 1e-9);
+    }
+}

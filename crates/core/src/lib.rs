@@ -1,0 +1,47 @@
+//! PERQ: fair and efficient power management for power-constrained,
+//! hardware-over-provisioned computing systems.
+//!
+//! This crate is the paper's primary contribution — the feedback control
+//! stack of Fig. 4:
+//!
+//! ```text
+//!   job statuses ──► Target Generator ──targets──► MPC Controller ──caps──► nodes
+//!        ▲                                              ▲                     │
+//!        └────────────── performance indicators (IPS) ──┴─────────────────────┘
+//! ```
+//!
+//! - [`NodeModel`] / [`train_node_model`]: the one-time-per-node-type
+//!   identified model (§2.4.2) — a Hammerstein static curve plus a
+//!   3rd-order state-space model fitted on the NPB-like training suite
+//!   under uniformly switched power caps. The training applications are
+//!   disjoint from the evaluation applications by construction.
+//! - [`JobAdapter`]: per-job online adaptation — a Kalman observer tracks
+//!   the node state from measured IPS, and an RLS gain/offset layer maps
+//!   the shared model onto the job at hand (this is how one model serves
+//!   jobs whose power sensitivity differs by 3×).
+//! - [`TargetGenerator`]: produces the job-level fairness targets
+//!   (performance at the fair power `P_fair = TDP·N_WP/N_OP`) and the
+//!   system throughput target `T_OP = T_ratio · T_WP` (§2.4.1).
+//! - [`MpcController`]: builds and solves the constrained quadratic
+//!   program of Eq. 4 every decision interval (prediction matrices from
+//!   the model's Markov parameters, box constraints from the RAPL window,
+//!   per-horizon-step budget constraints, ΔP smoothing cost, terminal
+//!   weighting).
+//! - [`PerqPolicy`]: the complete policy wired into the `perq-sim`
+//!   [`perq_sim::PowerPolicy`] interface.
+//! - [`baselines`]: the comparison policies of §3 — SJS (smallest job
+//!   size), LJS (largest job size), and SRN (smallest remaining
+//!   node-hours, which uses oracle knowledge).
+
+pub mod baselines;
+pub mod grouping;
+mod model;
+mod mpc;
+mod perq;
+mod targets;
+
+pub use model::{train_node_model, train_node_model_with, JobAdapter, NodeModel, TrainingReport};
+pub use grouping::group_jobs;
+pub use mpc::{MpcController, MpcDecision, MpcInput, MpcJobState, MpcSettings};
+pub use perq::{PerqConfig, PerqPolicy};
+pub use targets::{TargetGenerator, Targets};

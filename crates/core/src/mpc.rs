@@ -1,0 +1,594 @@
+use crate::model::NodeModel;
+use perq_linalg::Matrix;
+use perq_qp::{BoxBudgetQp, Budget, ProjGradSettings, ProjGradSolver};
+
+/// MPC controller settings (the weights of Eq. 2/Eq. 3 and the horizon).
+#[derive(Debug, Clone)]
+pub struct MpcSettings {
+    /// Prediction horizon `M` in control intervals (paper uses ~4 and
+    /// reports insensitivity to the exact value).
+    pub horizon: usize,
+    /// Weight on job-level tracking errors (`W_Tjob`).
+    pub wt_job: f64,
+    /// Weight on the system-throughput tracking error (`W_Tsys`).
+    pub wt_sys: f64,
+    /// Weight on power-cap changes between instances (`W_ΔP`).
+    pub w_dp: f64,
+    /// Multiplier applied to the tracking weights at the last horizon
+    /// step — the "terminal cost" that enforces convergence by the end of
+    /// the horizon (§2.3.2).
+    pub terminal_weight: f64,
+    /// QP solver iteration cap (bounds the decision time).
+    pub max_qp_iters: usize,
+}
+
+impl Default for MpcSettings {
+    fn default() -> Self {
+        MpcSettings {
+            horizon: 4,
+            wt_job: 1.0,
+            wt_sys: 1.0,
+            w_dp: 1.0,
+            terminal_weight: 2.0,
+            max_qp_iters: 400,
+        }
+    }
+}
+
+/// Per-job inputs to one MPC decision, produced from the job's adapter.
+#[derive(Debug, Clone)]
+pub struct MpcJobState {
+    /// Node count of the job.
+    pub size: usize,
+    /// Normalized per-node IPS target (fairness target from the target
+    /// generator).
+    pub target: f64,
+    /// Cap fraction currently applied (`P0` of Eq. 4).
+    pub current_cap_frac: f64,
+    /// Adapted sensitivity gain `g` of this job.
+    pub gain: f64,
+    /// Free response `C Aʲ x̂` for `j = 1..=M` (what the job's output
+    /// would do if the curve-transformed input were zero) — `G·X0` of
+    /// Eq. 4.
+    pub free_response: Vec<f64>,
+    /// Static curve value `φ(P0)` at the current cap.
+    pub curve_value: f64,
+    /// Static curve slope `φ'(P0)` at the current cap (successive
+    /// linearisation).
+    pub curve_slope: f64,
+    /// Constant output-disturbance estimate for this job (offset-free
+    /// correction added to every predicted output).
+    pub bias: f64,
+    /// Whether this job's cap is charged against the power budget. Jobs
+    /// observed to draw comfortably less than their cap are *slack*: the
+    /// caller charges their estimated demand as a constant (already
+    /// subtracted from [`MpcInput::budget_nodes`]) and their cap headroom
+    /// is free — this is the usage-based budget accounting that lets PERQ
+    /// over-commit caps (§2.4.1: the constraint is on "overall power
+    /// usage", not on the sum of caps).
+    pub charged: bool,
+}
+
+/// Cluster-level inputs to one MPC decision.
+#[derive(Debug, Clone)]
+pub struct MpcInput<'a> {
+    /// Running jobs.
+    pub jobs: &'a [MpcJobState],
+    /// System throughput target (normalized by `N_WP`).
+    pub system_target: f64,
+    /// Remaining power budget for *charged* jobs in units of `TDP·nodes`:
+    /// `Σ_{charged} sizeᵢ·pᵢ(j) ≤ budget_nodes` must hold at every
+    /// horizon step (the slack jobs' estimated demands have already been
+    /// subtracted by the caller).
+    pub budget_nodes: f64,
+    /// Lowest admissible cap fraction.
+    pub cap_min_frac: f64,
+    /// `N_WP`, used to normalize the system output row.
+    pub wp_nodes: f64,
+}
+
+/// Result of one decision.
+#[derive(Debug, Clone)]
+pub struct MpcDecision {
+    /// First-step cap fraction per job (what gets applied).
+    pub caps_frac: Vec<f64>,
+    /// Predicted normalized per-node IPS per job at the first step.
+    pub predicted_ips: Vec<f64>,
+    /// QP iterations used.
+    pub qp_iterations: usize,
+    /// Whether the QP converged within the iteration cap.
+    pub converged: bool,
+}
+
+/// The PERQ model-predictive controller (§2.4.3).
+///
+/// Every decision interval it assembles the quadratic program of Eq. 4 —
+/// `find P to minimize ½PᵀQP + cᵀP` with `Q = HᵀW_TH + DᵀW_ΔPD` — from the
+/// node model's Markov parameters, each job's observer state (free
+/// response) and adapted gain, and solves it with the projected-gradient
+/// solver under box and per-step budget constraints.
+///
+/// Timing convention: cap `p(j)` is applied during prediction interval
+/// `j` and the output `y(j)` is measured at its end, so `y(j)` sees
+/// `p(j)` through the model's direct feedthrough and earlier caps through
+/// the Markov parameters. The per-job sensitivity gain `g` scales the
+/// response to cap *changes*; absolute levels are tracked by the
+/// observer's free response.
+#[derive(Debug, Clone)]
+pub struct MpcController {
+    settings: MpcSettings,
+    /// Delayed Markov parameters `h_1..h_M` of the node model.
+    markov: Vec<f64>,
+    /// Direct feedthrough `D` (same-interval response).
+    feedthrough: f64,
+    /// Identified input offset `u₀` of the node model.
+    input_offset: f64,
+    solver: ProjGradSolver,
+}
+
+impl MpcController {
+    /// Builds a controller for an identified node model.
+    pub fn new(model: &NodeModel, settings: MpcSettings) -> Self {
+        assert!(settings.horizon >= 1, "horizon must be at least 1");
+        let markov = model.ss.markov_parameters(settings.horizon);
+        let solver = ProjGradSolver::new(ProjGradSettings {
+            max_iters: settings.max_qp_iters,
+            tol: 1e-6,
+            power_iters: 20,
+        });
+        MpcController {
+            settings,
+            markov,
+            feedthrough: model.ss.feedthrough(),
+            input_offset: model.ss.input_offset(),
+            solver,
+        }
+    }
+
+    /// The controller's settings.
+    pub fn settings(&self) -> &MpcSettings {
+        &self.settings
+    }
+
+    /// Free-response horizon rows `C Aʲ x̂ + y₀` for `j = 0..M` — the
+    /// zero-input output trajectory from a job's state estimate; helper so
+    /// callers build [`MpcJobState`] without touching the model internals.
+    pub fn free_response(&self, model: &NodeModel, state: &[f64]) -> Vec<f64> {
+        let rows = model.ss.output_response_rows(self.settings.horizon);
+        (0..self.settings.horizon)
+            .map(|j| {
+                rows.row(j)
+                    .iter()
+                    .zip(state.iter())
+                    .map(|(&a, &b)| a * b)
+                    .sum::<f64>()
+                    + model.ss.output_offset()
+            })
+            .collect()
+    }
+
+    /// Assembles the decision QP of Eq. 4 for an input (exposed for
+    /// diagnostics and benchmarks). Returns the QP together with the
+    /// warm-start point (current caps held across the horizon) and the
+    /// per-(job, step) affine constants `k_ij` of the output predictions.
+    pub fn assemble_qp(&self, input: &MpcInput<'_>) -> Option<(BoxBudgetQp, Vec<f64>, Vec<f64>)> {
+        let nj = input.jobs.len();
+        if nj == 0 {
+            return None;
+        }
+        let m = self.settings.horizon;
+        let nv = nj * m;
+        let var = |i: usize, j: usize| i * m + j; // j = 0-based horizon step
+
+        // Cumulative input-response sums for the constant part of the
+        // forced response: h0cum[j] = D + Σ_{l=1..j} h_l is the total
+        // response at output step j of a constant unit input held from
+        // step 0.
+        let mut h0cum = vec![0.0; m];
+        h0cum[0] = self.feedthrough;
+        for j in 1..m {
+            h0cum[j] = h0cum[j - 1] + self.markov[j - 1];
+        }
+
+        // Row accumulation: Q += w rᵀr, c += −w·resid·r for each output
+        // row, where the predicted output is `r·p + k` and resid = T − k.
+        let mut q = Matrix::zeros(nv, nv);
+        let mut c = vec![0.0; nv];
+        let mut consts = vec![0.0; nv];
+        let add_row = |q: &mut Matrix,
+                           c: &mut Vec<f64>,
+                           w: f64,
+                           entries: &[(usize, f64)],
+                           resid: f64| {
+            for &(a, va) in entries {
+                c[a] -= w * resid * va;
+                for &(b, vb) in entries {
+                    q[(a, b)] += w * va * vb;
+                }
+            }
+        };
+
+        // Per-job constants k_i(j) and row templates. With the input at
+        // step mᵢ linearised as u(m) = φ(p0) + g·s0·(p(m) − p0), the
+        // predicted output is
+        //   y_i(j) = free_i(j) + (φ(p0) − g·s0·p0 + u0)·h0cum(j)
+        //          + g·s0·[ D·p_i(j) + Σ_{l<j} h_{j−l}·p_i(l) ].
+        let mut row_buf: Vec<(usize, f64)> = Vec::with_capacity(nv);
+        let mut sys_rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+        let mut sys_consts = vec![0.0; m];
+
+        for (i, job) in input.jobs.iter().enumerate() {
+            debug_assert_eq!(job.free_response.len(), m, "free response length");
+            let gs = job.gain * job.curve_slope;
+            let const_in =
+                job.curve_value - job.gain * job.curve_slope * job.current_cap_frac
+                    + self.input_offset;
+            for j in 0..m {
+                // Constant part of y_i at output step j.
+                let k_ij = job.free_response[j] + const_in * h0cum[j] + job.bias;
+                consts[var(i, j)] = k_ij;
+                row_buf.clear();
+                for l in 0..=j {
+                    let coeff = if l == j {
+                        gs * self.feedthrough
+                    } else {
+                        gs * self.markov[j - l - 1]
+                    };
+                    if coeff != 0.0 {
+                        row_buf.push((var(i, l), coeff));
+                    }
+                }
+                let w = self.settings.wt_job
+                    * if j + 1 == m {
+                        self.settings.terminal_weight
+                    } else {
+                        1.0
+                    };
+                add_row(&mut q, &mut c, w, &row_buf, job.target - k_ij);
+
+                // Contribute to the system row for step j.
+                let scale = job.size as f64 / input.wp_nodes;
+                sys_consts[j] += scale * k_ij;
+                for &(idx, v) in &row_buf {
+                    sys_rows[j].push((idx, scale * v));
+                }
+            }
+        }
+
+        // System throughput rows.
+        for j in 0..m {
+            let w = self.settings.wt_sys
+                * if j + 1 == m {
+                    self.settings.terminal_weight
+                } else {
+                    1.0
+                };
+            add_row(
+                &mut q,
+                &mut c,
+                w,
+                &sys_rows[j],
+                input.system_target - sys_consts[j],
+            );
+        }
+
+        // ΔP smoothing rows: p_i(0) − p0_i, then p_i(j) − p_i(j−1).
+        for (i, job) in input.jobs.iter().enumerate() {
+            add_row(
+                &mut q,
+                &mut c,
+                self.settings.w_dp,
+                &[(var(i, 0), 1.0)],
+                job.current_cap_frac,
+            );
+            for j in 1..m {
+                add_row(
+                    &mut q,
+                    &mut c,
+                    self.settings.w_dp,
+                    &[(var(i, j), 1.0), (var(i, j - 1), -1.0)],
+                    0.0,
+                );
+            }
+        }
+
+        // Constraints: box on every cap, budget only over charged jobs.
+        let lo = vec![input.cap_min_frac; nv];
+        let hi = vec![1.0; nv];
+        let min_commit: f64 = input
+            .jobs
+            .iter()
+            .filter(|jb| jb.charged)
+            .map(|jb| jb.size as f64 * input.cap_min_frac)
+            .sum();
+        let any_charged = input.jobs.iter().any(|jb| jb.charged);
+        let budget_limit = input.budget_nodes.max(min_commit);
+        let budgets: Vec<Budget> = if any_charged {
+            (0..m)
+                .map(|j| {
+                    let mut coeffs = vec![0.0; nv];
+                    for (i, job) in input.jobs.iter().enumerate() {
+                        if job.charged {
+                            coeffs[var(i, j)] = job.size as f64;
+                        }
+                    }
+                    Budget {
+                        coeffs,
+                        limit: budget_limit,
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let qp = BoxBudgetQp {
+            q,
+            c,
+            lo,
+            hi,
+            budgets,
+        };
+        // Warm start: hold the current caps across the horizon.
+        let warm: Vec<f64> = input
+            .jobs
+            .iter()
+            .flat_map(|jb| std::iter::repeat_n(jb.current_cap_frac, m))
+            .collect();
+        Some((qp, warm, consts))
+    }
+
+    /// Solves one decision instance. Returns `None` when there are no
+    /// jobs.
+    pub fn decide(&self, input: &MpcInput<'_>) -> Option<MpcDecision> {
+        let nj = input.jobs.len();
+        let m = self.settings.horizon;
+        let var = |i: usize, j: usize| i * m + j;
+        let (qp, warm, _consts) = self.assemble_qp(input)?;
+        let sol = self
+            .solver
+            .solve(&qp, Some(&warm))
+            .expect("MPC QP is validated feasible");
+
+        // Extract first-step caps and predicted outputs.
+        let mut caps = Vec::with_capacity(nj);
+        let mut predicted = Vec::with_capacity(nj);
+        for (i, job) in input.jobs.iter().enumerate() {
+            let p1 = sol.x[var(i, 0)];
+            caps.push(p1);
+            let const_in =
+                job.curve_value - job.gain * job.curve_slope * job.current_cap_frac
+                    + self.input_offset;
+            let y1 = job.free_response[0]
+                + const_in * self.feedthrough
+                + job.bias
+                + job.gain * job.curve_slope * self.feedthrough * p1;
+            predicted.push(y1);
+        }
+        Some(MpcDecision {
+            caps_frac: caps,
+            predicted_ips: predicted,
+            qp_iterations: sol.iterations,
+            converged: sol.converged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::train_node_model;
+
+    fn model() -> NodeModel {
+        train_node_model(3).0
+    }
+
+    /// Builds a steady-state job input: observer state at equilibrium for
+    /// the given cap, targets as requested.
+    fn job_at(
+        ctrl: &MpcController,
+        model: &NodeModel,
+        size: usize,
+        cap: f64,
+        target: f64,
+        gain: f64,
+    ) -> MpcJobState {
+        job_at_output(ctrl, model, size, cap, target, gain, gain * model.curve.eval(cap))
+    }
+
+    /// Like [`job_at`] but with the job's current output level seeded
+    /// explicitly.
+    fn job_at_output(
+        ctrl: &MpcController,
+        model: &NodeModel,
+        size: usize,
+        cap: f64,
+        target: f64,
+        gain: f64,
+        y_now: f64,
+    ) -> MpcJobState {
+        // Equilibrium state: x = (I−A)⁻¹ B (u + u0) with u = φ(cap); the
+        // free response of that state decays from the current output.
+        let mut obs = perq_sysid::KalmanObserver::new(model.ss.clone(), 0.05, 1e-3);
+        let u = model.curve.eval(cap);
+        obs.seed_steady_state(u, y_now);
+        MpcJobState {
+            size,
+            target,
+            current_cap_frac: cap,
+            gain,
+            free_response: ctrl.free_response(model, obs.state()),
+            curve_value: model.curve.eval(cap),
+            curve_slope: model.curve.secant_slope(cap, 0.10),
+            bias: 0.0,
+            charged: true,
+        }
+    }
+
+    /// Settings that track only the job-level targets (no system pull).
+    fn job_only_settings() -> MpcSettings {
+        MpcSettings {
+            wt_sys: 0.0,
+            ..MpcSettings::default()
+        }
+    }
+
+    #[test]
+    fn raises_power_for_underperforming_job() {
+        let m = model();
+        let ctrl = MpcController::new(&m, job_only_settings());
+        // One job below target with plenty of budget: cap must rise.
+        let job = job_at(&ctrl, &m, 10, 0.5, 0.95, 1.0);
+        let input = MpcInput {
+            jobs: std::slice::from_ref(&job),
+            system_target: 0.0,
+            budget_nodes: 10.0, // up to TDP on all nodes
+            cap_min_frac: 90.0 / 290.0,
+            wp_nodes: 10.0,
+        };
+        let d = ctrl.decide(&input).unwrap();
+        assert!(
+            d.caps_frac[0] > job.current_cap_frac + 0.02,
+            "cap {} should exceed {}",
+            d.caps_frac[0],
+            job.current_cap_frac
+        );
+    }
+
+    #[test]
+    fn lowers_power_for_overperforming_job() {
+        let m = model();
+        let ctrl = MpcController::new(&m, job_only_settings());
+        // Job at a high cap, producing well above its target: tracking
+        // pushes the cap down.
+        let mut job = job_at(&ctrl, &m, 10, 0.9, 0.6, 1.0);
+        for f in job.free_response.iter_mut() {
+            *f = 0.95;
+        }
+        let input = MpcInput {
+            jobs: std::slice::from_ref(&job),
+            system_target: 0.0,
+            budget_nodes: 10.0,
+            cap_min_frac: 90.0 / 290.0,
+            wp_nodes: 10.0,
+        };
+        let d = ctrl.decide(&input).unwrap();
+        assert!(
+            d.caps_frac[0] < 0.85,
+            "overperforming job should shed power, got {}",
+            d.caps_frac[0]
+        );
+    }
+
+    #[test]
+    fn budget_constraint_binds_and_favors_sensitive_job() {
+        let m = model();
+        let ctrl = MpcController::new(&m, MpcSettings::default());
+        // Two equal-size jobs at the same current output, both below
+        // target; budget allows an average cap of 0.6. The sensitive job
+        // (g=1.5) gains more per watt, so it should receive more power
+        // than the insensitive one (g=0.2).
+        let sensitive = job_at_output(&ctrl, &m, 10, 0.6, 0.95, 1.5, 0.7);
+        let insensitive = job_at_output(&ctrl, &m, 10, 0.6, 0.95, 0.2, 0.7);
+        let jobs = vec![sensitive, insensitive];
+        let input = MpcInput {
+            jobs: &jobs,
+            system_target: 2.0, // unreachable: push throughput
+            budget_nodes: 12.0, // avg cap 0.6 over 20 nodes
+            cap_min_frac: 90.0 / 290.0,
+            wp_nodes: 10.0,
+        };
+        let d = ctrl.decide(&input).unwrap();
+        // Budget respected.
+        let commit = 10.0 * d.caps_frac[0] + 10.0 * d.caps_frac[1];
+        assert!(commit <= 12.0 + 1e-6, "commit {commit}");
+        assert!(
+            d.caps_frac[0] > d.caps_frac[1],
+            "sensitive {} vs insensitive {}",
+            d.caps_frac[0],
+            d.caps_frac[1]
+        );
+    }
+
+    #[test]
+    fn caps_stay_in_admissible_window() {
+        let m = model();
+        let ctrl = MpcController::new(&m, MpcSettings::default());
+        let jobs: Vec<MpcJobState> = (0..8)
+            .map(|i| job_at(&ctrl, &m, 4, 0.5, 1.2, 0.5 + 0.2 * i as f64))
+            .collect();
+        let input = MpcInput {
+            jobs: &jobs,
+            system_target: 5.0,
+            budget_nodes: 18.0,
+            cap_min_frac: 90.0 / 290.0,
+            wp_nodes: 16.0,
+        };
+        let d = ctrl.decide(&input).unwrap();
+        for &cap in &d.caps_frac {
+            assert!((90.0 / 290.0 - 1e-9..=1.0 + 1e-9).contains(&cap));
+        }
+        assert!(d.converged);
+    }
+
+    #[test]
+    fn no_jobs_no_decision() {
+        let m = model();
+        let ctrl = MpcController::new(&m, MpcSettings::default());
+        let input = MpcInput {
+            jobs: &[],
+            system_target: 1.0,
+            budget_nodes: 10.0,
+            cap_min_frac: 0.31,
+            wp_nodes: 10.0,
+        };
+        assert!(ctrl.decide(&input).is_none());
+    }
+
+    #[test]
+    fn infeasible_budget_degrades_to_floor() {
+        let m = model();
+        let ctrl = MpcController::new(&m, MpcSettings::default());
+        let job = job_at(&ctrl, &m, 10, 0.5, 0.9, 1.0);
+        let input = MpcInput {
+            jobs: std::slice::from_ref(&job),
+            system_target: 1.0,
+            budget_nodes: 1.0, // below 10 nodes at the floor
+            cap_min_frac: 90.0 / 290.0,
+            wp_nodes: 10.0,
+        };
+        let d = ctrl.decide(&input).unwrap();
+        assert!((d.caps_frac[0] - 90.0 / 290.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn higher_dp_weight_slows_cap_movement() {
+        let m = model();
+        let settle = |w_dp: f64| -> f64 {
+            let ctrl = MpcController::new(
+                &m,
+                MpcSettings {
+                    w_dp,
+                    wt_sys: 0.0,
+                    ..MpcSettings::default()
+                },
+            );
+            let job = job_at(&ctrl, &m, 10, 0.4, 1.0, 1.0);
+            let input = MpcInput {
+                jobs: std::slice::from_ref(&job),
+                system_target: 0.0,
+                budget_nodes: 10.0,
+                cap_min_frac: 90.0 / 290.0,
+                wp_nodes: 10.0,
+            };
+            ctrl.decide(&input).unwrap().caps_frac[0]
+        };
+        let fast = settle(0.01);
+        let slow = settle(5.0);
+        assert!(
+            fast - 0.4 > slow - 0.4,
+            "w_dp=0.01 moved {fast}, w_dp=5 moved {slow}"
+        );
+        assert!(slow >= 0.4 - 1e-9);
+    }
+}

@@ -1,0 +1,200 @@
+use crate::{LinalgError, Matrix, Result};
+
+/// LU factorization with partial pivoting, `P A = L U`.
+///
+/// Used for general (possibly non-symmetric) square systems: converting an
+/// identified ARX polynomial to a state-space DC gain requires solving with
+/// `(I - A)`, which is square but not SPD.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined storage: `U` on and above the diagonal, unit-lower `L` below.
+    lu: Matrix,
+    /// Row permutation: row `i` of the factored matrix is row `perm[i]` of
+    /// the original.
+    perm: Vec<usize>,
+    /// +1.0 or -1.0 depending on permutation parity (for determinants).
+    sign: f64,
+}
+
+/// Pivot threshold below which a matrix is declared numerically singular.
+const SINGULAR_TOL: f64 = 1e-13;
+
+impl Lu {
+    /// Factors a square matrix with partial (row) pivoting.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                dims: (a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Find pivot row.
+            let mut p = k;
+            let mut max = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max < SINGULAR_TOL {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                if m != 0.0 {
+                    for j in (k + 1)..n {
+                        let ukj = lu[(k, j)];
+                        lu[(i, j)] -= m * ukj;
+                    }
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimMismatch {
+                op: "lu solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then forward substitution with unit-lower L.
+        let mut y: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let row = self.lu.row(i);
+            let mut sum = y[i];
+            for k in 0..i {
+                sum -= row[k] * y[k];
+            }
+            y[i] = sum;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let row = self.lu.row(i);
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= row[k] * y[k];
+            }
+            y[i] = sum / row[i];
+        }
+        Ok(y)
+    }
+
+    /// Solves `A X = B` column by column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.lu.rows();
+        if b.rows() != n {
+            return Err(LinalgError::DimMismatch {
+                op: "lu solve_matrix",
+                lhs: (n, n),
+                rhs: (b.rows(), b.cols()),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = self.solve(&b.col(j))?;
+            for i in 0..n {
+                out[(i, j)] = col[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes `A⁻¹`.
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve_matrix(&Matrix::identity(self.lu.rows()))
+    }
+
+    /// Determinant of `A`.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.lu.rows() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]]).unwrap();
+        let x = Lu::factor(&a).unwrap().solve(&[2.0, 3.0]).unwrap();
+        // x = [2, 1].
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_random_round_trip() {
+        let a = Matrix::from_rows(&[
+            &[2.0, -1.0, 0.0, 3.0],
+            &[1.0, 5.0, -2.0, 1.0],
+            &[0.0, 2.0, 4.0, -1.0],
+            &[3.0, 1.0, 1.0, 6.0],
+        ])
+        .unwrap();
+        let x_true = [1.0, 2.0, -3.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let x = Lu::factor(&a).unwrap().solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!((xi - ti).abs() < 1e-9, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn det_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert!((Lu::factor(&a).unwrap().det() + 2.0).abs() < 1e-12);
+        let i = Matrix::identity(5);
+        assert!((Lu::factor(&i).unwrap().det() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]).unwrap();
+        let inv = Lu::factor(&a).unwrap().inverse().unwrap();
+        let id = a.matmul(&inv).unwrap();
+        assert!(id.sub(&Matrix::identity(2)).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(matches!(
+            Lu::factor(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+}

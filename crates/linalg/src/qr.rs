@@ -1,0 +1,197 @@
+use crate::{LinalgError, Matrix, Result};
+
+/// Householder QR factorization `A = Q R` for `m ≥ n` matrices.
+///
+/// QR is the numerically robust way to solve the (often ill-conditioned)
+/// least-squares problems that arise when fitting ARX models to noisy
+/// power-cap/IPS measurements: the regressor columns (lagged outputs and
+/// inputs) can be strongly correlated, and forming the normal equations
+/// would square the condition number.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// `R` in the upper triangle; Householder vectors below the diagonal.
+    qr: Matrix,
+    /// Householder scalar coefficients (`beta` values).
+    betas: Vec<f64>,
+}
+
+/// Diagonal threshold below which `R` is declared rank deficient.
+const RANK_TOL: f64 = 1e-12;
+
+impl Qr {
+    /// Factors an `m`-by-`n` matrix with `m ≥ n`.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        let (m, n) = (a.rows(), a.cols());
+        if m < n {
+            return Err(LinalgError::Underdetermined { rows: m, cols: n });
+        }
+        let mut qr = a.clone();
+        let mut betas = vec![0.0; n];
+
+        for k in 0..n {
+            // Build the Householder reflector for column k.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm += qr[(i, k)] * qr[(i, k)];
+            }
+            let norm = norm.sqrt();
+            if norm == 0.0 {
+                betas[k] = 0.0;
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(k, k)] - alpha;
+            // Normalize so the first component of v is 1; store the tail in
+            // the subdiagonal of column k.
+            for i in (k + 1)..m {
+                let v = qr[(i, k)] / v0;
+                qr[(i, k)] = v;
+            }
+            betas[k] = -v0 / alpha;
+            qr[(k, k)] = alpha;
+
+            // Apply the reflector to the remaining columns.
+            for j in (k + 1)..n {
+                let mut dot = qr[(k, j)];
+                for i in (k + 1)..m {
+                    dot += qr[(i, k)] * qr[(i, j)];
+                }
+                let scaled = betas[k] * dot;
+                qr[(k, j)] -= scaled;
+                for i in (k + 1)..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= scaled * vik;
+                }
+            }
+        }
+        Ok(Qr { qr, betas })
+    }
+
+    /// Solves the least-squares problem `min ‖A x − b‖₂`.
+    ///
+    /// Returns [`LinalgError::Singular`] when `A` is (numerically) rank
+    /// deficient.
+    pub fn solve_lstsq(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = (self.qr.rows(), self.qr.cols());
+        if b.len() != m {
+            return Err(LinalgError::DimMismatch {
+                op: "qr solve_lstsq",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply Qᵀ to b.
+        let mut y = b.to_vec();
+        for k in 0..n {
+            if self.betas[k] == 0.0 {
+                continue;
+            }
+            let mut dot = y[k];
+            for i in (k + 1)..m {
+                dot += self.qr[(i, k)] * y[i];
+            }
+            let scaled = self.betas[k] * dot;
+            y[k] -= scaled;
+            for i in (k + 1)..m {
+                y[i] -= scaled * self.qr[(i, k)];
+            }
+        }
+        // Back substitution with R.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let rii = self.qr[(i, i)];
+            if rii.abs() < RANK_TOL {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= self.qr[(i, j)] * x[j];
+            }
+            x[i] = sum / rii;
+        }
+        Ok(x)
+    }
+
+    /// Returns the upper-triangular factor `R` (n-by-n).
+    pub fn r(&self) -> Matrix {
+        let n = self.qr.cols();
+        Matrix::from_fn(n, n, |i, j| if j >= i { self.qr[(i, j)] } else { 0.0 })
+    }
+}
+
+/// One-shot least squares: `argmin_x ‖A x − b‖₂` via Householder QR.
+///
+/// This is the routine the sysid crate calls to fit ARX coefficients.
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Qr::factor(a)?.solve_lstsq(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_system_recovered() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let x_true = [2.0, -1.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = lstsq(&a, &b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn residual_is_orthogonal_to_columns() {
+        // Overdetermined inconsistent system: the optimality condition is
+        // Aᵀ(Ax − b) = 0.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0], &[1.0, 4.0]]).unwrap();
+        let b = [6.0, 5.0, 7.0, 10.0];
+        let x = lstsq(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let r: Vec<f64> = ax.iter().zip(b.iter()).map(|(p, q)| p - q).collect();
+        let grad = a.tmatvec(&r).unwrap();
+        for g in grad {
+            assert!(g.abs() < 1e-9, "gradient not zero: {g}");
+        }
+    }
+
+    #[test]
+    fn known_regression_line() {
+        // y = 1 + 2 t fitted through exact points.
+        let ts = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let a = Matrix::from_fn(5, 2, |i, j| if j == 0 { 1.0 } else { ts[i] });
+        let b: Vec<f64> = ts.iter().map(|t| 1.0 + 2.0 * t).collect();
+        let x = lstsq(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn r_factor_reproduces_gram() {
+        // RᵀR must equal AᵀA.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let r = Qr::factor(&a).unwrap().r();
+        let rtr = r.transpose().matmul(&r).unwrap();
+        let gram = a.gram();
+        assert!(rtr.sub(&gram).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Qr::factor(&a),
+            Err(LinalgError::Underdetermined { .. })
+        ));
+    }
+
+    #[test]
+    fn rank_deficient_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let qr = Qr::factor(&a).unwrap();
+        assert!(matches!(
+            qr.solve_lstsq(&[1.0, 2.0, 3.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+}

@@ -1,0 +1,123 @@
+//! Free functions over `&[f64]` slices.
+//!
+//! The iterative QP solvers (projected gradient, ADMM) spend their time in
+//! these primitives; they are written as simple tight loops the compiler
+//! auto-vectorizes.
+
+/// Dot product `xᵀ y`. Panics in debug builds on length mismatch.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y.iter()).map(|(&a, &b)| a * b).sum()
+}
+
+/// Euclidean norm `‖x‖₂`.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Infinity norm `‖x‖∞`.
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+}
+
+/// In-place `y += a * x`.
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += a * xi;
+    }
+}
+
+/// Elementwise difference `x − y` into a new vector.
+#[inline]
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y.iter()).map(|(&a, &b)| a - b).collect()
+}
+
+/// Elementwise sum `x + y` into a new vector.
+#[inline]
+pub fn add(x: &[f64], y: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y.iter()).map(|(&a, &b)| a + b).collect()
+}
+
+/// Scales a vector by `a` into a new vector.
+#[inline]
+pub fn scale(a: f64, x: &[f64]) -> Vec<f64> {
+    x.iter().map(|&v| a * v).collect()
+}
+
+/// Clamps every component into `[lo[i], hi[i]]`.
+#[inline]
+pub fn clamp_box(x: &mut [f64], lo: &[f64], hi: &[f64]) {
+    debug_assert_eq!(x.len(), lo.len());
+    debug_assert_eq!(x.len(), hi.len());
+    for ((xi, &l), &h) in x.iter_mut().zip(lo.iter()).zip(hi.iter()) {
+        *xi = xi.max(l).min(h);
+    }
+}
+
+/// Maximum absolute componentwise difference between two vectors.
+#[inline]
+pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter()
+        .zip(y.iter())
+        .fold(0.0_f64, |m, (&a, &b)| m.max((a - b).abs()))
+}
+
+/// Arithmetic mean; 0.0 for an empty slice.
+#[inline]
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().sum::<f64>() / x.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let x = [3.0, 4.0];
+        assert_eq!(dot(&x, &x), 25.0);
+        assert_eq!(norm2(&x), 5.0);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+    }
+
+    #[test]
+    fn axpy_in_place() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn clamp_box_projects() {
+        let mut x = vec![-1.0, 0.5, 3.0];
+        clamp_box(&mut x, &[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0]);
+        assert_eq!(x, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+        assert_eq!(sub(&[1.0, 2.0], &[3.0, 4.0]), vec![-2.0, -2.0]);
+        assert_eq!(scale(2.0, &[1.0, -1.0]), vec![2.0, -2.0]);
+        assert_eq!(max_abs_diff(&[1.0, 5.0], &[2.0, 5.0]), 1.0);
+    }
+}

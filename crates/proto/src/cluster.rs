@@ -1,0 +1,361 @@
+use crate::messages::{Command, Report};
+use crate::transport::{read_frame, write_frame};
+use crate::worker::NodeWorker;
+use perq_apps::{ecp_suite, AppProfile, BASE_NODE_IPS, IDLE_WATTS, MIN_CAP_WATTS, TDP_WATTS};
+use perq_sim::{
+    IntervalLog, JobOutcome, JobRecord, JobSpec, JobTrace, JobView, PolicyContext, PowerPolicy,
+    Scheduler, SimResult, TracePoint,
+};
+use std::collections::HashMap;
+use std::net::{TcpListener, TcpStream};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Configuration of a prototype cluster run.
+#[derive(Debug, Clone)]
+pub struct ProtoConfig {
+    /// Worker node count (`N_OP`). The paper's Tardis has 15 workers + 1
+    /// scheduler node.
+    pub nodes: usize,
+    /// Worst-case-provisioned node count (`N_WP`); budget = `N_WP·TDP`.
+    pub wp_nodes: usize,
+    /// Logical control-interval length in seconds (drives application
+    /// phase behaviour; the wall-clock tick is as fast as the sockets
+    /// allow).
+    pub interval_s: f64,
+    /// Maximum control intervals to run.
+    pub max_intervals: usize,
+    /// RNG seed (worker noise).
+    pub seed: u64,
+    /// Job ids to trace (Fig. 12 material).
+    pub trace_jobs: Vec<u64>,
+}
+
+impl ProtoConfig {
+    /// A Tardis-like configuration: a fixed power budget of
+    /// `wp_nodes · TDP` with `round(wp_nodes · f)` worker nodes — over-
+    /// provisioning adds hardware under the same budget, exactly like the
+    /// simulator's [`perq_sim::ClusterConfig::for_system`].
+    pub fn tardis(wp_nodes: usize, f: f64, max_intervals: usize) -> Self {
+        assert!(f >= 1.0, "over-provisioning factor must be >= 1");
+        ProtoConfig {
+            nodes: ((wp_nodes as f64) * f).round().max(1.0) as usize,
+            wp_nodes,
+            interval_s: 10.0,
+            max_intervals,
+            seed: 0x7461_7264,
+            trace_jobs: Vec::new(),
+        }
+    }
+
+    /// System power budget, watts.
+    pub fn budget_w(&self) -> f64 {
+        self.wp_nodes as f64 * TDP_WATTS
+    }
+}
+
+/// A running job's controller-side state.
+struct LiveJob {
+    spec: JobSpec,
+    app_name: String,
+    nodes: Vec<u32>,
+    start_interval: usize,
+    /// Nodes whose share completed.
+    done_nodes: Vec<u32>,
+    /// Accumulated normalized work (TDP-equivalent seconds).
+    progress_s: f64,
+    cap_w: f64,
+    last_job_ips: Option<f64>,
+    last_node_power_w: Option<f64>,
+    is_new: bool,
+}
+
+/// The prototype cluster: spawns worker threads, connects them over
+/// localhost TCP, and drives the control loop.
+pub struct ProtoCluster {
+    config: ProtoConfig,
+    apps: Vec<AppProfile>,
+}
+
+impl ProtoCluster {
+    /// Creates a cluster with the ECP application suite.
+    pub fn new(config: ProtoConfig) -> Self {
+        ProtoCluster {
+            config,
+            apps: ecp_suite(),
+        }
+    }
+
+    /// Runs the control loop over a job trace under the given policy.
+    ///
+    /// Spawns one thread per node, each holding a live TCP connection to
+    /// this controller; joins them all before returning.
+    pub fn run(&self, jobs: Vec<JobSpec>, policy: &mut dyn PowerPolicy) -> SimResult {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind localhost");
+        let addr = listener.local_addr().expect("local addr");
+
+        // Spawn workers.
+        let handles: Vec<JoinHandle<()>> = (0..self.config.nodes as u32)
+            .map(|node_id| {
+                let apps = self.apps.clone();
+                let interval = self.config.interval_s;
+                let seed = self.config.seed;
+                std::thread::spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect to controller");
+                    let worker = NodeWorker::new(node_id, apps, interval, seed);
+                    // A worker exiting on a dropped connection at shutdown
+                    // is expected; any other failure panics the thread.
+                    let _ = worker.run(stream);
+                })
+            })
+            .collect();
+
+        // Accept registrations.
+        let mut streams: HashMap<u32, TcpStream> = HashMap::new();
+        for _ in 0..self.config.nodes {
+            let (mut sock, _) = listener.accept().expect("accept worker");
+            let reg: Report = read_frame(&mut sock).expect("registration report");
+            streams.insert(reg.node_id, sock);
+        }
+
+        let result = self.control_loop(&mut streams, jobs, policy);
+
+        // Shut workers down.
+        for sock in streams.values_mut() {
+            let _ = write_frame(sock, &Command::Shutdown);
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        result
+    }
+
+    fn control_loop(
+        &self,
+        streams: &mut HashMap<u32, TcpStream>,
+        jobs: Vec<JobSpec>,
+        policy: &mut dyn PowerPolicy,
+    ) -> SimResult {
+        let cfg = &self.config;
+        let mut scheduler = Scheduler::new(jobs);
+        let mut free_nodes: Vec<u32> = (0..cfg.nodes as u32).collect();
+        let mut live: Vec<LiveJob> = Vec::new();
+        let mut records: Vec<JobRecord> = Vec::new();
+        let mut traces: HashMap<u64, JobTrace> = HashMap::new();
+        let mut intervals: Vec<IntervalLog> = Vec::new();
+        let mut decision_times = Vec::new();
+        let mut violations = 0usize;
+
+        for step in 0..cfg.max_intervals {
+            let now_s = step as f64 * cfg.interval_s;
+
+            // 1. Scheduling.
+            let running_fp: Vec<perq_sim::RunningFootprint> = live
+                .iter()
+                .map(|j| perq_sim::RunningFootprint {
+                    size: j.spec.size,
+                    estimated_end_s: j.start_interval as f64 * cfg.interval_s
+                        + j.spec.runtime_estimate_s,
+                })
+                .collect();
+            let started = scheduler.schedule(now_s, free_nodes.len(), &running_fp);
+            for spec in started {
+                let assigned: Vec<u32> = free_nodes.drain(..spec.size).collect();
+                let app = &self.apps[spec.app_index];
+                let work_intervals = spec.runtime_tdp_s / cfg.interval_s;
+                for &node in &assigned {
+                    let sock = streams.get_mut(&node).expect("node stream");
+                    write_frame(
+                        sock,
+                        &Command::Launch {
+                            job_id: spec.id,
+                            app: app.name.clone(),
+                            work_intervals,
+                        },
+                    )
+                    .expect("launch command");
+                }
+                live.push(LiveJob {
+                    app_name: app.name.clone(),
+                    nodes: assigned,
+                    start_interval: step,
+                    done_nodes: Vec::new(),
+                    progress_s: 0.0,
+                    cap_w: TDP_WATTS,
+                    last_job_ips: None,
+                    last_node_power_w: None,
+                    is_new: true,
+                    spec,
+                });
+            }
+
+            // 2. Policy decision.
+            let idle = free_nodes.len();
+            let busy_budget = cfg.budget_w() - idle as f64 * IDLE_WATTS;
+            let views: Vec<JobView> = live
+                .iter()
+                .map(|j| JobView {
+                    id: j.spec.id,
+                    size: j.spec.size,
+                    elapsed_s: (step - j.start_interval) as f64 * cfg.interval_s,
+                    measured_ips: j.last_job_ips,
+                    current_cap_w: j.cap_w,
+                    measured_power_w: j.last_node_power_w,
+                    remaining_node_hours: (j.spec.runtime_tdp_s - j.progress_s).max(0.0)
+                        * j.spec.size as f64
+                        / 3600.0,
+                    is_new: j.is_new,
+                })
+                .collect();
+            let ctx = PolicyContext {
+                time_s: now_s,
+                interval_s: cfg.interval_s,
+                busy_budget_w: busy_budget,
+                cap_min_w: MIN_CAP_WATTS,
+                cap_max_w: TDP_WATTS,
+                total_nodes: cfg.nodes,
+                wp_nodes: cfg.wp_nodes,
+                jobs: &views,
+            };
+            let t0 = Instant::now();
+            let assignments = policy.assign(&ctx);
+            decision_times.push(t0.elapsed().as_secs_f64());
+            assert_eq!(assignments.len(), live.len(), "policy assignment count");
+
+            // 3. Clamp caps to the RAPL window (the budget is checked on
+            //    consumed power after the interval, as in the simulator).
+            let caps: Vec<f64> = assignments
+                .iter()
+                .map(|a| a.cap_w.clamp(MIN_CAP_WATTS, TDP_WATTS))
+                .collect();
+
+            // 4. Send caps + tick everyone, gather reports.
+            for (i, job) in live.iter_mut().enumerate() {
+                job.cap_w = caps[i];
+                for &node in &job.nodes {
+                    if job.done_nodes.contains(&node) {
+                        continue;
+                    }
+                    let sock = streams.get_mut(&node).expect("node stream");
+                    write_frame(sock, &Command::SetCap { cap_w: caps[i] }).expect("cap command");
+                }
+            }
+            for sock in streams.values_mut() {
+                write_frame(sock, &Command::Tick).expect("tick command");
+            }
+            let mut reports: HashMap<u32, Report> = HashMap::new();
+            for (&node, sock) in streams.iter_mut() {
+                let report: Report = read_frame(sock).expect("node report");
+                reports.insert(node, report);
+            }
+
+            // 5. Digest reports per job.
+            let mut total_power: f64 = 0.0;
+            for r in reports.values() {
+                total_power += r.power_w;
+            }
+            let mut finished: Vec<usize> = Vec::new();
+            for (ji, job) in live.iter_mut().enumerate() {
+                // Slowest-rank IPS over the job's active nodes (§2.4:
+                // "the IPS of the slowest job (MPI) process").
+                let mut slowest: Option<f64> = None;
+                let mut power_sum = 0.0;
+                let mut power_n = 0usize;
+                for &node in &job.nodes {
+                    if job.done_nodes.contains(&node) {
+                        continue;
+                    }
+                    let r = &reports[&node];
+                    slowest = Some(match slowest {
+                        Some(s) => s.min(r.ips),
+                        None => r.ips,
+                    });
+                    power_sum += r.power_w;
+                    power_n += 1;
+                    if r.job_done {
+                        job.done_nodes.push(node);
+                    }
+                }
+                job.last_node_power_w = if power_n > 0 {
+                    Some(power_sum / power_n as f64)
+                } else {
+                    None
+                };
+                let job_ips = slowest.map(|s| s * job.spec.size as f64);
+                job.last_job_ips = job_ips;
+                job.is_new = false;
+                if let Some(ips) = job_ips {
+                    job.progress_s +=
+                        ips / (job.spec.size as f64 * BASE_NODE_IPS) * cfg.interval_s;
+                }
+                if cfg.trace_jobs.contains(&job.spec.id) {
+                    traces.entry(job.spec.id).or_default().points.push(TracePoint {
+                        t_s: now_s,
+                        cap_w: job.cap_w,
+                        ips: job_ips.unwrap_or(0.0),
+                        power_w: job.last_node_power_w.unwrap_or(0.0),
+                        target_ips: assignments[ji].target_ips,
+                    });
+                }
+                if job.done_nodes.len() == job.nodes.len() {
+                    finished.push(ji);
+                }
+            }
+            for &ji in finished.iter().rev() {
+                let job = live.swap_remove(ji);
+                free_nodes.extend_from_slice(&job.nodes);
+                policy.job_departed(job.spec.id);
+                records.push(JobRecord {
+                    app_name: job.app_name,
+                    start_s: job.start_interval as f64 * cfg.interval_s,
+                    end_s: (step + 1) as f64 * cfg.interval_s,
+                    progress_s: job.spec.runtime_tdp_s,
+                    outcome: JobOutcome::Completed,
+                    spec: job.spec,
+                });
+            }
+
+            let violation = total_power > cfg.budget_w() + 1e-6;
+            if violation {
+                violations += 1;
+            }
+            let busy_nodes = cfg.nodes - free_nodes.len();
+            intervals.push(IntervalLog {
+                t_s: now_s,
+                busy_nodes,
+                running_jobs: live.len(),
+                total_power_w: total_power,
+                committed_power_w: caps
+                    .iter()
+                    .zip(views.iter())
+                    .map(|(&c, v)| c * v.size as f64)
+                    .sum::<f64>()
+                    + idle as f64 * IDLE_WATTS,
+                violation,
+            });
+        }
+
+        // Unfinished jobs.
+        for job in live {
+            records.push(JobRecord {
+                app_name: job.app_name,
+                start_s: job.start_interval as f64 * cfg.interval_s,
+                end_s: cfg.max_intervals as f64 * cfg.interval_s,
+                progress_s: job.progress_s,
+                outcome: JobOutcome::Unfinished,
+                spec: job.spec,
+            });
+        }
+        records.sort_by_key(|r| r.spec.id);
+
+        SimResult {
+            policy: policy.name().to_string(),
+            f: cfg.nodes as f64 / cfg.wp_nodes as f64,
+            records,
+            intervals,
+            traces,
+            budget_violations: violations,
+            decision_times_s: decision_times,
+        }
+    }
+}

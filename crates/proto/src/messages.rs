@@ -1,0 +1,78 @@
+use serde::{Deserialize, Serialize};
+
+/// Controller → node commands.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Command {
+    /// Apply a new power cap (watts) for the next interval.
+    SetCap {
+        /// Per-node power cap, watts.
+        cap_w: f64,
+    },
+    /// Start (the node's share of) a job.
+    Launch {
+        /// Cluster-wide job id.
+        job_id: u64,
+        /// Application profile name (resolved against the node's suite).
+        app: String,
+        /// Work to complete on this node, in TDP-equivalent control
+        /// intervals.
+        work_intervals: f64,
+    },
+    /// Advance one control interval: run the workload slice under the
+    /// current cap and reply with a [`Report`].
+    Tick,
+    /// Terminate the worker thread.
+    Shutdown,
+}
+
+/// Node → controller report, sent in response to every `Tick`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Reporting node id.
+    pub node_id: u32,
+    /// Job occupying this node, if any.
+    pub job_id: Option<u64>,
+    /// Measured node IPS over the last interval (0 when idle).
+    pub ips: f64,
+    /// Measured node power over the last interval, watts.
+    pub power_w: f64,
+    /// True if the node's share of the job completed during this interval.
+    pub job_done: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_round_trip_through_json() {
+        for cmd in [
+            Command::SetCap { cap_w: 145.5 },
+            Command::Launch {
+                job_id: 7,
+                app: "CoMD".into(),
+                work_intervals: 42.0,
+            },
+            Command::Tick,
+            Command::Shutdown,
+        ] {
+            let bytes = serde_json::to_vec(&cmd).unwrap();
+            let back: Command = serde_json::from_slice(&bytes).unwrap();
+            assert_eq!(cmd, back);
+        }
+    }
+
+    #[test]
+    fn reports_round_trip_through_json() {
+        let r = Report {
+            node_id: 3,
+            job_id: Some(11),
+            ips: 1.9e9,
+            power_w: 201.0,
+            job_done: true,
+        };
+        let bytes = serde_json::to_vec(&r).unwrap();
+        let back: Report = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(r, back);
+    }
+}

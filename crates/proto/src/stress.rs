@@ -1,0 +1,127 @@
+//! Communication-overhead stress test (§3 "Overhead Analysis").
+//!
+//! The paper stress-tests the report path by "spawning 100,000 clients in
+//! our Tardis cluster" and measuring the delay to communicate IPS
+//! information to the controller (0.19 s). This module reproduces that
+//! measurement: the clients are multiplexed over a set of persistent
+//! localhost TCP connections (cluster nodes hold their controller
+//! connection open — there is no per-report handshake), each delivering
+//! one framed [`Report`] per client; the collector clocks one full
+//! collection round.
+
+use crate::messages::Report;
+use crate::transport::{read_frame, write_frame};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Result of one stress run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StressReport {
+    /// Number of client reports collected.
+    pub clients: usize,
+    /// Wall-clock time to collect every report.
+    pub collection_time: Duration,
+    /// Reports per second achieved.
+    pub reports_per_second: f64,
+}
+
+/// Runs the collection stress test: `clients` logical clients multiplexed
+/// over `connections` persistent TCP connections.
+pub fn run_stress(clients: usize, connections: usize) -> StressReport {
+    assert!(clients > 0 && connections > 0);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+
+    let go = Arc::new(AtomicBool::new(false));
+    let per_conn = clients.div_ceil(connections);
+    let mut senders = Vec::new();
+    let mut total = 0usize;
+    for t in 0..connections {
+        let n = per_conn.min(clients - total);
+        if n == 0 {
+            break;
+        }
+        total += n;
+        let go = Arc::clone(&go);
+        senders.push(thread::spawn(move || {
+            let mut sock = TcpStream::connect(addr).expect("connect");
+            sock.set_nodelay(true).expect("nodelay");
+            while !go.load(Ordering::Acquire) {
+                thread::yield_now();
+            }
+            for i in 0..n {
+                let report = Report {
+                    node_id: (t * 1_000_000 + i) as u32,
+                    job_id: None,
+                    ips: 1.0e9,
+                    power_w: 150.0,
+                    job_done: false,
+                };
+                write_frame(&mut sock, &report).expect("send report");
+            }
+        }));
+    }
+
+    // Accept all persistent connections before starting the clock.
+    let mut readers = Vec::new();
+    let mut conns = Vec::new();
+    for _ in 0..senders.len() {
+        let (sock, _) = listener.accept().expect("accept");
+        sock.set_nodelay(true).expect("nodelay");
+        conns.push(sock);
+    }
+
+    let start = Instant::now();
+    go.store(true, Ordering::Release);
+    let counts_expected = per_conn;
+    for (idx, mut sock) in conns.into_iter().enumerate() {
+        let n = counts_expected.min(total - idx * counts_expected.min(total / 1.max(1)));
+        let _ = n;
+        readers.push(thread::spawn(move || {
+            let mut received = 0usize;
+            loop {
+                match read_frame::<Report, _>(&mut sock) {
+                    Ok(_) => received += 1,
+                    Err(_) => break, // sender closed after its share
+                }
+            }
+            received
+        }));
+    }
+    drop(listener);
+    for h in senders {
+        h.join().expect("sender thread");
+    }
+    let mut received = 0usize;
+    for h in readers {
+        received += h.join().expect("reader thread");
+    }
+    let collection_time = start.elapsed();
+    assert_eq!(received, total, "lost reports");
+    StressReport {
+        clients: total,
+        collection_time,
+        reports_per_second: total as f64 / collection_time.as_secs_f64().max(1e-9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_stress_run_collects_everything() {
+        let r = run_stress(2000, 4);
+        assert_eq!(r.clients, 2000);
+        assert!(r.reports_per_second > 1000.0, "{r:?}");
+    }
+
+    #[test]
+    fn client_count_honored_with_uneven_split() {
+        let r = run_stress(37, 5);
+        assert_eq!(r.clients, 37);
+    }
+}

@@ -1,0 +1,163 @@
+use bytes::{Buf, BufMut, BytesMut};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Maximum frame payload accepted (defence against corrupted length
+/// prefixes).
+const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Errors from the framed transport.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying socket error.
+    Io(std::io::Error),
+    /// Payload failed to (de)serialize.
+    Codec(serde_json::Error),
+    /// A length prefix exceeded the 16 MiB frame limit.
+    Oversized(u32),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "transport I/O error: {e}"),
+            FrameError::Codec(e) => write!(f, "frame codec error: {e}"),
+            FrameError::Oversized(n) => write!(f, "frame of {n} bytes exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for FrameError {
+    fn from(e: serde_json::Error) -> Self {
+        FrameError::Codec(e)
+    }
+}
+
+/// Writes one length-prefixed JSON frame.
+///
+/// Wire format: 4-byte big-endian payload length followed by the JSON
+/// payload. The `bytes` crate assembles the frame so it is flushed with a
+/// single `write_all` (one TCP segment for typical report sizes).
+pub fn write_frame<T: Serialize, W: Write>(writer: &mut W, value: &T) -> Result<(), FrameError> {
+    let payload = serde_json::to_vec(value)?;
+    if payload.len() as u64 > MAX_FRAME as u64 {
+        return Err(FrameError::Oversized(payload.len() as u32));
+    }
+    let mut buf = BytesMut::with_capacity(4 + payload.len());
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(&payload);
+    writer.write_all(&buf)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed JSON frame.
+pub fn read_frame<T: DeserializeOwned, R: Read>(reader: &mut R) -> Result<T, FrameError> {
+    let mut len_buf = [0u8; 4];
+    reader.read_exact(&mut len_buf)?;
+    let len = (&len_buf[..]).get_u32();
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    Ok(serde_json::from_slice(&payload)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::{Command, Report};
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip_over_buffer() {
+        let mut buf = Vec::new();
+        let cmd = Command::SetCap { cap_w: 123.0 };
+        write_frame(&mut buf, &cmd).unwrap();
+        let mut cursor = Cursor::new(buf);
+        let back: Command = read_frame(&mut cursor).unwrap();
+        assert_eq!(back, cmd);
+    }
+
+    #[test]
+    fn multiple_frames_in_sequence() {
+        let mut buf = Vec::new();
+        for i in 0..5 {
+            let r = Report {
+                node_id: i,
+                job_id: None,
+                ips: i as f64,
+                power_w: 35.0,
+                job_done: false,
+            };
+            write_frame(&mut buf, &r).unwrap();
+        }
+        let mut cursor = Cursor::new(buf);
+        for i in 0..5 {
+            let r: Report = read_frame(&mut cursor).unwrap();
+            assert_eq!(r.node_id, i);
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_io_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Command::Tick).unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut cursor = Cursor::new(buf);
+        let res: Result<Command, _> = read_frame(&mut cursor);
+        assert!(matches!(res, Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn oversized_prefix_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut cursor = Cursor::new(buf);
+        let res: Result<Command, _> = read_frame(&mut cursor);
+        assert!(matches!(res, Err(FrameError::Oversized(_))));
+    }
+
+    #[test]
+    fn garbage_payload_is_codec_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_be_bytes());
+        buf.extend_from_slice(b"zzz");
+        let mut cursor = Cursor::new(buf);
+        let res: Result<Command, _> = read_frame(&mut cursor);
+        assert!(matches!(res, Err(FrameError::Codec(_))));
+    }
+
+    #[test]
+    fn real_tcp_round_trip() {
+        use std::net::{TcpListener, TcpStream};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            let cmd: Command = read_frame(&mut sock).unwrap();
+            write_frame(&mut sock, &cmd).unwrap();
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        let cmd = Command::Launch {
+            job_id: 9,
+            app: "SWFFT".into(),
+            work_intervals: 100.0,
+        };
+        write_frame(&mut client, &cmd).unwrap();
+        let echoed: Command = read_frame(&mut client).unwrap();
+        assert_eq!(echoed, cmd);
+        handle.join().unwrap();
+    }
+}

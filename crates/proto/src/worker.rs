@@ -1,0 +1,250 @@
+use crate::messages::{Command, Report};
+use crate::transport::{read_frame, write_frame, FrameError};
+use perq_apps::{AppProfile, BASE_NODE_IPS, IDLE_WATTS, TDP_WATTS};
+use perq_rapl::{PowerCapDevice, SimulatedRapl};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+use std::net::TcpStream;
+
+/// One cluster node: a synthetic workload runner behind a simulated RAPL
+/// device, driven entirely by controller commands over TCP.
+///
+/// The worker owns no scheduling logic — it launches whatever the
+/// controller sends, advances one logical control interval per `Tick`,
+/// and reports the measured IPS and power. This mirrors the paper's
+/// prototype split: "one node being the scheduler node …, and others
+/// being the cluster nodes (running the actual jobs and performing
+/// power-caps)".
+pub struct NodeWorker {
+    node_id: u32,
+    apps: Vec<AppProfile>,
+    rapl: SimulatedRapl,
+    interval_s: f64,
+    /// Active job: (job id, profile index, work remaining in
+    /// TDP-equivalent intervals, elapsed intervals).
+    job: Option<(u64, usize, f64, f64)>,
+    noise: Normal<f64>,
+    rng: StdRng,
+}
+
+impl NodeWorker {
+    /// Creates a worker for node `node_id` with the given ground-truth
+    /// application suite.
+    pub fn new(node_id: u32, apps: Vec<AppProfile>, interval_s: f64, seed: u64) -> Self {
+        NodeWorker {
+            node_id,
+            apps,
+            rapl: SimulatedRapl::xeon_e5_2686(seed ^ u64::from(node_id)),
+            interval_s,
+            job: None,
+            noise: Normal::new(0.0, 0.01).expect("valid sigma"),
+            rng: StdRng::seed_from_u64(seed.rotate_left(7) ^ u64::from(node_id)),
+        }
+    }
+
+    /// Connects to the controller and serves commands until `Shutdown` or
+    /// the connection drops.
+    pub fn run(mut self, mut stream: TcpStream) -> Result<(), FrameError> {
+        // Register with the controller.
+        write_frame(
+            &mut stream,
+            &Report {
+                node_id: self.node_id,
+                job_id: None,
+                ips: 0.0,
+                power_w: IDLE_WATTS,
+                job_done: false,
+            },
+        )?;
+        loop {
+            let cmd: Command = read_frame(&mut stream)?;
+            match cmd {
+                Command::Shutdown => return Ok(()),
+                Command::SetCap { cap_w } => {
+                    self.rapl.request_cap(cap_w);
+                }
+                Command::Launch {
+                    job_id,
+                    app,
+                    work_intervals,
+                } => {
+                    let idx = self
+                        .apps
+                        .iter()
+                        .position(|a| a.name == app)
+                        .unwrap_or_default();
+                    self.job = Some((job_id, idx, work_intervals, 0.0));
+                }
+                Command::Tick => {
+                    let report = self.tick();
+                    write_frame(&mut stream, &report)?;
+                }
+            }
+        }
+    }
+
+    /// Advances one control interval and produces the report (exposed for
+    /// direct in-process testing without sockets).
+    pub fn tick(&mut self) -> Report {
+        match self.job.take() {
+            None => {
+                // Idle node: draws idle power, no progress.
+                let power = self.rapl.advance(self.interval_s, IDLE_WATTS);
+                Report {
+                    node_id: self.node_id,
+                    job_id: None,
+                    ips: 0.0,
+                    power_w: power,
+                    job_done: false,
+                }
+            }
+            Some((job_id, idx, work_left, elapsed)) => {
+                let app = &self.apps[idx];
+                let t = elapsed * self.interval_s;
+                let cap_frac = self.rapl.effective_cap() / TDP_WATTS;
+                let perf = app.perf_frac(cap_frac, t);
+                let demand_w = app.phase(t).demand_frac * TDP_WATTS;
+                let power = self.rapl.advance(self.interval_s, demand_w);
+                let noise = self.noise.sample(&mut self.rng);
+                let ips = (BASE_NODE_IPS * perf * (1.0 + noise)).max(0.0);
+
+                let new_left = work_left - perf;
+                let done = new_left <= 0.0;
+                if !done {
+                    self.job = Some((job_id, idx, new_left, elapsed + 1.0));
+                }
+                Report {
+                    node_id: self.node_id,
+                    job_id: Some(job_id),
+                    ips,
+                    power_w: power,
+                    job_done: done,
+                }
+            }
+        }
+    }
+
+    /// The node's id.
+    pub fn node_id(&self) -> u32 {
+        self.node_id
+    }
+
+    /// Whether a job is currently assigned.
+    pub fn busy(&self) -> bool {
+        self.job.is_some()
+    }
+
+    /// Applies a cap directly (test helper mirroring `Command::SetCap`).
+    pub fn set_cap(&mut self, cap_w: f64) -> f64 {
+        self.rapl.request_cap(cap_w)
+    }
+
+    /// Launches a job directly (test helper mirroring `Command::Launch`).
+    pub fn launch(&mut self, job_id: u64, app_index: usize, work_intervals: f64) {
+        self.job = Some((job_id, app_index, work_intervals, 0.0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perq_apps::ecp_suite;
+
+    fn worker() -> NodeWorker {
+        NodeWorker::new(1, ecp_suite(), 10.0, 42)
+    }
+
+    #[test]
+    fn idle_node_draws_idle_power() {
+        let mut w = worker();
+        let r = w.tick();
+        assert_eq!(r.job_id, None);
+        assert_eq!(r.ips, 0.0);
+        assert!((r.power_w - IDLE_WATTS).abs() < 1.0);
+    }
+
+    #[test]
+    fn job_progresses_and_completes() {
+        let mut w = worker();
+        w.launch(5, 0, 3.0); // 3 intervals of work at TDP
+        w.set_cap(TDP_WATTS);
+        let mut done_at = None;
+        for k in 0..10 {
+            let r = w.tick();
+            if r.job_done {
+                done_at = Some(k);
+                break;
+            }
+        }
+        // At TDP, perf ~1 ⇒ done in ~3 ticks (allow 4 for noise).
+        let k = done_at.expect("job should finish");
+        assert!(k <= 4, "took {k} ticks");
+        assert!(!w.busy());
+    }
+
+    #[test]
+    fn capping_slows_progress() {
+        let run_ticks = |cap: f64| -> usize {
+            let mut w = NodeWorker::new(1, ecp_suite(), 10.0, 42);
+            // App 5 = SimpleMOC (high sensitivity).
+            w.launch(1, 5, 5.0);
+            w.set_cap(cap);
+            for k in 0..100 {
+                if w.tick().job_done {
+                    return k;
+                }
+            }
+            100
+        };
+        let fast = run_ticks(TDP_WATTS);
+        let slow = run_ticks(90.0);
+        assert!(
+            slow > fast + 3,
+            "capped run ({slow}) should be much slower than uncapped ({fast})"
+        );
+    }
+
+    #[test]
+    fn report_reflects_job_identity() {
+        let mut w = worker();
+        w.launch(99, 2, 100.0);
+        let r = w.tick();
+        assert_eq!(r.job_id, Some(99));
+        assert!(r.ips > 0.0);
+        assert!(r.power_w > IDLE_WATTS);
+    }
+
+    #[test]
+    fn full_socket_session() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let w = NodeWorker::new(7, ecp_suite(), 10.0, 3);
+        let handle = std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            w.run(stream).unwrap();
+        });
+        let (mut sock, _) = listener.accept().unwrap();
+        // Registration report.
+        let reg: Report = read_frame(&mut sock).unwrap();
+        assert_eq!(reg.node_id, 7);
+        // Launch + cap + tick.
+        write_frame(
+            &mut sock,
+            &Command::Launch {
+                job_id: 1,
+                app: "CoMD".into(),
+                work_intervals: 50.0,
+            },
+        )
+        .unwrap();
+        write_frame(&mut sock, &Command::SetCap { cap_w: 200.0 }).unwrap();
+        write_frame(&mut sock, &Command::Tick).unwrap();
+        let r: Report = read_frame(&mut sock).unwrap();
+        assert_eq!(r.job_id, Some(1));
+        assert!(r.ips > 0.0);
+        write_frame(&mut sock, &Command::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+}

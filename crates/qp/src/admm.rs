@@ -1,0 +1,281 @@
+use crate::problem::QpSolution;
+use crate::{QpError, Result};
+use perq_linalg::{vecops, Cholesky, Matrix};
+
+/// A convex QP with general two-sided linear constraints (OSQP form):
+///
+/// ```text
+/// minimize   ½ xᵀ Q x + cᵀ x
+/// subject to l ≤ A x ≤ u
+/// ```
+///
+/// Box constraints are rows of `A` equal to unit vectors; equality
+/// constraints set `l == u`.
+#[derive(Debug, Clone)]
+pub struct InequalityQp {
+    /// Symmetric positive-semidefinite Hessian (n × n).
+    pub q: Matrix,
+    /// Linear cost term (n).
+    pub c: Vec<f64>,
+    /// Constraint matrix (m × n).
+    pub a: Matrix,
+    /// Constraint lower bounds (m). Use `f64::NEG_INFINITY` for one-sided.
+    pub l: Vec<f64>,
+    /// Constraint upper bounds (m). Use `f64::INFINITY` for one-sided.
+    pub u: Vec<f64>,
+}
+
+impl InequalityQp {
+    fn validate(&self) -> Result<()> {
+        let n = self.c.len();
+        let m = self.l.len();
+        if self.q.rows() != n || self.q.cols() != n {
+            return Err(QpError::BadProblem("Hessian shape".into()));
+        }
+        if self.a.rows() != m || self.a.cols() != n || self.u.len() != m {
+            return Err(QpError::BadProblem("constraint shape".into()));
+        }
+        for i in 0..m {
+            if self.l[i] > self.u[i] {
+                return Err(QpError::Infeasible(format!("l[{i}] > u[{i}]")));
+            }
+        }
+        Ok(())
+    }
+
+    fn objective(&self, x: &[f64]) -> f64 {
+        let qx = self.q.matvec(x).expect("validated");
+        0.5 * vecops::dot(x, &qx) + vecops::dot(&self.c, x)
+    }
+}
+
+/// Tuning knobs for the ADMM solver.
+#[derive(Debug, Clone)]
+pub struct AdmmSettings {
+    /// Step-size / penalty parameter ρ.
+    pub rho: f64,
+    /// Proximal regularisation σ (keeps the x-subproblem strictly convex).
+    pub sigma: f64,
+    /// Over-relaxation parameter α ∈ (0, 2).
+    pub alpha: f64,
+    /// Maximum iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on primal and dual residuals (∞-norm).
+    pub tol: f64,
+}
+
+impl Default for AdmmSettings {
+    fn default() -> Self {
+        AdmmSettings {
+            rho: 1.0,
+            sigma: 1e-6,
+            alpha: 1.6,
+            max_iters: 4000,
+            tol: 1e-7,
+        }
+    }
+}
+
+/// OSQP-style ADMM solver for [`InequalityQp`].
+///
+/// Splitting: introduce `z = Ax` and alternate between
+///
+/// 1. `x ← argmin ½xᵀQx + cᵀx + σ/2‖x − x̄‖² + ρ/2‖Ax − z + y/ρ‖²`
+///    (a linear solve with the pre-factored matrix `Q + σI + ρAᵀA`),
+/// 2. `z ← clamp(αAx + (1−α)z + y/ρ, l, u)`,
+/// 3. `y ← y + ρ(αAx + (1−α)z_prev − z)`.
+///
+/// The factorization is computed once per `solve` call, so repeated
+/// iterations are cheap. PERQ uses this solver as an independent
+/// cross-check of the projected-gradient solver in tests and benchmarks.
+#[derive(Debug, Clone, Default)]
+pub struct AdmmSolver {
+    /// Solver settings.
+    pub settings: AdmmSettings,
+}
+
+impl AdmmSolver {
+    /// Creates a solver with custom settings.
+    pub fn new(settings: AdmmSettings) -> Self {
+        AdmmSolver { settings }
+    }
+
+    /// Solves the QP, optionally warm starting from `x0`.
+    pub fn solve(&self, qp: &InequalityQp, x0: Option<&[f64]>) -> Result<QpSolution> {
+        qp.validate()?;
+        let n = qp.c.len();
+        let m = qp.l.len();
+        let s = &self.settings;
+
+        // KKT-ish matrix for the x-update: Q + σI + ρ AᵀA (SPD by σ > 0).
+        let mut kmat = qp.a.gram().scale(s.rho);
+        kmat.axpy(1.0, &qp.q).expect("validated dims");
+        for i in 0..n {
+            kmat[(i, i)] += s.sigma;
+        }
+        let chol = Cholesky::factor(&kmat)?;
+
+        let mut x: Vec<f64> = match x0 {
+            Some(v) if v.len() == n => v.to_vec(),
+            _ => vec![0.0; n],
+        };
+        let mut z = qp.a.matvec(&x).expect("validated");
+        for i in 0..m {
+            z[i] = z[i].max(qp.l[i]).min(qp.u[i]);
+        }
+        let mut y = vec![0.0; m];
+        let mut iterations = 0;
+        let mut residual = f64::INFINITY;
+        let mut converged = false;
+
+        for k in 0..s.max_iters {
+            iterations = k + 1;
+            // x-update: (Q + σI + ρAᵀA) x = σ x̄ − c + Aᵀ(ρ z − y).
+            let mut rhs = vecops::scale(s.sigma, &x);
+            vecops::axpy(-1.0, &qp.c, &mut rhs);
+            let zy: Vec<f64> = z
+                .iter()
+                .zip(y.iter())
+                .map(|(&zi, &yi)| s.rho * zi - yi)
+                .collect();
+            let at_zy = qp.a.tmatvec(&zy).expect("validated");
+            vecops::axpy(1.0, &at_zy, &mut rhs);
+            x = chol.solve(&rhs)?;
+
+            // z-update with over-relaxation.
+            let ax = qp.a.matvec(&x).expect("validated");
+            let z_prev = z.clone();
+            for i in 0..m {
+                let relaxed = s.alpha * ax[i] + (1.0 - s.alpha) * z_prev[i];
+                z[i] = (relaxed + y[i] / s.rho).max(qp.l[i]).min(qp.u[i]);
+                y[i] += s.rho * (relaxed - z[i]);
+            }
+
+            // Residuals.
+            let r_prim = vecops::max_abs_diff(&ax, &z);
+            let dz = vecops::sub(&z, &z_prev);
+            let at_dz = qp.a.tmatvec(&dz).expect("validated");
+            let r_dual = s.rho * vecops::norm_inf(&at_dz);
+            residual = r_prim.max(r_dual);
+            if residual < s.tol {
+                converged = true;
+                break;
+            }
+        }
+
+        let objective = qp.objective(&x);
+        Ok(QpSolution {
+            x,
+            objective,
+            iterations,
+            converged,
+            residual,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve_equality_qp;
+
+    #[test]
+    fn unconstrained_matches_oracle() {
+        let q = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let c = vec![-1.0, -2.0];
+        let qp = InequalityQp {
+            q: q.clone(),
+            c: c.clone(),
+            a: Matrix::identity(2),
+            l: vec![f64::NEG_INFINITY; 2],
+            u: vec![f64::INFINITY; 2],
+        };
+        let s = AdmmSolver::default().solve(&qp, None).unwrap();
+        let (x_star, _) = solve_equality_qp(&q, &c, None).unwrap();
+        assert!(s.converged);
+        assert!(vecops::max_abs_diff(&s.x, &x_star) < 1e-5);
+    }
+
+    #[test]
+    fn box_constrained_clips() {
+        // min ½‖x‖² − 5·1ᵀx in [0,1]² ⇒ x = (1,1).
+        let qp = InequalityQp {
+            q: Matrix::identity(2),
+            c: vec![-5.0, -5.0],
+            a: Matrix::identity(2),
+            l: vec![0.0; 2],
+            u: vec![1.0; 2],
+        };
+        let s = AdmmSolver::default().solve(&qp, None).unwrap();
+        assert!((s.x[0] - 1.0).abs() < 1e-5);
+        assert!((s.x[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn equality_via_tight_bounds() {
+        // min ½‖x‖² s.t. x₀+x₁ = 2 ⇒ (1,1).
+        let qp = InequalityQp {
+            q: Matrix::identity(2),
+            c: vec![0.0; 2],
+            a: Matrix::from_rows(&[&[1.0, 1.0]]).unwrap(),
+            l: vec![2.0],
+            u: vec![2.0],
+        };
+        let s = AdmmSolver::default().solve(&qp, None).unwrap();
+        assert!((s.x[0] - 1.0).abs() < 1e-5, "{:?}", s.x);
+        assert!((s.x[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mixed_constraints_feasible_and_optimal() {
+        // Box + budget, compare against the projected-gradient solver.
+        use crate::problem::{BoxBudgetQp, Budget};
+        use crate::ProjGradSolver;
+        let q = Matrix::from_rows(&[&[2.0, 0.3, 0.0], &[0.3, 1.5, 0.2], &[0.0, 0.2, 3.0]]).unwrap();
+        let c = vec![-3.0, -1.0, -4.0];
+        let bb = BoxBudgetQp {
+            q: q.clone(),
+            c: c.clone(),
+            lo: vec![0.0; 3],
+            hi: vec![2.0; 3],
+            budgets: vec![Budget {
+                coeffs: vec![1.0, 1.0, 1.0],
+                limit: 2.5,
+            }],
+        };
+        // Same problem in OSQP form: 3 box rows + 1 budget row.
+        let mut a = Matrix::zeros(4, 3);
+        a.set_block(0, 0, &Matrix::identity(3)).unwrap();
+        for j in 0..3 {
+            a[(3, j)] = 1.0;
+        }
+        let iq = InequalityQp {
+            q,
+            c,
+            a,
+            l: vec![0.0, 0.0, 0.0, f64::NEG_INFINITY],
+            u: vec![2.0, 2.0, 2.0, 2.5],
+        };
+        let s_admm = AdmmSolver::default().solve(&iq, None).unwrap();
+        let s_pg = ProjGradSolver::default().solve(&bb, None).unwrap();
+        assert!(s_admm.converged);
+        assert!(
+            vecops::max_abs_diff(&s_admm.x, &s_pg.x) < 1e-4,
+            "admm {:?} pg {:?}",
+            s_admm.x,
+            s_pg.x
+        );
+    }
+
+    #[test]
+    fn crossed_bounds_rejected() {
+        let qp = InequalityQp {
+            q: Matrix::identity(1),
+            c: vec![0.0],
+            a: Matrix::identity(1),
+            l: vec![1.0],
+            u: vec![0.0],
+        };
+        assert!(AdmmSolver::default().solve(&qp, None).is_err());
+    }
+}

@@ -1,0 +1,40 @@
+use perq_linalg::LinalgError;
+use std::fmt;
+
+/// Errors produced by the QP solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QpError {
+    /// Problem fields have inconsistent dimensions.
+    BadProblem(String),
+    /// The feasible set is empty (e.g. `lo > hi`, or the budget limit is
+    /// below the sum of lower bounds).
+    Infeasible(String),
+    /// An underlying linear-algebra kernel failed (e.g. the Hessian was not
+    /// positive definite where required).
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for QpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QpError::BadProblem(msg) => write!(f, "malformed QP: {msg}"),
+            QpError::Infeasible(msg) => write!(f, "infeasible QP: {msg}"),
+            QpError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QpError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for QpError {
+    fn from(e: LinalgError) -> Self {
+        QpError::Linalg(e)
+    }
+}

@@ -1,0 +1,60 @@
+//! Convex quadratic programming for PERQ's model-predictive controller.
+//!
+//! The paper solves Eq. 4 — `min ½ PᵀQP + cᵀP` subject to per-node
+//! power-cap bounds and the system power budget — with the Python CVXOPT
+//! package every decision instance. This crate is the from-scratch Rust
+//! substitute. It provides three solvers with different generality/speed
+//! trade-offs:
+//!
+//! - [`solve_equality_qp`]: direct KKT solve for equality-constrained QPs
+//!   (used as a building block and in tests as a ground-truth oracle).
+//! - [`ProjGradSolver`]: accelerated projected gradient (FISTA) specialised
+//!   to the feasible set PERQ actually has — a box `[lo, hi]` intersected
+//!   with budget half-spaces `aᵀx ≤ b` with non-negative coefficients. The
+//!   projection onto that set is computed exactly by bisection on the
+//!   budget's dual multiplier ([`project_box_budget`]). This is the solver
+//!   the PERQ controller uses at every decision interval; it supports warm
+//!   starting from the previous interval's solution.
+//! - [`AdmmSolver`]: an OSQP-style ADMM solver for general linear
+//!   inequality constraints `l ≤ Ax ≤ u`, used for cross-validation and for
+//!   problem shapes the projected-gradient solver does not cover.
+//!
+//! All solvers report convergence diagnostics in [`QpSolution`], and the
+//! test suite checks their answers against each other and against the KKT
+//! optimality conditions.
+//!
+//! # Example
+//!
+//! ```
+//! use perq_qp::{BoxBudgetQp, Budget, ProjGradSolver};
+//! use perq_linalg::Matrix;
+//!
+//! // min ½‖x‖² − [3,3]ᵀx  s.t. 0 ≤ x ≤ 2, x₀ + x₁ ≤ 3.
+//! let qp = BoxBudgetQp {
+//!     q: Matrix::identity(2),
+//!     c: vec![-3.0, -3.0],
+//!     lo: vec![0.0, 0.0],
+//!     hi: vec![2.0, 2.0],
+//!     budgets: vec![Budget { coeffs: vec![1.0, 1.0], limit: 3.0 }],
+//! };
+//! let sol = ProjGradSolver::default().solve(&qp, None).unwrap();
+//! assert!((sol.x[0] - 1.5).abs() < 1e-5);
+//! assert!((sol.x[1] - 1.5).abs() < 1e-5);
+//! ```
+
+mod admm;
+mod error;
+mod kkt;
+mod problem;
+mod projection;
+mod projgrad;
+
+pub use admm::{AdmmSettings, AdmmSolver, InequalityQp};
+pub use error::QpError;
+pub use kkt::solve_equality_qp;
+pub use problem::{BoxBudgetQp, Budget, QpSolution};
+pub use projection::project_box_budget;
+pub use projgrad::{ProjGradSettings, ProjGradSolver};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, QpError>;

@@ -1,0 +1,220 @@
+use crate::{QpError, Result};
+use perq_linalg::{vecops, Matrix};
+
+/// One coupling budget constraint `coeffsᵀ x ≤ limit` with `coeffs ≥ 0`.
+///
+/// In PERQ this encodes the system power budget at one prediction-horizon
+/// step: the weighted sum of job power-caps (weights = node counts) must
+/// stay below the worst-case-provisioned budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Budget {
+    /// Non-negative coefficients, one per decision variable. Zero entries
+    /// exclude a variable from this budget (e.g. caps belonging to a
+    /// different horizon step).
+    pub coeffs: Vec<f64>,
+    /// Right-hand side of the constraint.
+    pub limit: f64,
+}
+
+impl Budget {
+    /// Evaluates `coeffsᵀ x`.
+    pub fn usage(&self, x: &[f64]) -> f64 {
+        vecops::dot(&self.coeffs, x)
+    }
+
+    /// Returns `true` if `x` satisfies the budget to within `tol`.
+    pub fn satisfied(&self, x: &[f64], tol: f64) -> bool {
+        self.usage(x) <= self.limit + tol
+    }
+}
+
+/// A box-and-budget-constrained convex QP:
+///
+/// ```text
+/// minimize   ½ xᵀ Q x + cᵀ x
+/// subject to lo ≤ x ≤ hi
+///            budgets[k].coeffs ᵀ x ≤ budgets[k].limit   (coeffs ≥ 0)
+/// ```
+///
+/// This is exactly the shape of PERQ's Eq. 4: `Q = HᵀW_TH + DᵀW_ΔPD` is
+/// symmetric positive definite (the ΔP weight regularises it), the box is
+/// the per-node power-cap range `[P_min, TDP]`, and each budget is the
+/// system power constraint at one horizon step.
+#[derive(Debug, Clone)]
+pub struct BoxBudgetQp {
+    /// Symmetric positive-semidefinite Hessian.
+    pub q: Matrix,
+    /// Linear cost term.
+    pub c: Vec<f64>,
+    /// Component-wise lower bounds.
+    pub lo: Vec<f64>,
+    /// Component-wise upper bounds.
+    pub hi: Vec<f64>,
+    /// Coupling budget constraints (may be empty).
+    pub budgets: Vec<Budget>,
+}
+
+impl BoxBudgetQp {
+    /// Number of decision variables.
+    pub fn dim(&self) -> usize {
+        self.c.len()
+    }
+
+    /// Validates dimensions and feasibility of the constraint set.
+    pub fn validate(&self) -> Result<()> {
+        let n = self.c.len();
+        if self.q.rows() != n || self.q.cols() != n {
+            return Err(QpError::BadProblem(format!(
+                "Q is {}x{}, expected {n}x{n}",
+                self.q.rows(),
+                self.q.cols()
+            )));
+        }
+        if self.lo.len() != n || self.hi.len() != n {
+            return Err(QpError::BadProblem(format!(
+                "bounds have lengths {}/{}, expected {n}",
+                self.lo.len(),
+                self.hi.len()
+            )));
+        }
+        for i in 0..n {
+            if self.lo[i] > self.hi[i] {
+                return Err(QpError::Infeasible(format!(
+                    "lo[{i}]={} > hi[{i}]={}",
+                    self.lo[i], self.hi[i]
+                )));
+            }
+            if !self.lo[i].is_finite() || !self.hi[i].is_finite() {
+                return Err(QpError::BadProblem(format!("non-finite bound at {i}")));
+            }
+        }
+        for (k, b) in self.budgets.iter().enumerate() {
+            if b.coeffs.len() != n {
+                return Err(QpError::BadProblem(format!(
+                    "budget {k} has {} coefficients, expected {n}",
+                    b.coeffs.len()
+                )));
+            }
+            if b.coeffs.iter().any(|&a| a < 0.0) {
+                return Err(QpError::BadProblem(format!(
+                    "budget {k} has negative coefficients"
+                )));
+            }
+            // Feasibility against the box: the least possible usage is at lo.
+            let min_usage = vecops::dot(&b.coeffs, &self.lo);
+            if min_usage > b.limit + 1e-9 {
+                return Err(QpError::Infeasible(format!(
+                    "budget {k}: minimum usage {min_usage:.3} exceeds limit {:.3}",
+                    b.limit
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the objective `½ xᵀQx + cᵀx`.
+    pub fn objective(&self, x: &[f64]) -> f64 {
+        let qx = self.q.matvec(x).expect("dimension validated");
+        0.5 * vecops::dot(x, &qx) + vecops::dot(&self.c, x)
+    }
+
+    /// Evaluates the gradient `Qx + c`.
+    pub fn gradient(&self, x: &[f64]) -> Vec<f64> {
+        let mut g = self.q.matvec(x).expect("dimension validated");
+        vecops::axpy(1.0, &self.c, &mut g);
+        g
+    }
+
+    /// Returns `true` if `x` is feasible to within `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        x.iter()
+            .zip(self.lo.iter())
+            .zip(self.hi.iter())
+            .all(|((&xi, &l), &h)| xi >= l - tol && xi <= h + tol)
+            && self.budgets.iter().all(|b| b.satisfied(x, tol))
+    }
+}
+
+/// Solution and diagnostics returned by the QP solvers.
+#[derive(Debug, Clone)]
+pub struct QpSolution {
+    /// The minimizer (or best iterate at termination).
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub objective: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the convergence tolerance was met before the iteration cap.
+    pub converged: bool,
+    /// Final optimality residual (fixed-point residual for projected
+    /// gradient, max primal/dual residual for ADMM).
+    pub residual: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_qp() -> BoxBudgetQp {
+        BoxBudgetQp {
+            q: Matrix::identity(3),
+            c: vec![0.0; 3],
+            lo: vec![0.0; 3],
+            hi: vec![1.0; 3],
+            budgets: vec![Budget {
+                coeffs: vec![1.0; 3],
+                limit: 2.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        simple_qp().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_crossed_bounds() {
+        let mut qp = simple_qp();
+        qp.lo[1] = 2.0;
+        assert!(matches!(qp.validate(), Err(QpError::Infeasible(_))));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_hessian_shape() {
+        let mut qp = simple_qp();
+        qp.q = Matrix::identity(2);
+        assert!(matches!(qp.validate(), Err(QpError::BadProblem(_))));
+    }
+
+    #[test]
+    fn validate_rejects_budget_below_box_minimum() {
+        let mut qp = simple_qp();
+        qp.lo = vec![1.0; 3];
+        qp.budgets[0].limit = 2.0; // min usage is 3
+        assert!(matches!(qp.validate(), Err(QpError::Infeasible(_))));
+    }
+
+    #[test]
+    fn validate_rejects_negative_budget_coeff() {
+        let mut qp = simple_qp();
+        qp.budgets[0].coeffs[0] = -1.0;
+        assert!(matches!(qp.validate(), Err(QpError::BadProblem(_))));
+    }
+
+    #[test]
+    fn objective_and_gradient() {
+        let qp = simple_qp();
+        let x = [1.0, 1.0, 0.0];
+        assert!((qp.objective(&x) - 1.0).abs() < 1e-12);
+        assert_eq!(qp.gradient(&x), vec![1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn feasibility_checks() {
+        let qp = simple_qp();
+        assert!(qp.is_feasible(&[0.5, 0.5, 0.5], 1e-9));
+        assert!(!qp.is_feasible(&[1.0, 1.0, 1.0], 1e-9)); // budget
+        assert!(!qp.is_feasible(&[-0.1, 0.0, 0.0], 1e-9)); // box
+    }
+}

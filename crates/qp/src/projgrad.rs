@@ -1,0 +1,303 @@
+use crate::problem::{BoxBudgetQp, QpSolution};
+use crate::projection::project_box_budgets;
+use crate::Result;
+use perq_linalg::vecops;
+
+/// Tuning knobs for the accelerated projected-gradient solver.
+#[derive(Debug, Clone)]
+pub struct ProjGradSettings {
+    /// Maximum FISTA iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on the fixed-point residual
+    /// `‖x − proj(x − ∇f(x)/L)‖∞` scaled by `L`.
+    pub tol: f64,
+    /// Power-iteration steps used to estimate the Lipschitz constant
+    /// (largest eigenvalue of `Q`).
+    pub power_iters: usize,
+}
+
+impl Default for ProjGradSettings {
+    fn default() -> Self {
+        ProjGradSettings {
+            max_iters: 2000,
+            tol: 1e-7,
+            power_iters: 30,
+        }
+    }
+}
+
+/// Accelerated projected-gradient (FISTA) solver for [`BoxBudgetQp`].
+///
+/// This is the solver PERQ's MPC controller runs every decision interval.
+/// The feasible set (box ∩ per-step power budgets) admits an exact O(n)
+/// projection, so each iteration costs one Hessian-vector product plus one
+/// projection. With warm starting from the previous interval's power-caps
+/// the solver typically converges in a few dozen iterations.
+///
+/// Gradient-mapping monotonicity is enforced with an adaptive restart: if
+/// the objective increases, the momentum sequence is reset, restoring the
+/// plain projected-gradient descent guarantee.
+#[derive(Debug, Clone, Default)]
+pub struct ProjGradSolver {
+    /// Solver settings.
+    pub settings: ProjGradSettings,
+}
+
+impl ProjGradSolver {
+    /// Creates a solver with custom settings.
+    pub fn new(settings: ProjGradSettings) -> Self {
+        ProjGradSolver { settings }
+    }
+
+    /// Solves the QP, optionally warm starting from `x0`.
+    ///
+    /// `x0` is projected onto the feasible set before use, so any previous
+    /// solution is a valid warm start even after the constraint set moved.
+    pub fn solve(&self, qp: &BoxBudgetQp, x0: Option<&[f64]>) -> Result<QpSolution> {
+        qp.validate()?;
+        let n = qp.dim();
+
+        // Lipschitz constant of the gradient = λ_max(Q), estimated by power
+        // iteration (Q is symmetric PSD).
+        let lipschitz = estimate_lmax(qp, self.settings.power_iters).max(1e-12);
+        let step = 1.0 / lipschitz;
+
+        let mut x: Vec<f64> = match x0 {
+            Some(v) if v.len() == n => v.to_vec(),
+            _ => qp
+                .lo
+                .iter()
+                .zip(qp.hi.iter())
+                .map(|(&l, &h)| 0.5 * (l + h))
+                .collect(),
+        };
+        project_box_budgets(&mut x, &qp.lo, &qp.hi, &qp.budgets);
+
+        let mut y = x.clone();
+        let mut t = 1.0_f64;
+        let mut f_prev = qp.objective(&x);
+        let mut residual = f64::INFINITY;
+        let mut iterations = 0;
+
+        for k in 0..self.settings.max_iters {
+            iterations = k + 1;
+            // Gradient step from the extrapolated point, then project.
+            let grad = qp.gradient(&y);
+            let mut x_next = y.clone();
+            vecops::axpy(-step, &grad, &mut x_next);
+            project_box_budgets(&mut x_next, &qp.lo, &qp.hi, &qp.budgets);
+
+            // Fixed-point residual scaled back to gradient units.
+            residual = vecops::max_abs_diff(&x_next, &y) * lipschitz;
+
+            let f_next = qp.objective(&x_next);
+            if f_next > f_prev + 1e-12 {
+                // Adaptive restart: drop momentum, retry from the best point.
+                t = 1.0;
+                y = x.clone();
+                f_prev = qp.objective(&x);
+                continue;
+            }
+
+            let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt());
+            let beta = (t - 1.0) / t_next;
+            y = x_next
+                .iter()
+                .zip(x.iter())
+                .map(|(&xn, &xo)| xn + beta * (xn - xo))
+                .collect();
+            x = x_next;
+            f_prev = f_next;
+            t = t_next;
+
+            if residual < self.settings.tol * lipschitz.max(1.0) {
+                break;
+            }
+        }
+
+        // Final safety projection (momentum extrapolation never leaves x
+        // infeasible, but guard against accumulated round-off).
+        project_box_budgets(&mut x, &qp.lo, &qp.hi, &qp.budgets);
+        let objective = qp.objective(&x);
+        let converged = residual < self.settings.tol * lipschitz.max(1.0);
+        Ok(QpSolution {
+            x,
+            objective,
+            iterations,
+            converged,
+            residual,
+        })
+    }
+}
+
+/// Estimates `λ_max(Q)` by power iteration.
+fn estimate_lmax(qp: &BoxBudgetQp, iters: usize) -> f64 {
+    let n = qp.dim();
+    if n == 0 {
+        return 1.0;
+    }
+    // Deterministic pseudo-random start vector avoids adversarial alignment
+    // with a null eigenvector while keeping runs reproducible.
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| ((i as f64 * 0.754_877_666 + 0.1).sin() + 1.5) / 2.0)
+        .collect();
+    let mut lmax = 1.0;
+    for _ in 0..iters {
+        let w = qp.q.matvec(&v).expect("validated dims");
+        let norm = vecops::norm2(&w);
+        if norm < 1e-300 {
+            return 1.0;
+        }
+        lmax = norm / vecops::norm2(&v).max(1e-300);
+        v = vecops::scale(1.0 / norm, &w);
+    }
+    // Rayleigh quotient for a tighter final estimate.
+    let qv = qp.q.matvec(&v).expect("validated dims");
+    let rq = vecops::dot(&v, &qv) / vecops::dot(&v, &v).max(1e-300);
+    // Small inflation guards against underestimation from finite iterations.
+    (rq.max(lmax) * 1.01).max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Budget;
+    use crate::solve_equality_qp;
+    use perq_linalg::Matrix;
+
+    fn solve(qp: &BoxBudgetQp) -> QpSolution {
+        ProjGradSolver::default().solve(qp, None).unwrap()
+    }
+
+    #[test]
+    fn unconstrained_interior_minimum() {
+        // Minimum at (1,2), box is wide, no budget.
+        let qp = BoxBudgetQp {
+            q: Matrix::diag(&[2.0, 4.0]),
+            c: vec![-2.0, -8.0],
+            lo: vec![-10.0; 2],
+            hi: vec![10.0; 2],
+            budgets: vec![],
+        };
+        let s = solve(&qp);
+        assert!(s.converged);
+        assert!((s.x[0] - 1.0).abs() < 1e-5, "{:?}", s.x);
+        assert!((s.x[1] - 2.0).abs() < 1e-5, "{:?}", s.x);
+    }
+
+    #[test]
+    fn box_active_at_solution() {
+        // Unconstrained min at (5,5) but hi = 1 ⇒ solution at (1,1).
+        let qp = BoxBudgetQp {
+            q: Matrix::identity(2),
+            c: vec![-5.0, -5.0],
+            lo: vec![0.0; 2],
+            hi: vec![1.0; 2],
+            budgets: vec![],
+        };
+        let s = solve(&qp);
+        assert!((s.x[0] - 1.0).abs() < 1e-6);
+        assert!((s.x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn budget_active_matches_kkt_oracle() {
+        // With the budget active and no box activity, the solution matches
+        // the equality-constrained QP with aᵀx = limit.
+        let q = Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 1.0]]).unwrap();
+        let c = vec![-4.0, -3.0];
+        let qp = BoxBudgetQp {
+            q: q.clone(),
+            c: c.clone(),
+            lo: vec![0.0; 2],
+            hi: vec![10.0; 2],
+            budgets: vec![Budget {
+                coeffs: vec![1.0, 1.0],
+                limit: 2.0,
+            }],
+        };
+        let s = solve(&qp);
+        let e = Matrix::from_rows(&[&[1.0, 1.0]]).unwrap();
+        let (x_eq, _) = solve_equality_qp(&q, &c, Some((&e, &[2.0]))).unwrap();
+        assert!(vecops::max_abs_diff(&s.x, &x_eq) < 1e-4, "{:?} vs {x_eq:?}", s.x);
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations() {
+        let n = 40;
+        let q = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                4.0
+            } else if i.abs_diff(j) == 1 {
+                -1.0
+            } else {
+                0.0
+            }
+        });
+        let qp = BoxBudgetQp {
+            q,
+            c: (0..n).map(|i| -((i % 7) as f64)).collect(),
+            lo: vec![0.0; n],
+            hi: vec![3.0; n],
+            budgets: vec![Budget {
+                coeffs: vec![1.0; n],
+                limit: 30.0,
+            }],
+        };
+        let cold = solve(&qp);
+        let warm = ProjGradSolver::default().solve(&qp, Some(&cold.x)).unwrap();
+        assert!(warm.converged);
+        assert!(
+            warm.iterations <= cold.iterations,
+            "warm {} > cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        assert!(warm.objective <= cold.objective + 1e-6);
+    }
+
+    #[test]
+    fn solution_is_feasible_and_kkt_stationary() {
+        // Random-ish QP; verify no feasible descent direction exists by
+        // checking the projected gradient vanishes.
+        let q = Matrix::from_rows(&[
+            &[3.0, 0.2, 0.1],
+            &[0.2, 2.0, 0.0],
+            &[0.1, 0.0, 1.5],
+        ])
+        .unwrap();
+        let qp = BoxBudgetQp {
+            q,
+            c: vec![-10.0, 1.0, -2.0],
+            lo: vec![0.0; 3],
+            hi: vec![2.0; 3],
+            budgets: vec![Budget {
+                coeffs: vec![1.0, 1.0, 1.0],
+                limit: 3.5,
+            }],
+        };
+        let s = solve(&qp);
+        assert!(qp.is_feasible(&s.x, 1e-7));
+        // Projected-gradient stationarity: proj(x − t∇f(x)) == x.
+        let grad = qp.gradient(&s.x);
+        let mut probe = s.x.clone();
+        vecops::axpy(-1e-3, &grad, &mut probe);
+        crate::projection::project_box_budgets(&mut probe, &qp.lo, &qp.hi, &qp.budgets);
+        assert!(vecops::max_abs_diff(&probe, &s.x) < 1e-5);
+    }
+
+    #[test]
+    fn infeasible_problem_rejected() {
+        let qp = BoxBudgetQp {
+            q: Matrix::identity(2),
+            c: vec![0.0; 2],
+            lo: vec![1.0; 2],
+            hi: vec![2.0; 2],
+            budgets: vec![Budget {
+                coeffs: vec![1.0; 2],
+                limit: 1.0,
+            }],
+        };
+        assert!(ProjGradSolver::default().solve(&qp, None).is_err());
+    }
+}

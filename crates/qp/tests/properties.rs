@@ -1,0 +1,136 @@
+//! Property-based tests: the iterative QP solvers must always return
+//! feasible points, satisfy optimality conditions, and agree with each
+//! other on random problems.
+
+use perq_linalg::{vecops, Matrix};
+use perq_qp::{
+    project_box_budget, AdmmSolver, BoxBudgetQp, Budget, InequalityQp, ProjGradSolver,
+};
+use proptest::prelude::*;
+
+/// Random SPD Hessian of size n: Gram of a random matrix plus ridge.
+fn spd(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |d| {
+        let b = Matrix::from_vec(n, n, d).unwrap();
+        let mut g = b.gram();
+        for i in 0..n {
+            g[(i, i)] += 1.0;
+        }
+        g
+    })
+}
+
+fn random_qp(n: usize) -> impl Strategy<Value = BoxBudgetQp> {
+    (
+        spd(n),
+        prop::collection::vec(-5.0f64..5.0, n),
+        prop::collection::vec(0.1f64..2.0, n),
+        0.3f64..0.9,
+    )
+        .prop_map(move |(q, c, widths, budget_frac)| {
+            let lo: Vec<f64> = vec![0.0; n];
+            let hi: Vec<f64> = widths;
+            let max_usage: f64 = hi.iter().sum();
+            BoxBudgetQp {
+                q,
+                c,
+                lo,
+                hi,
+                budgets: vec![Budget {
+                    coeffs: vec![1.0; n],
+                    limit: budget_frac * max_usage,
+                }],
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn projection_feasible_and_idempotent(
+        x in prop::collection::vec(-5.0f64..5.0, 6),
+        limit in 0.5f64..4.0,
+    ) {
+        let lo = vec![0.0; 6];
+        let hi = vec![1.0; 6];
+        let b = Budget { coeffs: vec![1.0; 6], limit };
+        let mut p = x.clone();
+        project_box_budget(&mut p, &lo, &hi, &b);
+        // Feasible.
+        prop_assert!(b.satisfied(&p, 1e-7));
+        for (i, &v) in p.iter().enumerate() {
+            prop_assert!(v >= lo[i] - 1e-9 && v <= hi[i] + 1e-9);
+        }
+        // Idempotent.
+        let mut p2 = p.clone();
+        project_box_budget(&mut p2, &lo, &hi, &b);
+        prop_assert!(vecops::max_abs_diff(&p, &p2) < 1e-7);
+    }
+
+    #[test]
+    fn projection_is_nearest_feasible_point(
+        x in prop::collection::vec(-3.0f64..3.0, 4),
+        probe in prop::collection::vec(0.0f64..1.0, 4),
+        limit in 0.5f64..3.0,
+    ) {
+        // The projection must be at least as close to x as any feasible probe.
+        let lo = vec![0.0; 4];
+        let hi = vec![1.0; 4];
+        let b = Budget { coeffs: vec![1.0; 4], limit };
+        let mut p = x.clone();
+        project_box_budget(&mut p, &lo, &hi, &b);
+        // Make the probe feasible by projecting it too (any feasible point works).
+        let mut q = probe.clone();
+        project_box_budget(&mut q, &lo, &hi, &b);
+        let d_p = vecops::norm2(&vecops::sub(&p, &x));
+        let d_q = vecops::norm2(&vecops::sub(&q, &x));
+        prop_assert!(d_p <= d_q + 1e-6, "projection {d_p} farther than probe {d_q}");
+    }
+
+    #[test]
+    fn projgrad_solution_feasible_and_stationary(qp in random_qp(5)) {
+        let s = ProjGradSolver::default().solve(&qp, None).unwrap();
+        prop_assert!(qp.is_feasible(&s.x, 1e-6));
+        // No feasible descent: a small projected gradient step must not
+        // improve the objective by more than numerical noise.
+        let grad = qp.gradient(&s.x);
+        let mut probe = s.x.clone();
+        vecops::axpy(-1e-4, &grad, &mut probe);
+        let b = &qp.budgets[0];
+        project_box_budget(&mut probe, &qp.lo, &qp.hi, b);
+        prop_assert!(qp.objective(&probe) >= s.objective - 1e-5);
+    }
+
+    #[test]
+    fn projgrad_and_admm_agree(qp in random_qp(4)) {
+        let s_pg = ProjGradSolver::default().solve(&qp, None).unwrap();
+        let n = qp.dim();
+        let mut a = Matrix::zeros(n + 1, n);
+        a.set_block(0, 0, &Matrix::identity(n)).unwrap();
+        for j in 0..n {
+            a[(n, j)] = qp.budgets[0].coeffs[j];
+        }
+        let mut l = qp.lo.clone();
+        l.push(f64::NEG_INFINITY);
+        let mut u = qp.hi.clone();
+        u.push(qp.budgets[0].limit);
+        let iq = InequalityQp { q: qp.q.clone(), c: qp.c.clone(), a, l, u };
+        let s_admm = AdmmSolver::default().solve(&iq, None).unwrap();
+        // Objectives must agree tightly even if argmins drift along flat
+        // directions.
+        prop_assert!(
+            (s_pg.objective - s_admm.objective).abs() < 1e-3 * (1.0 + s_pg.objective.abs()),
+            "pg {} vs admm {}", s_pg.objective, s_admm.objective
+        );
+    }
+
+    #[test]
+    fn warm_start_never_worse(qp in random_qp(5)) {
+        let solver = ProjGradSolver::default();
+        let cold = solver.solve(&qp, None).unwrap();
+        let warm = solver.solve(&qp, Some(&cold.x)).unwrap();
+        prop_assert!(warm.objective <= cold.objective + 1e-6);
+        prop_assert!(qp.is_feasible(&warm.x, 1e-6));
+    }
+}

@@ -1,0 +1,86 @@
+/// Admissible power-cap window of a package, in watts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapLimits {
+    /// Lowest enforceable cap (RAPL refuses lower values; an idle package
+    /// still draws power).
+    pub min_w: f64,
+    /// Highest enforceable cap, normally the TDP.
+    pub max_w: f64,
+}
+
+impl CapLimits {
+    /// Creates a limit window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_w` is not in `(0, max_w]` — limits are hardware
+    /// constants, so a bad window is a programming error.
+    pub fn new(min_w: f64, max_w: f64) -> Self {
+        assert!(min_w > 0.0 && min_w <= max_w, "invalid cap window");
+        CapLimits { min_w, max_w }
+    }
+
+    /// Clamps a requested cap into the window.
+    pub fn clamp(&self, watts: f64) -> f64 {
+        watts.max(self.min_w).min(self.max_w)
+    }
+}
+
+/// A power-capping actuator plus energy/power telemetry — the hardware
+/// abstraction the cluster node sits on.
+///
+/// [`crate::SimulatedRapl`] is the in-repo implementation; a deployment on
+/// real Intel hardware would implement this trait over
+/// `MSR_PKG_POWER_LIMIT` / `MSR_PKG_ENERGY_STATUS`.
+pub trait PowerCapDevice {
+    /// Requests a new power cap; returns the value actually programmed
+    /// (after clamping to the device's limit window).
+    fn request_cap(&mut self, watts: f64) -> f64;
+
+    /// The cap currently being *enforced* (may lag the last request by the
+    /// actuation latency).
+    fn effective_cap(&self) -> f64;
+
+    /// The most recently *requested* cap after clamping.
+    fn requested_cap(&self) -> f64;
+
+    /// The device's cap window.
+    fn limits(&self) -> CapLimits;
+
+    /// Advances simulated time by `dt` seconds during which the package
+    /// tried to draw `demand_w` watts. Returns the average power actually
+    /// consumed over the interval (demand clipped by the enforced cap).
+    fn advance(&mut self, dt: f64, demand_w: f64) -> f64;
+
+    /// Measured average power over the last `advance` interval, including
+    /// measurement noise. What the node reports to the controller.
+    fn measured_power(&self) -> f64;
+
+    /// Raw 32-bit energy counter in energy-status units (wraps around).
+    fn energy_raw(&self) -> u32;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_window() {
+        let l = CapLimits::new(90.0, 290.0);
+        assert_eq!(l.clamp(50.0), 90.0);
+        assert_eq!(l.clamp(150.0), 150.0);
+        assert_eq!(l.clamp(400.0), 290.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cap window")]
+    fn zero_min_rejected() {
+        CapLimits::new(0.0, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cap window")]
+    fn crossed_window_rejected() {
+        CapLimits::new(200.0, 100.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Simulated Intel RAPL (Running Average Power Limit) interface.
+//!
+//! PERQ actuates power through socket-level RAPL capping (paper §2.4.4:
+//! "PERQ requires node-level power-capping feature to be enabled in the
+//! processor (e.g., Intel's Running Average Power Limit (RAPL)
+//! interface)"). The paper's testbed hardware is not available here, so
+//! this crate provides a behavioural simulation that preserves every
+//! property the controller interacts with:
+//!
+//! - caps are clamped to the package limit window `[min, max]`
+//!   ([`CapLimits`]) — a requested cap outside the window is silently
+//!   clamped, exactly like writing `MSR_PKG_POWER_LIMIT`;
+//! - a new cap "may take a few milliseconds to take effect" (§2.4.4):
+//!   [`SimulatedRapl`] models a configurable actuation latency during
+//!   which the previous cap keeps being enforced;
+//! - energy is exposed through a monotonically increasing 32-bit counter
+//!   in energy-status units that wraps around, like `MSR_PKG_ENERGY_STATUS`
+//!   ([`SimulatedRapl::energy_raw`], with [`energy_delta_uj`] handling the
+//!   wrap);
+//! - power readings are derived from energy deltas and carry measurement
+//!   noise.
+//!
+//! The [`PowerCapDevice`] trait is the seam where real MSR-backed bindings
+//! would plug in on a Linux host with `/dev/cpu/*/msr` access.
+
+mod device;
+mod sim;
+
+pub use device::{CapLimits, PowerCapDevice};
+pub use sim::{energy_delta_uj, SimulatedRapl, ENERGY_UNIT_UJ};

@@ -1,0 +1,264 @@
+use crate::device::{CapLimits, PowerCapDevice};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One energy-status unit in microjoules. Real RAPL exposes the unit in
+/// `MSR_RAPL_POWER_UNIT`; 61 µJ (2⁻¹⁴ J ≈ 61.04 µJ) is the common Intel
+/// value and is close enough for simulation.
+pub const ENERGY_UNIT_UJ: f64 = 61.0;
+
+/// Difference between two raw 32-bit energy readings in microjoules,
+/// accounting for counter wraparound (the counter is monotonically
+/// increasing modulo 2³²).
+pub fn energy_delta_uj(before: u32, after: u32) -> f64 {
+    after.wrapping_sub(before) as f64 * ENERGY_UNIT_UJ
+}
+
+/// Behavioural simulation of a socket-level RAPL interface.
+///
+/// See the crate docs for the modelled properties (clamping, actuation
+/// latency, wrapping energy counter, noisy power telemetry).
+#[derive(Debug, Clone)]
+pub struct SimulatedRapl {
+    limits: CapLimits,
+    requested: f64,
+    effective: f64,
+    /// Pending cap and seconds until it takes effect.
+    pending: Option<(f64, f64)>,
+    actuation_delay_s: f64,
+    /// Raw energy counter (wraps at 2³²).
+    energy_raw: u32,
+    /// Sub-unit energy remainder not yet accounted in the counter.
+    energy_frac_uj: f64,
+    /// Relative standard deviation of power measurements.
+    noise_rel_std: f64,
+    last_true_power: f64,
+    last_measured_power: f64,
+    rng: StdRng,
+}
+
+impl SimulatedRapl {
+    /// Creates a device with the given limits, actuation delay (seconds),
+    /// relative measurement-noise standard deviation, and RNG seed.
+    ///
+    /// The initial cap is the window maximum (hardware default: TDP).
+    pub fn new(limits: CapLimits, actuation_delay_s: f64, noise_rel_std: f64, seed: u64) -> Self {
+        SimulatedRapl {
+            limits,
+            requested: limits.max_w,
+            effective: limits.max_w,
+            pending: None,
+            actuation_delay_s: actuation_delay_s.max(0.0),
+            energy_raw: 0,
+            energy_frac_uj: 0.0,
+            noise_rel_std: noise_rel_std.max(0.0),
+            last_true_power: 0.0,
+            last_measured_power: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A convenience device with the paper's testbed window (90–290 W),
+    /// 5 ms actuation delay, and 1% measurement noise.
+    pub fn xeon_e5_2686(seed: u64) -> Self {
+        SimulatedRapl::new(CapLimits::new(90.0, 290.0), 0.005, 0.01, seed)
+    }
+
+    /// True (noise-free) average power over the last interval — test/debug
+    /// visibility only; the controller sees [`PowerCapDevice::measured_power`].
+    pub fn true_power(&self) -> f64 {
+        self.last_true_power
+    }
+
+    fn accumulate_energy(&mut self, joules: f64) {
+        let uj = joules * 1e6 + self.energy_frac_uj;
+        let units = (uj / ENERGY_UNIT_UJ).floor();
+        self.energy_frac_uj = uj - units * ENERGY_UNIT_UJ;
+        // Wrapping add mirrors the real 32-bit MSR.
+        self.energy_raw = self.energy_raw.wrapping_add(units as u64 as u32);
+    }
+}
+
+impl PowerCapDevice for SimulatedRapl {
+    fn request_cap(&mut self, watts: f64) -> f64 {
+        let clamped = self.limits.clamp(watts);
+        self.requested = clamped;
+        if self.actuation_delay_s == 0.0 {
+            self.effective = clamped;
+            self.pending = None;
+        } else {
+            self.pending = Some((clamped, self.actuation_delay_s));
+        }
+        clamped
+    }
+
+    fn effective_cap(&self) -> f64 {
+        self.effective
+    }
+
+    fn requested_cap(&self) -> f64 {
+        self.requested
+    }
+
+    fn limits(&self) -> CapLimits {
+        self.limits
+    }
+
+    fn advance(&mut self, dt: f64, demand_w: f64) -> f64 {
+        assert!(dt > 0.0, "advance needs positive dt");
+        let demand = demand_w.max(0.0);
+        let mut energy_j = 0.0;
+        let mut remaining = dt;
+
+        // Portion of the interval under the old cap while the new cap is
+        // still propagating.
+        if let Some((new_cap, delay)) = self.pending.take() {
+            let before = delay.min(remaining);
+            energy_j += demand.min(self.effective) * before;
+            remaining -= before;
+            if delay > dt {
+                // Still pending after this interval.
+                self.pending = Some((new_cap, delay - dt));
+            } else {
+                self.effective = new_cap;
+            }
+        }
+        if remaining > 0.0 {
+            energy_j += demand.min(self.effective) * remaining;
+        }
+
+        let avg_power = energy_j / dt;
+        self.last_true_power = avg_power;
+        self.accumulate_energy(energy_j);
+        let noise = if self.noise_rel_std > 0.0 {
+            // Box-Muller-free: sample a uniform pair and shape it; StdRng
+            // has no normal distribution without rand_distr, so use the
+            // sum-of-uniforms approximation (Irwin-Hall, var 1/12 each).
+            let s: f64 = (0..12).map(|_| self.rng.gen::<f64>()).sum::<f64>() - 6.0;
+            s * self.noise_rel_std * avg_power
+        } else {
+            0.0
+        };
+        self.last_measured_power = (avg_power + noise).max(0.0);
+        avg_power
+    }
+
+    fn measured_power(&self) -> f64 {
+        self.last_measured_power
+    }
+
+    fn energy_raw(&self) -> u32 {
+        self.energy_raw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_device() -> SimulatedRapl {
+        SimulatedRapl::new(CapLimits::new(90.0, 290.0), 0.0, 0.0, 1)
+    }
+
+    #[test]
+    fn default_cap_is_tdp() {
+        let d = quiet_device();
+        assert_eq!(d.effective_cap(), 290.0);
+    }
+
+    #[test]
+    fn cap_requests_are_clamped() {
+        let mut d = quiet_device();
+        assert_eq!(d.request_cap(10.0), 90.0);
+        assert_eq!(d.request_cap(1000.0), 290.0);
+        assert_eq!(d.request_cap(150.0), 150.0);
+        assert_eq!(d.requested_cap(), 150.0);
+    }
+
+    #[test]
+    fn consumption_is_min_of_demand_and_cap() {
+        let mut d = quiet_device();
+        d.request_cap(150.0);
+        assert_eq!(d.advance(10.0, 100.0), 100.0); // demand below cap
+        assert_eq!(d.advance(10.0, 200.0), 150.0); // demand clipped
+    }
+
+    #[test]
+    fn actuation_delay_blends_old_and_new_cap() {
+        let mut d = SimulatedRapl::new(CapLimits::new(90.0, 290.0), 2.0, 0.0, 1);
+        // Old cap 290, new cap 90, delay 2 s within a 10 s interval:
+        // 2 s at min(demand,290) + 8 s at min(demand,90).
+        d.request_cap(90.0);
+        let avg = d.advance(10.0, 250.0);
+        let expect = (2.0 * 250.0 + 8.0 * 90.0) / 10.0;
+        assert!((avg - expect).abs() < 1e-9, "avg {avg}, expect {expect}");
+        assert_eq!(d.effective_cap(), 90.0);
+    }
+
+    #[test]
+    fn delay_longer_than_interval_keeps_pending() {
+        let mut d = SimulatedRapl::new(CapLimits::new(90.0, 290.0), 5.0, 0.0, 1);
+        d.request_cap(90.0);
+        let avg = d.advance(2.0, 200.0);
+        assert_eq!(avg, 200.0); // still on the old (TDP) cap
+        assert_eq!(d.effective_cap(), 290.0);
+        d.advance(4.0, 200.0);
+        assert_eq!(d.effective_cap(), 90.0);
+    }
+
+    #[test]
+    fn energy_counter_accumulates() {
+        let mut d = quiet_device();
+        let e0 = d.energy_raw();
+        d.advance(1.0, 100.0); // 100 J
+        let e1 = d.energy_raw();
+        let measured_uj = energy_delta_uj(e0, e1);
+        assert!((measured_uj - 100.0e6).abs() < 2.0 * ENERGY_UNIT_UJ);
+    }
+
+    #[test]
+    fn energy_counter_wraps_like_hardware() {
+        // 2^32 units * 61 µJ ≈ 262 kJ; run past it and check the delta
+        // helper still reports the correct consumption across the wrap.
+        let mut d = quiet_device();
+        // Bring the counter near the wrap point by many large steps.
+        let to_burn_j = u32::MAX as f64 * ENERGY_UNIT_UJ / 1e6 - 50.0;
+        let steps = 1000;
+        for _ in 0..steps {
+            d.advance(to_burn_j / steps as f64 / 290.0, 290.0);
+        }
+        let before = d.energy_raw();
+        d.advance(1.0, 100.0); // 100 J crosses the wrap
+        let after = d.energy_raw();
+        assert!(after < before, "counter should have wrapped");
+        let delta = energy_delta_uj(before, after);
+        assert!((delta - 100.0e6).abs() < 1e4, "delta {delta}");
+    }
+
+    #[test]
+    fn measurement_noise_is_bounded_and_unbiased() {
+        let mut d = SimulatedRapl::new(CapLimits::new(90.0, 290.0), 0.0, 0.02, 42);
+        let mut sum = 0.0;
+        let n = 2000;
+        for _ in 0..n {
+            d.advance(1.0, 200.0);
+            sum += d.measured_power();
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 200.0).abs() < 1.0, "biased mean {mean}");
+    }
+
+    #[test]
+    fn noise_free_measurement_equals_truth() {
+        let mut d = quiet_device();
+        d.advance(1.0, 123.0);
+        assert_eq!(d.measured_power(), 123.0);
+        assert_eq!(d.true_power(), 123.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive dt")]
+    fn zero_dt_panics() {
+        quiet_device().advance(0.0, 100.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for the simulated RAPL device.
+
+use perq_rapl::{energy_delta_uj, CapLimits, PowerCapDevice, SimulatedRapl};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn consumption_never_exceeds_effective_cap(
+        caps in prop::collection::vec(50.0f64..400.0, 1..40),
+        demands in prop::collection::vec(0.0f64..400.0, 40),
+    ) {
+        let mut dev = SimulatedRapl::new(CapLimits::new(90.0, 290.0), 0.0, 0.0, 1);
+        for (i, cap) in caps.iter().enumerate() {
+            dev.request_cap(*cap);
+            let consumed = dev.advance(10.0, demands[i % demands.len()]);
+            prop_assert!(consumed <= dev.effective_cap() + 1e-9);
+            prop_assert!(consumed <= demands[i % demands.len()] + 1e-9);
+            prop_assert!(consumed >= 0.0);
+        }
+    }
+
+    #[test]
+    fn caps_always_land_in_window(req in -100.0f64..1000.0) {
+        let mut dev = SimulatedRapl::new(CapLimits::new(90.0, 290.0), 0.0, 0.0, 2);
+        let applied = dev.request_cap(req);
+        prop_assert!((90.0..=290.0).contains(&applied));
+        prop_assert_eq!(applied, dev.requested_cap());
+    }
+
+    #[test]
+    fn energy_counter_matches_integrated_power(
+        steps in prop::collection::vec((0.5f64..20.0, 10.0f64..290.0), 1..30),
+    ) {
+        let mut dev = SimulatedRapl::new(CapLimits::new(90.0, 290.0), 0.0, 0.0, 3);
+        let before = dev.energy_raw();
+        let mut true_j = 0.0;
+        for &(dt, demand) in &steps {
+            true_j += dev.advance(dt, demand) * dt;
+        }
+        let measured_j = energy_delta_uj(before, dev.energy_raw()) / 1e6;
+        // The counter quantizes at one energy unit (61 µJ) per step.
+        prop_assert!(
+            (measured_j - true_j).abs() < 1e-3 * steps.len() as f64 + 1e-6,
+            "counter {measured_j} J vs integrated {true_j} J"
+        );
+    }
+
+    #[test]
+    fn actuation_delay_never_applies_new_cap_early(
+        delay in 0.1f64..5.0,
+        dt in 0.01f64..0.09,
+    ) {
+        // Advance in slices shorter than the delay: the effective cap must
+        // remain the old one until the accumulated time passes the delay.
+        let mut dev = SimulatedRapl::new(CapLimits::new(90.0, 290.0), delay, 0.0, 4);
+        dev.request_cap(90.0);
+        let mut elapsed = 0.0;
+        while elapsed + dt < delay {
+            dev.advance(dt, 250.0);
+            elapsed += dt;
+            prop_assert_eq!(dev.effective_cap(), 290.0, "applied early at {}", elapsed);
+        }
+        dev.advance(delay, 250.0);
+        prop_assert_eq!(dev.effective_cap(), 90.0);
+    }
+
+    #[test]
+    fn measured_power_nonnegative_under_noise(seed in 0u64..1000) {
+        let mut dev = SimulatedRapl::new(CapLimits::new(90.0, 290.0), 0.0, 0.3, seed);
+        for _ in 0..50 {
+            dev.advance(1.0, 100.0);
+            prop_assert!(dev.measured_power() >= 0.0);
+        }
+    }
+}

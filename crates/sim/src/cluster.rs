@@ -1,0 +1,644 @@
+use crate::job::{JobOutcome, JobRecord, JobSpec, JobTrace, TracePoint};
+use crate::policy::{JobView, PolicyContext, PowerPolicy};
+use crate::scheduler::{RunningFootprint, Scheduler};
+use crate::trace::SystemModel;
+use perq_apps::{AppProfile, BASE_NODE_IPS, IDLE_WATTS, MIN_CAP_WATTS, TDP_WATTS};
+use perq_rapl::{CapLimits, PowerCapDevice, SimulatedRapl};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Static configuration of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Nodes in the over-provisioned system (`N_OP = f · N_WP`).
+    pub nodes: usize,
+    /// Nodes in the worst-case-provisioned system (`N_WP`); the power
+    /// budget is `wp_nodes · tdp_w`.
+    pub wp_nodes: usize,
+    /// Control decision interval, seconds (paper default: 10 s).
+    pub interval_s: f64,
+    /// Simulated duration, seconds (paper: one day).
+    pub duration_s: f64,
+    /// Node TDP, watts.
+    pub tdp_w: f64,
+    /// Minimum per-node cap, watts.
+    pub cap_min_w: f64,
+    /// Idle node draw, watts.
+    pub idle_w: f64,
+    /// Relative standard deviation of IPS measurements.
+    pub ips_noise_rel: f64,
+    /// Probability that a job's IPS report is lost in a given interval
+    /// (failure injection; the policy sees `None`).
+    pub ips_dropout_prob: f64,
+    /// Per-interval probability that a running job crashes (failure
+    /// injection).
+    pub crash_prob: f64,
+    /// Job ids whose full power/IPS trace should be recorded; `None`
+    /// records nothing, and an empty set with `trace_all` records all.
+    pub trace_jobs: Vec<u64>,
+    /// Record traces for every job (memory heavy; for small runs).
+    pub trace_all: bool,
+}
+
+impl ClusterConfig {
+    /// Standard configuration for a system model at over-provisioning
+    /// factor `f`, running for `duration_s` seconds.
+    pub fn for_system(system: &SystemModel, f: f64, duration_s: f64) -> Self {
+        assert!(f >= 1.0, "over-provisioning factor must be >= 1");
+        ClusterConfig {
+            nodes: (system.wp_nodes as f64 * f).round() as usize,
+            wp_nodes: system.wp_nodes,
+            interval_s: 10.0,
+            duration_s,
+            tdp_w: TDP_WATTS,
+            cap_min_w: MIN_CAP_WATTS,
+            idle_w: IDLE_WATTS,
+            ips_noise_rel: 0.01,
+            ips_dropout_prob: 0.0,
+            crash_prob: 0.0,
+            trace_jobs: Vec::new(),
+            trace_all: false,
+        }
+    }
+
+    /// Total system power budget, watts.
+    pub fn budget_w(&self) -> f64 {
+        self.wp_nodes as f64 * self.tdp_w
+    }
+
+    /// Over-provisioning factor `f = N_OP / N_WP`.
+    pub fn over_provisioning_factor(&self) -> f64 {
+        self.nodes as f64 / self.wp_nodes as f64
+    }
+
+    fn validate(&self) {
+        assert!(self.nodes >= 1 && self.wp_nodes >= 1, "need nodes");
+        assert!(self.interval_s > 0.0, "interval must be positive");
+        assert!(self.duration_s > 0.0, "duration must be positive");
+        assert!(
+            self.cap_min_w > 0.0 && self.cap_min_w <= self.tdp_w,
+            "cap window invalid"
+        );
+        assert!(
+            self.nodes as f64 * self.idle_w <= self.budget_w(),
+            "budget cannot even idle the machine: {} nodes x {} W idle > {} W budget",
+            self.nodes,
+            self.idle_w,
+            self.budget_w()
+        );
+    }
+}
+
+/// Per-interval system telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntervalLog {
+    /// Interval start time, seconds.
+    pub t_s: f64,
+    /// Nodes occupied by running jobs.
+    pub busy_nodes: usize,
+    /// Running job count.
+    pub running_jobs: usize,
+    /// Total power drawn (busy consumption + idle draw), watts.
+    pub total_power_w: f64,
+    /// Sum of assigned caps (busy nodes) + idle draw, watts — the
+    /// worst-case draw the caps admit (may exceed the budget when the
+    /// policy deliberately over-commits caps on low-draw jobs).
+    pub committed_power_w: f64,
+    /// Whether *consumed* power exceeded the system budget this interval
+    /// — the quantity the paper's constraint bounds.
+    pub violation: bool,
+}
+
+/// Outcome of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Name of the policy that ran.
+    pub policy: String,
+    /// Over-provisioning factor of the run.
+    pub f: f64,
+    /// All job records (completed, crashed, unfinished).
+    pub records: Vec<JobRecord>,
+    /// Per-interval telemetry.
+    pub intervals: Vec<IntervalLog>,
+    /// Traces of the requested jobs.
+    pub traces: HashMap<u64, JobTrace>,
+    /// Number of intervals in which the policy requested more power than
+    /// the budget (the simulator scaled the request down).
+    pub budget_violations: usize,
+    /// Wall-clock time of each policy decision, seconds (Fig. 13 data).
+    pub decision_times_s: Vec<f64>,
+}
+
+impl SimResult {
+    /// Completed-job count — the paper's system-throughput metric.
+    pub fn throughput(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.outcome == JobOutcome::Completed)
+            .count()
+    }
+
+    /// Records of completed jobs only.
+    pub fn completed(&self) -> impl Iterator<Item = &JobRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.outcome == JobOutcome::Completed)
+    }
+}
+
+/// A running job's live state.
+struct RunningJob {
+    spec: JobSpec,
+    app: AppProfile,
+    start_s: f64,
+    progress_s: f64,
+    cap_w: f64,
+    rapl: SimulatedRapl,
+    last_ips: Option<f64>,
+    last_power_w: Option<f64>,
+    is_new: bool,
+}
+
+/// The cluster simulator. See the crate docs for the model.
+pub struct Cluster {
+    config: ClusterConfig,
+    apps: Vec<AppProfile>,
+    scheduler: Scheduler,
+    running: Vec<RunningJob>,
+    records: Vec<JobRecord>,
+    traces: HashMap<u64, JobTrace>,
+    time_s: f64,
+    rng: StdRng,
+    ips_noise: Option<Normal<f64>>,
+}
+
+impl Cluster {
+    /// Creates a simulator over a job trace, using the ECP application
+    /// suite as the ground-truth behaviours.
+    pub fn new(config: ClusterConfig, jobs: Vec<JobSpec>, seed: u64) -> Self {
+        Self::with_apps(config, jobs, perq_apps::ecp_suite(), seed)
+    }
+
+    /// Creates a simulator with a custom application suite (the sysid
+    /// training pipeline uses this with the NPB-like suite).
+    pub fn with_apps(
+        config: ClusterConfig,
+        jobs: Vec<JobSpec>,
+        apps: Vec<AppProfile>,
+        seed: u64,
+    ) -> Self {
+        config.validate();
+        assert!(!apps.is_empty(), "need at least one application profile");
+        for job in &jobs {
+            assert!(
+                job.app_index < apps.len(),
+                "job {} references app {} but only {} profiles exist",
+                job.id,
+                job.app_index,
+                apps.len()
+            );
+            assert!(
+                job.size <= config.nodes,
+                "job {} needs {} nodes but the system has {}",
+                job.id,
+                job.size,
+                config.nodes
+            );
+        }
+        let ips_noise = if config.ips_noise_rel > 0.0 {
+            Some(Normal::new(0.0, config.ips_noise_rel).expect("valid sigma"))
+        } else {
+            None
+        };
+        Cluster {
+            config,
+            apps,
+            scheduler: Scheduler::new(jobs),
+            running: Vec::new(),
+            records: Vec::new(),
+            traces: HashMap::new(),
+            time_s: 0.0,
+            rng: StdRng::seed_from_u64(seed ^ 0x5043_5253_494d_5f31),
+            ips_noise,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Runs the simulation to the configured duration under a policy.
+    pub fn run(&mut self, policy: &mut dyn PowerPolicy) -> SimResult {
+        let mut intervals = Vec::new();
+        let mut decision_times = Vec::new();
+        let mut violations = 0usize;
+
+        while self.time_s < self.config.duration_s {
+            let log = self.step(policy, &mut decision_times);
+            if log.violation {
+                violations += 1;
+            }
+            intervals.push(log);
+        }
+
+        // Close out still-running jobs.
+        for job in self.running.drain(..) {
+            self.records.push(JobRecord {
+                app_name: job.app.name.clone(),
+                spec: job.spec,
+                start_s: job.start_s,
+                end_s: self.config.duration_s,
+                progress_s: job.progress_s,
+                outcome: JobOutcome::Unfinished,
+            });
+        }
+        self.records.sort_by_key(|r| r.spec.id);
+
+        SimResult {
+            policy: policy.name().to_string(),
+            f: self.config.over_provisioning_factor(),
+            records: std::mem::take(&mut self.records),
+            intervals,
+            traces: std::mem::take(&mut self.traces),
+            budget_violations: violations,
+            decision_times_s: decision_times,
+        }
+    }
+
+    /// Executes one control interval; returns its log entry.
+    fn step(&mut self, policy: &mut dyn PowerPolicy, decision_times: &mut Vec<f64>) -> IntervalLog {
+        let dt = self.config.interval_s;
+
+        // 1. Scheduling.
+        let footprints: Vec<RunningFootprint> = self
+            .running
+            .iter()
+            .map(|j| RunningFootprint {
+                size: j.spec.size,
+                estimated_end_s: j.start_s + j.spec.runtime_estimate_s,
+            })
+            .collect();
+        let busy: usize = self.running.iter().map(|j| j.spec.size).sum();
+        let free = self.config.nodes - busy;
+        let started = self.scheduler.schedule(self.time_s, free, &footprints);
+        for spec in started {
+            let app = self.apps[spec.app_index].clone();
+            let limits = CapLimits::new(self.config.cap_min_w, self.config.tdp_w);
+            let rapl = SimulatedRapl::new(limits, 0.005, 0.01, spec.id ^ 0xABCD);
+            self.running.push(RunningJob {
+                cap_w: self.config.tdp_w,
+                app,
+                start_s: self.time_s,
+                progress_s: 0.0,
+                rapl,
+                last_ips: None,
+                last_power_w: None,
+                is_new: true,
+                spec,
+            });
+        }
+
+        // 2. Policy decision.
+        let busy: usize = self.running.iter().map(|j| j.spec.size).sum();
+        let idle = self.config.nodes - busy;
+        let busy_budget = self.config.budget_w() - idle as f64 * self.config.idle_w;
+        let views: Vec<JobView> = self
+            .running
+            .iter()
+            .map(|j| JobView {
+                id: j.spec.id,
+                size: j.spec.size,
+                elapsed_s: self.time_s - j.start_s,
+                measured_ips: j.last_ips,
+                current_cap_w: j.cap_w,
+                measured_power_w: j.last_power_w,
+                remaining_node_hours: (j.spec.runtime_tdp_s - j.progress_s).max(0.0)
+                    * j.spec.size as f64
+                    / 3600.0,
+                is_new: j.is_new,
+            })
+            .collect();
+        let ctx = PolicyContext {
+            time_s: self.time_s,
+            interval_s: dt,
+            busy_budget_w: busy_budget,
+            cap_min_w: self.config.cap_min_w,
+            cap_max_w: self.config.tdp_w,
+            total_nodes: self.config.nodes,
+            wp_nodes: self.config.wp_nodes,
+            jobs: &views,
+        };
+        let decision_start = Instant::now();
+        let assignments = policy.assign(&ctx);
+        decision_times.push(decision_start.elapsed().as_secs_f64());
+        assert_eq!(
+            assignments.len(),
+            self.running.len(),
+            "policy {} returned {} assignments for {} jobs",
+            policy.name(),
+            assignments.len(),
+            self.running.len()
+        );
+
+        // 3. Clamp caps to the admissible RAPL window. The budget is on
+        //    *consumed* power (§2.4.1: "the overall power usage of the
+        //    system remains below the system power budget"): caps are the
+        //    enforcement mechanism, and a policy that over-commits caps on
+        //    jobs that do not draw them is using the over-provisioning
+        //    headroom exactly as intended. Consumption above the budget is
+        //    recorded as a violation after the interval (step 4).
+        let caps: Vec<f64> = assignments
+            .iter()
+            .map(|a| a.cap_w.clamp(self.config.cap_min_w, self.config.tdp_w))
+            .collect();
+        let committed_after: f64 = caps
+            .iter()
+            .zip(self.running.iter())
+            .map(|(&c, j)| c * j.spec.size as f64)
+            .sum();
+
+        // 4. Advance jobs.
+        let mut total_power = idle as f64 * self.config.idle_w;
+        let mut finished: Vec<usize> = Vec::new();
+        for (i, job) in self.running.iter_mut().enumerate() {
+            job.cap_w = caps[i];
+            job.rapl.request_cap(caps[i]);
+            let elapsed = self.time_s - job.start_s;
+            let cap_frac = caps[i] / self.config.tdp_w;
+            let perf = job.app.perf_frac(cap_frac, elapsed);
+            let demand_w = job.app.phase(elapsed).demand_frac * self.config.tdp_w;
+            let consumed = job.rapl.advance(dt, demand_w);
+            total_power += consumed * job.spec.size as f64;
+            job.last_power_w = Some(job.rapl.measured_power());
+
+            job.progress_s += perf * dt;
+
+            // IPS telemetry (with optional noise and dropout).
+            let true_ips = job.spec.size as f64 * BASE_NODE_IPS * perf;
+            let noise = self
+                .ips_noise
+                .map(|n| n.sample(&mut self.rng))
+                .unwrap_or(0.0);
+            let measured = (true_ips * (1.0 + noise)).max(0.0);
+            let dropped = self.config.ips_dropout_prob > 0.0
+                && self.rng.gen_bool(self.config.ips_dropout_prob);
+            job.last_ips = if dropped { None } else { Some(measured) };
+            job.is_new = false;
+
+            if self.config.trace_all || self.config.trace_jobs.contains(&job.spec.id) {
+                self.traces
+                    .entry(job.spec.id)
+                    .or_default()
+                    .points
+                    .push(TracePoint {
+                        t_s: self.time_s,
+                        cap_w: caps[i],
+                        ips: measured,
+                        power_w: job.rapl.measured_power(),
+                        target_ips: assignments[i].target_ips,
+                    });
+            }
+
+            // Completion / crash.
+            if job.progress_s >= job.spec.runtime_tdp_s {
+                let overshoot = job.progress_s - job.spec.runtime_tdp_s;
+                let end = if perf > 1e-12 {
+                    self.time_s + dt - overshoot / perf
+                } else {
+                    self.time_s + dt
+                };
+                finished.push(i);
+                self.records.push(JobRecord {
+                    app_name: job.app.name.clone(),
+                    spec: job.spec.clone(),
+                    start_s: job.start_s,
+                    end_s: end,
+                    progress_s: job.spec.runtime_tdp_s,
+                    outcome: JobOutcome::Completed,
+                });
+            } else if self.config.crash_prob > 0.0 && self.rng.gen_bool(self.config.crash_prob) {
+                finished.push(i);
+                self.records.push(JobRecord {
+                    app_name: job.app.name.clone(),
+                    spec: job.spec.clone(),
+                    start_s: job.start_s,
+                    end_s: self.time_s + dt,
+                    progress_s: job.progress_s,
+                    outcome: JobOutcome::Crashed,
+                });
+            }
+        }
+        for &i in finished.iter().rev() {
+            let job = self.running.swap_remove(i);
+            policy.job_departed(job.spec.id);
+        }
+
+        // Violation threshold includes a 0.05% allowance for the RAPL
+        // actuation transient: a cap reduction takes ~5 ms to propagate,
+        // during which the old (higher) cap is still enforced — a
+        // physical artifact bounded by (delay/interval)·ΔP per node, not
+        // a policy error.
+        let violation = total_power > self.config.budget_w() * 1.0005;
+        let log = IntervalLog {
+            t_s: self.time_s,
+            busy_nodes: busy,
+            running_jobs: views.len(),
+            total_power_w: total_power,
+            committed_power_w: committed_after + idle as f64 * self.config.idle_w,
+            violation,
+        };
+        self.time_s += dt;
+        log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::FairPolicy;
+    use crate::trace::{SystemModel, TraceGenerator};
+
+    fn small_config(f: f64, duration: f64) -> ClusterConfig {
+        let system = SystemModel::tardis();
+        let mut c = ClusterConfig::for_system(&system, f, duration);
+        c.ips_noise_rel = 0.0;
+        c
+    }
+
+    fn small_trace(n: usize) -> Vec<JobSpec> {
+        TraceGenerator::new(SystemModel::tardis(), 11).generate(n)
+    }
+
+    #[test]
+    fn budget_never_exceeded_by_committed_power() {
+        let config = small_config(2.0, 1800.0);
+        let budget = config.budget_w();
+        let mut cluster = Cluster::new(config, small_trace(100), 1);
+        let result = cluster.run(&mut FairPolicy::new());
+        for log in &result.intervals {
+            // FOP is conservative: its caps sum to the budget, so both the
+            // committed (worst-case) and consumed power stay below it.
+            assert!(
+                log.committed_power_w <= budget + 1e-6,
+                "committed {} > budget {budget} at t={}",
+                log.committed_power_w,
+                log.t_s
+            );
+            assert!(log.total_power_w <= budget * 1.0005);
+            assert!(log.total_power_w <= log.committed_power_w * 1.0005);
+        }
+        assert_eq!(result.budget_violations, 0, "FOP must respect the budget");
+    }
+
+    #[test]
+    fn all_jobs_at_tdp_when_underprovisioned() {
+        // f = 1: FOP share = budget/busy >= TDP, so caps clamp at TDP and
+        // every job runs at full speed.
+        let config = small_config(1.0, 3600.0);
+        let mut cluster = Cluster::new(config, small_trace(40), 1);
+        let result = cluster.run(&mut FairPolicy::new());
+        for rec in result.completed() {
+            assert!(
+                (rec.slowdown() - 1.0).abs() < 0.05,
+                "job {} slowdown {}",
+                rec.spec.id,
+                rec.slowdown()
+            );
+        }
+        assert!(result.throughput() > 0);
+    }
+
+    #[test]
+    fn over_provisioned_fop_caps_below_tdp_and_slows_sensitive_jobs() {
+        let config = small_config(2.0, 3600.0);
+        let mut cluster = Cluster::new(config, small_trace(60), 1);
+        let result = cluster.run(&mut FairPolicy::new());
+        let slow = result.completed().filter(|r| r.slowdown() > 1.05).count();
+        assert!(slow > 0, "power capping should slow some jobs");
+    }
+
+    #[test]
+    fn throughput_increases_with_overprovisioning() {
+        let t1 = {
+            let mut c = Cluster::new(small_config(1.0, 4.0 * 3600.0), small_trace(400), 7);
+            c.run(&mut FairPolicy::new()).throughput()
+        };
+        let t2 = {
+            let mut c = Cluster::new(small_config(2.0, 4.0 * 3600.0), small_trace(400), 7);
+            c.run(&mut FairPolicy::new()).throughput()
+        };
+        assert!(t2 > t1, "f=2 ({t2}) should beat f=1 ({t1})");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let run = || {
+            let mut c = Cluster::new(small_config(1.5, 1800.0), small_trace(50), 99);
+            c.run(&mut FairPolicy::new())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.throughput(), b.throughput());
+    }
+
+    #[test]
+    fn traces_recorded_for_requested_jobs() {
+        let mut config = small_config(1.0, 900.0);
+        config.trace_jobs = vec![0];
+        let mut cluster = Cluster::new(config, small_trace(10), 1);
+        let result = cluster.run(&mut FairPolicy::new());
+        let trace = result.traces.get(&0).expect("job 0 traced");
+        assert!(!trace.points.is_empty());
+        for p in &trace.points {
+            assert!(p.cap_w >= 90.0 && p.cap_w <= 290.0);
+            assert!(p.ips >= 0.0);
+        }
+    }
+
+    #[test]
+    fn crash_injection_produces_crashed_records() {
+        let mut config = small_config(1.0, 3600.0);
+        config.crash_prob = 0.05;
+        let mut cluster = Cluster::new(config, small_trace(50), 5);
+        let result = cluster.run(&mut FairPolicy::new());
+        assert!(result
+            .records
+            .iter()
+            .any(|r| r.outcome == JobOutcome::Crashed));
+    }
+
+    #[test]
+    fn ips_dropout_hides_reports_but_sim_continues() {
+        struct AssertingPolicy {
+            inner: FairPolicy,
+            saw_none: bool,
+        }
+        impl PowerPolicy for AssertingPolicy {
+            fn name(&self) -> &str {
+                "assert"
+            }
+            fn assign(&mut self, ctx: &PolicyContext<'_>) -> Vec<crate::policy::PowerAssignment> {
+                if ctx.jobs.iter().any(|j| j.measured_ips.is_none() && !j.is_new) {
+                    self.saw_none = true;
+                }
+                self.inner.assign(ctx)
+            }
+        }
+        let mut config = small_config(1.0, 1800.0);
+        config.ips_dropout_prob = 0.5;
+        let mut cluster = Cluster::new(config, small_trace(20), 5);
+        let mut policy = AssertingPolicy {
+            inner: FairPolicy::new(),
+            saw_none: false,
+        };
+        let result = cluster.run(&mut policy);
+        assert!(policy.saw_none, "dropouts should surface as None");
+        assert!(result.throughput() > 0);
+    }
+
+    #[test]
+    fn unfinished_jobs_are_recorded_at_window_close() {
+        // One very long job in a short window.
+        let jobs = vec![JobSpec {
+            id: 0,
+            app_index: 0,
+            size: 4,
+            runtime_tdp_s: 1e6,
+            runtime_estimate_s: 1.3e6,
+        }];
+        let mut cluster = Cluster::new(small_config(1.0, 600.0), jobs, 1);
+        let result = cluster.run(&mut FairPolicy::new());
+        assert_eq!(result.throughput(), 0);
+        assert_eq!(result.records.len(), 1);
+        assert_eq!(result.records[0].outcome, JobOutcome::Unfinished);
+        assert!(result.records[0].progress_s > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget cannot even idle")]
+    fn impossible_idle_budget_rejected() {
+        let system = SystemModel::tardis();
+        let mut config = ClusterConfig::for_system(&system, 2.0, 600.0);
+        config.idle_w = 400.0; // more than TDP/2 per node at f=2
+        Cluster::new(config, Vec::new(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs")]
+    fn oversized_job_rejected() {
+        let jobs = vec![JobSpec {
+            id: 0,
+            app_index: 0,
+            size: 10_000,
+            runtime_tdp_s: 100.0,
+            runtime_estimate_s: 130.0,
+        }];
+        Cluster::new(small_config(1.0, 600.0), jobs, 1);
+    }
+}

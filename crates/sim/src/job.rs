@@ -1,0 +1,123 @@
+use serde::{Deserialize, Serialize};
+
+/// A job as it appears in the workload trace, before execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Unique job id (trace order).
+    pub id: u64,
+    /// Index into the application-profile suite assigned to this job.
+    pub app_index: usize,
+    /// Number of nodes the job occupies.
+    pub size: usize,
+    /// Runtime if every node ran at TDP for the whole job, in seconds.
+    pub runtime_tdp_s: f64,
+    /// User-provided runtime estimate used by the backfilling scheduler,
+    /// in seconds ("users typically overestimate runtime", §3).
+    pub runtime_estimate_s: f64,
+}
+
+impl JobSpec {
+    /// Total work in node-seconds at TDP.
+    pub fn work_node_seconds(&self) -> f64 {
+        self.runtime_tdp_s * self.size as f64
+    }
+}
+
+/// Why a job left the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobOutcome {
+    /// Ran to completion.
+    Completed,
+    /// Crashed mid-run (failure injection).
+    Crashed,
+    /// Still running when the simulation window closed.
+    Unfinished,
+}
+
+/// Execution record of one job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// The job's trace entry.
+    pub spec: JobSpec,
+    /// Application name the job executed.
+    pub app_name: String,
+    /// Simulation time at which the job started, in seconds.
+    pub start_s: f64,
+    /// Simulation time at which the job finished (or crashed / window
+    /// closed), in seconds.
+    pub end_s: f64,
+    /// Progress accumulated, in TDP-equivalent seconds.
+    pub progress_s: f64,
+    /// How the job ended.
+    pub outcome: JobOutcome,
+}
+
+impl JobRecord {
+    /// Wall-clock runtime (start to end), in seconds.
+    pub fn runtime_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+
+    /// Slowdown relative to the job's TDP runtime (1.0 = ran as fast as
+    /// uncapped hardware would).
+    pub fn slowdown(&self) -> f64 {
+        self.runtime_s() / self.spec.runtime_tdp_s
+    }
+}
+
+/// One sampled point of a per-job trace (Fig. 8 / Fig. 12 material).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Simulation time, seconds.
+    pub t_s: f64,
+    /// Per-node power cap applied during the interval, watts.
+    pub cap_w: f64,
+    /// Measured job IPS (aggregate over all the job's nodes).
+    pub ips: f64,
+    /// Average per-node power consumed during the interval, watts.
+    pub power_w: f64,
+    /// The policy's job-level IPS target, when the policy publishes one
+    /// (PERQ does; ad-hoc baselines do not).
+    pub target_ips: Option<f64>,
+}
+
+/// Full per-interval trace of one job.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct JobTrace {
+    /// Sampled points in time order.
+    pub points: Vec<TracePoint>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            id: 7,
+            app_index: 2,
+            size: 128,
+            runtime_tdp_s: 3600.0,
+            runtime_estimate_s: 4800.0,
+        }
+    }
+
+    #[test]
+    fn work_is_runtime_times_size() {
+        assert_eq!(spec().work_node_seconds(), 3600.0 * 128.0);
+    }
+
+    #[test]
+    fn record_runtime_and_slowdown() {
+        let r = JobRecord {
+            spec: spec(),
+            app_name: "CoMD".into(),
+            start_s: 100.0,
+            end_s: 100.0 + 7200.0,
+            progress_s: 3600.0,
+            outcome: JobOutcome::Completed,
+        };
+        assert_eq!(r.runtime_s(), 7200.0);
+        assert_eq!(r.slowdown(), 2.0);
+    }
+}

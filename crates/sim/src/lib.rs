@@ -1,0 +1,56 @@
+//! Discrete-interval cluster simulator for power-constrained,
+//! hardware-over-provisioned systems.
+//!
+//! This is the evaluation substrate of the PERQ reproduction (paper §3):
+//! a simulator driven by Mira- and Trinity-calibrated job traces, with
+//! FCFS + EASY-backfilling scheduling, per-job RAPL-style power capping,
+//! and per-interval IPS telemetry. Power-allocation policies (FOP, SJS,
+//! LJS, SRN, and PERQ itself, implemented in `perq-core`) plug in through
+//! the [`PowerPolicy`] trait and are invoked once per control interval,
+//! exactly like the paper's controller.
+//!
+//! # Model
+//!
+//! - Nodes are homogeneous (Intel Xeon E5-2686 parameters from
+//!   `perq-apps`); a job occupies `size` whole nodes and all of a job's
+//!   nodes run identically, so power is tracked per job with the node
+//!   count as multiplier, and each running job carries one simulated RAPL
+//!   device (`perq-rapl`).
+//! - Progress is measured in TDP-equivalent seconds: a job finishes when
+//!   its accumulated `perf_frac · dt` reaches its TDP runtime. IPS
+//!   telemetry is `size · BASE_NODE_IPS · perf_frac` plus measurement
+//!   noise.
+//! - The power budget is that of the worst-case-provisioned system,
+//!   `N_WP · TDP`. The simulator *enforces* `Σ size·cap + idle·P_idle ≤
+//!   budget` by proportional scale-down if a policy overshoots, and
+//!   records the violation.
+//! - The queue is saturated (paper: "making sure that there is always a
+//!   job available to run at the head of the queue"): all jobs are ready
+//!   at t = 0 in trace order.
+//!
+//! # Example
+//!
+//! ```
+//! use perq_sim::{Cluster, ClusterConfig, FairPolicy, TraceGenerator, SystemModel};
+//!
+//! let system = SystemModel::mira();
+//! let jobs = TraceGenerator::new(system.clone(), 42).generate(50);
+//! let config = ClusterConfig::for_system(&system, 1.5, 4.0 * 3600.0);
+//! let mut cluster = Cluster::new(config, jobs, 42);
+//! let result = cluster.run(&mut FairPolicy::new());
+//! assert!(result.budget_violations == 0);
+//! ```
+
+mod cluster;
+mod job;
+mod metrics;
+mod policy;
+mod scheduler;
+mod trace;
+
+pub use cluster::{Cluster, ClusterConfig, IntervalLog, SimResult};
+pub use job::{JobOutcome, JobRecord, JobSpec, JobTrace, TracePoint};
+pub use metrics::{compare_fairness, runtime_cdf, throughput, FairnessReport};
+pub use policy::{FairPolicy, JobView, PolicyContext, PowerAssignment, PowerPolicy};
+pub use scheduler::{RunningFootprint, Scheduler};
+pub use trace::{SystemModel, TraceGenerator};

@@ -1,0 +1,192 @@
+use crate::cluster::SimResult;
+use crate::job::JobOutcome;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Throughput improvement of `result` over a baseline job count, in
+/// percent (the paper's "System Throughput (% Improv. over f=1)" axis).
+pub fn throughput(result: &SimResult, baseline_jobs: usize) -> f64 {
+    if baseline_jobs == 0 {
+        return 0.0;
+    }
+    100.0 * (result.throughput() as f64 - baseline_jobs as f64) / baseline_jobs as f64
+}
+
+/// Fairness comparison of a policy run against the FOP reference run on
+/// the same trace (§3 "Objective Metrics").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FairnessReport {
+    /// Mean runtime degradation over jobs that ran *slower* than under
+    /// FOP, percent. Jobs that benefited are excluded ("considering jobs
+    /// that benefit from unfairness will skew our assessment").
+    pub mean_degradation_pct: f64,
+    /// Worst-case runtime degradation, percent.
+    pub max_degradation_pct: f64,
+    /// Number of jobs that experienced degradation.
+    pub degraded_jobs: usize,
+    /// Number of jobs compared (completed in both runs).
+    pub compared_jobs: usize,
+}
+
+/// Computes the paper's fairness metrics: per-job runtime under `policy`
+/// vs under `fop`, over jobs completed in both runs.
+pub fn compare_fairness(policy: &SimResult, fop: &SimResult) -> FairnessReport {
+    let fop_runtimes: HashMap<u64, f64> = fop
+        .records
+        .iter()
+        .filter(|r| r.outcome == JobOutcome::Completed)
+        .map(|r| (r.spec.id, r.runtime_s()))
+        .collect();
+
+    let mut degradations = Vec::new();
+    let mut compared = 0usize;
+    for rec in policy
+        .records
+        .iter()
+        .filter(|r| r.outcome == JobOutcome::Completed)
+    {
+        let Some(&fop_rt) = fop_runtimes.get(&rec.spec.id) else {
+            continue;
+        };
+        compared += 1;
+        let deg = (rec.runtime_s() - fop_rt) / fop_rt * 100.0;
+        if deg > 0.0 {
+            degradations.push(deg);
+        }
+    }
+    let mean = if degradations.is_empty() {
+        0.0
+    } else {
+        degradations.iter().sum::<f64>() / degradations.len() as f64
+    };
+    let max = degradations.iter().fold(0.0_f64, |m, &d| m.max(d));
+    FairnessReport {
+        mean_degradation_pct: mean,
+        max_degradation_pct: max,
+        degraded_jobs: degradations.len(),
+        compared_jobs: compared,
+    }
+}
+
+/// Empirical CDF of completed-job runtimes in hours: `(runtime_h,
+/// cumulative_fraction)` pairs sorted by runtime — Fig. 1 material.
+pub fn runtime_cdf(result: &SimResult) -> Vec<(f64, f64)> {
+    let mut runtimes: Vec<f64> = result
+        .completed()
+        .map(|r| r.runtime_s() / 3600.0)
+        .collect();
+    runtimes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = runtimes.len() as f64;
+    runtimes
+        .into_iter()
+        .enumerate()
+        .map(|(i, rt)| (rt, (i + 1) as f64 / n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobRecord, JobSpec};
+
+    fn record(id: u64, runtime: f64, outcome: JobOutcome) -> JobRecord {
+        JobRecord {
+            spec: JobSpec {
+                id,
+                app_index: 0,
+                size: 1,
+                runtime_tdp_s: runtime,
+                runtime_estimate_s: runtime,
+            },
+            app_name: "t".into(),
+            start_s: 0.0,
+            end_s: runtime,
+            progress_s: runtime,
+            outcome,
+        }
+    }
+
+    fn result(records: Vec<JobRecord>) -> SimResult {
+        SimResult {
+            policy: "test".into(),
+            f: 1.0,
+            records,
+            intervals: Vec::new(),
+            traces: HashMap::new(),
+            budget_violations: 0,
+            decision_times_s: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn throughput_improvement_percent() {
+        let r = result(vec![
+            record(0, 10.0, JobOutcome::Completed),
+            record(1, 10.0, JobOutcome::Completed),
+            record(2, 10.0, JobOutcome::Unfinished),
+        ]);
+        assert_eq!(r.throughput(), 2);
+        assert!((throughput(&r, 1) - 100.0).abs() < 1e-12);
+        assert_eq!(throughput(&r, 0), 0.0);
+    }
+
+    #[test]
+    fn fairness_counts_only_degraded_jobs() {
+        // FOP: jobs 0,1,2 run 100 s each.
+        let fop = result(vec![
+            record(0, 100.0, JobOutcome::Completed),
+            record(1, 100.0, JobOutcome::Completed),
+            record(2, 100.0, JobOutcome::Completed),
+        ]);
+        // Policy: job 0 faster (80), job 1 slower (150), job 2 slower (120).
+        let pol = result(vec![
+            record(0, 80.0, JobOutcome::Completed),
+            record(1, 150.0, JobOutcome::Completed),
+            record(2, 120.0, JobOutcome::Completed),
+        ]);
+        let rep = compare_fairness(&pol, &fop);
+        assert_eq!(rep.compared_jobs, 3);
+        assert_eq!(rep.degraded_jobs, 2);
+        assert!((rep.mean_degradation_pct - 35.0).abs() < 1e-9); // (50+20)/2
+        assert!((rep.max_degradation_pct - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fop_against_itself_is_perfectly_fair() {
+        let fop = result(vec![
+            record(0, 100.0, JobOutcome::Completed),
+            record(1, 220.0, JobOutcome::Completed),
+        ]);
+        let rep = compare_fairness(&fop, &fop);
+        assert_eq!(rep.mean_degradation_pct, 0.0);
+        assert_eq!(rep.max_degradation_pct, 0.0);
+        assert_eq!(rep.degraded_jobs, 0);
+    }
+
+    #[test]
+    fn jobs_missing_from_either_run_are_skipped() {
+        let fop = result(vec![record(0, 100.0, JobOutcome::Completed)]);
+        let pol = result(vec![
+            record(0, 110.0, JobOutcome::Completed),
+            record(1, 110.0, JobOutcome::Completed), // not in FOP run
+            record(2, 110.0, JobOutcome::Unfinished),
+        ]);
+        let rep = compare_fairness(&pol, &fop);
+        assert_eq!(rep.compared_jobs, 1);
+        assert_eq!(rep.degraded_jobs, 1);
+    }
+
+    #[test]
+    fn cdf_is_sorted_and_normalized() {
+        let r = result(vec![
+            record(0, 7200.0, JobOutcome::Completed),
+            record(1, 3600.0, JobOutcome::Completed),
+            record(2, 10800.0, JobOutcome::Completed),
+        ]);
+        let cdf = runtime_cdf(&r);
+        assert_eq!(cdf.len(), 3);
+        assert!((cdf[0].0 - 1.0).abs() < 1e-12);
+        assert!((cdf[2].1 - 1.0).abs() < 1e-12);
+        assert!(cdf.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+}

@@ -1,0 +1,256 @@
+use crate::job::JobSpec;
+use std::collections::VecDeque;
+
+/// FCFS scheduler with EASY backfilling.
+///
+/// The paper's simulation "uses First-Come-First-Serve (FCFS) with
+/// back-filling job scheduling". EASY backfilling is the standard variant:
+/// the queue head gets a reservation at the earliest time enough nodes
+/// will be free, and later jobs may jump ahead only if they fit on idle
+/// nodes *without delaying that reservation* (they either finish before
+/// the reservation time or use nodes the reserved job will not need).
+///
+/// Reservations are computed from the user runtime *estimates*
+/// ([`JobSpec::runtime_estimate_s`]); jobs slowed below their estimate by
+/// power capping can therefore delay the head in reality, exactly as on
+/// production systems.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    queue: VecDeque<JobSpec>,
+}
+
+/// A running job's footprint as the scheduler sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct RunningFootprint {
+    /// Nodes occupied.
+    pub size: usize,
+    /// Estimated completion time (absolute simulation seconds).
+    pub estimated_end_s: f64,
+}
+
+impl Scheduler {
+    /// Creates a scheduler over a pre-generated trace (saturated queue:
+    /// every job is ready immediately, in trace order).
+    pub fn new(jobs: Vec<JobSpec>) -> Self {
+        Scheduler {
+            queue: jobs.into(),
+        }
+    }
+
+    /// Jobs still waiting.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Peeks at the queue head.
+    pub fn head(&self) -> Option<&JobSpec> {
+        self.queue.front()
+    }
+
+    /// Selects the jobs to start now given `free_nodes` idle nodes and the
+    /// footprints of currently running jobs. Returns the started jobs
+    /// (removed from the queue).
+    pub fn schedule(
+        &mut self,
+        now_s: f64,
+        mut free_nodes: usize,
+        running: &[RunningFootprint],
+    ) -> Vec<JobSpec> {
+        let mut started = Vec::new();
+
+        // Start the head (and successive heads) while they fit: plain FCFS.
+        while let Some(head) = self.queue.front() {
+            if head.size <= free_nodes {
+                let job = self.queue.pop_front().expect("non-empty");
+                free_nodes -= job.size;
+                started.push(job);
+            } else {
+                break;
+            }
+        }
+        let Some(head) = self.queue.front() else {
+            return started;
+        };
+        if free_nodes == 0 {
+            return started;
+        }
+
+        // EASY reservation for the blocked head: walk running jobs (and
+        // jobs we just started) in estimated-completion order accumulating
+        // freed nodes until the head fits.
+        let mut ends: Vec<(f64, usize)> = running
+            .iter()
+            .map(|r| (r.estimated_end_s, r.size))
+            .chain(
+                started
+                    .iter()
+                    .map(|j| (now_s + j.runtime_estimate_s, j.size)),
+            )
+            .collect();
+        ends.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+
+        let mut available = free_nodes;
+        let mut shadow_time = f64::INFINITY;
+        let mut extra_at_shadow = 0usize;
+        for (end, size) in ends {
+            available += size;
+            if available >= head.size {
+                shadow_time = end;
+                extra_at_shadow = available - head.size;
+                break;
+            }
+        }
+
+        // Backfill pass: any queued job (beyond the head) that fits on the
+        // free nodes may start if it cannot delay the reservation.
+        let head_size = head.size;
+        let _ = head_size;
+        let mut idx = 1; // skip the reserved head
+        while idx < self.queue.len() && free_nodes > 0 {
+            let candidate = &self.queue[idx];
+            let fits_now = candidate.size <= free_nodes;
+            let ends_before_shadow = now_s + candidate.runtime_estimate_s <= shadow_time;
+            let within_spare = candidate.size <= extra_at_shadow;
+            if fits_now && (ends_before_shadow || within_spare) {
+                let job = self.queue.remove(idx).expect("index checked");
+                free_nodes -= job.size;
+                if !ends_before_shadow {
+                    // The job occupies part of the shadow-time spare pool.
+                    extra_at_shadow -= job.size;
+                }
+                started.push(job);
+            } else {
+                idx += 1;
+            }
+        }
+        started
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, size: usize, runtime_s: f64) -> JobSpec {
+        JobSpec {
+            id,
+            app_index: 0,
+            size,
+            runtime_tdp_s: runtime_s,
+            runtime_estimate_s: runtime_s,
+        }
+    }
+
+    #[test]
+    fn fcfs_starts_in_order_while_fitting() {
+        let mut s = Scheduler::new(vec![job(0, 4, 100.0), job(1, 4, 100.0), job(2, 4, 100.0)]);
+        let started = s.schedule(0.0, 8, &[]);
+        let ids: Vec<u64> = started.iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    fn blocked_head_is_not_skipped_by_fcfs() {
+        let mut s = Scheduler::new(vec![job(0, 16, 100.0), job(1, 4, 100.0)]);
+        // Head needs 16, only 8 free; job 1 may backfill only if it cannot
+        // delay the head. No running jobs means the head can never start
+        // from job completions — shadow time is infinite, so job 1 runs.
+        let started = s.schedule(0.0, 8, &[]);
+        let ids: Vec<u64> = started.iter().map(|j| j.id).collect();
+        assert_eq!(ids, vec![1]);
+        assert_eq!(s.head().unwrap().id, 0);
+    }
+
+    #[test]
+    fn backfill_respects_reservation() {
+        // 8 free nodes; head needs 12. A running job (8 nodes) ends at
+        // t=50, so the head is reserved at t=50 (8 free + 8 freed = 16 ≥ 12,
+        // spare = 4).
+        let running = [RunningFootprint {
+            size: 8,
+            estimated_end_s: 50.0,
+        }];
+        // Candidate A: 8 nodes, 100 s — would overlap the reservation and
+        // exceed the 4 spare nodes: must NOT start.
+        let mut s = Scheduler::new(vec![job(0, 12, 100.0), job(1, 8, 100.0)]);
+        let started = s.schedule(0.0, 8, &running);
+        assert!(started.is_empty(), "{started:?}");
+
+        // Candidate B: 8 nodes, 40 s — finishes before the reservation:
+        // starts.
+        let mut s = Scheduler::new(vec![job(0, 12, 100.0), job(1, 8, 40.0)]);
+        let started = s.schedule(0.0, 8, &running);
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].id, 1);
+
+        // Candidate C: 4 nodes, 100 s — overlaps the reservation but fits
+        // in the 4-node spare pool: starts.
+        let mut s = Scheduler::new(vec![job(0, 12, 100.0), job(1, 4, 100.0)]);
+        let started = s.schedule(0.0, 8, &running);
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].id, 1);
+    }
+
+    #[test]
+    fn spare_pool_is_consumed_by_backfills() {
+        let running = [RunningFootprint {
+            size: 8,
+            estimated_end_s: 50.0,
+        }];
+        // Spare at shadow = 4. Two 3-node long jobs: only one fits the
+        // spare pool (the second would delay the head).
+        let mut s = Scheduler::new(vec![
+            job(0, 12, 100.0),
+            job(1, 3, 100.0),
+            job(2, 3, 100.0),
+        ]);
+        let started = s.schedule(0.0, 8, &running);
+        assert_eq!(started.len(), 1, "{started:?}");
+        assert_eq!(started[0].id, 1);
+    }
+
+    #[test]
+    fn multiple_completions_accumulate_for_reservation() {
+        // Head needs 20; two running jobs of 8 end at t=30 and t=60; free 4.
+        // Reservation lands at t=60 (4+8+8=20), spare 0.
+        let running = [
+            RunningFootprint {
+                size: 8,
+                estimated_end_s: 30.0,
+            },
+            RunningFootprint {
+                size: 8,
+                estimated_end_s: 60.0,
+            },
+        ];
+        // 4-node candidate ending at t=55 < 60 may backfill.
+        let mut s = Scheduler::new(vec![job(0, 20, 100.0), job(1, 4, 55.0)]);
+        let started = s.schedule(0.0, 4, &running);
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].id, 1);
+
+        // 4-node candidate ending at t=65 > 60 may not.
+        let mut s = Scheduler::new(vec![job(0, 20, 100.0), job(1, 4, 65.0)]);
+        let started = s.schedule(0.0, 4, &running);
+        assert!(started.is_empty());
+    }
+
+    #[test]
+    fn deep_queue_scan_backfills_later_jobs() {
+        let running = [RunningFootprint {
+            size: 8,
+            estimated_end_s: 50.0,
+        }];
+        // Head blocked; second job too big to backfill; third fits.
+        let mut s = Scheduler::new(vec![
+            job(0, 12, 100.0),
+            job(1, 8, 100.0),
+            job(2, 2, 30.0),
+        ]);
+        let started = s.schedule(0.0, 8, &running);
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].id, 2);
+        assert_eq!(s.pending(), 2);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the cluster simulator: scheduler invariants,
+//! budget safety, and conservation laws over random traces.
+
+use perq_sim::{
+    Cluster, ClusterConfig, FairPolicy, JobOutcome, JobSpec, RunningFootprint, Scheduler,
+    SystemModel, TraceGenerator,
+};
+use proptest::prelude::*;
+
+fn arb_jobs(max_size: usize) -> impl Strategy<Value = Vec<JobSpec>> {
+    prop::collection::vec(
+        (1..=max_size, 60.0f64..4000.0),
+        1..40,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (size, rt))| JobSpec {
+                id: i as u64,
+                app_index: i % 10,
+                size,
+                runtime_tdp_s: rt,
+                runtime_estimate_s: rt * 1.3,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn scheduler_never_oversubscribes_nodes(
+        jobs in arb_jobs(8),
+        free in 0usize..16,
+        running_sizes in prop::collection::vec(1usize..8, 0..5),
+    ) {
+        let running: Vec<RunningFootprint> = running_sizes
+            .iter()
+            .map(|&s| RunningFootprint { size: s, estimated_end_s: 500.0 })
+            .collect();
+        let mut sched = Scheduler::new(jobs.clone());
+        let started = sched.schedule(0.0, free, &running);
+        let used: usize = started.iter().map(|j| j.size).sum();
+        prop_assert!(used <= free, "started {used} nodes with only {free} free");
+        // No duplicates, and conservation: started + pending = total.
+        let mut ids: Vec<u64> = started.iter().map(|j| j.id).collect();
+        ids.sort();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), started.len());
+        prop_assert_eq!(started.len() + sched.pending(), jobs.len());
+    }
+
+    #[test]
+    fn head_job_starts_whenever_it_fits(jobs in arb_jobs(6), free in 6usize..16) {
+        // The queue head always fits here (max size 6 ≤ free), so FCFS must
+        // start it first.
+        let head_id = jobs[0].id;
+        let mut sched = Scheduler::new(jobs);
+        let started = sched.schedule(0.0, free, &[]);
+        prop_assert!(started.iter().any(|j| j.id == head_id));
+    }
+
+    #[test]
+    fn fop_simulation_conserves_jobs_and_respects_budget(
+        seed in 0u64..50,
+        f in 1.0f64..2.0,
+    ) {
+        let system = SystemModel::tardis();
+        let jobs = TraceGenerator::new(system.clone(), seed).generate(60);
+        let n = jobs.len();
+        let config = ClusterConfig::for_system(&system, f, 1800.0);
+        let budget = config.budget_w();
+        let mut cluster = Cluster::new(config, jobs, seed);
+        let result = cluster.run(&mut FairPolicy::new());
+
+        // Conservation: every record id unique, outcomes partition.
+        let mut ids: Vec<u64> = result.records.iter().map(|r| r.spec.id).collect();
+        ids.sort();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), result.records.len());
+        prop_assert!(result.records.len() <= n);
+
+        // Budget: consumed power within budget at every interval, up to
+        // the RAPL actuation transient (old cap enforced for ~5 ms of a
+        // 10 s interval while a reduction propagates).
+        for log in &result.intervals {
+            prop_assert!(log.total_power_w <= budget * 1.0005);
+            prop_assert!(log.busy_nodes <= cluster.config().nodes);
+        }
+        prop_assert_eq!(result.budget_violations, 0);
+
+        // Completed jobs ran at least their TDP runtime.
+        for rec in result.completed() {
+            prop_assert!(rec.runtime_s() >= rec.spec.runtime_tdp_s * 0.99);
+        }
+    }
+
+    #[test]
+    fn runtimes_never_shorter_than_tdp_runtime(seed in 0u64..30) {
+        let system = SystemModel::tardis();
+        let jobs = TraceGenerator::new(system.clone(), seed).generate(40);
+        let config = ClusterConfig::for_system(&system, 1.5, 3600.0);
+        let mut cluster = Cluster::new(config, jobs, seed);
+        let result = cluster.run(&mut FairPolicy::new());
+        for rec in &result.records {
+            if rec.outcome == JobOutcome::Completed {
+                // Progress can never exceed wall-clock speed 1.0 by more
+                // than the per-interval discretization.
+                prop_assert!(rec.runtime_s() + 10.0 >= rec.spec.runtime_tdp_s);
+            }
+        }
+    }
+}

@@ -1,0 +1,382 @@
+use crate::{Result, SysIdError};
+
+/// A monotone non-decreasing piecewise-linear curve `y = φ(u)` on a knot
+/// grid.
+///
+/// This is the static nonlinearity of a Hammerstein model of the node: the
+/// saturating power-cap → performance map (Fig. 3 of the paper) composed
+/// with the linear dynamics captured by the state-space model. The target
+/// generator evaluates this curve at TDP and at the fair power level
+/// `P_fair = TDP·N_WP/N_OP` to produce the system- and job-level
+/// performance targets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonotoneCurve {
+    knots: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl MonotoneCurve {
+    /// Creates a curve from knot positions (strictly increasing) and
+    /// values (will be clamped to non-decreasing order).
+    pub fn new(knots: Vec<f64>, mut values: Vec<f64>) -> Result<Self> {
+        if knots.len() < 2 || knots.len() != values.len() {
+            return Err(SysIdError::Degenerate(format!(
+                "curve needs ≥2 matching knots/values, got {}/{}",
+                knots.len(),
+                values.len()
+            )));
+        }
+        for w in knots.windows(2) {
+            if w[1] <= w[0] {
+                return Err(SysIdError::Degenerate(
+                    "knots must be strictly increasing".into(),
+                ));
+            }
+        }
+        // Enforce monotonicity defensively.
+        for i in 1..values.len() {
+            if values[i] < values[i - 1] {
+                values[i] = values[i - 1];
+            }
+        }
+        Ok(MonotoneCurve { knots, values })
+    }
+
+    /// Evaluates the curve with linear interpolation; extrapolation is
+    /// clamped to the end values (a power cap above the highest training
+    /// cap cannot make the job faster than its saturation performance).
+    pub fn eval(&self, u: f64) -> f64 {
+        let n = self.knots.len();
+        if u <= self.knots[0] {
+            return self.values[0];
+        }
+        if u >= self.knots[n - 1] {
+            return self.values[n - 1];
+        }
+        // Binary search for the bracketing interval.
+        let mut lo = 0;
+        let mut hi = n - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.knots[mid] <= u {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let t = (u - self.knots[lo]) / (self.knots[hi] - self.knots[lo]);
+        self.values[lo] + t * (self.values[hi] - self.values[lo])
+    }
+
+    /// Local slope `dφ/du` at `u` (one-sided at the ends).
+    pub fn slope(&self, u: f64) -> f64 {
+        let n = self.knots.len();
+        let (i, j) = if u <= self.knots[0] {
+            (0, 1)
+        } else if u >= self.knots[n - 1] {
+            (n - 2, n - 1)
+        } else {
+            let mut lo = 0;
+            let mut hi = n - 1;
+            while hi - lo > 1 {
+                let mid = (lo + hi) / 2;
+                if self.knots[mid] <= u {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            (lo, hi)
+        };
+        (self.values[j] - self.values[i]) / (self.knots[j] - self.knots[i])
+    }
+
+    /// Secant slope over `[u − halfwidth, u + halfwidth]` — a smoothed
+    /// alternative to [`MonotoneCurve::slope`] for controllers doing
+    /// successive linearisation: isotonic fits contain locally flat
+    /// blocks whose pointwise slope is exactly zero, which would tell a
+    /// controller that power has no effect at that operating point.
+    pub fn secant_slope(&self, u: f64, halfwidth: f64) -> f64 {
+        let h = halfwidth.max(1e-9);
+        let n = self.knots.len();
+        // Clamp the secant window into the knot domain *before* dividing,
+        // otherwise the flat extrapolation region would dilute the slope
+        // exactly at the domain edges (e.g. at the minimum power cap).
+        let mut lo = (u - h).max(self.knots[0]);
+        let mut hi = (u + h).min(self.knots[n - 1]);
+        if hi - lo < h {
+            // Window collapsed against an edge: take a window of width h
+            // anchored at that edge.
+            if lo <= self.knots[0] + 1e-12 {
+                hi = (lo + h).min(self.knots[n - 1]);
+            } else {
+                lo = (hi - h).max(self.knots[0]);
+            }
+        }
+        if hi - lo < 1e-12 {
+            return 0.0;
+        }
+        (self.eval(hi) - self.eval(lo)) / (hi - lo)
+    }
+
+    /// Knot positions.
+    pub fn knots(&self) -> &[f64] {
+        &self.knots
+    }
+
+    /// Knot values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Inverse evaluation: the smallest `u` with `φ(u) ≥ y`, or `None`
+    /// when `y` exceeds the curve's maximum. Used to translate a
+    /// performance target back into a power-cap.
+    pub fn inverse(&self, y: f64) -> Option<f64> {
+        let n = self.knots.len();
+        if y <= self.values[0] {
+            return Some(self.knots[0]);
+        }
+        if y > self.values[n - 1] {
+            return None;
+        }
+        for i in 1..n {
+            if self.values[i] >= y {
+                let dv = self.values[i] - self.values[i - 1];
+                if dv <= 0.0 {
+                    return Some(self.knots[i - 1]);
+                }
+                let t = (y - self.values[i - 1]) / dv;
+                return Some(self.knots[i - 1] + t * (self.knots[i] - self.knots[i - 1]));
+            }
+        }
+        Some(self.knots[n - 1])
+    }
+}
+
+/// Fits a [`MonotoneCurve`] to scattered `(u, y)` samples.
+///
+/// Samples are bucketed onto `num_knots` equally spaced knots spanning the
+/// data range, bucket means are computed, and the means are projected onto
+/// the monotone cone with the pool-adjacent-violators algorithm (weighted
+/// isotonic regression — the L2-optimal monotone fit given the bucketing).
+pub fn fit_monotone_curve(u: &[f64], y: &[f64], num_knots: usize) -> Result<MonotoneCurve> {
+    if u.len() != y.len() {
+        return Err(SysIdError::LengthMismatch {
+            input: u.len(),
+            output: y.len(),
+        });
+    }
+    if u.len() < num_knots || num_knots < 2 {
+        return Err(SysIdError::NotEnoughData {
+            have: u.len(),
+            need: num_knots.max(2),
+        });
+    }
+    let (umin, umax) = u
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    if !(umax - umin).is_finite() || umax - umin < 1e-12 {
+        return Err(SysIdError::Degenerate(
+            "input samples span a single point".into(),
+        ));
+    }
+    let knots: Vec<f64> = (0..num_knots)
+        .map(|i| umin + (umax - umin) * i as f64 / (num_knots - 1) as f64)
+        .collect();
+    // Bucket means with inverse-distance assignment to the nearest knot.
+    let mut sums = vec![0.0; num_knots];
+    let mut weights = vec![0.0; num_knots];
+    let width = (umax - umin) / (num_knots - 1) as f64;
+    for (&ui, &yi) in u.iter().zip(y.iter()) {
+        let idx = (((ui - umin) / width).round() as usize).min(num_knots - 1);
+        sums[idx] += yi;
+        weights[idx] += 1.0;
+    }
+    // Fill empty buckets by linear interpolation between populated ones.
+    let mut means = vec![0.0; num_knots];
+    for i in 0..num_knots {
+        if weights[i] > 0.0 {
+            means[i] = sums[i] / weights[i];
+        } else {
+            means[i] = f64::NAN;
+        }
+    }
+    fill_gaps(&mut means);
+    for (i, w) in weights.iter_mut().enumerate() {
+        if *w == 0.0 {
+            *w = 1e-6; // interpolated entries get negligible weight
+        }
+        let _ = i;
+    }
+    let fitted = pava(&means, &weights);
+    MonotoneCurve::new(knots, fitted)
+}
+
+/// Replaces NaN entries by linear interpolation between neighbours.
+fn fill_gaps(v: &mut [f64]) {
+    let n = v.len();
+    // Leading/trailing NaNs take the nearest defined value.
+    if let Some(first) = v.iter().position(|x| !x.is_nan()) {
+        for i in 0..first {
+            v[i] = v[first];
+        }
+    } else {
+        v.iter_mut().for_each(|x| *x = 0.0);
+        return;
+    }
+    if let Some(last) = v.iter().rposition(|x| !x.is_nan()) {
+        for i in (last + 1)..n {
+            v[i] = v[last];
+        }
+    }
+    let mut i = 0;
+    while i < n {
+        if v[i].is_nan() {
+            let start = i - 1; // v[start] is defined
+            let mut end = i;
+            while v[end].is_nan() {
+                end += 1;
+            }
+            let span = (end - start) as f64;
+            for j in (start + 1)..end {
+                let t = (j - start) as f64 / span;
+                v[j] = v[start] * (1.0 - t) + v[end] * t;
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Weighted pool-adjacent-violators: L2 projection onto non-decreasing
+/// sequences.
+fn pava(y: &[f64], w: &[f64]) -> Vec<f64> {
+    #[derive(Clone, Copy)]
+    struct Block {
+        value: f64,
+        weight: f64,
+        len: usize,
+    }
+    let mut blocks: Vec<Block> = Vec::with_capacity(y.len());
+    for (&yi, &wi) in y.iter().zip(w.iter()) {
+        blocks.push(Block {
+            value: yi,
+            weight: wi,
+            len: 1,
+        });
+        while blocks.len() >= 2 {
+            let b = blocks[blocks.len() - 1];
+            let a = blocks[blocks.len() - 2];
+            if a.value <= b.value {
+                break;
+            }
+            let merged = Block {
+                value: (a.value * a.weight + b.value * b.weight) / (a.weight + b.weight),
+                weight: a.weight + b.weight,
+                len: a.len + b.len,
+            };
+            blocks.pop();
+            blocks.pop();
+            blocks.push(merged);
+        }
+    }
+    let mut out = Vec::with_capacity(y.len());
+    for b in blocks {
+        out.extend(std::iter::repeat_n(b.value, b.len));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_interpolates_and_clamps() {
+        let c = MonotoneCurve::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 10.0]).unwrap();
+        assert_eq!(c.eval(-1.0), 0.0);
+        assert_eq!(c.eval(0.5), 5.0);
+        assert_eq!(c.eval(1.5), 10.0);
+        assert_eq!(c.eval(3.0), 10.0);
+    }
+
+    #[test]
+    fn slope_reflects_segments() {
+        let c = MonotoneCurve::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 10.0]).unwrap();
+        assert_eq!(c.slope(0.5), 10.0);
+        assert_eq!(c.slope(1.5), 0.0);
+    }
+
+    #[test]
+    fn secant_slope_bridges_flat_blocks() {
+        let c = MonotoneCurve::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 10.0]).unwrap();
+        // Pointwise slope in the flat block is 0, but a secant spanning
+        // the rising segment reports a positive slope.
+        assert_eq!(c.slope(1.2), 0.0);
+        assert!(c.secant_slope(1.2, 0.5) > 0.0);
+        // In a uniform region the secant matches the pointwise slope.
+        assert!((c.secant_slope(0.5, 0.2) - 10.0).abs() < 1e-9);
+        // Clamped extrapolation keeps it finite and non-negative.
+        assert!(c.secant_slope(5.0, 0.5) >= 0.0);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let c = MonotoneCurve::new(vec![0.0, 1.0, 2.0], vec![1.0, 5.0, 9.0]).unwrap();
+        for y in [1.0, 2.0, 5.0, 7.0, 9.0] {
+            let u = c.inverse(y).unwrap();
+            assert!((c.eval(u) - y).abs() < 1e-9, "y={y}");
+        }
+        assert!(c.inverse(9.5).is_none());
+        assert_eq!(c.inverse(0.5), Some(0.0));
+    }
+
+    #[test]
+    fn fit_recovers_saturating_curve() {
+        // y = min(u, 5) with noise-free samples.
+        let u: Vec<f64> = (0..200).map(|i| i as f64 / 20.0).collect();
+        let y: Vec<f64> = u.iter().map(|&v| v.min(5.0)).collect();
+        let c = fit_monotone_curve(&u, &y, 11).unwrap();
+        assert!((c.eval(2.0) - 2.0).abs() < 0.3);
+        assert!((c.eval(8.0) - 5.0).abs() < 0.3);
+        // Monotone by construction.
+        for w in c.values().windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn fit_projects_noisy_nonmonotone_data() {
+        let u: Vec<f64> = (0..300).map(|i| i as f64 / 30.0).collect();
+        let y: Vec<f64> = u
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v.min(5.0) + 0.4 * ((i as f64) * 2.3).sin())
+            .collect();
+        let c = fit_monotone_curve(&u, &y, 15).unwrap();
+        for w in c.values().windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+        assert!((c.eval(9.0) - 5.0).abs() < 0.6);
+    }
+
+    #[test]
+    fn pava_known_example() {
+        let y = [1.0, 3.0, 2.0, 4.0];
+        let w = [1.0; 4];
+        let p = pava(&y, &w);
+        assert_eq!(p, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(MonotoneCurve::new(vec![0.0], vec![1.0]).is_err());
+        assert!(MonotoneCurve::new(vec![0.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(fit_monotone_curve(&[1.0; 5], &[1.0; 5], 3).is_err()); // zero span
+        assert!(fit_monotone_curve(&[1.0, 2.0], &[1.0], 2).is_err());
+    }
+}

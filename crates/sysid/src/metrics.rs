@@ -1,0 +1,85 @@
+//! Model-quality metrics.
+
+/// Root-mean-square error between a prediction and a reference series.
+///
+/// Panics in debug builds if lengths differ; returns 0.0 for empty input.
+pub fn rmse(predicted: &[f64], reference: &[f64]) -> f64 {
+    debug_assert_eq!(predicted.len(), reference.len());
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let sse: f64 = predicted
+        .iter()
+        .zip(reference.iter())
+        .map(|(&p, &r)| (p - r) * (p - r))
+        .sum();
+    (sse / predicted.len() as f64).sqrt()
+}
+
+/// MATLAB-style NRMSE fit percentage:
+/// `100 · (1 − ‖y − ŷ‖ / ‖y − mean(y)‖)`.
+///
+/// 100% is a perfect fit; 0% means no better than predicting the mean;
+/// negative values mean worse than the mean. This is the acceptance metric
+/// for identified node models.
+pub fn fit_percent(predicted: &[f64], reference: &[f64]) -> f64 {
+    debug_assert_eq!(predicted.len(), reference.len());
+    if reference.is_empty() {
+        return 0.0;
+    }
+    let mean = reference.iter().sum::<f64>() / reference.len() as f64;
+    let err: f64 = predicted
+        .iter()
+        .zip(reference.iter())
+        .map(|(&p, &r)| (p - r) * (p - r))
+        .sum::<f64>()
+        .sqrt();
+    let spread: f64 = reference
+        .iter()
+        .map(|&r| (r - mean) * (r - mean))
+        .sum::<f64>()
+        .sqrt();
+    if spread < 1e-300 {
+        return if err < 1e-300 { 100.0 } else { 0.0 };
+    }
+    100.0 * (1.0 - err / spread)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_basics() {
+        assert_eq!(rmse(&[], &[]), 0.0);
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5_f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_fit_is_100() {
+        let y = [1.0, 2.0, 3.0];
+        assert!((fit_percent(&y, &y) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_prediction_is_0() {
+        let y = [1.0, 2.0, 3.0];
+        let mean_pred = [2.0, 2.0, 2.0];
+        assert!(fit_percent(&mean_pred, &y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_fit_is_negative() {
+        let y = [1.0, 2.0, 3.0];
+        let bad = [10.0, -10.0, 10.0];
+        assert!(fit_percent(&bad, &y) < 0.0);
+    }
+
+    #[test]
+    fn constant_reference_edge_case() {
+        let y = [5.0, 5.0];
+        assert_eq!(fit_percent(&[5.0, 5.0], &y), 100.0);
+        assert_eq!(fit_percent(&[4.0, 5.0], &y), 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! End-to-end identification pipeline tests: excite a synthetic
+//! Hammerstein plant, fit curve + ARX, realize state-space, observe, and
+//! verify the identified chain predicts the plant.
+
+use perq_sysid::{
+    excite, fit_arx, fit_monotone_curve, fit_percent, KalmanObserver, Rls,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Ground-truth plant: static saturation followed by a first-order lag.
+struct Plant {
+    state: f64,
+    pole: f64,
+}
+
+impl Plant {
+    fn staticmap(u: f64) -> f64 {
+        (1.6 * u).min(1.0)
+    }
+
+    fn step(&mut self, u: f64) -> f64 {
+        // y(k) responds to u(k) through the lag's direct path.
+        let target = Self::staticmap(u);
+        self.state += (1.0 - self.pole) * (target - self.state);
+        self.state
+    }
+}
+
+#[test]
+fn full_pipeline_identifies_hammerstein_plant() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let caps = excite::uniform_switching(&mut rng, 3000, 0.3, 1.0, 5);
+    let mut plant = Plant { state: 0.0, pole: 0.3 };
+    let y: Vec<f64> = caps.iter().map(|&c| plant.step(c)).collect();
+
+    // 1. Static curve recovers the saturation shape.
+    let curve = fit_monotone_curve(&caps, &y, 15).expect("curve fits");
+    assert!((curve.eval(0.4) - 0.64).abs() < 0.08, "{}", curve.eval(0.4));
+    assert!((curve.eval(0.9) - 1.0).abs() < 0.05, "{}", curve.eval(0.9));
+
+    // 2. ARX on the curve-transformed input captures the lag dynamics.
+    let u: Vec<f64> = caps.iter().map(|&c| curve.eval(c)).collect();
+    let arx = fit_arx(&u, &y, 2, 2).expect("arx fits");
+    // One-step prediction fit must be excellent.
+    let mut preds = Vec::new();
+    let mut refs = Vec::new();
+    for k in 3..y.len() {
+        preds.push(arx.predict_one(&y[..k], &u[..=k]));
+        refs.push(y[k]);
+    }
+    let fit = fit_percent(&preds, &refs);
+    assert!(fit > 90.0, "one-step fit {fit:.1}%");
+
+    // 3. DC gain of the identified chain is ~1 (the curve carries the
+    //    static map, so the dynamics are unit-gain up to the smoothing
+    //    the knot bucketing applies around the saturation kink).
+    let gain = arx.dc_gain().expect("finite gain");
+    assert!((gain - 1.0).abs() < 0.25, "dc gain {gain}");
+
+    // 4. The observer on the realization tracks the plant through a step.
+    let ss = arx.to_state_space();
+    assert!(ss.is_stable());
+    let mut obs = KalmanObserver::new(ss, 0.05, 1e-3);
+    let mut plant = Plant { state: 0.0, pole: 0.3 };
+    let mut last_err = f64::INFINITY;
+    for k in 0..200 {
+        let cap = if k < 100 { 0.5 } else { 0.8 };
+        let yt = plant.step(cap);
+        let ut = curve.eval(cap);
+        obs.update(ut, yt);
+        last_err = (obs.predicted_output(ut) - yt).abs();
+    }
+    assert!(last_err < 0.05, "observer residual {last_err}");
+}
+
+#[test]
+fn rls_tracks_slowly_varying_sensitivity() {
+    // The per-job adaptation scenario: slope drifts mid-run (phase
+    // change); RLS with forgetting follows it.
+    let mut rls = Rls::new(1, 0.95, 10.0);
+    for k in 0..400 {
+        let slope = if k < 200 { 0.5 } else { 2.0 };
+        let dphi = if k % 2 == 0 { 0.05 } else { -0.05 };
+        rls.update(&[dphi], slope * dphi);
+    }
+    let g = rls.theta()[0];
+    assert!((g - 2.0).abs() < 0.1, "tracked slope {g}");
+}
+
+#[test]
+fn identification_errors_are_reported_not_panicked() {
+    // Degenerate data paths must return errors.
+    assert!(fit_monotone_curve(&[0.5; 100], &[1.0; 100], 5).is_err());
+    assert!(fit_arx(&[1.0; 200], &[1.0; 200], 3, 4).is_err());
+}

@@ -1,0 +1,78 @@
+//! A Mira-parameterised evaluation day (Fig. 6 material): runs all four
+//! power-provisioning policies on the same trace at one over-provisioning
+//! factor and prints the paper's three metrics.
+//!
+//! ```text
+//! cargo run --release --example mira_day -- [f] [hours]
+//! ```
+//!
+//! Defaults: `f = 2.0`, 6 simulated hours (use 24 for the paper's full
+//! day; a single-core run takes a few minutes).
+
+use perq::core::{baselines, PerqConfig, PerqPolicy};
+use perq::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let f: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2.0);
+    let hours: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(6.0);
+    let seed = 20190622;
+
+    let system = SystemModel::mira();
+    println!(
+        "Mira: N_WP = {}, f = {f}, N_OP = {}, {hours} h",
+        system.wp_nodes,
+        (system.wp_nodes as f64 * f) as usize
+    );
+
+    // Baseline throughput at f = 1 (worst-case provisioning).
+    let base_jobs = {
+        let mut gen = TraceGenerator::new(system.clone(), seed);
+        gen.generate_saturating(system.wp_nodes, hours * 3600.0)
+    };
+    let base_config = ClusterConfig::for_system(&system, 1.0, hours * 3600.0);
+    let base = Cluster::new(base_config, base_jobs, seed).run(&mut FairPolicy::new());
+    println!("f=1.0 baseline: {} jobs", base.throughput());
+
+    // The f-run trace (shared across policies).
+    let nodes = (system.wp_nodes as f64 * f) as usize;
+    let jobs = TraceGenerator::new(system.clone(), seed).generate_saturating(nodes, hours * 3600.0);
+    let config = ClusterConfig::for_system(&system, f, hours * 3600.0);
+
+    let model = perq::core::train_node_model(7).0;
+    let mut fop_result = None;
+    println!();
+    println!(
+        "{:<6} {:>6} {:>12} {:>10} {:>10}",
+        "policy", "jobs", "improv(%)", "meandeg(%)", "maxdeg(%)"
+    );
+    for name in ["FOP", "SJS", "SRN", "PERQ"] {
+        let mut policy: Box<dyn PowerPolicy> = match name {
+            "FOP" => Box::new(FairPolicy::new()),
+            "SJS" => Box::new(baselines::sjs()),
+            "SRN" => Box::new(baselines::srn()),
+            _ => Box::new(PerqPolicy::with_model(model.clone(), PerqConfig::default())),
+        };
+        let result = Cluster::new(config.clone(), jobs.clone(), seed).run(policy.as_mut());
+        let improv = 100.0 * (result.throughput() as f64 - base.throughput() as f64)
+            / base.throughput() as f64;
+        let (mean_deg, max_deg) = match &fop_result {
+            None => (0.0, 0.0),
+            Some(fop) => {
+                let rep = compare_fairness(&result, fop);
+                (rep.mean_degradation_pct, rep.max_degradation_pct)
+            }
+        };
+        println!(
+            "{:<6} {:>6} {:>12.1} {:>10.1} {:>10.1}",
+            name,
+            result.throughput(),
+            improv,
+            mean_deg,
+            max_deg
+        );
+        if name == "FOP" {
+            fop_result = Some(result);
+        }
+    }
+}

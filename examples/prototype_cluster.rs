@@ -1,0 +1,63 @@
+//! Fig. 11 material: runs the TCP prototype cluster (Tardis) under all
+//! four policies at a chosen over-provisioning factor and prints
+//! throughput and fairness.
+//!
+//! ```text
+//! cargo run --release --example prototype_cluster -- [f] [jobs]
+//! ```
+
+use perq::core::{baselines, PerqConfig, PerqPolicy};
+use perq::prelude::*;
+use perq::proto::{ProtoCluster, ProtoConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let f: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2.0);
+    let n_jobs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(60);
+    let seed = 16;
+
+    // 16 worker nodes like Tardis; shortened job runtimes keep the demo
+    // interactive.
+    let mut jobs = TraceGenerator::new(SystemModel::tardis(), seed).generate(n_jobs);
+    for j in jobs.iter_mut() {
+        j.runtime_tdp_s = j.runtime_tdp_s.min(900.0);
+        j.runtime_estimate_s = j.runtime_tdp_s * 1.3;
+    }
+
+    println!("prototype: 16 nodes, f = {f}, {n_jobs} jobs");
+    println!(
+        "{:<6} {:>6} {:>10} {:>10} {:>12}",
+        "policy", "jobs", "meandeg(%)", "maxdeg(%)", "decision(ms)"
+    );
+    let mut fop_result = None;
+    for name in ["FOP", "SJS", "SRN", "PERQ"] {
+        let mut policy: Box<dyn PowerPolicy> = match name {
+            "FOP" => Box::new(FairPolicy::new()),
+            "SJS" => Box::new(baselines::sjs()),
+            "SRN" => Box::new(baselines::srn()),
+            _ => Box::new(PerqPolicy::new(PerqConfig::default())),
+        };
+        let config = ProtoConfig::tardis(8, f, 600);
+        let result = ProtoCluster::new(config).run(jobs.clone(), policy.as_mut());
+        let (mean_deg, max_deg) = match &fop_result {
+            None => (0.0, 0.0),
+            Some(fop) => {
+                let rep = compare_fairness(&result, fop);
+                (rep.mean_degradation_pct, rep.max_degradation_pct)
+            }
+        };
+        let mean_decision_ms = 1000.0 * result.decision_times_s.iter().sum::<f64>()
+            / result.decision_times_s.len().max(1) as f64;
+        println!(
+            "{:<6} {:>6} {:>10.1} {:>10.1} {:>12.2}",
+            name,
+            result.throughput(),
+            mean_deg,
+            max_deg,
+            mean_decision_ms
+        );
+        if name == "FOP" {
+            fop_result = Some(result);
+        }
+    }
+}

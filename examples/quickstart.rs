@@ -1,0 +1,62 @@
+//! Quickstart: run PERQ against the fairness-oriented baseline on a small
+//! over-provisioned cluster and print the headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use perq::prelude::*;
+
+fn main() {
+    // An 8-node worst-case-provisioned system, over-provisioned to 16
+    // nodes (f = 2.0): twice the hardware under the same power budget.
+    let system = SystemModel::tardis();
+    let f = 2.0;
+    let hours = 2.0;
+    let seed = 42;
+
+    let jobs = TraceGenerator::new(system.clone(), seed).generate(400);
+    let config = ClusterConfig::for_system(&system, f, hours * 3600.0);
+    println!(
+        "system: {} wp-nodes, f = {f} ({} total nodes), budget {:.0} W, {} queued jobs",
+        config.wp_nodes,
+        config.nodes,
+        config.budget_w(),
+        jobs.len()
+    );
+
+    // Fairness-oriented policy: equal power to every busy node.
+    let mut fop = FairPolicy::new();
+    let fop_result = Cluster::new(config.clone(), jobs.clone(), seed).run(&mut fop);
+
+    // PERQ: identifies its node model on the NPB-like training suite, then
+    // reallocates power by feedback.
+    let mut perq = PerqPolicy::new(PerqConfig::default());
+    let perq_result = Cluster::new(config, jobs, seed).run(&mut perq);
+
+    let fairness = compare_fairness(&perq_result, &fop_result);
+    println!();
+    println!("                     FOP     PERQ");
+    println!(
+        "jobs completed    {:>6}   {:>6}",
+        fop_result.throughput(),
+        perq_result.throughput()
+    );
+    println!(
+        "budget violations {:>6}   {:>6}",
+        fop_result.budget_violations, perq_result.budget_violations
+    );
+    println!();
+    println!(
+        "PERQ throughput improvement over FOP: {:+.1}%",
+        100.0 * (perq_result.throughput() as f64 - fop_result.throughput() as f64)
+            / fop_result.throughput() as f64
+    );
+    println!(
+        "PERQ fairness vs FOP: mean degradation {:.1}% (max {:.1}%) over {} degraded / {} compared jobs",
+        fairness.mean_degradation_pct,
+        fairness.max_degradation_pct,
+        fairness.degraded_jobs,
+        fairness.compared_jobs
+    );
+}

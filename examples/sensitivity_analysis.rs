@@ -1,0 +1,92 @@
+//! Control-parameter sensitivity (Fig. 9 / Fig. 10 material): sweeps the
+//! control interval, system-throughput improvement ratio, system
+//! throughput weight, and ΔP weight on a small cluster, showing PERQ's
+//! robustness to tuning.
+//!
+//! ```text
+//! cargo run --release --example sensitivity_analysis -- [hours]
+//! ```
+
+use perq::core::{train_node_model, MpcSettings, PerqConfig, PerqPolicy};
+use perq::prelude::*;
+
+fn run(
+    system: &SystemModel,
+    hours: f64,
+    seed: u64,
+    interval_s: f64,
+    config: PerqConfig,
+    model: &perq::core::NodeModel,
+) -> (usize, f64) {
+    let jobs = TraceGenerator::new(system.clone(), seed).generate(2000);
+    let mut cc = ClusterConfig::for_system(system, 2.0, hours * 3600.0);
+    cc.interval_s = interval_s;
+    let mut fop = FairPolicy::new();
+    let fop_result = Cluster::new(cc.clone(), jobs.clone(), seed).run(&mut fop);
+    let mut perq = PerqPolicy::with_model(model.clone(), config);
+    let result = Cluster::new(cc, jobs, seed).run(&mut perq);
+    let fairness = compare_fairness(&result, &fop_result);
+    (result.throughput(), fairness.mean_degradation_pct)
+}
+
+fn main() {
+    let hours: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2.0);
+    let system = SystemModel::tardis();
+    let seed = 99;
+    let model = train_node_model(7).0;
+
+    println!("== control interval (Fig. 9) ==");
+    for interval in [5.0, 10.0, 20.0, 40.0, 60.0, 120.0] {
+        let (tp, deg) = run(
+            &system,
+            hours,
+            seed,
+            interval,
+            PerqConfig::default(),
+            &model,
+        );
+        println!("interval {interval:>5.0} s: {tp} jobs, mean degradation {deg:.1}%");
+    }
+
+    println!();
+    println!("== system throughput improvement ratio (Fig. 10a) ==");
+    for ratio in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
+        let config = PerqConfig {
+            improvement_ratio: ratio,
+            ..PerqConfig::default()
+        };
+        let (tp, deg) = run(&system, hours, seed, 10.0, config, &model);
+        println!("ratio {ratio:>4.0}: {tp} jobs, mean degradation {deg:.1}%");
+    }
+
+    println!();
+    println!("== system throughput weight (Fig. 10b) ==");
+    for weight in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
+        let config = PerqConfig {
+            mpc: MpcSettings {
+                wt_sys: weight,
+                ..MpcSettings::default()
+            },
+            ..PerqConfig::default()
+        };
+        let (tp, deg) = run(&system, hours, seed, 10.0, config, &model);
+        println!("weight {weight:>4.0}: {tp} jobs, mean degradation {deg:.1}%");
+    }
+
+    println!();
+    println!("== ΔP weight (Fig. 10c) ==");
+    for weight in [1.0, 5.0, 10.0, 25.0, 50.0, 100.0] {
+        let config = PerqConfig {
+            mpc: MpcSettings {
+                w_dp: weight * 0.1, // paper's unit scale maps to 0.1 here
+                ..MpcSettings::default()
+            },
+            ..PerqConfig::default()
+        };
+        let (tp, deg) = run(&system, hours, seed, 10.0, config, &model);
+        println!("ΔP weight {weight:>5.0}: {tp} jobs, mean degradation {deg:.1}%");
+    }
+}

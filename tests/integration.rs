@@ -1,0 +1,178 @@
+//! Workspace-level integration tests: the full stack (trace generation →
+//! scheduling → power policies → metrics) exercised end-to-end through
+//! the public facade, asserting the paper's headline orderings.
+
+use perq::core::{baselines, train_node_model, PerqConfig, PerqPolicy};
+use perq::prelude::*;
+use perq::sim::JobOutcome;
+
+fn eval(
+    system: &SystemModel,
+    f: f64,
+    hours: f64,
+    seed: u64,
+    policy: &mut dyn PowerPolicy,
+) -> SimResult {
+    let config = ClusterConfig::for_system(system, f, hours * 3600.0);
+    let jobs = TraceGenerator::new(system.clone(), seed)
+        .generate_saturating(config.nodes, config.duration_s);
+    Cluster::new(config, jobs, seed).run(policy)
+}
+
+#[test]
+fn headline_ordering_holds_on_tardis() {
+    // The paper's central claim, on the small system so it runs in test
+    // time: PERQ throughput ≥ FOP throughput at f = 2, with PERQ's mean
+    // degradation well below SJS's.
+    let system = SystemModel::tardis();
+    let seed = 1234;
+    let fop = eval(&system, 2.0, 3.0, seed, &mut FairPolicy::new());
+    let mut perq = PerqPolicy::new(PerqConfig::default());
+    let perq_res = eval(&system, 2.0, 3.0, seed, &mut perq);
+    let sjs = eval(&system, 2.0, 3.0, seed, &mut baselines::sjs());
+
+    assert!(
+        perq_res.throughput() >= fop.throughput(),
+        "PERQ {} < FOP {}",
+        perq_res.throughput(),
+        fop.throughput()
+    );
+    let perq_fair = compare_fairness(&perq_res, &fop);
+    let sjs_fair = compare_fairness(&sjs, &fop);
+    assert!(
+        perq_fair.mean_degradation_pct < sjs_fair.mean_degradation_pct,
+        "PERQ deg {} !< SJS deg {}",
+        perq_fair.mean_degradation_pct,
+        sjs_fair.mean_degradation_pct
+    );
+    assert!(
+        perq_fair.mean_degradation_pct < 15.0,
+        "PERQ mean degradation {}",
+        perq_fair.mean_degradation_pct
+    );
+}
+
+#[test]
+fn throughput_grows_with_overprovisioning_under_perq() {
+    let system = SystemModel::tardis();
+    let seed = 77;
+    let model = train_node_model(7).0;
+    let mut last = 0usize;
+    for f in [1.0, 1.5, 2.0] {
+        let mut perq = PerqPolicy::with_model(model.clone(), PerqConfig::default());
+        let result = eval(&system, f, 2.0, seed, &mut perq);
+        assert!(
+            result.throughput() + 2 >= last,
+            "throughput fell from {last} to {} at f={f}",
+            result.throughput()
+        );
+        last = result.throughput().max(last);
+    }
+}
+
+#[test]
+fn fop_never_violates_and_all_jobs_accounted() {
+    let system = SystemModel::tardis();
+    let jobs = TraceGenerator::new(system.clone(), 5).generate(300);
+    let n_jobs = jobs.len();
+    let config = ClusterConfig::for_system(&system, 1.8, 2.0 * 3600.0);
+    let mut cluster = Cluster::new(config, jobs, 5);
+    let result = cluster.run(&mut FairPolicy::new());
+    assert_eq!(result.budget_violations, 0);
+    // Every record is completed, crashed, or unfinished; completed +
+    // running + queued = trace size.
+    let completed = result.throughput();
+    let unfinished = result
+        .records
+        .iter()
+        .filter(|r| r.outcome == JobOutcome::Unfinished)
+        .count();
+    assert!(completed + unfinished <= n_jobs);
+    for rec in result.completed() {
+        assert!(rec.runtime_s() > 0.0);
+        assert!(rec.slowdown() >= 0.99, "job faster than TDP?");
+    }
+}
+
+#[test]
+fn oracle_policy_uses_oracle_and_perq_does_not_need_it() {
+    // SRN reads remaining_node_hours; PERQ must produce identical output
+    // whether or not the oracle field is perturbed — guaranteeing it
+    // never reads future knowledge.
+    use perq::sim::{JobView, PolicyContext, PowerPolicy as _};
+    let model = train_node_model(3).0;
+    let mk_jobs = |oracle_scale: f64| -> Vec<JobView> {
+        (0..4)
+            .map(|i| JobView {
+                id: i,
+                size: 2,
+                elapsed_s: 100.0,
+                measured_ips: Some(2.0e9 + i as f64 * 1.0e8),
+                current_cap_w: 150.0,
+                measured_power_w: Some(120.0),
+                remaining_node_hours: (i as f64 + 1.0) * oracle_scale,
+                is_new: false,
+            })
+            .collect()
+    };
+    fn ctx<'a>(jobs: &'a [JobView]) -> PolicyContext<'a> {
+        PolicyContext {
+            time_s: 0.0,
+            interval_s: 10.0,
+            busy_budget_w: 8.0 * 200.0,
+            cap_min_w: 90.0,
+            cap_max_w: 290.0,
+            total_nodes: 16,
+            wp_nodes: 8,
+            jobs,
+        }
+    }
+
+    // PERQ: identical decisions regardless of the oracle values.
+    let jobs_a = mk_jobs(1.0);
+    let jobs_b = mk_jobs(100.0);
+    let mut perq_a = PerqPolicy::with_model(model.clone(), PerqConfig::default());
+    let mut perq_b = PerqPolicy::with_model(model.clone(), PerqConfig::default());
+    let out_a = perq_a.assign(&ctx(&jobs_a));
+    let out_b = perq_b.assign(&ctx(&jobs_b));
+    for (a, b) in out_a.iter().zip(out_b.iter()) {
+        assert!((a.cap_w - b.cap_w).abs() < 1e-9, "PERQ read the oracle!");
+    }
+
+    // SRN: different priorities when the oracle changes order.
+    let mut jobs_c = mk_jobs(1.0);
+    jobs_c[0].remaining_node_hours = 50.0; // job 0 now farthest from done
+    let mut srn = baselines::srn();
+    let out_c = srn.assign(&ctx(&jobs_c));
+    let out_d = srn.assign(&ctx(&mk_jobs(1.0)));
+    assert!(
+        (out_c[0].cap_w - out_d[0].cap_w).abs() > 1.0,
+        "SRN should react to the oracle"
+    );
+}
+
+#[test]
+fn crash_and_dropout_do_not_wedge_perq() {
+    let system = SystemModel::tardis();
+    let mut config = ClusterConfig::for_system(&system, 2.0, 1.0 * 3600.0);
+    config.crash_prob = 0.01;
+    config.ips_dropout_prob = 0.3;
+    let jobs = TraceGenerator::new(system, 21).generate(200);
+    let mut perq = PerqPolicy::new(PerqConfig::default());
+    let mut cluster = Cluster::new(config, jobs, 21);
+    let result = cluster.run(&mut perq);
+    assert!(result.throughput() > 0, "nothing completed under faults");
+    assert!(result
+        .records
+        .iter()
+        .any(|r| r.outcome == JobOutcome::Crashed));
+}
+
+#[test]
+fn facade_prelude_compiles_and_runs_quickstart_flow() {
+    let system = SystemModel::tardis();
+    let jobs = TraceGenerator::new(system.clone(), 7).generate(50);
+    let config = ClusterConfig::for_system(&system, 1.5, 1800.0);
+    let result = Cluster::new(config, jobs, 7).run(&mut FairPolicy::new());
+    assert!(result.intervals.len() == 180);
+}
