@@ -88,8 +88,8 @@ impl PerfCurve {
     /// cap fraction, optionally scaled by a phase `intensity` multiplier
     /// on the degradation (compute-heavy phases are more sensitive).
     pub fn perf_frac_with_intensity(&self, cap_frac: f64, intensity: f64) -> f64 {
-        let x = ((cap_frac - self.min_cap_frac) / (self.sat_frac - self.min_cap_frac))
-            .clamp(0.0, 1.0);
+        let x =
+            ((cap_frac - self.min_cap_frac) / (self.sat_frac - self.min_cap_frac)).clamp(0.0, 1.0);
         let degradation = (self.max_degradation * intensity).clamp(0.0, 0.97);
         1.0 - degradation * (1.0 - x).powf(self.shape)
     }

@@ -110,10 +110,7 @@ mod tests {
             "testing",
             Sensitivity::Medium,
             PerfCurve::new(0.4, 1.5, 90.0 / 290.0),
-            vec![
-                Phase::new(30.0, 0.5, 1.0),
-                Phase::new(10.0, 0.8, 1.4),
-            ],
+            vec![Phase::new(30.0, 0.5, 1.0), Phase::new(10.0, 0.8, 1.4)],
         )
     }
 

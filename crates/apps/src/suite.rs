@@ -248,7 +248,11 @@ mod tests {
     fn training_suite_is_disjoint_from_evaluation_suite() {
         let eval: Vec<String> = ecp_suite().into_iter().map(|a| a.name).collect();
         for app in npb_training_suite() {
-            assert!(!eval.contains(&app.name), "{} leaks into training", app.name);
+            assert!(
+                !eval.contains(&app.name),
+                "{} leaks into training",
+                app.name
+            );
         }
     }
 

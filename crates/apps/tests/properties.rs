@@ -4,9 +4,8 @@ use perq_apps::{ecp_suite, npb_training_suite, AppProfile, PerfCurve, Phase, Sen
 use proptest::prelude::*;
 
 fn arb_curve() -> impl Strategy<Value = PerfCurve> {
-    (0.0f64..0.9, 1.0f64..3.0, 0.4f64..1.0).prop_map(|(d, s, sat)| {
-        PerfCurve::with_saturation(d, s, 0.31, sat.max(0.32))
-    })
+    (0.0f64..0.9, 1.0f64..3.0, 0.4f64..1.0)
+        .prop_map(|(d, s, sat)| PerfCurve::with_saturation(d, s, 0.31, sat.max(0.32)))
 }
 
 proptest! {

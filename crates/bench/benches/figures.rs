@@ -68,5 +68,10 @@ fn bench_fig12_prototype(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig6_cell, bench_fig9_interval, bench_fig12_prototype);
+criterion_group!(
+    benches,
+    bench_fig6_cell,
+    bench_fig9_interval,
+    bench_fig12_prototype
+);
 criterion_main!(benches);

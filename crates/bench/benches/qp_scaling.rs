@@ -1,0 +1,200 @@
+//! Decision-cost scaling of the MPC QP: dense O(jobs²) vs structured
+//! O(jobs) representations, swept over job count × horizon.
+//!
+//! Two modes:
+//!
+//! - Default (criterion): `cargo bench --bench qp_scaling`.
+//! - Snapshot: `cargo bench --bench qp_scaling -- --snapshot` hand-times
+//!   one assembly+solve per configuration and writes
+//!   `BENCH_qp_scaling.json` at the repo root (the committed artifact).
+//!
+//! The dense path is skipped above `nv = jobs·horizon > 4096` — its
+//! Hessian alone would be multiple GB there, which is precisely the point
+//! of the structured representation.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use perq_core::mpc_assembly::{
+    assemble_dense_qp, assemble_structured_qp, AssemblyParams, MpcInput, MpcJobState,
+};
+use perq_qp::{ProjGradSettings, ProjGradSolver, Workspace};
+
+const JOB_COUNTS: [usize; 5] = [16, 64, 256, 1024, 4096];
+const HORIZONS: [usize; 2] = [4, 8];
+/// Dense-path cutoff on the variable count.
+const DENSE_MAX_NV: usize = 4096;
+
+/// Synthetic but model-shaped Markov parameters (decaying response).
+fn markov(m: usize) -> Vec<f64> {
+    (0..m).map(|j| 0.25 * 0.5f64.powi(j as i32)).collect()
+}
+
+fn params(m: usize, markov: &[f64]) -> AssemblyParams<'_> {
+    AssemblyParams {
+        horizon: m,
+        wt_job: 1.0,
+        wt_sys: 1.0,
+        w_dp: 1.0,
+        terminal_weight: 2.0,
+        markov,
+        feedthrough: 0.55,
+        input_offset: -0.02,
+    }
+}
+
+/// Deterministic pseudo-random job population (LCG — identical across
+/// runs and harnesses).
+fn jobs(n: usize, m: usize) -> Vec<MpcJobState> {
+    let mut state = 0x5eed_0001_u64.wrapping_add(n as u64);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|i| MpcJobState {
+            size: 1 + (i % 16),
+            target: 0.6 + 0.5 * next(),
+            current_cap_frac: 0.35 + 0.55 * next(),
+            gain: 0.2 + 1.5 * next(),
+            free_response: (0..m).map(|_| 0.4 + 0.5 * next()).collect(),
+            curve_value: 0.3 + 0.6 * next(),
+            curve_slope: 0.5 + next(),
+            bias: 0.05 * (next() - 0.5),
+            charged: next() > 0.2,
+        })
+        .collect()
+}
+
+fn make_input<'a>(jobs: &'a [MpcJobState]) -> MpcInput<'a> {
+    let total: f64 = jobs.iter().map(|j| j.size as f64).sum();
+    MpcInput {
+        jobs,
+        system_target: 1.1,
+        budget_nodes: 0.6 * total,
+        cap_min_frac: 0.31,
+        wp_nodes: (0.8 * total).max(1.0),
+    }
+}
+
+fn solver() -> ProjGradSolver {
+    // The controller's production settings.
+    ProjGradSolver::new(ProjGradSettings {
+        max_iters: 400,
+        tol: 1e-6,
+        power_iters: 20,
+    })
+}
+
+fn bench_decide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qp_scaling/decide");
+    group.sample_size(10);
+    for &m in &HORIZONS {
+        let h = markov(m);
+        let p = params(m, &h);
+        for &nj in &JOB_COUNTS {
+            let js = jobs(nj, m);
+            let input = make_input(&js);
+            let sv = solver();
+
+            let mut ws = Workspace::default();
+            group.bench_with_input(
+                BenchmarkId::new(format!("structured/h{m}"), nj),
+                &nj,
+                |b, _| {
+                    b.iter(|| {
+                        let (qp, warm, _) = assemble_structured_qp(&p, &input).unwrap();
+                        sv.solve_with(&qp, Some(&warm), &mut ws, None).unwrap()
+                    })
+                },
+            );
+
+            if nj * m <= DENSE_MAX_NV {
+                group.bench_with_input(BenchmarkId::new(format!("dense/h{m}"), nj), &nj, |b, _| {
+                    b.iter(|| {
+                        let (qp, warm, _) = assemble_dense_qp(&p, &input).unwrap();
+                        sv.solve(&qp, Some(&warm)).unwrap()
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decide);
+
+/// One snapshot measurement: median-of-`reps` wall time in milliseconds.
+fn time_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn snapshot() {
+    let mut rows = Vec::new();
+    for &m in &HORIZONS {
+        let h = markov(m);
+        let p = params(m, &h);
+        for &nj in &JOB_COUNTS {
+            let js = jobs(nj, m);
+            let input = make_input(&js);
+            let sv = solver();
+            let nv = nj * m;
+
+            let mut ws = Workspace::default();
+            let reps = if nv > 4096 { 3 } else { 5 };
+            let structured_ms = time_ms(reps, || {
+                let (qp, warm, _) = assemble_structured_qp(&p, &input).unwrap();
+                sv.solve_with(&qp, Some(&warm), &mut ws, None).unwrap();
+            });
+
+            let dense_ms = (nv <= DENSE_MAX_NV).then(|| {
+                time_ms(if nv >= 1024 { 3 } else { 5 }, || {
+                    let (qp, warm, _) = assemble_dense_qp(&p, &input).unwrap();
+                    sv.solve(&qp, Some(&warm)).unwrap();
+                })
+            });
+
+            let speedup = dense_ms.map(|d| d / structured_ms);
+            println!(
+                "jobs={nj:5} horizon={m} nv={nv:6}: structured {structured_ms:9.3} ms, dense {}, speedup {}",
+                dense_ms.map_or("skipped".into(), |d| format!("{d:9.3} ms")),
+                speedup.map_or("-".into(), |s| format!("{s:.1}x")),
+            );
+            rows.push(serde_json::json!({
+                "jobs": nj,
+                "horizon": m,
+                "nv": nv,
+                "structured_ms": structured_ms,
+                "dense_ms": dense_ms,
+                "speedup_dense_over_structured": speedup,
+            }));
+        }
+    }
+    let doc = serde_json::json!({
+        "bench": "qp_scaling",
+        "description": "MPC decision (assemble + solve) wall time: dense O(jobs^2) vs structured O(jobs) QP representation",
+        "solver": {"max_iters": 400, "tol": 1e-6},
+        "dense_max_nv": DENSE_MAX_NV,
+        "rows": rows,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_qp_scaling.json");
+    std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap()).unwrap();
+    println!("wrote {path}");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--snapshot") {
+        snapshot();
+        return;
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

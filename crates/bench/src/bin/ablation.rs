@@ -50,7 +50,10 @@ fn main() {
     report("FOP", fop.clone());
     report("PERQ", eval.run(f, PolicyKind::Perq));
     report("LJS (largest-first)", eval.run(f, PolicyKind::Ljs));
-    report("PERQ-T (thru-only)", eval.run(f, PolicyKind::PerqThroughput));
+    report(
+        "PERQ-T (thru-only)",
+        eval.run(f, PolicyKind::PerqThroughput),
+    );
 
     // PERQ without identification dither.
     {

@@ -9,8 +9,7 @@ fn stats(system: SystemModel, seed: u64) -> (Vec<f64>, f64, f64) {
     let mut runtimes_h: Vec<f64> = jobs.iter().map(|j| j.runtime_tdp_s / 3600.0).collect();
     runtimes_h.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let mean_min = runtimes_h.iter().sum::<f64>() / runtimes_h.len() as f64 * 60.0;
-    let over30 = runtimes_h.iter().filter(|&&h| h > 0.5).count() as f64
-        / runtimes_h.len() as f64;
+    let over30 = runtimes_h.iter().filter(|&&h| h > 0.5).count() as f64 / runtimes_h.len() as f64;
     (runtimes_h, mean_min, over30)
 }
 

@@ -19,7 +19,10 @@ fn main() {
         .map(|i| SimulatedRapl::new(CapLimits::new(90.0, TDP_WATTS), 0.0, 0.005, i as u64))
         .collect();
 
-    println!("{:>8} {:>10} {:>10} {:>10}", "t(%)", names[0], names[1], names[2]);
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}",
+        "t(%)", names[0], names[1], names[2]
+    );
     let steps = 40;
     for k in 0..=steps {
         let t = horizon * k as f64 / steps as f64;
@@ -34,8 +37,18 @@ fn main() {
     println!();
     println!("paper ranges: HPCCG 100-180 W, miniMD 100-220 W, RSBench 80-140 W");
     for app in &apps {
-        let lo = app.phases.iter().map(|p| p.demand_frac).fold(1.0_f64, f64::min) * TDP_WATTS;
-        let hi = app.phases.iter().map(|p| p.demand_frac).fold(0.0_f64, f64::max) * TDP_WATTS;
+        let lo = app
+            .phases
+            .iter()
+            .map(|p| p.demand_frac)
+            .fold(1.0_f64, f64::min)
+            * TDP_WATTS;
+        let hi = app
+            .phases
+            .iter()
+            .map(|p| p.demand_frac)
+            .fold(0.0_f64, f64::max)
+            * TDP_WATTS;
         println!("ours : {:<8} {:>4.0}-{:>4.0} W", app.name, lo, hi);
     }
 }

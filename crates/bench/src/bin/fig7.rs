@@ -24,5 +24,7 @@ fn main() {
     print_rows(&all_rows);
     println!();
     println!("expected shape: as Fig. 6, with higher absolute improvements (shorter jobs);");
-    println!("PERQ reaches FOP's f=2.0 throughput at a much lower f (§3: f≈1.4 ⇒ 30% fewer nodes).");
+    println!(
+        "PERQ reaches FOP's f=2.0 throughput at a much lower f (§3: f≈1.4 ⇒ 30% fewer nodes)."
+    );
 }

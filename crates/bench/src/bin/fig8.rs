@@ -17,7 +17,8 @@ fn main() {
     let system = SystemModel::trinity();
     let seed = 8;
     let mut config = ClusterConfig::for_system(&system, 2.0, hours * 3600.0);
-    let jobs = TraceGenerator::new(system, seed).generate_saturating(config.nodes, config.duration_s);
+    let jobs =
+        TraceGenerator::new(system, seed).generate_saturating(config.nodes, config.duration_s);
 
     // Trace a handful of early jobs with different sizes/apps; report four.
     config.trace_jobs = (0..16).collect();
@@ -52,7 +53,11 @@ fn main() {
     }
 
     for (panel, id) in picked.iter().enumerate() {
-        let rec = result.records.iter().find(|r| r.spec.id == *id).expect("record");
+        let rec = result
+            .records
+            .iter()
+            .find(|r| r.spec.id == *id)
+            .expect("record");
         let trace = &result.traces[id];
         println!(
             "(panel {}) job {} — app {}, {} nodes, runtime {:.2} h",

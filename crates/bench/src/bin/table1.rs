@@ -7,16 +7,14 @@ use perq_rapl::{CapLimits, PowerCapDevice, SimulatedRapl};
 
 fn main() {
     println!("Table 1: ECP proxy applications, average power as % of TDP");
-    println!("{:<12} {:<36} {:>10} {:>10}", "Application", "Domain", "profile%", "measured%");
+    println!(
+        "{:<12} {:<36} {:>10} {:>10}",
+        "Application", "Domain", "profile%", "measured%"
+    );
     for (i, app) in ecp_suite().iter().enumerate() {
         // Measure with the RAPL simulation: run two full phase cycles
         // uncapped and average the meter readings.
-        let mut rapl = SimulatedRapl::new(
-            CapLimits::new(90.0, TDP_WATTS),
-            0.0,
-            0.0,
-            i as u64,
-        );
+        let mut rapl = SimulatedRapl::new(CapLimits::new(90.0, TDP_WATTS), 0.0, 0.0, i as u64);
         let dt = 1.0;
         let steps = (2.0 * app.cycle_s() / dt).ceil() as usize;
         let mut total = 0.0;

@@ -128,11 +128,7 @@ impl Evaluation {
     }
 
     /// Runs one policy with a customised cluster configuration.
-    pub fn run_with_config(
-        &self,
-        mut config: ClusterConfig,
-        kind: PolicyKind,
-    ) -> SimResult {
+    pub fn run_with_config(&self, mut config: ClusterConfig, kind: PolicyKind) -> SimResult {
         let jobs = self.trace(config.nodes);
         config.duration_s = self.duration_s;
         let mut policy = kind.build(&self.model, &self.perq_config);
@@ -186,7 +182,11 @@ pub fn print_rows(rows: &[PolicyRow]) {
     for r in rows {
         println!(
             "{:<7} {:>4.1} {:>6} {:>12.1} {:>11.1} {:>11.1}",
-            r.policy, r.f, r.throughput, r.improvement_pct, r.mean_degradation_pct,
+            r.policy,
+            r.f,
+            r.throughput,
+            r.improvement_pct,
+            r.mean_degradation_pct,
             r.max_degradation_pct
         );
     }

@@ -53,9 +53,7 @@ fn parse_args(args: &[String]) -> HashMap<String, String> {
 }
 
 fn get<T: std::str::FromStr>(map: &HashMap<String, String>, key: &str, default: T) -> T {
-    map.get(key)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    map.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 fn system(map: &HashMap<String, String>) -> SystemModel {
@@ -176,7 +174,8 @@ fn cmd_prototype(map: HashMap<String, String>) -> ExitCode {
     let n_jobs: usize = get(&map, "jobs", 200);
     let intervals: usize = get(&map, "intervals", 600);
 
-    let mut jobs = TraceGenerator::new(SystemModel::tardis(), get(&map, "seed", 42)).generate(n_jobs);
+    let mut jobs =
+        TraceGenerator::new(SystemModel::tardis(), get(&map, "seed", 42)).generate(n_jobs);
     for j in jobs.iter_mut() {
         j.runtime_tdp_s = j.runtime_tdp_s.clamp(120.0, 1200.0);
         j.runtime_estimate_s = j.runtime_tdp_s * 1.3;

@@ -92,11 +92,7 @@ impl PowerPolicy for WaterfillPolicy {
 
         // Water-fill: everyone at the floor, then raise in priority order.
         let mut caps = vec![ctx.cap_min_w; n];
-        let floor_total: f64 = ctx
-            .jobs
-            .iter()
-            .map(|j| ctx.cap_min_w * j.size as f64)
-            .sum();
+        let floor_total: f64 = ctx.jobs.iter().map(|j| ctx.cap_min_w * j.size as f64).sum();
         let mut headroom = (ctx.busy_budget_w - floor_total).max(0.0);
         for &i in &order {
             if headroom <= 0.0 {

@@ -66,9 +66,7 @@ pub fn group_jobs(jobs: &[MpcJobState], max_groups: usize) -> Vec<Vec<usize>> {
                     j.target - j.free_response.first().copied().unwrap_or(0.0),
                 )
             };
-            key(a)
-                .partial_cmp(&key(b))
-                .expect("finite control state")
+            key(a).partial_cmp(&key(b)).expect("finite control state")
         });
         let n_groups = n_groups.min(sorted.len()).max(1);
         let chunk = sorted.len().div_ceil(n_groups);
@@ -124,11 +122,7 @@ impl MpcController {
     /// With `jobs.len() <= max_groups` this is exactly `decide`. Use for
     /// very large concurrent-job counts (the paper's 10,000-job scaling
     /// concern); see `grouping` module docs for the clustering key.
-    pub fn decide_grouped(
-        &self,
-        input: &MpcInput<'_>,
-        max_groups: usize,
-    ) -> Option<MpcDecision> {
+    pub fn decide_grouped(&self, input: &MpcInput<'_>, max_groups: usize) -> Option<MpcDecision> {
         if input.jobs.len() <= max_groups.max(2) {
             return self.decide(input);
         }

@@ -37,11 +37,12 @@ pub mod baselines;
 pub mod grouping;
 mod model;
 mod mpc;
+pub mod mpc_assembly;
 mod perq;
 mod targets;
 
-pub use model::{train_node_model, train_node_model_with, JobAdapter, NodeModel, TrainingReport};
 pub use grouping::group_jobs;
+pub use model::{train_node_model, train_node_model_with, JobAdapter, NodeModel, TrainingReport};
 pub use mpc::{MpcController, MpcDecision, MpcInput, MpcJobState, MpcSettings};
 pub use perq::{PerqConfig, PerqPolicy};
 pub use targets::{TargetGenerator, Targets};

@@ -1,7 +1,7 @@
 use perq_apps::{npb_training_suite, AppProfile, MIN_CAP_WATTS, TDP_WATTS};
 use perq_sysid::{
-    excite, fit_arx_segments, fit_monotone_curve, fit_percent, KalmanObserver, MonotoneCurve,
-    Rls, StateSpaceModel,
+    excite, fit_arx_segments, fit_monotone_curve, fit_percent, KalmanObserver, MonotoneCurve, Rls,
+    StateSpaceModel,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -1,6 +1,9 @@
 use crate::model::NodeModel;
-use perq_linalg::Matrix;
-use perq_qp::{BoxBudgetQp, Budget, ProjGradSettings, ProjGradSolver};
+use crate::mpc_assembly::{assemble_dense_qp, assemble_structured_qp, AssemblyParams};
+use perq_qp::{BoxBudgetQp, LmaxCache, ProjGradSettings, ProjGradSolver, StructuredQp, Workspace};
+use std::sync::Mutex;
+
+pub use crate::mpc_assembly::{MpcInput, MpcJobState};
 
 /// MPC controller settings (the weights of Eq. 2/Eq. 3 and the horizon).
 #[derive(Debug, Clone)]
@@ -20,6 +23,8 @@ pub struct MpcSettings {
     pub terminal_weight: f64,
     /// QP solver iteration cap (bounds the decision time).
     pub max_qp_iters: usize,
+    /// QP solver convergence tolerance.
+    pub qp_tol: f64,
 }
 
 impl Default for MpcSettings {
@@ -31,60 +36,9 @@ impl Default for MpcSettings {
             w_dp: 1.0,
             terminal_weight: 2.0,
             max_qp_iters: 400,
+            qp_tol: 1e-6,
         }
     }
-}
-
-/// Per-job inputs to one MPC decision, produced from the job's adapter.
-#[derive(Debug, Clone)]
-pub struct MpcJobState {
-    /// Node count of the job.
-    pub size: usize,
-    /// Normalized per-node IPS target (fairness target from the target
-    /// generator).
-    pub target: f64,
-    /// Cap fraction currently applied (`P0` of Eq. 4).
-    pub current_cap_frac: f64,
-    /// Adapted sensitivity gain `g` of this job.
-    pub gain: f64,
-    /// Free response `C Aʲ x̂` for `j = 1..=M` (what the job's output
-    /// would do if the curve-transformed input were zero) — `G·X0` of
-    /// Eq. 4.
-    pub free_response: Vec<f64>,
-    /// Static curve value `φ(P0)` at the current cap.
-    pub curve_value: f64,
-    /// Static curve slope `φ'(P0)` at the current cap (successive
-    /// linearisation).
-    pub curve_slope: f64,
-    /// Constant output-disturbance estimate for this job (offset-free
-    /// correction added to every predicted output).
-    pub bias: f64,
-    /// Whether this job's cap is charged against the power budget. Jobs
-    /// observed to draw comfortably less than their cap are *slack*: the
-    /// caller charges their estimated demand as a constant (already
-    /// subtracted from [`MpcInput::budget_nodes`]) and their cap headroom
-    /// is free — this is the usage-based budget accounting that lets PERQ
-    /// over-commit caps (§2.4.1: the constraint is on "overall power
-    /// usage", not on the sum of caps).
-    pub charged: bool,
-}
-
-/// Cluster-level inputs to one MPC decision.
-#[derive(Debug, Clone)]
-pub struct MpcInput<'a> {
-    /// Running jobs.
-    pub jobs: &'a [MpcJobState],
-    /// System throughput target (normalized by `N_WP`).
-    pub system_target: f64,
-    /// Remaining power budget for *charged* jobs in units of `TDP·nodes`:
-    /// `Σ_{charged} sizeᵢ·pᵢ(j) ≤ budget_nodes` must hold at every
-    /// horizon step (the slack jobs' estimated demands have already been
-    /// subtracted by the caller).
-    pub budget_nodes: f64,
-    /// Lowest admissible cap fraction.
-    pub cap_min_frac: f64,
-    /// `N_WP`, used to normalize the system output row.
-    pub wp_nodes: f64,
 }
 
 /// Result of one decision.
@@ -100,6 +54,17 @@ pub struct MpcDecision {
     pub converged: bool,
 }
 
+/// Per-controller solver state reused across decisions: the FISTA
+/// workspace (so repeated decisions allocate almost nothing) and the
+/// Lipschitz cache (the previous Hessian's dominant eigenvector seeds the
+/// next power iteration — consecutive decisions see nearly the same
+/// spectrum, so the re-estimate converges in a couple of products).
+#[derive(Debug, Default)]
+struct ControllerScratch {
+    ws: Workspace,
+    lmax: LmaxCache,
+}
+
 /// The PERQ model-predictive controller (§2.4.3).
 ///
 /// Every decision interval it assembles the quadratic program of Eq. 4 —
@@ -108,13 +73,20 @@ pub struct MpcDecision {
 /// response) and adapted gain, and solves it with the projected-gradient
 /// solver under box and per-step budget constraints.
 ///
+/// The Hessian is kept in structured block + low-rank form
+/// ([`StructuredQp`]) rather than as a dense matrix, so both assembly and
+/// each solver iteration cost O(jobs·horizon²) instead of
+/// O(jobs²·horizon²) — see [`crate::mpc_assembly`] for the derivation.
+/// The dense path survives as [`MpcController::assemble_dense_qp`] /
+/// [`MpcController::decide_dense`] for testing and diagnostics.
+///
 /// Timing convention: cap `p(j)` is applied during prediction interval
 /// `j` and the output `y(j)` is measured at its end, so `y(j)` sees
 /// `p(j)` through the model's direct feedthrough and earlier caps through
 /// the Markov parameters. The per-job sensitivity gain `g` scales the
 /// response to cap *changes*; absolute levels are tracked by the
 /// observer's free response.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct MpcController {
     settings: MpcSettings,
     /// Delayed Markov parameters `h_1..h_M` of the node model.
@@ -124,6 +96,24 @@ pub struct MpcController {
     /// Identified input offset `u₀` of the node model.
     input_offset: f64,
     solver: ProjGradSolver,
+    /// Interior-mutable so [`MpcController::decide`] keeps its `&self`
+    /// signature while reusing buffers and the spectral cache.
+    scratch: Mutex<ControllerScratch>,
+}
+
+impl Clone for MpcController {
+    fn clone(&self) -> Self {
+        // The scratch is a pure cache: a clone starts cold and re-warms on
+        // its first decision.
+        MpcController {
+            settings: self.settings.clone(),
+            markov: self.markov.clone(),
+            feedthrough: self.feedthrough,
+            input_offset: self.input_offset,
+            solver: self.solver.clone(),
+            scratch: Mutex::new(ControllerScratch::default()),
+        }
+    }
 }
 
 impl MpcController {
@@ -133,7 +123,7 @@ impl MpcController {
         let markov = model.ss.markov_parameters(settings.horizon);
         let solver = ProjGradSolver::new(ProjGradSettings {
             max_iters: settings.max_qp_iters,
-            tol: 1e-6,
+            tol: settings.qp_tol,
             power_iters: 20,
         });
         MpcController {
@@ -142,12 +132,27 @@ impl MpcController {
             feedthrough: model.ss.feedthrough(),
             input_offset: model.ss.input_offset(),
             solver,
+            scratch: Mutex::new(ControllerScratch::default()),
         }
     }
 
     /// The controller's settings.
     pub fn settings(&self) -> &MpcSettings {
         &self.settings
+    }
+
+    /// The assembly view of this controller's parameters.
+    fn params(&self) -> AssemblyParams<'_> {
+        AssemblyParams {
+            horizon: self.settings.horizon,
+            wt_job: self.settings.wt_job,
+            wt_sys: self.settings.wt_sys,
+            w_dp: self.settings.w_dp,
+            terminal_weight: self.settings.terminal_weight,
+            markov: &self.markov,
+            feedthrough: self.feedthrough,
+            input_offset: self.input_offset,
+        }
     }
 
     /// Free-response horizon rows `C Aʲ x̂ + y₀` for `j = 0..M` — the
@@ -167,210 +172,72 @@ impl MpcController {
             .collect()
     }
 
-    /// Assembles the decision QP of Eq. 4 for an input (exposed for
-    /// diagnostics and benchmarks). Returns the QP together with the
-    /// warm-start point (current caps held across the horizon) and the
-    /// per-(job, step) affine constants `k_ij` of the output predictions.
-    pub fn assemble_qp(&self, input: &MpcInput<'_>) -> Option<(BoxBudgetQp, Vec<f64>, Vec<f64>)> {
-        let nj = input.jobs.len();
-        if nj == 0 {
-            return None;
-        }
-        let m = self.settings.horizon;
-        let nv = nj * m;
-        let var = |i: usize, j: usize| i * m + j; // j = 0-based horizon step
-
-        // Cumulative input-response sums for the constant part of the
-        // forced response: h0cum[j] = D + Σ_{l=1..j} h_l is the total
-        // response at output step j of a constant unit input held from
-        // step 0.
-        let mut h0cum = vec![0.0; m];
-        h0cum[0] = self.feedthrough;
-        for j in 1..m {
-            h0cum[j] = h0cum[j - 1] + self.markov[j - 1];
-        }
-
-        // Row accumulation: Q += w rᵀr, c += −w·resid·r for each output
-        // row, where the predicted output is `r·p + k` and resid = T − k.
-        let mut q = Matrix::zeros(nv, nv);
-        let mut c = vec![0.0; nv];
-        let mut consts = vec![0.0; nv];
-        let add_row = |q: &mut Matrix,
-                           c: &mut Vec<f64>,
-                           w: f64,
-                           entries: &[(usize, f64)],
-                           resid: f64| {
-            for &(a, va) in entries {
-                c[a] -= w * resid * va;
-                for &(b, vb) in entries {
-                    q[(a, b)] += w * va * vb;
-                }
-            }
-        };
-
-        // Per-job constants k_i(j) and row templates. With the input at
-        // step mᵢ linearised as u(m) = φ(p0) + g·s0·(p(m) − p0), the
-        // predicted output is
-        //   y_i(j) = free_i(j) + (φ(p0) − g·s0·p0 + u0)·h0cum(j)
-        //          + g·s0·[ D·p_i(j) + Σ_{l<j} h_{j−l}·p_i(l) ].
-        let mut row_buf: Vec<(usize, f64)> = Vec::with_capacity(nv);
-        let mut sys_rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
-        let mut sys_consts = vec![0.0; m];
-
-        for (i, job) in input.jobs.iter().enumerate() {
-            debug_assert_eq!(job.free_response.len(), m, "free response length");
-            let gs = job.gain * job.curve_slope;
-            let const_in =
-                job.curve_value - job.gain * job.curve_slope * job.current_cap_frac
-                    + self.input_offset;
-            for j in 0..m {
-                // Constant part of y_i at output step j.
-                let k_ij = job.free_response[j] + const_in * h0cum[j] + job.bias;
-                consts[var(i, j)] = k_ij;
-                row_buf.clear();
-                for l in 0..=j {
-                    let coeff = if l == j {
-                        gs * self.feedthrough
-                    } else {
-                        gs * self.markov[j - l - 1]
-                    };
-                    if coeff != 0.0 {
-                        row_buf.push((var(i, l), coeff));
-                    }
-                }
-                let w = self.settings.wt_job
-                    * if j + 1 == m {
-                        self.settings.terminal_weight
-                    } else {
-                        1.0
-                    };
-                add_row(&mut q, &mut c, w, &row_buf, job.target - k_ij);
-
-                // Contribute to the system row for step j.
-                let scale = job.size as f64 / input.wp_nodes;
-                sys_consts[j] += scale * k_ij;
-                for &(idx, v) in &row_buf {
-                    sys_rows[j].push((idx, scale * v));
-                }
-            }
-        }
-
-        // System throughput rows.
-        for j in 0..m {
-            let w = self.settings.wt_sys
-                * if j + 1 == m {
-                    self.settings.terminal_weight
-                } else {
-                    1.0
-                };
-            add_row(
-                &mut q,
-                &mut c,
-                w,
-                &sys_rows[j],
-                input.system_target - sys_consts[j],
-            );
-        }
-
-        // ΔP smoothing rows: p_i(0) − p0_i, then p_i(j) − p_i(j−1).
-        for (i, job) in input.jobs.iter().enumerate() {
-            add_row(
-                &mut q,
-                &mut c,
-                self.settings.w_dp,
-                &[(var(i, 0), 1.0)],
-                job.current_cap_frac,
-            );
-            for j in 1..m {
-                add_row(
-                    &mut q,
-                    &mut c,
-                    self.settings.w_dp,
-                    &[(var(i, j), 1.0), (var(i, j - 1), -1.0)],
-                    0.0,
-                );
-            }
-        }
-
-        // Constraints: box on every cap, budget only over charged jobs.
-        let lo = vec![input.cap_min_frac; nv];
-        let hi = vec![1.0; nv];
-        let min_commit: f64 = input
-            .jobs
-            .iter()
-            .filter(|jb| jb.charged)
-            .map(|jb| jb.size as f64 * input.cap_min_frac)
-            .sum();
-        let any_charged = input.jobs.iter().any(|jb| jb.charged);
-        let budget_limit = input.budget_nodes.max(min_commit);
-        let budgets: Vec<Budget> = if any_charged {
-            (0..m)
-                .map(|j| {
-                    let mut coeffs = vec![0.0; nv];
-                    for (i, job) in input.jobs.iter().enumerate() {
-                        if job.charged {
-                            coeffs[var(i, j)] = job.size as f64;
-                        }
-                    }
-                    Budget {
-                        coeffs,
-                        limit: budget_limit,
-                    }
-                })
-                .collect()
-        } else {
-            Vec::new()
-        };
-
-        let qp = BoxBudgetQp {
-            q,
-            c,
-            lo,
-            hi,
-            budgets,
-        };
-        // Warm start: hold the current caps across the horizon.
-        let warm: Vec<f64> = input
-            .jobs
-            .iter()
-            .flat_map(|jb| std::iter::repeat_n(jb.current_cap_frac, m))
-            .collect();
-        Some((qp, warm, consts))
+    /// Assembles the decision QP of Eq. 4 in structured form — the
+    /// representation [`MpcController::decide`] solves (exposed for
+    /// diagnostics and benchmarks). Returns the operator together with
+    /// the warm-start point (current caps held across the horizon) and
+    /// the per-(job, step) affine constants `k_ij` of the output
+    /// predictions.
+    pub fn assemble_qp(&self, input: &MpcInput<'_>) -> Option<(StructuredQp, Vec<f64>, Vec<f64>)> {
+        assemble_structured_qp(&self.params(), input)
     }
 
-    /// Solves one decision instance. Returns `None` when there are no
-    /// jobs.
+    /// Assembles the same QP with a dense Hessian — O(jobs²) memory; the
+    /// test oracle for the structured path.
+    pub fn assemble_dense_qp(
+        &self,
+        input: &MpcInput<'_>,
+    ) -> Option<(BoxBudgetQp, Vec<f64>, Vec<f64>)> {
+        assemble_dense_qp(&self.params(), input)
+    }
+
+    /// Solves one decision instance via the structured O(jobs) path.
+    /// Returns `None` when there are no jobs.
     pub fn decide(&self, input: &MpcInput<'_>) -> Option<MpcDecision> {
-        let nj = input.jobs.len();
-        let m = self.settings.horizon;
-        let var = |i: usize, j: usize| i * m + j;
         let (qp, warm, _consts) = self.assemble_qp(input)?;
+        let mut scratch = self.scratch.lock().expect("controller scratch poisoned");
+        let ControllerScratch { ws, lmax } = &mut *scratch;
+        let sol = self
+            .solver
+            .solve_with(&qp, Some(&warm), ws, Some(lmax))
+            .expect("MPC QP is validated feasible");
+        Some(self.extract_decision(input, &sol))
+    }
+
+    /// Solves one decision instance via the dense reference path (kept as
+    /// the oracle the structured path is validated against).
+    pub fn decide_dense(&self, input: &MpcInput<'_>) -> Option<MpcDecision> {
+        let (qp, warm, _consts) = self.assemble_dense_qp(input)?;
         let sol = self
             .solver
             .solve(&qp, Some(&warm))
             .expect("MPC QP is validated feasible");
+        Some(self.extract_decision(input, &sol))
+    }
 
-        // Extract first-step caps and predicted outputs.
+    /// Extracts first-step caps and predicted outputs from a QP solution.
+    fn extract_decision(&self, input: &MpcInput<'_>, sol: &perq_qp::QpSolution) -> MpcDecision {
+        let nj = input.jobs.len();
+        let m = self.settings.horizon;
         let mut caps = Vec::with_capacity(nj);
         let mut predicted = Vec::with_capacity(nj);
         for (i, job) in input.jobs.iter().enumerate() {
-            let p1 = sol.x[var(i, 0)];
+            let p1 = sol.x[i * m];
             caps.push(p1);
-            let const_in =
-                job.curve_value - job.gain * job.curve_slope * job.current_cap_frac
-                    + self.input_offset;
+            let const_in = job.curve_value - job.gain * job.curve_slope * job.current_cap_frac
+                + self.input_offset;
             let y1 = job.free_response[0]
                 + const_in * self.feedthrough
                 + job.bias
                 + job.gain * job.curve_slope * self.feedthrough * p1;
             predicted.push(y1);
         }
-        Some(MpcDecision {
+        MpcDecision {
             caps_frac: caps,
             predicted_ips: predicted,
             qp_iterations: sol.iterations,
             converged: sol.converged,
-        })
+        }
     }
 }
 
@@ -393,7 +260,15 @@ mod tests {
         target: f64,
         gain: f64,
     ) -> MpcJobState {
-        job_at_output(ctrl, model, size, cap, target, gain, gain * model.curve.eval(cap))
+        job_at_output(
+            ctrl,
+            model,
+            size,
+            cap,
+            target,
+            gain,
+            gain * model.curve.eval(cap),
+        )
     }
 
     /// Like [`job_at`] but with the job's current output level seeded
@@ -543,6 +418,7 @@ mod tests {
             wp_nodes: 10.0,
         };
         assert!(ctrl.decide(&input).is_none());
+        assert!(ctrl.decide_dense(&input).is_none());
     }
 
     #[test]
@@ -590,5 +466,119 @@ mod tests {
             "w_dp=0.01 moved {fast}, w_dp=5 moved {slow}"
         );
         assert!(slow >= 0.4 - 1e-9);
+    }
+
+    #[test]
+    fn structured_and_dense_paths_agree() {
+        let m = model();
+        // Tight solver tolerance so both paths land on the optimum rather
+        // than on path-dependent approximations of it.
+        let ctrl = MpcController::new(
+            &m,
+            MpcSettings {
+                max_qp_iters: 200_000,
+                qp_tol: 1e-12,
+                ..MpcSettings::default()
+            },
+        );
+        let jobs: Vec<MpcJobState> = (0..6)
+            .map(|i| {
+                job_at_output(
+                    &ctrl,
+                    &m,
+                    3 + i,
+                    0.45 + 0.05 * i as f64,
+                    0.9,
+                    0.4 + 0.25 * i as f64,
+                    0.6 + 0.03 * i as f64,
+                )
+            })
+            .collect();
+        let input = MpcInput {
+            jobs: &jobs,
+            system_target: 1.5,
+            budget_nodes: 18.0,
+            cap_min_frac: 90.0 / 290.0,
+            wp_nodes: 30.0,
+        };
+        let structured = ctrl.decide(&input).unwrap();
+        let dense = ctrl.decide_dense(&input).unwrap();
+        for (s, d) in structured.caps_frac.iter().zip(dense.caps_frac.iter()) {
+            assert!((s - d).abs() < 1e-9, "structured {s} vs dense {d}");
+        }
+    }
+
+    #[test]
+    fn structured_assembly_matches_dense_objective() {
+        let m = model();
+        let ctrl = MpcController::new(&m, MpcSettings::default());
+        let jobs: Vec<MpcJobState> = (0..5)
+            .map(|i| {
+                job_at(
+                    &ctrl,
+                    &m,
+                    2 + i,
+                    0.4 + 0.1 * i as f64,
+                    1.0,
+                    0.3 + 0.3 * i as f64,
+                )
+            })
+            .collect();
+        let input = MpcInput {
+            jobs: &jobs,
+            system_target: 1.2,
+            budget_nodes: 12.0,
+            cap_min_frac: 90.0 / 290.0,
+            wp_nodes: 20.0,
+        };
+        let (sqp, swarm, sconsts) = ctrl.assemble_qp(&input).unwrap();
+        let (dqp, dwarm, dconsts) = ctrl.assemble_dense_qp(&input).unwrap();
+        assert_eq!(swarm, dwarm);
+        assert_eq!(sconsts, dconsts);
+        use perq_qp::QpOperator;
+        // Probe objective/gradient agreement at several points.
+        let n = dqp.dim();
+        for seed in 0..4u32 {
+            let x: Vec<f64> = (0..n)
+                .map(|i| 0.31 + 0.6 * (((i as f64 + 1.3) * (seed as f64 + 0.7)).sin() + 1.0) / 2.0)
+                .collect();
+            let fo = dqp.objective(&x);
+            let fs = QpOperator::objective(&sqp, &x);
+            assert!(
+                (fo - fs).abs() <= 1e-9 * (1.0 + fo.abs()),
+                "objective {fo} vs {fs}"
+            );
+            let mut gd = vec![0.0; n];
+            let mut gs = vec![0.0; n];
+            dqp.gradient_into(&x, &mut gd);
+            sqp.gradient_into(&x, &mut gs);
+            for (a, b) in gd.iter().zip(gs.iter()) {
+                assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs()), "grad {a} vs {b}");
+            }
+        }
+        // The structured operator must not materialise anything close to
+        // an nv×nv Hessian.
+        let nv = input.jobs.len() * ctrl.settings().horizon;
+        assert!(sqp.hessian_stored_floats() < nv * nv / 2);
+    }
+
+    #[test]
+    fn lipschitz_cache_warms_across_decisions() {
+        let m = model();
+        let ctrl = MpcController::new(&m, MpcSettings::default());
+        let job = job_at(&ctrl, &m, 10, 0.5, 0.95, 1.0);
+        let input = MpcInput {
+            jobs: std::slice::from_ref(&job),
+            system_target: 1.0,
+            budget_nodes: 10.0,
+            cap_min_frac: 90.0 / 290.0,
+            wp_nodes: 10.0,
+        };
+        let first = ctrl.decide(&input).unwrap();
+        assert!(ctrl.scratch.lock().unwrap().lmax.lmax().is_some());
+        let second = ctrl.decide(&input).unwrap();
+        for (a, b) in first.caps_frac.iter().zip(second.caps_frac.iter()) {
+            assert!((a - b).abs() < 1e-7, "decisions drifted: {a} vs {b}");
+        }
     }
 }

@@ -155,7 +155,8 @@ impl PowerPolicy for PerqPolicy {
                 adapter.observe_power(power / cap_max, cap_frac);
             }
         }
-        self.adapters.retain(|id, _| ctx.jobs.iter().any(|j| j.id == *id));
+        self.adapters
+            .retain(|id, _| ctx.jobs.iter().any(|j| j.id == *id));
 
         // 2. Targets.
         let targets = self.target_gen.generate(&self.model, ctx, &self.adapters);
@@ -168,10 +169,10 @@ impl PowerPolicy for PerqPolicy {
         //    charged their full cap.
         const SLACK_MARGIN: f64 = 0.04; // cap must exceed demand by this
         const CHARGE_MARGIN: f64 = 0.02; // safety margin on charged demand
-        // Global reserve against simultaneous phase-driven demand rises in
-        // slack jobs: the demand estimates are decaying *peak* trackers,
-        // so in aggregate only a first-visit phase peak can overshoot its
-        // charge; 2% of the budget absorbs that transient.
+                                         // Global reserve against simultaneous phase-driven demand rises in
+                                         // slack jobs: the demand estimates are decaying *peak* trackers,
+                                         // so in aggregate only a first-visit phase peak can overshoot its
+                                         // charge; 2% of the budget absorbs that transient.
         const RESERVE_FRAC: f64 = 0.02;
         let mut charged_flags = Vec::with_capacity(ctx.jobs.len());
         let mut slack_charge_nodes = 0.0;
@@ -190,8 +191,7 @@ impl PowerPolicy for PerqPolicy {
             }
             charged_flags.push(!slack);
         }
-        let budget_nodes =
-            ctx.busy_budget_w * (1.0 - RESERVE_FRAC) / cap_max - slack_charge_nodes;
+        let budget_nodes = ctx.busy_budget_w * (1.0 - RESERVE_FRAC) / cap_max - slack_charge_nodes;
 
         // 4. MPC decision.
         let job_states: Vec<MpcJobState> = ctx
@@ -240,7 +240,11 @@ impl PowerPolicy for PerqPolicy {
         self.step += 1;
         if self.dither_frac > 0.0 {
             for (i, cap) in caps.iter_mut().enumerate() {
-                let sign = if (i as u64 + self.step).is_multiple_of(2) { 1.0 } else { -1.0 };
+                let sign = if (i as u64 + self.step).is_multiple_of(2) {
+                    1.0
+                } else {
+                    -1.0
+                };
                 *cap += sign * self.dither_frac;
             }
             let coeffs: Vec<f64> = ctx
@@ -289,7 +293,12 @@ mod tests {
         compare_fairness, Cluster, ClusterConfig, FairPolicy, SystemModel, TraceGenerator,
     };
 
-    fn run_tardis(policy: &mut dyn PowerPolicy, f: f64, hours: f64, seed: u64) -> perq_sim::SimResult {
+    fn run_tardis(
+        policy: &mut dyn PowerPolicy,
+        f: f64,
+        hours: f64,
+        seed: u64,
+    ) -> perq_sim::SimResult {
         let system = SystemModel::tardis();
         let jobs = TraceGenerator::new(system.clone(), seed).generate(500);
         let mut config = ClusterConfig::for_system(&system, f, hours * 3600.0);

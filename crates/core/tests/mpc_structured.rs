@@ -1,0 +1,208 @@
+//! Property-based equivalence of the structured (O(jobs)) and dense
+//! (O(jobs²)) MPC decision paths on random job sets.
+
+use perq_core::mpc_assembly::{assemble_dense_qp, assemble_structured_qp, AssemblyParams};
+use perq_core::{MpcController, MpcInput, MpcJobState, MpcSettings};
+use perq_qp::{estimate_lmax, QpOperator};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn model() -> &'static perq_core::NodeModel {
+    static MODEL: OnceLock<perq_core::NodeModel> = OnceLock::new();
+    MODEL.get_or_init(|| perq_core::train_node_model(3).0)
+}
+
+/// A random job state with a plausible operating range (free response is
+/// arbitrary — the assembly treats it as opaque constants).
+fn job_state(m: usize) -> impl Strategy<Value = MpcJobState> {
+    (
+        1usize..16,
+        0.4f64..1.3,
+        0.32f64..0.95,
+        0.1f64..2.0,
+        prop::collection::vec(0.3f64..1.1, m),
+        0.3f64..0.9,
+        0.4f64..1.6,
+        -0.05f64..0.05,
+        prop::bool::ANY,
+    )
+        .prop_map(
+            |(size, target, cap, gain, free, cv, cs, bias, charged)| MpcJobState {
+                size,
+                target,
+                current_cap_frac: cap,
+                gain,
+                free_response: free,
+                curve_value: cv,
+                curve_slope: cs,
+                bias,
+                charged,
+            },
+        )
+}
+
+/// A full scenario: horizon, jobs (≤ 12), system target, budget fraction.
+fn scenario() -> impl Strategy<Value = (usize, Vec<MpcJobState>, f64, f64)> {
+    (1usize..=5).prop_flat_map(|m| {
+        (
+            Just(m),
+            prop::collection::vec(job_state(m), 1..=12),
+            0.5f64..1.5,
+            0.4f64..0.95,
+        )
+    })
+}
+
+fn tight_controller(m: usize) -> MpcController {
+    MpcController::new(
+        model(),
+        MpcSettings {
+            horizon: m,
+            max_qp_iters: 200_000,
+            qp_tol: 1e-12,
+            ..MpcSettings::default()
+        },
+    )
+}
+
+fn make_input<'a>(jobs: &'a [MpcJobState], sys_target: f64, budget_frac: f64) -> MpcInput<'a> {
+    let total_nodes: f64 = jobs.iter().map(|j| j.size as f64).sum();
+    MpcInput {
+        jobs,
+        system_target: sys_target,
+        budget_nodes: budget_frac * total_nodes,
+        cap_min_frac: 90.0 / 290.0,
+        wp_nodes: (0.8 * total_nodes).max(1.0),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn structured_objective_and_gradient_match_dense(
+        (horizon, jobs, sys_target, budget_frac) in scenario(),
+        seed in 0u64..1000,
+    ) {
+        let ctrl = tight_controller(horizon);
+        let input = make_input(&jobs, sys_target, budget_frac);
+        let (sqp, swarm, sconsts) = ctrl.assemble_qp(&input).unwrap();
+        let (dqp, dwarm, dconsts) = ctrl.assemble_dense_qp(&input).unwrap();
+        prop_assert_eq!(swarm, dwarm);
+        prop_assert_eq!(sconsts, dconsts);
+        let n = dqp.dim();
+        for probe in 0..3u32 {
+            let x: Vec<f64> = (0..n)
+                .map(|i| {
+                    let t = ((i as f64 + 1.7) * (probe as f64 + 0.9) + seed as f64).sin();
+                    0.31 + 0.69 * (t + 1.0) / 2.0
+                })
+                .collect();
+            let fo = dqp.objective(&x);
+            let fs = QpOperator::objective(&sqp, &x);
+            prop_assert!(
+                (fo - fs).abs() <= 1e-9 * (1.0 + fo.abs()),
+                "objective {} vs {}", fo, fs
+            );
+            let mut gd = vec![0.0; n];
+            let mut gs = vec![0.0; n];
+            dqp.gradient_into(&x, &mut gd);
+            sqp.gradient_into(&x, &mut gs);
+            for i in 0..n {
+                prop_assert!(
+                    (gd[i] - gs[i]).abs() <= 1e-9 * (1.0 + gd[i].abs()),
+                    "gradient[{}] {} vs {}", i, gd[i], gs[i]
+                );
+            }
+        }
+        // Structured storage stays linear in the job count.
+        prop_assert!(sqp.hessian_stored_floats() <= 2 * n * horizon);
+    }
+
+    #[test]
+    fn decide_agrees_across_paths(
+        (horizon, jobs, sys_target, budget_frac) in scenario(),
+    ) {
+        let ctrl = tight_controller(horizon);
+        let input = make_input(&jobs, sys_target, budget_frac);
+        let structured = ctrl.decide(&input).unwrap();
+        let dense = ctrl.decide_dense(&input).unwrap();
+        for (i, (s, d)) in structured
+            .caps_frac
+            .iter()
+            .zip(dense.caps_frac.iter())
+            .enumerate()
+        {
+            // Both paths solve to 1e-12 fixed-point residual; the argmins
+            // agree far below the acceptance threshold.
+            prop_assert!((s - d).abs() < 1e-8, "cap[{}]: {} vs {}", i, s, d);
+        }
+    }
+
+    #[test]
+    fn lmax_bound_dominates_power_iteration(
+        (horizon, jobs, sys_target, budget_frac) in scenario(),
+    ) {
+        let ctrl = tight_controller(horizon);
+        let input = make_input(&jobs, sys_target, budget_frac);
+        let (sqp, _, _) = ctrl.assemble_qp(&input).unwrap();
+        let est = estimate_lmax(&sqp, 200);
+        prop_assert!(
+            sqp.lmax_bound() >= est / 1.02,
+            "bound {} below estimate {}", sqp.lmax_bound(), est
+        );
+    }
+}
+
+/// The structured assembly must not allocate any O(nv²) object. Direct
+/// accounting: all Hessian storage is `jobs·M² + M·nv` floats.
+#[test]
+fn structured_assembly_memory_is_linear_in_jobs() {
+    let m = 4usize;
+    let params = AssemblyParams {
+        horizon: m,
+        wt_job: 1.0,
+        wt_sys: 1.0,
+        w_dp: 1.0,
+        terminal_weight: 2.0,
+        markov: &[0.2, 0.1, 0.05, 0.02],
+        feedthrough: 0.55,
+        input_offset: 0.0,
+    };
+    let mk_jobs = |n: usize| -> Vec<MpcJobState> {
+        (0..n)
+            .map(|i| MpcJobState {
+                size: 1 + i % 5,
+                target: 0.9,
+                current_cap_frac: 0.5,
+                gain: 0.5 + 0.1 * (i % 7) as f64,
+                free_response: vec![0.7; m],
+                curve_value: 0.6,
+                curve_slope: 0.9,
+                bias: 0.0,
+                charged: true,
+            })
+            .collect()
+    };
+    let floats_for = |n: usize| -> usize {
+        let jobs = mk_jobs(n);
+        let input = MpcInput {
+            jobs: &jobs,
+            system_target: 1.0,
+            budget_nodes: 0.7 * jobs.iter().map(|j| j.size as f64).sum::<f64>(),
+            cap_min_frac: 0.31,
+            wp_nodes: 100.0,
+        };
+        let (sqp, _, _) = assemble_structured_qp(&params, &input).unwrap();
+        let (dqp, _, _) = assemble_dense_qp(&params, &input).unwrap();
+        assert_eq!(dqp.dim(), QpOperator::dim(&sqp));
+        sqp.hessian_stored_floats()
+    };
+    let f32_jobs = floats_for(32);
+    let f512_jobs = floats_for(512);
+    // Exactly linear: 16× the jobs means 16× the floats.
+    assert_eq!(f512_jobs, 16 * f32_jobs);
+    // And far below the dense nv² footprint.
+    let nv = 512 * m;
+    assert!(f512_jobs < nv * nv / 64, "{f512_jobs} vs {}", nv * nv);
+}

@@ -58,33 +58,44 @@ impl Cholesky {
 
     /// Solves `A x = b` using the stored factorization.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = vec![0.0; b.len()];
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A x = b` into a caller-provided buffer (no allocation).
+    ///
+    /// `b` and `out` must both have length `n`; the substitution runs
+    /// entirely in `out`, so repeated solves (e.g. one per ADMM iteration)
+    /// reuse the same buffer.
+    pub fn solve_into(&self, b: &[f64], out: &mut [f64]) -> Result<()> {
         let n = self.l.rows();
-        if b.len() != n {
+        if b.len() != n || out.len() != n {
             return Err(LinalgError::DimMismatch {
                 op: "cholesky solve",
                 lhs: (n, n),
                 rhs: (b.len(), 1),
             });
         }
+        out.copy_from_slice(b);
         // Forward substitution: L y = b.
-        let mut y = b.to_vec();
         for i in 0..n {
             let row = self.l.row(i);
-            let mut sum = y[i];
+            let mut sum = out[i];
             for k in 0..i {
-                sum -= row[k] * y[k];
+                sum -= row[k] * out[k];
             }
-            y[i] = sum / row[i];
+            out[i] = sum / row[i];
         }
         // Back substitution: Lᵀ x = y.
         for i in (0..n).rev() {
-            let mut sum = y[i];
+            let mut sum = out[i];
             for k in (i + 1)..n {
-                sum -= self.l[(k, i)] * y[k];
+                sum -= self.l[(k, i)] * out[k];
             }
-            y[i] = sum / self.l[(i, i)];
+            out[i] = sum / self.l[(i, i)];
         }
-        Ok(y)
+        Ok(())
     }
 
     /// Solves `A X = B` column by column.
@@ -98,8 +109,13 @@ impl Cholesky {
             });
         }
         let mut out = Matrix::zeros(n, b.cols());
+        let mut rhs = vec![0.0; n];
+        let mut col = vec![0.0; n];
         for j in 0..b.cols() {
-            let col = self.solve(&b.col(j))?;
+            for (r, v) in rhs.iter_mut().zip(b.col_iter(j)) {
+                *r = v;
+            }
+            self.solve_into(&rhs, &mut col)?;
             for i in 0..n {
                 out[(i, j)] = col[i];
             }

@@ -113,8 +113,12 @@ impl Lu {
             });
         }
         let mut out = Matrix::zeros(n, b.cols());
+        let mut rhs = vec![0.0; n];
         for j in 0..b.cols() {
-            let col = self.solve(&b.col(j))?;
+            for (r, v) in rhs.iter_mut().zip(b.col_iter(j)) {
+                *r = v;
+            }
+            let col = self.solve(&rhs)?;
             for i in 0..n {
                 out[(i, j)] = col[i];
             }

@@ -74,7 +74,11 @@ impl Matrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: r, cols: c, data })
+        Ok(Matrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Creates a matrix by evaluating `f(row, col)` at every position.
@@ -145,17 +149,28 @@ impl Matrix {
     }
 
     /// Copies column `j` into a new vector.
+    ///
+    /// Allocates; hot loops should iterate with [`Matrix::col_iter`]
+    /// instead.
     pub fn col(&self, j: usize) -> Vec<f64> {
+        self.col_iter(j).collect()
+    }
+
+    /// Iterates over column `j` without allocating.
+    #[inline]
+    pub fn col_iter(&self, j: usize) -> impl Iterator<Item = f64> + '_ {
         debug_assert!(j < self.cols);
-        (0..self.rows).map(|i| self[(i, j)]).collect()
+        self.data[j..].iter().step_by(self.cols).copied()
     }
 
     /// Returns the transposed matrix.
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                t[(j, i)] = self[(i, j)];
+        for j in 0..self.cols {
+            // Row j of the transpose is column j of self; writing the
+            // destination contiguously keeps the output access row-major.
+            for (dst, v) in t.row_mut(j).iter_mut().zip(self.col_iter(j)) {
+                *dst = v;
             }
         }
         t
@@ -190,34 +205,46 @@ impl Matrix {
 
     /// Matrix-vector product `self * x`.
     pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
-        if self.cols != x.len() {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * x` written into a caller-provided
+    /// buffer, so hot loops (QP iterations, power iterations) do not
+    /// allocate.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
+        if self.cols != x.len() || self.rows != out.len() {
             return Err(LinalgError::DimMismatch {
-                op: "matvec",
+                op: "matvec_into",
                 lhs: (self.rows, self.cols),
-                rhs: (x.len(), 1),
+                rhs: (x.len(), out.len()),
             });
         }
-        Ok((0..self.rows)
-            .map(|i| {
-                self.row(i)
-                    .iter()
-                    .zip(x.iter())
-                    .map(|(&a, &b)| a * b)
-                    .sum()
-            })
-            .collect())
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.row(i).iter().zip(x.iter()).map(|(&a, &b)| a * b).sum();
+        }
+        Ok(())
     }
 
     /// Transposed matrix-vector product `selfᵀ * x`.
     pub fn tmatvec(&self, x: &[f64]) -> Result<Vec<f64>> {
-        if self.rows != x.len() {
+        let mut out = vec![0.0; self.cols];
+        self.tmatvec_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// Transposed matrix-vector product `selfᵀ * x` into a caller-provided
+    /// buffer (see [`Matrix::matvec_into`]).
+    pub fn tmatvec_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
+        if self.rows != x.len() || self.cols != out.len() {
             return Err(LinalgError::DimMismatch {
-                op: "tmatvec",
+                op: "tmatvec_into",
                 lhs: (self.rows, self.cols),
-                rhs: (x.len(), 1),
+                rhs: (x.len(), out.len()),
             });
         }
-        let mut out = vec![0.0; self.cols];
+        out.fill(0.0);
         for i in 0..self.rows {
             let xi = x[i];
             if xi == 0.0 {
@@ -227,7 +254,7 @@ impl Matrix {
                 *o += a * xi;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Elementwise sum `self + other`.
@@ -408,10 +435,7 @@ mod tests {
     fn matmul_dim_mismatch_errors() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
-        assert!(matches!(
-            a.matmul(&b),
-            Err(LinalgError::DimMismatch { .. })
-        ));
+        assert!(matches!(a.matmul(&b), Err(LinalgError::DimMismatch { .. })));
     }
 
     #[test]

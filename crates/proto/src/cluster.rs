@@ -285,17 +285,20 @@ impl ProtoCluster {
                 job.last_job_ips = job_ips;
                 job.is_new = false;
                 if let Some(ips) = job_ips {
-                    job.progress_s +=
-                        ips / (job.spec.size as f64 * BASE_NODE_IPS) * cfg.interval_s;
+                    job.progress_s += ips / (job.spec.size as f64 * BASE_NODE_IPS) * cfg.interval_s;
                 }
                 if cfg.trace_jobs.contains(&job.spec.id) {
-                    traces.entry(job.spec.id).or_default().points.push(TracePoint {
-                        t_s: now_s,
-                        cap_w: job.cap_w,
-                        ips: job_ips.unwrap_or(0.0),
-                        power_w: job.last_node_power_w.unwrap_or(0.0),
-                        target_ips: assignments[ji].target_ips,
-                    });
+                    traces
+                        .entry(job.spec.id)
+                        .or_default()
+                        .points
+                        .push(TracePoint {
+                            t_s: now_s,
+                            cap_w: job.cap_w,
+                            ips: job_ips.unwrap_or(0.0),
+                            power_w: job.last_node_power_w.unwrap_or(0.0),
+                            target_ips: assignments[ji].target_ips,
+                        });
                 }
                 if job.done_nodes.len() == job.nodes.len() {
                     finished.push(ji);

@@ -124,6 +124,15 @@ impl AdmmSolver {
             z[i] = z[i].max(qp.l[i]).min(qp.u[i]);
         }
         let mut y = vec![0.0; m];
+        // All iteration buffers are allocated once up front; the loop body
+        // is allocation-free.
+        let mut rhs = vec![0.0; n];
+        let mut x_next = vec![0.0; n];
+        let mut zy = vec![0.0; m];
+        let mut ax = vec![0.0; m];
+        let mut z_prev = vec![0.0; m];
+        let mut dz = vec![0.0; m];
+        let mut at_buf = vec![0.0; n];
         let mut iterations = 0;
         let mut residual = f64::INFINITY;
         let mut converged = false;
@@ -131,20 +140,21 @@ impl AdmmSolver {
         for k in 0..s.max_iters {
             iterations = k + 1;
             // x-update: (Q + σI + ρAᵀA) x = σ x̄ − c + Aᵀ(ρ z − y).
-            let mut rhs = vecops::scale(s.sigma, &x);
+            for (r, &xi) in rhs.iter_mut().zip(x.iter()) {
+                *r = s.sigma * xi;
+            }
             vecops::axpy(-1.0, &qp.c, &mut rhs);
-            let zy: Vec<f64> = z
-                .iter()
-                .zip(y.iter())
-                .map(|(&zi, &yi)| s.rho * zi - yi)
-                .collect();
-            let at_zy = qp.a.tmatvec(&zy).expect("validated");
-            vecops::axpy(1.0, &at_zy, &mut rhs);
-            x = chol.solve(&rhs)?;
+            for ((t, &zi), &yi) in zy.iter_mut().zip(z.iter()).zip(y.iter()) {
+                *t = s.rho * zi - yi;
+            }
+            qp.a.tmatvec_into(&zy, &mut at_buf).expect("validated");
+            vecops::axpy(1.0, &at_buf, &mut rhs);
+            chol.solve_into(&rhs, &mut x_next)?;
+            std::mem::swap(&mut x, &mut x_next);
 
             // z-update with over-relaxation.
-            let ax = qp.a.matvec(&x).expect("validated");
-            let z_prev = z.clone();
+            qp.a.matvec_into(&x, &mut ax).expect("validated");
+            z_prev.copy_from_slice(&z);
             for i in 0..m {
                 let relaxed = s.alpha * ax[i] + (1.0 - s.alpha) * z_prev[i];
                 z[i] = (relaxed + y[i] / s.rho).max(qp.l[i]).min(qp.u[i]);
@@ -153,9 +163,11 @@ impl AdmmSolver {
 
             // Residuals.
             let r_prim = vecops::max_abs_diff(&ax, &z);
-            let dz = vecops::sub(&z, &z_prev);
-            let at_dz = qp.a.tmatvec(&dz).expect("validated");
-            let r_dual = s.rho * vecops::norm_inf(&at_dz);
+            for ((d, &zi), &zp) in dz.iter_mut().zip(z.iter()).zip(z_prev.iter()) {
+                *d = zi - zp;
+            }
+            qp.a.tmatvec_into(&dz, &mut at_buf).expect("validated");
+            let r_dual = s.rho * vecops::norm_inf(&at_buf);
             residual = r_prim.max(r_dual);
             if residual < s.tol {
                 converged = true;

@@ -19,6 +19,19 @@
 //!   inequality constraints `l ≤ Ax ≤ u`, used for cross-validation and for
 //!   problem shapes the projected-gradient solver does not cover.
 //!
+//! The solvers access the QP through the [`QpOperator`] trait, which only
+//! exposes matrix-vector products. [`BoxBudgetQp`] materialises the dense
+//! Hessian (O(n²) memory and per-iteration cost); [`StructuredQp`] stores
+//! the block-diagonal + low-rank factorisation PERQ's MPC produces and
+//! costs O(jobs · horizon²) per iteration — the representation that makes
+//! the per-decision cost linear instead of quadratic in the job count.
+//! Long-lived callers reuse a [`Workspace`] (and optionally an
+//! [`LmaxCache`] of the previous Hessian's dominant eigenvector) to make
+//! repeated solves allocation-free and the Lipschitz estimate nearly free.
+//!
+//! With the `parallel` cargo feature the structured operator's
+//! block-diagonal matrix-vector product fans out across jobs with rayon.
+//!
 //! All solvers report convergence diagnostics in [`QpSolution`], and the
 //! test suite checks their answers against each other and against the KKT
 //! optimality conditions.
@@ -48,13 +61,17 @@ mod kkt;
 mod problem;
 mod projection;
 mod projgrad;
+mod structured;
 
 pub use admm::{AdmmSettings, AdmmSolver, InequalityQp};
 pub use error::QpError;
 pub use kkt::solve_equality_qp;
-pub use problem::{BoxBudgetQp, Budget, QpSolution};
-pub use projection::project_box_budget;
-pub use projgrad::{ProjGradSettings, ProjGradSolver};
+pub use problem::{BoxBudgetQp, Budget, QpOperator, QpSolution};
+pub use projection::{
+    project_box_budget, project_box_budgets, project_box_budgets_scratch, ProjectionScratch,
+};
+pub use projgrad::{estimate_lmax, LmaxCache, ProjGradSettings, ProjGradSolver, Workspace};
+pub use structured::{Coupling, StructuredQp};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, QpError>;

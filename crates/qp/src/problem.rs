@@ -28,6 +28,100 @@ impl Budget {
     }
 }
 
+/// Abstract interface to a box-and-budget-constrained convex QP
+/// `min ½xᵀQx + cᵀx  s.t.  lo ≤ x ≤ hi, budgets`.
+///
+/// The iterative solvers only ever touch the Hessian through
+/// matrix-vector products, so a problem does not need to materialise `Q`
+/// as a dense matrix: [`BoxBudgetQp`] stores it densely (O(n²)), while
+/// [`crate::StructuredQp`] stores the block-diagonal + low-rank
+/// factorisation PERQ's MPC actually produces (O(n)). Generalising
+/// [`crate::ProjGradSolver`] over this trait is what turns the
+/// per-decision cost from O(jobs²) into O(jobs).
+pub trait QpOperator {
+    /// Number of decision variables.
+    fn dim(&self) -> usize;
+
+    /// Component-wise lower bounds.
+    fn lo(&self) -> &[f64];
+
+    /// Component-wise upper bounds.
+    fn hi(&self) -> &[f64];
+
+    /// Coupling budget constraints (may be empty).
+    fn budgets(&self) -> &[Budget];
+
+    /// Validates dimensions and feasibility of the constraint set.
+    fn validate(&self) -> Result<()>;
+
+    /// Evaluates the objective `½ xᵀQx + cᵀx`.
+    fn objective(&self, x: &[f64]) -> f64;
+
+    /// Writes the gradient `Qx + c` into `out`.
+    fn gradient_into(&self, x: &[f64], out: &mut [f64]);
+
+    /// Writes the Hessian-vector product `Qx` into `out` (used by the
+    /// power iteration that estimates the Lipschitz constant).
+    fn hess_matvec_into(&self, x: &[f64], out: &mut [f64]);
+
+    /// A cheap guaranteed upper bound on `λ_max(Q)`, when the problem's
+    /// structure admits one. Solvers use it in place of (or as a clamp
+    /// on) the power-iteration estimate.
+    fn lmax_upper_bound(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Validates a box-and-budget constraint set of dimension `n` (shared by
+/// every [`QpOperator`] implementation).
+pub(crate) fn validate_constraints(
+    n: usize,
+    lo: &[f64],
+    hi: &[f64],
+    budgets: &[Budget],
+) -> Result<()> {
+    if lo.len() != n || hi.len() != n {
+        return Err(QpError::BadProblem(format!(
+            "bounds have lengths {}/{}, expected {n}",
+            lo.len(),
+            hi.len()
+        )));
+    }
+    for i in 0..n {
+        if lo[i] > hi[i] {
+            return Err(QpError::Infeasible(format!(
+                "lo[{i}]={} > hi[{i}]={}",
+                lo[i], hi[i]
+            )));
+        }
+        if !lo[i].is_finite() || !hi[i].is_finite() {
+            return Err(QpError::BadProblem(format!("non-finite bound at {i}")));
+        }
+    }
+    for (k, b) in budgets.iter().enumerate() {
+        if b.coeffs.len() != n {
+            return Err(QpError::BadProblem(format!(
+                "budget {k} has {} coefficients, expected {n}",
+                b.coeffs.len()
+            )));
+        }
+        if b.coeffs.iter().any(|&a| a < 0.0) {
+            return Err(QpError::BadProblem(format!(
+                "budget {k} has negative coefficients"
+            )));
+        }
+        // Feasibility against the box: the least possible usage is at lo.
+        let min_usage = vecops::dot(&b.coeffs, lo);
+        if min_usage > b.limit + 1e-9 {
+            return Err(QpError::Infeasible(format!(
+                "budget {k}: minimum usage {min_usage:.3} exceeds limit {:.3}",
+                b.limit
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// A box-and-budget-constrained convex QP:
 ///
 /// ```text
@@ -70,46 +164,7 @@ impl BoxBudgetQp {
                 self.q.cols()
             )));
         }
-        if self.lo.len() != n || self.hi.len() != n {
-            return Err(QpError::BadProblem(format!(
-                "bounds have lengths {}/{}, expected {n}",
-                self.lo.len(),
-                self.hi.len()
-            )));
-        }
-        for i in 0..n {
-            if self.lo[i] > self.hi[i] {
-                return Err(QpError::Infeasible(format!(
-                    "lo[{i}]={} > hi[{i}]={}",
-                    self.lo[i], self.hi[i]
-                )));
-            }
-            if !self.lo[i].is_finite() || !self.hi[i].is_finite() {
-                return Err(QpError::BadProblem(format!("non-finite bound at {i}")));
-            }
-        }
-        for (k, b) in self.budgets.iter().enumerate() {
-            if b.coeffs.len() != n {
-                return Err(QpError::BadProblem(format!(
-                    "budget {k} has {} coefficients, expected {n}",
-                    b.coeffs.len()
-                )));
-            }
-            if b.coeffs.iter().any(|&a| a < 0.0) {
-                return Err(QpError::BadProblem(format!(
-                    "budget {k} has negative coefficients"
-                )));
-            }
-            // Feasibility against the box: the least possible usage is at lo.
-            let min_usage = vecops::dot(&b.coeffs, &self.lo);
-            if min_usage > b.limit + 1e-9 {
-                return Err(QpError::Infeasible(format!(
-                    "budget {k}: minimum usage {min_usage:.3} exceeds limit {:.3}",
-                    b.limit
-                )));
-            }
-        }
-        Ok(())
+        validate_constraints(n, &self.lo, &self.hi, &self.budgets)
     }
 
     /// Evaluates the objective `½ xᵀQx + cᵀx`.
@@ -120,9 +175,15 @@ impl BoxBudgetQp {
 
     /// Evaluates the gradient `Qx + c`.
     pub fn gradient(&self, x: &[f64]) -> Vec<f64> {
-        let mut g = self.q.matvec(x).expect("dimension validated");
-        vecops::axpy(1.0, &self.c, &mut g);
+        let mut g = vec![0.0; self.c.len()];
+        self.gradient_into(x, &mut g);
         g
+    }
+
+    /// Writes the gradient `Qx + c` into `out` without allocating.
+    pub fn gradient_into(&self, x: &[f64], out: &mut [f64]) {
+        self.q.matvec_into(x, out).expect("dimension validated");
+        vecops::axpy(1.0, &self.c, out);
     }
 
     /// Returns `true` if `x` is feasible to within `tol`.
@@ -132,6 +193,40 @@ impl BoxBudgetQp {
             .zip(self.hi.iter())
             .all(|((&xi, &l), &h)| xi >= l - tol && xi <= h + tol)
             && self.budgets.iter().all(|b| b.satisfied(x, tol))
+    }
+}
+
+impl QpOperator for BoxBudgetQp {
+    fn dim(&self) -> usize {
+        BoxBudgetQp::dim(self)
+    }
+
+    fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    fn budgets(&self) -> &[Budget] {
+        &self.budgets
+    }
+
+    fn validate(&self) -> Result<()> {
+        BoxBudgetQp::validate(self)
+    }
+
+    fn objective(&self, x: &[f64]) -> f64 {
+        BoxBudgetQp::objective(self, x)
+    }
+
+    fn gradient_into(&self, x: &[f64], out: &mut [f64]) {
+        BoxBudgetQp::gradient_into(self, x, out)
+    }
+
+    fn hess_matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        self.q.matvec_into(x, out).expect("dimension validated");
     }
 }
 

@@ -1,5 +1,18 @@
 use crate::problem::Budget;
 
+/// Reusable buffers for the projection routines.
+///
+/// The projections need a copy of the pre-projection point (the bisection
+/// on the budget multiplier must always restart from the original
+/// coordinates); callers that project once per solver iteration pass a
+/// scratch so that copy does not allocate every time.
+#[derive(Debug, Clone, Default)]
+pub struct ProjectionScratch {
+    base: Vec<f64>,
+    orig: Vec<f64>,
+    sub: Vec<f64>,
+}
+
 /// Euclidean projection of `x` onto `{ lo ≤ z ≤ hi, aᵀz ≤ limit }` with
 /// `a ≥ 0`, in place.
 ///
@@ -18,6 +31,19 @@ use crate::problem::Budget;
 /// if it does not, the result is the box projection of the most-constrained
 /// point rather than a feasible point.
 pub fn project_box_budget(x: &mut [f64], lo: &[f64], hi: &[f64], budget: &Budget) {
+    let mut base = Vec::new();
+    project_box_budget_in(x, lo, hi, budget, &mut base);
+}
+
+/// [`project_box_budget`] with a caller-provided copy buffer (grown on
+/// demand, never shrunk), so per-iteration callers do not allocate.
+fn project_box_budget_in(
+    x: &mut [f64],
+    lo: &[f64],
+    hi: &[f64],
+    budget: &Budget,
+    base: &mut Vec<f64>,
+) {
     debug_assert_eq!(x.len(), lo.len());
     debug_assert_eq!(x.len(), hi.len());
     debug_assert_eq!(x.len(), budget.coeffs.len());
@@ -27,8 +53,9 @@ pub fn project_box_budget(x: &mut [f64], lo: &[f64], hi: &[f64], budget: &Budget
     // if that already satisfies the budget. The bisection must use the
     // ORIGINAL x, not a pre-clamped copy, or components outside the box
     // would stop responding to λ.
-    let base = x.to_vec();
-    if usage_at(&base, a, 0.0, lo, hi) <= budget.limit {
+    base.clear();
+    base.extend_from_slice(x);
+    if usage_at(base, a, 0.0, lo, hi) <= budget.limit {
         for i in 0..x.len() {
             x[i] = x[i].max(lo[i]).min(hi[i]);
         }
@@ -47,7 +74,7 @@ pub fn project_box_budget(x: &mut [f64], lo: &[f64], hi: &[f64], budget: &Budget
     let (mut l, mut r) = (0.0_f64, lambda_max.max(f64::MIN_POSITIVE));
     for _ in 0..80 {
         let mid = 0.5 * (l + r);
-        if usage_at(&base, a, mid, lo, hi) > budget.limit {
+        if usage_at(base, a, mid, lo, hi) > budget.limit {
             l = mid;
         } else {
             r = mid;
@@ -82,27 +109,45 @@ fn usage_at(base: &[f64], a: &[f64], lambda: f64, lo: &[f64], hi: &[f64]) -> f64
 /// projection algorithm, which converges to the exact projection onto the
 /// intersection of convex sets.
 pub fn project_box_budgets(x: &mut [f64], lo: &[f64], hi: &[f64], budgets: &[Budget]) {
+    let mut scratch = ProjectionScratch::default();
+    project_box_budgets_scratch(x, lo, hi, budgets, &mut scratch);
+}
+
+/// [`project_box_budgets`] with caller-provided scratch buffers.
+///
+/// The solvers call this once per iteration; routing the two internal
+/// working copies through [`ProjectionScratch`] keeps the iteration loop
+/// allocation-free. (The rarely-taken Dykstra fallback for overlapping
+/// budgets still allocates its per-budget increments.)
+pub fn project_box_budgets_scratch(
+    x: &mut [f64],
+    lo: &[f64],
+    hi: &[f64],
+    budgets: &[Budget],
+    scratch: &mut ProjectionScratch,
+) {
     match budgets {
         [] => {
             for i in 0..x.len() {
                 x[i] = x[i].max(lo[i]).min(hi[i]);
             }
         }
-        [b] => project_box_budget(x, lo, hi, b),
+        [b] => project_box_budget_in(x, lo, hi, b, &mut scratch.base),
         _ if disjoint_supports(budgets) => {
             // The projection decomposes over the disjoint supports, but each
             // budget's sub-projection must start from the ORIGINAL point.
-            let orig = x.to_vec();
+            scratch.orig.clear();
+            scratch.orig.extend_from_slice(x);
             for i in 0..x.len() {
-                x[i] = orig[i].max(lo[i]).min(hi[i]);
+                x[i] = scratch.orig[i].max(lo[i]).min(hi[i]);
             }
-            let mut tmp = vec![0.0; x.len()];
             for b in budgets {
-                tmp.copy_from_slice(&orig);
-                project_box_budget(&mut tmp, lo, hi, b);
+                scratch.sub.clear();
+                scratch.sub.extend_from_slice(&scratch.orig);
+                project_box_budget_in(&mut scratch.sub, lo, hi, b, &mut scratch.base);
                 for (i, &a) in b.coeffs.iter().enumerate() {
                     if a > 0.0 {
-                        x[i] = tmp[i];
+                        x[i] = scratch.sub[i];
                     }
                 }
             }

@@ -1,5 +1,5 @@
-use crate::problem::{BoxBudgetQp, QpSolution};
-use crate::projection::project_box_budgets;
+use crate::problem::{QpOperator, QpSolution};
+use crate::projection::{project_box_budgets_scratch, ProjectionScratch};
 use crate::Result;
 use perq_linalg::vecops;
 
@@ -12,7 +12,8 @@ pub struct ProjGradSettings {
     /// `‖x − proj(x − ∇f(x)/L)‖∞` scaled by `L`.
     pub tol: f64,
     /// Power-iteration steps used to estimate the Lipschitz constant
-    /// (largest eigenvalue of `Q`).
+    /// (largest eigenvalue of `Q`) when the operator does not provide a
+    /// cheap upper bound.
     pub power_iters: usize,
 }
 
@@ -26,7 +27,55 @@ impl Default for ProjGradSettings {
     }
 }
 
-/// Accelerated projected-gradient (FISTA) solver for [`BoxBudgetQp`].
+/// Reusable solver buffers: one per long-lived solver owner.
+///
+/// Holds every vector the FISTA iteration touches (`y`, gradient,
+/// candidate iterate, power-iteration vectors, projection scratch), so a
+/// solve performs no per-iteration allocation and repeated solves with
+/// the same workspace perform no allocation at all beyond the returned
+/// solution vector.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    y: Vec<f64>,
+    grad: Vec<f64>,
+    x_next: Vec<f64>,
+    pow: Vec<f64>,
+    pow_next: Vec<f64>,
+    proj: ProjectionScratch,
+}
+
+impl Workspace {
+    fn resize(&mut self, n: usize) {
+        self.y.resize(n, 0.0);
+        self.grad.resize(n, 0.0);
+        self.x_next.resize(n, 0.0);
+    }
+}
+
+/// Cached spectral information carried across solves.
+///
+/// PERQ solves one QP per control interval and the job set changes
+/// slowly, so the dominant eigenvector of the previous instance's Hessian
+/// is an excellent power-iteration seed: the re-estimate converges in a
+/// couple of matrix-vector products instead of `power_iters`. The cached
+/// `λ_max` also rides along for diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct LmaxCache {
+    /// Last Lipschitz estimate.
+    lmax: Option<f64>,
+    /// Last dominant-eigenvector estimate (empty until the first solve).
+    eigvec: Vec<f64>,
+}
+
+impl LmaxCache {
+    /// The last cached `λ_max` estimate, if any solve has populated it.
+    pub fn lmax(&self) -> Option<f64> {
+        self.lmax
+    }
+}
+
+/// Accelerated projected-gradient (FISTA) solver for any [`QpOperator`]
+/// (dense [`crate::BoxBudgetQp`] or matrix-free [`crate::StructuredQp`]).
 ///
 /// This is the solver PERQ's MPC controller runs every decision interval.
 /// The feasible set (box ∩ per-step power budgets) admits an exact O(n)
@@ -53,27 +102,46 @@ impl ProjGradSolver {
     ///
     /// `x0` is projected onto the feasible set before use, so any previous
     /// solution is a valid warm start even after the constraint set moved.
-    pub fn solve(&self, qp: &BoxBudgetQp, x0: Option<&[f64]>) -> Result<QpSolution> {
+    pub fn solve<Q: QpOperator + ?Sized>(&self, qp: &Q, x0: Option<&[f64]>) -> Result<QpSolution> {
+        let mut ws = Workspace::default();
+        self.solve_with(qp, x0, &mut ws, None)
+    }
+
+    /// [`ProjGradSolver::solve`] with caller-owned buffers and an optional
+    /// spectral cache.
+    ///
+    /// The iteration loop allocates nothing: all working vectors live in
+    /// `ws`. When `lmax_cache` is provided, the Lipschitz constant is
+    /// re-estimated by a power iteration seeded with the cached dominant
+    /// eigenvector (a few matrix-vector products once warm); without it,
+    /// the operator's [`QpOperator::lmax_upper_bound`] is used when
+    /// available and a cold power iteration otherwise.
+    pub fn solve_with<Q: QpOperator + ?Sized>(
+        &self,
+        qp: &Q,
+        x0: Option<&[f64]>,
+        ws: &mut Workspace,
+        lmax_cache: Option<&mut LmaxCache>,
+    ) -> Result<QpSolution> {
         qp.validate()?;
         let n = qp.dim();
+        ws.resize(n);
+        let (lo, hi, budgets) = (qp.lo(), qp.hi(), qp.budgets());
 
-        // Lipschitz constant of the gradient = λ_max(Q), estimated by power
-        // iteration (Q is symmetric PSD).
-        let lipschitz = estimate_lmax(qp, self.settings.power_iters).max(1e-12);
+        let lipschitz = self.lipschitz(qp, ws, lmax_cache).max(1e-12);
         let step = 1.0 / lipschitz;
 
         let mut x: Vec<f64> = match x0 {
             Some(v) if v.len() == n => v.to_vec(),
-            _ => qp
-                .lo
+            _ => lo
                 .iter()
-                .zip(qp.hi.iter())
+                .zip(hi.iter())
                 .map(|(&l, &h)| 0.5 * (l + h))
                 .collect(),
         };
-        project_box_budgets(&mut x, &qp.lo, &qp.hi, &qp.budgets);
+        project_box_budgets_scratch(&mut x, lo, hi, budgets, &mut ws.proj);
 
-        let mut y = x.clone();
+        ws.y.copy_from_slice(&x);
         let mut t = 1.0_f64;
         let mut f_prev = qp.objective(&x);
         let mut residual = f64::INFINITY;
@@ -82,31 +150,30 @@ impl ProjGradSolver {
         for k in 0..self.settings.max_iters {
             iterations = k + 1;
             // Gradient step from the extrapolated point, then project.
-            let grad = qp.gradient(&y);
-            let mut x_next = y.clone();
-            vecops::axpy(-step, &grad, &mut x_next);
-            project_box_budgets(&mut x_next, &qp.lo, &qp.hi, &qp.budgets);
+            qp.gradient_into(&ws.y, &mut ws.grad);
+            for ((xn, &yi), &gi) in ws.x_next.iter_mut().zip(ws.y.iter()).zip(ws.grad.iter()) {
+                *xn = yi - step * gi;
+            }
+            project_box_budgets_scratch(&mut ws.x_next, lo, hi, budgets, &mut ws.proj);
 
             // Fixed-point residual scaled back to gradient units.
-            residual = vecops::max_abs_diff(&x_next, &y) * lipschitz;
+            residual = vecops::max_abs_diff(&ws.x_next, &ws.y) * lipschitz;
 
-            let f_next = qp.objective(&x_next);
+            let f_next = qp.objective(&ws.x_next);
             if f_next > f_prev + 1e-12 {
                 // Adaptive restart: drop momentum, retry from the best point.
                 t = 1.0;
-                y = x.clone();
+                ws.y.copy_from_slice(&x);
                 f_prev = qp.objective(&x);
                 continue;
             }
 
             let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt());
             let beta = (t - 1.0) / t_next;
-            y = x_next
-                .iter()
-                .zip(x.iter())
-                .map(|(&xn, &xo)| xn + beta * (xn - xo))
-                .collect();
-            x = x_next;
+            for ((yi, &xn), &xo) in ws.y.iter_mut().zip(ws.x_next.iter()).zip(x.iter()) {
+                *yi = xn + beta * (xn - xo);
+            }
+            std::mem::swap(&mut x, &mut ws.x_next);
             f_prev = f_next;
             t = t_next;
 
@@ -117,7 +184,7 @@ impl ProjGradSolver {
 
         // Final safety projection (momentum extrapolation never leaves x
         // infeasible, but guard against accumulated round-off).
-        project_box_budgets(&mut x, &qp.lo, &qp.hi, &qp.budgets);
+        project_box_budgets_scratch(&mut x, lo, hi, budgets, &mut ws.proj);
         let objective = qp.objective(&x);
         let converged = residual < self.settings.tol * lipschitz.max(1.0);
         Ok(QpSolution {
@@ -128,32 +195,102 @@ impl ProjGradSolver {
             residual,
         })
     }
+
+    /// Picks the Lipschitz constant for the gradient step.
+    ///
+    /// - With a cache: power-iterate, seeded from the cached eigenvector
+    ///   when the dimension matches (early-exits once the estimate
+    ///   stabilises, so a warm re-estimate costs ~2-3 products), and clamp
+    ///   to the operator's certified upper bound if one exists (the bound
+    ///   is always a valid — if looser — Lipschitz constant).
+    /// - Without a cache: trust the certified bound when available, fall
+    ///   back to a cold power iteration otherwise.
+    fn lipschitz<Q: QpOperator + ?Sized>(
+        &self,
+        qp: &Q,
+        ws: &mut Workspace,
+        cache: Option<&mut LmaxCache>,
+    ) -> f64 {
+        let bound = qp.lmax_upper_bound();
+        match cache {
+            None => bound.unwrap_or_else(|| power_iterate(qp, self.settings.power_iters, ws, None)),
+            Some(cache) => {
+                let n = qp.dim();
+                let seed = if cache.eigvec.len() == n {
+                    Some(cache.eigvec.as_slice())
+                } else {
+                    None
+                };
+                let mut est = power_iterate(qp, self.settings.power_iters, ws, seed);
+                if let Some(b) = bound {
+                    est = est.min(b);
+                }
+                cache.lmax = Some(est);
+                cache.eigvec.clear();
+                cache.eigvec.extend_from_slice(&ws.pow);
+                est
+            }
+        }
+    }
 }
 
-/// Estimates `λ_max(Q)` by power iteration.
-fn estimate_lmax(qp: &BoxBudgetQp, iters: usize) -> f64 {
+/// Estimates `λ_max(Q)` by power iteration from a cold deterministic
+/// start (exposed so tests can compare certified bounds against it).
+pub fn estimate_lmax<Q: QpOperator + ?Sized>(qp: &Q, iters: usize) -> f64 {
+    let mut ws = Workspace::default();
+    power_iterate(qp, iters, &mut ws, None)
+}
+
+/// Power iteration on `Q` using the workspace's `pow`/`pow_next` buffers;
+/// the final iterate is left in `ws.pow` so callers can cache it as a
+/// seed. Early-exits once successive estimates agree to 0.1% (with a
+/// good seed that happens after a couple of products).
+fn power_iterate<Q: QpOperator + ?Sized>(
+    qp: &Q,
+    iters: usize,
+    ws: &mut Workspace,
+    seed: Option<&[f64]>,
+) -> f64 {
     let n = qp.dim();
     if n == 0 {
         return 1.0;
     }
-    // Deterministic pseudo-random start vector avoids adversarial alignment
-    // with a null eigenvector while keeping runs reproducible.
-    let mut v: Vec<f64> = (0..n)
-        .map(|i| ((i as f64 * 0.754_877_666 + 0.1).sin() + 1.5) / 2.0)
-        .collect();
-    let mut lmax = 1.0;
+    ws.pow.clear();
+    match seed {
+        Some(v) if v.len() == n && vecops::norm2(v) > 1e-300 => {
+            ws.pow.extend_from_slice(v);
+        }
+        _ => {
+            // Deterministic pseudo-random start vector avoids adversarial
+            // alignment with a null eigenvector while keeping runs
+            // reproducible.
+            ws.pow
+                .extend((0..n).map(|i| ((i as f64 * 0.754_877_666 + 0.1).sin() + 1.5) / 2.0));
+        }
+    }
+    ws.pow_next.resize(n, 0.0);
+
+    let mut lmax = 1.0_f64;
+    let mut lmax_prev = f64::NAN;
     for _ in 0..iters {
-        let w = qp.q.matvec(&v).expect("validated dims");
-        let norm = vecops::norm2(&w);
+        qp.hess_matvec_into(&ws.pow, &mut ws.pow_next);
+        let norm = vecops::norm2(&ws.pow_next);
         if norm < 1e-300 {
             return 1.0;
         }
-        lmax = norm / vecops::norm2(&v).max(1e-300);
-        v = vecops::scale(1.0 / norm, &w);
+        lmax = norm / vecops::norm2(&ws.pow).max(1e-300);
+        let inv = 1.0 / norm;
+        for (p, &w) in ws.pow.iter_mut().zip(ws.pow_next.iter()) {
+            *p = w * inv;
+        }
+        if (lmax - lmax_prev).abs() <= 1e-3 * lmax {
+            break;
+        }
+        lmax_prev = lmax;
     }
     // Rayleigh quotient for a tighter final estimate.
-    let qv = qp.q.matvec(&v).expect("validated dims");
-    let rq = vecops::dot(&v, &qv) / vecops::dot(&v, &v).max(1e-300);
+    qp.hess_matvec_into(&ws.pow, &mut ws.pow_next);
+    let rq = vecops::dot(&ws.pow, &ws.pow_next) / vecops::dot(&ws.pow, &ws.pow).max(1e-300);
     // Small inflation guards against underestimation from finite iterations.
     (rq.max(lmax) * 1.01).max(1e-12)
 }
@@ -161,7 +298,7 @@ fn estimate_lmax(qp: &BoxBudgetQp, iters: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::problem::Budget;
+    use crate::problem::{BoxBudgetQp, Budget};
     use crate::solve_equality_qp;
     use perq_linalg::Matrix;
 
@@ -219,7 +356,11 @@ mod tests {
         let s = solve(&qp);
         let e = Matrix::from_rows(&[&[1.0, 1.0]]).unwrap();
         let (x_eq, _) = solve_equality_qp(&q, &c, Some((&e, &[2.0]))).unwrap();
-        assert!(vecops::max_abs_diff(&s.x, &x_eq) < 1e-4, "{:?} vs {x_eq:?}", s.x);
+        assert!(
+            vecops::max_abs_diff(&s.x, &x_eq) < 1e-4,
+            "{:?} vs {x_eq:?}",
+            s.x
+        );
     }
 
     #[test]
@@ -260,12 +401,7 @@ mod tests {
     fn solution_is_feasible_and_kkt_stationary() {
         // Random-ish QP; verify no feasible descent direction exists by
         // checking the projected gradient vanishes.
-        let q = Matrix::from_rows(&[
-            &[3.0, 0.2, 0.1],
-            &[0.2, 2.0, 0.0],
-            &[0.1, 0.0, 1.5],
-        ])
-        .unwrap();
+        let q = Matrix::from_rows(&[&[3.0, 0.2, 0.1], &[0.2, 2.0, 0.0], &[0.1, 0.0, 1.5]]).unwrap();
         let qp = BoxBudgetQp {
             q,
             c: vec![-10.0, 1.0, -2.0],
@@ -299,5 +435,36 @@ mod tests {
             }],
         };
         assert!(ProjGradSolver::default().solve(&qp, None).is_err());
+    }
+
+    #[test]
+    fn workspace_and_cache_reuse_matches_plain_solve() {
+        let q = Matrix::from_rows(&[&[3.0, 0.4], &[0.4, 2.0]]).unwrap();
+        let qp = BoxBudgetQp {
+            q,
+            c: vec![-2.0, -3.0],
+            lo: vec![0.0; 2],
+            hi: vec![1.5; 2],
+            budgets: vec![Budget {
+                coeffs: vec![1.0, 1.0],
+                limit: 2.0,
+            }],
+        };
+        let solver = ProjGradSolver::default();
+        let plain = solver.solve(&qp, None).unwrap();
+
+        let mut ws = Workspace::default();
+        let mut cache = LmaxCache::default();
+        let first = solver
+            .solve_with(&qp, None, &mut ws, Some(&mut cache))
+            .unwrap();
+        assert!(cache.lmax().is_some());
+        // Re-solving with the warm cache and workspace converges to the
+        // same point.
+        let second = solver
+            .solve_with(&qp, Some(&first.x), &mut ws, Some(&mut cache))
+            .unwrap();
+        assert!(vecops::max_abs_diff(&plain.x, &second.x) < 1e-6);
+        assert!(second.iterations <= first.iterations);
     }
 }

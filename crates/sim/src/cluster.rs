@@ -584,7 +584,11 @@ mod tests {
                 "assert"
             }
             fn assign(&mut self, ctx: &PolicyContext<'_>) -> Vec<crate::policy::PowerAssignment> {
-                if ctx.jobs.iter().any(|j| j.measured_ips.is_none() && !j.is_new) {
+                if ctx
+                    .jobs
+                    .iter()
+                    .any(|j| j.measured_ips.is_none() && !j.is_new)
+                {
                     self.saw_none = true;
                 }
                 self.inner.assign(ctx)

@@ -71,10 +71,7 @@ pub fn compare_fairness(policy: &SimResult, fop: &SimResult) -> FairnessReport {
 /// Empirical CDF of completed-job runtimes in hours: `(runtime_h,
 /// cumulative_fraction)` pairs sorted by runtime — Fig. 1 material.
 pub fn runtime_cdf(result: &SimResult) -> Vec<(f64, f64)> {
-    let mut runtimes: Vec<f64> = result
-        .completed()
-        .map(|r| r.runtime_s() / 3600.0)
-        .collect();
+    let mut runtimes: Vec<f64> = result.completed().map(|r| r.runtime_s() / 3600.0).collect();
     runtimes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let n = runtimes.len() as f64;
     runtimes

@@ -32,9 +32,7 @@ impl Scheduler {
     /// Creates a scheduler over a pre-generated trace (saturated queue:
     /// every job is ready immediately, in trace order).
     pub fn new(jobs: Vec<JobSpec>) -> Self {
-        Scheduler {
-            queue: jobs.into(),
-        }
+        Scheduler { queue: jobs.into() }
     }
 
     /// Jobs still waiting.
@@ -200,11 +198,7 @@ mod tests {
         }];
         // Spare at shadow = 4. Two 3-node long jobs: only one fits the
         // spare pool (the second would delay the head).
-        let mut s = Scheduler::new(vec![
-            job(0, 12, 100.0),
-            job(1, 3, 100.0),
-            job(2, 3, 100.0),
-        ]);
+        let mut s = Scheduler::new(vec![job(0, 12, 100.0), job(1, 3, 100.0), job(2, 3, 100.0)]);
         let started = s.schedule(0.0, 8, &running);
         assert_eq!(started.len(), 1, "{started:?}");
         assert_eq!(started[0].id, 1);
@@ -243,11 +237,7 @@ mod tests {
             estimated_end_s: 50.0,
         }];
         // Head blocked; second job too big to backfill; third fits.
-        let mut s = Scheduler::new(vec![
-            job(0, 12, 100.0),
-            job(1, 8, 100.0),
-            job(2, 2, 30.0),
-        ]);
+        let mut s = Scheduler::new(vec![job(0, 12, 100.0), job(1, 8, 100.0), job(2, 2, 30.0)]);
         let started = s.schedule(0.0, 8, &running);
         assert_eq!(started.len(), 1);
         assert_eq!(started[0].id, 2);

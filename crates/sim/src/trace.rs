@@ -199,8 +199,7 @@ mod tests {
     fn mira_runtime_statistics_match_fig1() {
         let mut g = TraceGenerator::new(SystemModel::mira(), 123);
         let jobs = g.generate(20_000);
-        let mean_min =
-            jobs.iter().map(|j| j.runtime_tdp_s / 60.0).sum::<f64>() / jobs.len() as f64;
+        let mean_min = jobs.iter().map(|j| j.runtime_tdp_s / 60.0).sum::<f64>() / jobs.len() as f64;
         let over_30 = jobs
             .iter()
             .filter(|j| j.runtime_tdp_s > 30.0 * 60.0)
@@ -216,8 +215,7 @@ mod tests {
     fn trinity_runtime_statistics_match_fig1() {
         let mut g = TraceGenerator::new(SystemModel::trinity(), 321);
         let jobs = g.generate(20_000);
-        let mean_min =
-            jobs.iter().map(|j| j.runtime_tdp_s / 60.0).sum::<f64>() / jobs.len() as f64;
+        let mean_min = jobs.iter().map(|j| j.runtime_tdp_s / 60.0).sum::<f64>() / jobs.len() as f64;
         let over_30 = jobs
             .iter()
             .filter(|j| j.runtime_tdp_s > 30.0 * 60.0)

@@ -8,11 +8,7 @@ use perq_sim::{
 use proptest::prelude::*;
 
 fn arb_jobs(max_size: usize) -> impl Strategy<Value = Vec<JobSpec>> {
-    prop::collection::vec(
-        (1..=max_size, 60.0f64..4000.0),
-        1..40,
-    )
-    .prop_map(|specs| {
+    prop::collection::vec((1..=max_size, 60.0f64..4000.0), 1..40).prop_map(|specs| {
         specs
             .into_iter()
             .enumerate()

@@ -2,9 +2,7 @@
 //! Hammerstein plant, fit curve + ARX, realize state-space, observe, and
 //! verify the identified chain predicts the plant.
 
-use perq_sysid::{
-    excite, fit_arx, fit_monotone_curve, fit_percent, KalmanObserver, Rls,
-};
+use perq_sysid::{excite, fit_arx, fit_monotone_curve, fit_percent, KalmanObserver, Rls};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -31,7 +29,10 @@ impl Plant {
 fn full_pipeline_identifies_hammerstein_plant() {
     let mut rng = StdRng::seed_from_u64(99);
     let caps = excite::uniform_switching(&mut rng, 3000, 0.3, 1.0, 5);
-    let mut plant = Plant { state: 0.0, pole: 0.3 };
+    let mut plant = Plant {
+        state: 0.0,
+        pole: 0.3,
+    };
     let y: Vec<f64> = caps.iter().map(|&c| plant.step(c)).collect();
 
     // 1. Static curve recovers the saturation shape.
@@ -62,7 +63,10 @@ fn full_pipeline_identifies_hammerstein_plant() {
     let ss = arx.to_state_space();
     assert!(ss.is_stable());
     let mut obs = KalmanObserver::new(ss, 0.05, 1e-3);
-    let mut plant = Plant { state: 0.0, pole: 0.3 };
+    let mut plant = Plant {
+        state: 0.0,
+        pole: 0.3,
+    };
     let mut last_err = f64::INFINITY;
     for k in 0..200 {
         let cap = if k < 100 { 0.5 } else { 0.8 };

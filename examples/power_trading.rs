@@ -60,12 +60,7 @@ fn main() {
             ),
             None => format!("{:>6} {:>6}  {:>6}", "-", "-", "-"),
         };
-        println!(
-            "{:>4.0}   {}   |  {}",
-            t,
-            fmt(p0, peak0),
-            fmt(p1, peak1)
-        );
+        println!("{:>4.0}   {}   |  {}", t, fmt(p0, peak0), fmt(p1, peak1));
         if p0.is_none() && p1.is_none() && k > 5 {
             break;
         }
