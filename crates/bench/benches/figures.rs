@@ -62,7 +62,10 @@ fn bench_fig12_prototype(c: &mut Criterion) {
                 },
             ];
             let mut perq = PerqPolicy::new(PerqConfig::default());
-            ProtoCluster::new(config).run(jobs, &mut perq).throughput()
+            ProtoCluster::new(config)
+                .run(jobs, &mut perq)
+                .expect("prototype run")
+                .throughput()
         })
     });
     group.finish();

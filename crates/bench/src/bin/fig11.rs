@@ -37,7 +37,9 @@ fn main() {
     // f = 1 baseline.
     let base = {
         let config = ProtoConfig::tardis(8, 1.0, intervals);
-        ProtoCluster::new(config).run(jobs.clone(), &mut perq_sim::FairPolicy::new())
+        ProtoCluster::new(config)
+            .run(jobs.clone(), &mut perq_sim::FairPolicy::new())
+            .expect("prototype run")
     };
     println!("baseline f=1.0: {} jobs completed", base.throughput());
     println!(
@@ -49,7 +51,9 @@ fn main() {
         for kind in PolicyKind::headline() {
             let config = ProtoConfig::tardis(8, f, intervals);
             let mut policy = kind.build(&model, &perq_config);
-            let result = ProtoCluster::new(config).run(jobs.clone(), policy.as_mut());
+            let result = ProtoCluster::new(config)
+                .run(jobs.clone(), policy.as_mut())
+                .expect("prototype run");
             let (mean_deg, max_deg) = match &fop_result {
                 None => (0.0, 0.0),
                 Some(fop) => {

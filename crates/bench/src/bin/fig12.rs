@@ -32,7 +32,9 @@ fn main() {
     ];
 
     let mut perq = PerqPolicy::new(PerqConfig::default());
-    let result = ProtoCluster::new(config).run(jobs, &mut perq);
+    let result = ProtoCluster::new(config)
+        .run(jobs, &mut perq)
+        .expect("prototype run");
     let t0 = result.traces.get(&0).cloned().unwrap_or_default();
     let t1 = result.traces.get(&1).cloned().unwrap_or_default();
     let peak = |t: &perq_sim::JobTrace| t.points.iter().map(|p| p.ips).fold(1e-9_f64, f64::max);

@@ -16,8 +16,8 @@
 
 use perq_core::{baselines, train_node_model, PerqConfig, PerqPolicy};
 use perq_sim::{
-    compare_fairness, Cluster, ClusterConfig, FairPolicy, PowerPolicy, SimResult, SystemModel,
-    TraceGenerator,
+    compare_fairness, fault_summary, Cluster, ClusterConfig, FairPolicy, FaultPlan, FaultRates,
+    PowerPolicy, SimResult, SystemModel, TraceGenerator,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -29,14 +29,18 @@ fn usage() -> ExitCode {
 USAGE:
     perq simulate  [system=mira|trinity|tardis] [policy=perq|fop|sjs|ljs|srn] [f=2.0]
                    [hours=4] [seed=42] [interval=10] [json=out.json]
+                   [faults=SEED] (seeded fault injection: node crashes, telemetry
+                   dropouts, job kills — deterministic per seed)
     perq train     [seed=7]
     perq prototype [wp=8] [f=2.0] [policy=perq|fop|sjs|ljs|srn] [jobs=200] [intervals=600]
+                   [crash=NODE@STEP] (kill worker NODE at control step STEP)
     perq stress    [clients=100000] [connections=4]
     perq help
 
 Examples:
     perq simulate system=trinity policy=perq f=1.8 hours=8
-    perq prototype wp=4 f=2.0 policy=srn
+    perq simulate system=tardis policy=perq faults=7
+    perq prototype wp=4 f=2.0 policy=srn crash=2@10
 "
     );
     ExitCode::from(2)
@@ -87,6 +91,17 @@ fn summarize(result: &SimResult, fop: Option<&SimResult>) {
     println!("f                 : {:.2}", result.f);
     println!("jobs completed    : {}", result.throughput());
     println!("budget violations : {}", result.budget_violations);
+    let faults = fault_summary(result);
+    if faults.injected > 0 {
+        println!(
+            "faults injected   : {} ({} node crashes, {} jobs killed)",
+            faults.injected, faults.nodes_crashed, faults.jobs_killed
+        );
+        println!(
+            "degradation       : {:.0} s over budget; recovery mean {:.0} s / max {:.0} s",
+            faults.budget_violation_s, faults.mean_recovery_s, faults.max_recovery_s
+        );
+    }
     let mean_decision_ms = 1000.0 * result.decision_times_s.iter().sum::<f64>()
         / result.decision_times_s.len().max(1) as f64;
     println!("mean decision time: {mean_decision_ms:.2} ms");
@@ -118,13 +133,31 @@ fn cmd_simulate(map: HashMap<String, String>) -> ExitCode {
         jobs.len()
     );
 
+    let fault_seed: Option<u64> = map.get("faults").and_then(|v| v.parse().ok());
+    let fault_plan = fault_seed.map(|fs| {
+        let steps = (config.duration_s / config.interval_s) as usize;
+        let plan = FaultPlan::generate(fs, steps, &FaultRates::default());
+        println!(
+            "fault injection   : seed {fs}, {} scheduled events",
+            plan.len()
+        );
+        plan
+    });
+    let with_plan = |mut c: Cluster| -> Cluster {
+        if let Some(plan) = &fault_plan {
+            c = c.with_fault_plan(plan.clone());
+        }
+        c
+    };
+
     // Always run the FOP reference for the fairness metrics.
-    let fop_result = Cluster::new(config.clone(), jobs.clone(), seed).run(&mut FairPolicy::new());
+    let fop_result =
+        with_plan(Cluster::new(config.clone(), jobs.clone(), seed)).run(&mut FairPolicy::new());
     let mut chosen = policy(&map);
     let result = if chosen.name() == "FOP" {
         fop_result.clone()
     } else {
-        Cluster::new(config, jobs, seed).run(chosen.as_mut())
+        with_plan(Cluster::new(config, jobs, seed)).run(chosen.as_mut())
     };
     summarize(&result, Some(&fop_result));
 
@@ -180,13 +213,34 @@ fn cmd_prototype(map: HashMap<String, String>) -> ExitCode {
         j.runtime_tdp_s = j.runtime_tdp_s.clamp(120.0, 1200.0);
         j.runtime_estimate_s = j.runtime_tdp_s * 1.3;
     }
-    let config = ProtoConfig::tardis(wp, f, intervals);
+    let mut config = ProtoConfig::tardis(wp, f, intervals);
+    if let Some(spec) = map.get("crash") {
+        match spec
+            .split_once('@')
+            .and_then(|(n, s)| Some((n.parse::<u32>().ok()?, s.parse::<usize>().ok()?)))
+        {
+            Some((node, step)) => {
+                println!("fault injection: worker {node} crashes at step {step}");
+                config.crash_workers.push((node, step));
+            }
+            None => {
+                eprintln!("bad crash spec '{spec}' (expected NODE@STEP)");
+                return ExitCode::from(2);
+            }
+        }
+    }
     println!(
         "prototype: {} workers (budget {} nodes), {} jobs, {} intervals",
         config.nodes, config.wp_nodes, n_jobs, intervals
     );
     let mut chosen = policy(&map);
-    let result = ProtoCluster::new(config).run(jobs, chosen.as_mut());
+    let result = match ProtoCluster::new(config).run(jobs, chosen.as_mut()) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("prototype run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     summarize(&result, None);
     ExitCode::SUCCESS
 }

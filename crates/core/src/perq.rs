@@ -1,7 +1,7 @@
 use crate::model::{train_node_model, JobAdapter, NodeModel};
 use crate::mpc::{MpcController, MpcInput, MpcJobState, MpcSettings};
 use crate::targets::TargetGenerator;
-use perq_apps::BASE_NODE_IPS;
+use perq_apps::{BASE_NODE_IPS, IDLE_WATTS};
 use perq_sim::{PolicyContext, PowerAssignment, PowerPolicy};
 use std::collections::HashMap;
 
@@ -152,7 +152,16 @@ impl PowerPolicy for PerqPolicy {
                 adapter.update(&self.model, cap_frac, ips_norm);
             }
             if let Some(power) = job.measured_power_w {
-                adapter.observe_power(power / cap_max, cap_frac);
+                // Degradation guard: a corrupted sensor can report a
+                // physically impossible per-node power (far above TDP, or
+                // below the idle floor). Feeding it into the peak-tracking
+                // demand estimator would mis-budget the job for several
+                // intervals, so implausible readings are discarded — the
+                // estimator simply coasts through the gap.
+                let plausible = (0.5 * IDLE_WATTS..=cap_max * 1.1).contains(&power);
+                if plausible {
+                    adapter.observe_power(power / cap_max, cap_frac);
+                }
             }
         }
         self.adapters
@@ -438,6 +447,65 @@ mod tests {
         assert!(
             total_caps > 8.0 * cap_max,
             "caps should over-commit the budget (reclaimed headroom), got {total_caps}"
+        );
+    }
+
+    #[test]
+    fn implausible_power_readings_do_not_move_the_demand_estimate() {
+        // Degradation guard: a corrupted sensor (e.g. a telemetry fault
+        // injected by the simulator) can report power far above TDP or
+        // below the idle floor. Such readings must be discarded before
+        // they reach the peak-tracking demand estimator, so the estimate
+        // is bit-identical to a run where the reading never arrived.
+        use perq_sim::JobView;
+        let cap_max = 290.0;
+        let step_once = |perq: &mut PerqPolicy, step: usize, cap: f64, power: Option<f64>| {
+            let jobs = vec![JobView {
+                id: 0,
+                size: 4,
+                elapsed_s: step as f64 * 10.0,
+                measured_ips: Some(4.0 * 1.5e9),
+                current_cap_w: cap,
+                measured_power_w: power,
+                remaining_node_hours: 5.0,
+                is_new: step == 0,
+            }];
+            let ctx = perq_sim::PolicyContext {
+                time_s: step as f64 * 10.0,
+                interval_s: 10.0,
+                busy_budget_w: 4.0 * cap_max,
+                cap_min_w: 90.0,
+                cap_max_w: cap_max,
+                total_nodes: 4,
+                wp_nodes: 4,
+                jobs: &jobs,
+            };
+            perq.assign(&ctx)[0].cap_w
+        };
+
+        let mut perq = PerqPolicy::new(PerqConfig::default());
+        let mut cap = 145.0;
+        for step in 0..8 {
+            cap = step_once(&mut perq, step, cap, Some(150.0));
+        }
+        let seasoned = perq.adapter(0).expect("tracked").demand_frac();
+        assert!(seasoned.is_some(), "sane readings must season the tracker");
+
+        // Garbage: 10x TDP, then a reading below half the idle floor.
+        cap = step_once(&mut perq, 8, cap, Some(10.0 * cap_max));
+        cap = step_once(&mut perq, 9, cap, Some(0.2 * IDLE_WATTS));
+        assert_eq!(
+            perq.adapter(0).expect("tracked").demand_frac(),
+            seasoned,
+            "implausible readings must leave the demand estimate untouched"
+        );
+
+        // A plausible high reading still gets through the gate.
+        let _ = step_once(&mut perq, 10, cap, Some(280.0));
+        let after = perq.adapter(0).expect("tracked").demand_frac();
+        assert!(
+            after > seasoned,
+            "plausible readings must still update the estimate: {after:?} vs {seasoned:?}"
         );
     }
 

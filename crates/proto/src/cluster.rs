@@ -1,15 +1,16 @@
+use crate::error::ProtoError;
 use crate::messages::{Command, Report};
-use crate::transport::{read_frame, write_frame};
+use crate::transport::{read_frame_retry, write_frame, write_frame_retry, RetryPolicy};
 use crate::worker::NodeWorker;
 use perq_apps::{ecp_suite, AppProfile, BASE_NODE_IPS, IDLE_WATTS, MIN_CAP_WATTS, TDP_WATTS};
 use perq_sim::{
-    IntervalLog, JobOutcome, JobRecord, JobSpec, JobTrace, JobView, PolicyContext, PowerPolicy,
-    Scheduler, SimResult, TracePoint,
+    AppliedFault, FaultKind, IntervalLog, JobOutcome, JobRecord, JobSpec, JobTrace, JobView,
+    PolicyContext, PowerPolicy, Scheduler, SimResult, TracePoint,
 };
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::{TcpListener, TcpStream};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration of a prototype cluster run.
 #[derive(Debug, Clone)]
@@ -29,6 +30,15 @@ pub struct ProtoConfig {
     pub seed: u64,
     /// Job ids to trace (Fig. 12 material).
     pub trace_jobs: Vec<u64>,
+    /// Per-worker heartbeat: a node that produces no bytes for this long
+    /// (per attempt; the retry policy may extend the total) is written
+    /// off as crashed. `Duration::ZERO` disables the timeout.
+    pub heartbeat_timeout: Duration,
+    /// Retry/backoff policy for transient transport errors.
+    pub retry: RetryPolicy,
+    /// Fault injection: `(node_id, tick)` pairs; each worker drops its
+    /// connection on the given 0-based control step, deterministically.
+    pub crash_workers: Vec<(u32, usize)>,
 }
 
 impl ProtoConfig {
@@ -45,6 +55,9 @@ impl ProtoConfig {
             max_intervals,
             seed: 0x7461_7264,
             trace_jobs: Vec::new(),
+            heartbeat_timeout: Duration::from_secs(5),
+            retry: RetryPolicy::default(),
+            crash_workers: Vec::new(),
         }
     }
 
@@ -89,53 +102,92 @@ impl ProtoCluster {
     /// Runs the control loop over a job trace under the given policy.
     ///
     /// Spawns one thread per node, each holding a live TCP connection to
-    /// this controller; joins them all before returning.
-    pub fn run(&self, jobs: Vec<JobSpec>, policy: &mut dyn PowerPolicy) -> SimResult {
-        let listener = TcpListener::bind("127.0.0.1:0").expect("bind localhost");
-        let addr = listener.local_addr().expect("local addr");
+    /// this controller; joins them all before returning. Setup failures
+    /// surface as typed [`ProtoError`]s. A node whose connection dies
+    /// mid-run is *not* an error: the controller writes it off, kills any
+    /// job that lost a rank, and reallocates the node's budget share to
+    /// the survivors (the crash is logged in [`SimResult::faults`]).
+    pub fn run(
+        &self,
+        jobs: Vec<JobSpec>,
+        policy: &mut dyn PowerPolicy,
+    ) -> Result<SimResult, ProtoError> {
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(ProtoError::Socket)?;
+        let addr = listener.local_addr().map_err(ProtoError::Socket)?;
 
-        // Spawn workers.
-        let handles: Vec<JoinHandle<()>> = (0..self.config.nodes as u32)
+        // Spawn workers; each thread returns its typed outcome, checked
+        // after the run.
+        let node_ids = 0..self.config.nodes as u32;
+        let handles: Vec<(u32, JoinHandle<Result<(), ProtoError>>)> = node_ids
             .map(|node_id| {
                 let apps = self.apps.clone();
                 let interval = self.config.interval_s;
                 let seed = self.config.seed;
-                std::thread::spawn(move || {
-                    let stream = TcpStream::connect(addr).expect("connect to controller");
-                    let worker = NodeWorker::new(node_id, apps, interval, seed);
-                    // A worker exiting on a dropped connection at shutdown
-                    // is expected; any other failure panics the thread.
-                    let _ = worker.run(stream);
-                })
+                let crash_at = self
+                    .config
+                    .crash_workers
+                    .iter()
+                    .find(|&&(n, _)| n == node_id)
+                    .map(|&(_, tick)| tick);
+                let handle = std::thread::spawn(move || {
+                    let stream = TcpStream::connect(addr).map_err(ProtoError::Socket)?;
+                    let mut worker = NodeWorker::new(node_id, apps, interval, seed);
+                    if let Some(tick) = crash_at {
+                        worker = worker.with_crash_at_tick(tick);
+                    }
+                    worker.run(stream)
+                });
+                (node_id, handle)
             })
             .collect();
 
-        // Accept registrations.
-        let mut streams: HashMap<u32, TcpStream> = HashMap::new();
-        for _ in 0..self.config.nodes {
-            let (mut sock, _) = listener.accept().expect("accept worker");
-            let reg: Report = read_frame(&mut sock).expect("registration report");
+        // Accept registrations. The heartbeat timeout on every socket
+        // bounds how long a hung worker can stall the control loop.
+        let mut streams: BTreeMap<u32, TcpStream> = BTreeMap::new();
+        for registered in 0..self.config.nodes {
+            let (mut sock, _) = listener.accept().map_err(ProtoError::Socket)?;
+            if !self.config.heartbeat_timeout.is_zero() {
+                sock.set_read_timeout(Some(self.config.heartbeat_timeout))
+                    .map_err(ProtoError::Socket)?;
+            }
+            let reg: Report =
+                read_frame_retry(&mut sock, &self.config.retry).map_err(|source| {
+                    ProtoError::Registration {
+                        registered,
+                        expected: self.config.nodes,
+                        source,
+                    }
+                })?;
             streams.insert(reg.node_id, sock);
         }
 
-        let result = self.control_loop(&mut streams, jobs, policy);
+        let (result, lost) = self.control_loop(&mut streams, jobs, policy);
 
-        // Shut workers down.
+        // Shut the survivors down (lost nodes' sockets are already gone).
         for sock in streams.values_mut() {
             let _ = write_frame(sock, &Command::Shutdown);
         }
-        for h in handles {
-            let _ = h.join();
+        for (node_id, handle) in handles {
+            match handle.join() {
+                Ok(Ok(())) => {}
+                // A node the controller wrote off also saw the drop from
+                // its side; that is the degradation working, not a bug.
+                Ok(Err(ProtoError::ConnectionLost { .. })) if lost.contains(&node_id) => {}
+                Ok(Err(e)) => return Err(e),
+                Err(_) => return Err(ProtoError::WorkerPanic { node_id }),
+            }
         }
-        result
+        Ok(result)
     }
 
+    /// Drives the per-interval control loop, degrading around node
+    /// losses. Returns the run result plus the set of nodes written off.
     fn control_loop(
         &self,
-        streams: &mut HashMap<u32, TcpStream>,
+        streams: &mut BTreeMap<u32, TcpStream>,
         jobs: Vec<JobSpec>,
         policy: &mut dyn PowerPolicy,
-    ) -> SimResult {
+    ) -> (SimResult, BTreeSet<u32>) {
         let cfg = &self.config;
         let mut scheduler = Scheduler::new(jobs);
         let mut free_nodes: Vec<u32> = (0..cfg.nodes as u32).collect();
@@ -145,9 +197,12 @@ impl ProtoCluster {
         let mut intervals: Vec<IntervalLog> = Vec::new();
         let mut decision_times = Vec::new();
         let mut violations = 0usize;
+        let mut faults: Vec<AppliedFault> = Vec::new();
+        let mut lost: BTreeSet<u32> = BTreeSet::new();
 
         for step in 0..cfg.max_intervals {
             let now_s = step as f64 * cfg.interval_s;
+            let mut newly_dead: BTreeSet<u32> = BTreeSet::new();
 
             // 1. Scheduling.
             let running_fp: Vec<perq_sim::RunningFootprint> = live
@@ -164,16 +219,15 @@ impl ProtoCluster {
                 let app = &self.apps[spec.app_index];
                 let work_intervals = spec.runtime_tdp_s / cfg.interval_s;
                 for &node in &assigned {
-                    let sock = streams.get_mut(&node).expect("node stream");
-                    write_frame(
-                        sock,
-                        &Command::Launch {
-                            job_id: spec.id,
-                            app: app.name.clone(),
-                            work_intervals,
-                        },
-                    )
-                    .expect("launch command");
+                    let sock = streams.get_mut(&node).expect("free node has a stream");
+                    let launch = Command::Launch {
+                        job_id: spec.id,
+                        app: app.name.clone(),
+                        work_intervals,
+                    };
+                    if write_frame_retry(sock, &launch, &cfg.retry).is_err() {
+                        newly_dead.insert(node);
+                    }
                 }
                 live.push(LiveJob {
                     app_name: app.name.clone(),
@@ -229,24 +283,45 @@ impl ProtoCluster {
                 .map(|a| a.cap_w.clamp(MIN_CAP_WATTS, TDP_WATTS))
                 .collect();
 
-            // 4. Send caps + tick everyone, gather reports.
+            // 4. Send caps + tick everyone, gather reports. A transport
+            //    failure on any leg marks the node dead; the step
+            //    continues with whatever reports arrived.
             for (i, job) in live.iter_mut().enumerate() {
                 job.cap_w = caps[i];
                 for &node in &job.nodes {
                     if job.done_nodes.contains(&node) {
                         continue;
                     }
-                    let sock = streams.get_mut(&node).expect("node stream");
-                    write_frame(sock, &Command::SetCap { cap_w: caps[i] }).expect("cap command");
+                    let Some(sock) = streams.get_mut(&node) else {
+                        continue;
+                    };
+                    let cap = Command::SetCap { cap_w: caps[i] };
+                    if write_frame_retry(sock, &cap, &cfg.retry).is_err() {
+                        newly_dead.insert(node);
+                    }
                 }
             }
-            for sock in streams.values_mut() {
-                write_frame(sock, &Command::Tick).expect("tick command");
-            }
-            let mut reports: HashMap<u32, Report> = HashMap::new();
             for (&node, sock) in streams.iter_mut() {
-                let report: Report = read_frame(sock).expect("node report");
-                reports.insert(node, report);
+                if newly_dead.contains(&node) {
+                    continue;
+                }
+                if write_frame_retry(sock, &Command::Tick, &cfg.retry).is_err() {
+                    newly_dead.insert(node);
+                }
+            }
+            let mut reports: BTreeMap<u32, Report> = BTreeMap::new();
+            for (&node, sock) in streams.iter_mut() {
+                if newly_dead.contains(&node) {
+                    continue;
+                }
+                match read_frame_retry::<Report, _>(sock, &cfg.retry) {
+                    Ok(report) => {
+                        reports.insert(node, report);
+                    }
+                    Err(_) => {
+                        newly_dead.insert(node);
+                    }
+                }
             }
 
             // 5. Digest reports per job.
@@ -265,7 +340,10 @@ impl ProtoCluster {
                     if job.done_nodes.contains(&node) {
                         continue;
                     }
-                    let r = &reports[&node];
+                    // A dead node has no report; its job is killed below.
+                    let Some(r) = reports.get(&node) else {
+                        continue;
+                    };
                     slowest = Some(match slowest {
                         Some(s) => s.min(r.ips),
                         None => r.ips,
@@ -318,11 +396,65 @@ impl ProtoCluster {
                 });
             }
 
+            // 6. Graceful degradation: write off nodes whose connection
+            //    failed this interval. A dead node is neither free nor
+            //    busy, so its budget share flows to the survivors on the
+            //    next decision (busy_budget is derived from live state) —
+            //    the reclamation step of the paper, applied to node loss.
+            for &node in &newly_dead {
+                let victim = live
+                    .iter()
+                    .find(|j| j.nodes.contains(&node) && !j.done_nodes.contains(&node))
+                    .map(|j| j.spec.id);
+                streams.remove(&node);
+                free_nodes.retain(|&n| n != node);
+                lost.insert(node);
+                faults.push(AppliedFault {
+                    t_s: now_s,
+                    step,
+                    kind: FaultKind::NodeCrash { count: 1 },
+                    job_id: victim,
+                    nodes_offline_after: lost.len(),
+                });
+            }
+            if !newly_dead.is_empty() {
+                // Kill jobs that lost an active rank; surviving ranks are
+                // freed (a later launch simply overwrites the orphaned
+                // work on those workers).
+                let killed: Vec<usize> = live
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, j)| {
+                        j.nodes
+                            .iter()
+                            .any(|n| newly_dead.contains(n) && !j.done_nodes.contains(n))
+                    })
+                    .map(|(ji, _)| ji)
+                    .collect();
+                for &ji in killed.iter().rev() {
+                    let job = live.swap_remove(ji);
+                    for &n in &job.nodes {
+                        if streams.contains_key(&n) && !free_nodes.contains(&n) {
+                            free_nodes.push(n);
+                        }
+                    }
+                    policy.job_departed(job.spec.id);
+                    records.push(JobRecord {
+                        app_name: job.app_name,
+                        start_s: job.start_interval as f64 * cfg.interval_s,
+                        end_s: (step + 1) as f64 * cfg.interval_s,
+                        progress_s: job.progress_s,
+                        outcome: JobOutcome::Killed,
+                        spec: job.spec,
+                    });
+                }
+            }
+
             let violation = total_power > cfg.budget_w() + 1e-6;
             if violation {
                 violations += 1;
             }
-            let busy_nodes = cfg.nodes - free_nodes.len();
+            let busy_nodes = cfg.nodes - free_nodes.len() - lost.len();
             intervals.push(IntervalLog {
                 t_s: now_s,
                 busy_nodes,
@@ -351,14 +483,18 @@ impl ProtoCluster {
         }
         records.sort_by_key(|r| r.spec.id);
 
-        SimResult {
+        let result = SimResult {
             policy: policy.name().to_string(),
             f: cfg.nodes as f64 / cfg.wp_nodes as f64,
             records,
             intervals,
             traces,
             budget_violations: violations,
+            budget_violation_s: violations as f64 * cfg.interval_s,
+            faults,
+            recovery_latency_s: Vec::new(),
             decision_times_s: decision_times,
-        }
+        };
+        (result, lost)
     }
 }

@@ -1,0 +1,140 @@
+//! Typed errors for the prototype runtime.
+//!
+//! The original prototype treated every socket hiccup as fatal (an
+//! `expect` in the controller, an ignored `Result` in the workers). The
+//! fault-tolerant runtime instead classifies failures: connection losses
+//! are *expected* events the controller degrades around (the vanished
+//! node's budget is reallocated to survivors), while setup failures and
+//! worker panics surface as [`ProtoError`]s to the caller.
+
+use crate::transport::FrameError;
+use std::fmt;
+
+/// Errors surfaced by the prototype cluster and its workers.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Listener or socket setup failed before the run started.
+    Socket(std::io::Error),
+    /// A worker failed to register during startup.
+    Registration {
+        /// Workers registered before the failure.
+        registered: usize,
+        /// Workers expected.
+        expected: usize,
+        /// The transport error that ended registration.
+        source: FrameError,
+    },
+    /// A peer's connection dropped mid-session (EOF, reset, or broken
+    /// pipe). For a worker this means the controller vanished; for the
+    /// controller it means the node crashed.
+    ConnectionLost {
+        /// The node on whose connection the loss was observed.
+        node_id: u32,
+    },
+    /// A non-disconnect transport failure on a node's connection.
+    Transport {
+        /// The node whose connection failed.
+        node_id: u32,
+        /// The underlying framing error.
+        source: FrameError,
+    },
+    /// A worker thread panicked (a bug, not an injected fault).
+    WorkerPanic {
+        /// The panicked node.
+        node_id: u32,
+    },
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Socket(e) => write!(f, "socket setup failed: {e}"),
+            ProtoError::Registration {
+                registered,
+                expected,
+                source,
+            } => write!(
+                f,
+                "worker registration failed after {registered}/{expected}: {source}"
+            ),
+            ProtoError::ConnectionLost { node_id } => {
+                write!(f, "connection to node {node_id} lost")
+            }
+            ProtoError::Transport { node_id, source } => {
+                write!(f, "transport failure on node {node_id}: {source}")
+            }
+            ProtoError::WorkerPanic { node_id } => {
+                write!(f, "worker thread for node {node_id} panicked")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtoError::Socket(e) => Some(e),
+            ProtoError::Registration { source, .. } | ProtoError::Transport { source, .. } => {
+                Some(source)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Classifies a framing error on a node's connection: disconnects become
+/// [`ProtoError::ConnectionLost`], anything else is a transport failure.
+pub(crate) fn classify(node_id: u32, e: FrameError) -> ProtoError {
+    use std::io::ErrorKind;
+    match &e {
+        FrameError::Io(io)
+            if matches!(
+                io.kind(),
+                ErrorKind::UnexpectedEof
+                    | ErrorKind::ConnectionReset
+                    | ErrorKind::ConnectionAborted
+                    | ErrorKind::BrokenPipe
+            ) =>
+        {
+            ProtoError::ConnectionLost { node_id }
+        }
+        _ => ProtoError::Transport { node_id, source: e },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::ErrorKind;
+
+    #[test]
+    fn disconnects_classify_as_connection_lost() {
+        for kind in [
+            ErrorKind::UnexpectedEof,
+            ErrorKind::ConnectionReset,
+            ErrorKind::ConnectionAborted,
+            ErrorKind::BrokenPipe,
+        ] {
+            let e = FrameError::Io(std::io::Error::new(kind, "gone"));
+            assert!(matches!(
+                classify(3, e),
+                ProtoError::ConnectionLost { node_id: 3 }
+            ));
+        }
+    }
+
+    #[test]
+    fn other_errors_classify_as_transport() {
+        let e = FrameError::Oversized(u32::MAX);
+        assert!(matches!(
+            classify(5, e),
+            ProtoError::Transport { node_id: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn display_names_the_node() {
+        let msg = ProtoError::ConnectionLost { node_id: 9 }.to_string();
+        assert!(msg.contains("node 9"), "{msg}");
+    }
+}

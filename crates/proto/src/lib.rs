@@ -30,12 +30,17 @@
 //! measurement.
 
 mod cluster;
+mod error;
 mod messages;
 pub mod stress;
 mod transport;
 mod worker;
 
 pub use cluster::{ProtoCluster, ProtoConfig};
+pub use error::ProtoError;
 pub use messages::{Command, Report};
-pub use transport::{read_frame, write_frame, FrameError};
+pub use transport::{
+    is_transient, read_frame, read_frame_retry, write_frame, write_frame_retry, FaultyTransport,
+    FrameError, RetryPolicy,
+};
 pub use worker::NodeWorker;

@@ -1,8 +1,11 @@
 use bytes::{Buf, BufMut, BytesMut};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use std::fmt;
 use std::io::{Read, Write};
+use std::time::Duration;
 
 /// Maximum frame payload accepted (defence against corrupted length
 /// prefixes).
@@ -72,6 +75,190 @@ pub fn read_frame<T: DeserializeOwned, R: Read>(reader: &mut R) -> Result<T, Fra
     let mut payload = vec![0u8; len as usize];
     reader.read_exact(&mut payload)?;
     Ok(serde_json::from_slice(&payload)?)
+}
+
+/// Bounded retry with exponential backoff for transient transport errors
+/// (read timeouts on a heartbeat-limited socket, interrupted syscalls).
+/// Permanent errors — disconnects, codec failures, oversized frames — are
+/// never retried: the peer is gone or the stream is poisoned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retry).
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Backoff factor applied per retry.
+    pub multiplier: f64,
+    /// Upper bound on any single delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(10),
+            multiplier: 2.0,
+            max_delay: Duration::from_millis(200),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: fail on the first error.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            multiplier: 1.0,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// Backoff delay before retry number `attempt` (0-based):
+    /// `base · multiplier^attempt`, capped at `max_delay`.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let factor = self.multiplier.max(1.0).powi(attempt.min(30) as i32);
+        self.base_delay.mul_f64(factor).min(self.max_delay)
+    }
+}
+
+/// Whether a transport error is worth retrying (the peer may still be
+/// alive and responsive on a later attempt).
+pub fn is_transient(err: &FrameError) -> bool {
+    match err {
+        FrameError::Io(e) => matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock
+                | std::io::ErrorKind::TimedOut
+                | std::io::ErrorKind::Interrupted
+        ),
+        FrameError::Codec(_) | FrameError::Oversized(_) => false,
+    }
+}
+
+/// [`read_frame`] with bounded retry on transient errors.
+///
+/// Retrying restarts the frame from the length prefix, so it assumes the
+/// failed attempt consumed no bytes — true for the timeout/interrupt
+/// errors classified as transient, which fire before any data arrives.
+pub fn read_frame_retry<T: DeserializeOwned, R: Read>(
+    reader: &mut R,
+    retry: &RetryPolicy,
+) -> Result<T, FrameError> {
+    let mut attempt = 0u32;
+    loop {
+        match read_frame(reader) {
+            Err(e) if is_transient(&e) && attempt + 1 < retry.max_attempts.max(1) => {
+                std::thread::sleep(retry.delay(attempt));
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
+}
+
+/// [`write_frame`] with bounded retry on transient errors.
+pub fn write_frame_retry<T: Serialize, W: Write>(
+    writer: &mut W,
+    value: &T,
+    retry: &RetryPolicy,
+) -> Result<(), FrameError> {
+    let mut attempt = 0u32;
+    loop {
+        match write_frame(writer, value) {
+            Err(e) if is_transient(&e) && attempt + 1 < retry.max_attempts.max(1) => {
+                std::thread::sleep(retry.delay(attempt));
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
+}
+
+/// A transport wrapper that injects faults on the write path: frames are
+/// dropped (vanish on the wire), garbled (payload bytes flipped, length
+/// prefix intact — the reader sees a codec error), or delayed. Reads pass
+/// through untouched. Fault draws come from a seeded RNG, so a given
+/// `(seed, traffic)` pair misbehaves identically on every run.
+///
+/// Assumes each frame is written with a single `write` call, which is how
+/// [`write_frame`] assembles frames.
+pub struct FaultyTransport<S> {
+    inner: S,
+    rng: StdRng,
+    drop_prob: f64,
+    corrupt_prob: f64,
+    delay: Duration,
+}
+
+impl<S> FaultyTransport<S> {
+    /// Wraps a transport; fault probabilities default to zero.
+    pub fn new(inner: S, seed: u64) -> Self {
+        FaultyTransport {
+            inner,
+            rng: StdRng::seed_from_u64(seed ^ 0x4641_554c_5459_5f54),
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            delay: Duration::ZERO,
+        }
+    }
+
+    /// Probability that a written frame is silently dropped.
+    pub fn with_drop_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.drop_prob = p;
+        self
+    }
+
+    /// Probability that a written frame's payload is garbled.
+    pub fn with_corrupt_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.corrupt_prob = p;
+        self
+    }
+
+    /// Fixed delay injected before every write.
+    pub fn with_delay(mut self, delay: Duration) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Unwraps the inner transport.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: Write> Write for FaultyTransport<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+        if self.drop_prob > 0.0 && self.rng.gen_bool(self.drop_prob) {
+            // The frame vanishes: the caller believes it was sent.
+            return Ok(buf.len());
+        }
+        if self.corrupt_prob > 0.0 && self.rng.gen_bool(self.corrupt_prob) && buf.len() > 4 {
+            let mut garbled = buf.to_vec();
+            for b in &mut garbled[4..] {
+                *b ^= 0x5A;
+            }
+            self.inner.write_all(&garbled)?;
+            return Ok(buf.len());
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl<S: Read> Read for FaultyTransport<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.inner.read(buf)
+    }
 }
 
 #[cfg(test)]
@@ -159,5 +346,143 @@ mod tests {
         let echoed: Command = read_frame(&mut client).unwrap();
         assert_eq!(echoed, cmd);
         handle.join().unwrap();
+    }
+
+    /// A reader that fails with a transient error `failures` times before
+    /// delegating, counting every attempt.
+    struct Flaky<R> {
+        inner: R,
+        failures: u32,
+        attempts: u32,
+    }
+
+    impl<R: Read> Read for Flaky<R> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.attempts += 1;
+            if self.failures > 0 {
+                self.failures -= 1;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "transient",
+                ));
+            }
+            self.inner.read(buf)
+        }
+    }
+
+    fn fast_retry(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_delay: Duration::from_micros(10),
+            multiplier: 2.0,
+            max_delay: Duration::from_micros(100),
+        }
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Command::Tick).unwrap();
+        let mut flaky = Flaky {
+            inner: Cursor::new(buf),
+            failures: 2,
+            attempts: 0,
+        };
+        let cmd: Command = read_frame_retry(&mut flaky, &fast_retry(4)).unwrap();
+        assert_eq!(cmd, Command::Tick);
+        assert_eq!(flaky.attempts, 3, "two failures + one success");
+    }
+
+    #[test]
+    fn retry_exhaustion_returns_the_transient_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Command::Tick).unwrap();
+        let mut flaky = Flaky {
+            inner: Cursor::new(buf),
+            failures: 100,
+            attempts: 0,
+        };
+        let res: Result<Command, _> = read_frame_retry(&mut flaky, &fast_retry(3));
+        match res {
+            Err(FrameError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::WouldBlock),
+            other => panic!("expected transient Io error, got {other:?}"),
+        }
+        assert_eq!(flaky.attempts, 3, "must stop at max_attempts");
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        // An empty stream yields UnexpectedEof — a disconnect, not a
+        // timeout — so the retry wrapper must fail immediately.
+        let mut flaky = Flaky {
+            inner: Cursor::new(Vec::new()),
+            failures: 0,
+            attempts: 0,
+        };
+        let res: Result<Command, _> = read_frame_retry(&mut flaky, &fast_retry(5));
+        assert!(matches!(res, Err(FrameError::Io(_))));
+        assert_eq!(flaky.attempts, 1);
+    }
+
+    #[test]
+    fn backoff_delays_grow_and_cap() {
+        let retry = RetryPolicy::default();
+        assert_eq!(retry.delay(0), Duration::from_millis(10));
+        assert_eq!(retry.delay(1), Duration::from_millis(20));
+        assert_eq!(retry.delay(2), Duration::from_millis(40));
+        assert_eq!(retry.delay(10), Duration::from_millis(200), "capped");
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+    }
+
+    #[test]
+    fn faulty_transport_garbles_frames_into_codec_errors() {
+        let mut faulty = FaultyTransport::new(Vec::new(), 1).with_corrupt_prob(1.0);
+        write_frame(&mut faulty, &Command::SetCap { cap_w: 150.0 }).unwrap();
+        let buf = faulty.into_inner();
+        assert!(!buf.is_empty(), "garbled frames still hit the wire");
+        let mut cursor = Cursor::new(buf);
+        let res: Result<Command, _> = read_frame(&mut cursor);
+        assert!(
+            matches!(res, Err(FrameError::Codec(_))),
+            "garbled payload must be rejected as a codec error, got {res:?}"
+        );
+    }
+
+    #[test]
+    fn faulty_transport_drops_frames_silently() {
+        let mut faulty = FaultyTransport::new(Vec::new(), 1).with_drop_prob(1.0);
+        write_frame(&mut faulty, &Command::Tick).unwrap();
+        let buf = faulty.into_inner();
+        assert!(buf.is_empty(), "dropped frames never reach the wire");
+        // The reader waiting for the dropped frame sees a dead stream.
+        let mut cursor = Cursor::new(buf);
+        let res: Result<Command, _> = read_frame(&mut cursor);
+        assert!(matches!(res, Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn faulty_transport_is_seed_deterministic() {
+        let emit = |seed: u64| -> Vec<u8> {
+            let mut faulty = FaultyTransport::new(Vec::new(), seed)
+                .with_drop_prob(0.4)
+                .with_corrupt_prob(0.3);
+            for i in 0..32 {
+                write_frame(&mut faulty, &Command::SetCap { cap_w: i as f64 }).unwrap();
+            }
+            faulty.into_inner()
+        };
+        assert_eq!(emit(7), emit(7), "same seed, same fault pattern");
+        assert_ne!(emit(7), emit(8), "different seeds must diverge");
+    }
+
+    #[test]
+    fn faulty_transport_reads_pass_through() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Command::Tick).unwrap();
+        let mut faulty = FaultyTransport::new(Cursor::new(buf), 1)
+            .with_drop_prob(1.0)
+            .with_corrupt_prob(1.0);
+        let cmd: Command = read_frame(&mut faulty).unwrap();
+        assert_eq!(cmd, Command::Tick);
     }
 }

@@ -1,5 +1,6 @@
+use crate::error::{classify, ProtoError};
 use crate::messages::{Command, Report};
-use crate::transport::{read_frame, write_frame, FrameError};
+use crate::transport::{read_frame, write_frame};
 use perq_apps::{AppProfile, BASE_NODE_IPS, IDLE_WATTS, TDP_WATTS};
 use perq_rapl::{PowerCapDevice, SimulatedRapl};
 use rand::rngs::StdRng;
@@ -26,6 +27,10 @@ pub struct NodeWorker {
     job: Option<(u64, usize, f64, f64)>,
     noise: Normal<f64>,
     rng: StdRng,
+    /// Fault injection: die (drop the connection without reporting) upon
+    /// receiving this 0-based `Tick`.
+    crash_at_tick: Option<usize>,
+    ticks_seen: usize,
 }
 
 impl NodeWorker {
@@ -40,25 +45,42 @@ impl NodeWorker {
             job: None,
             noise: Normal::new(0.0, 0.01).expect("valid sigma"),
             rng: StdRng::seed_from_u64(seed.rotate_left(7) ^ u64::from(node_id)),
+            crash_at_tick: None,
+            ticks_seen: 0,
         }
     }
 
-    /// Connects to the controller and serves commands until `Shutdown` or
-    /// the connection drops.
-    pub fn run(mut self, mut stream: TcpStream) -> Result<(), FrameError> {
+    /// Arms a deterministic node failure: the worker drops its connection
+    /// without reporting when it receives `Tick` number `tick` (0-based,
+    /// i.e. at control step `tick`). Used by the fault suite to replay a
+    /// crash at a fixed point in the run.
+    pub fn with_crash_at_tick(mut self, tick: usize) -> Self {
+        self.crash_at_tick = Some(tick);
+        self
+    }
+
+    /// Connects to the controller and serves commands until `Shutdown`.
+    ///
+    /// The controller vanishing mid-session surfaces as
+    /// [`ProtoError::ConnectionLost`]; other transport failures as
+    /// [`ProtoError::Transport`]. An armed crash ([`Self::with_crash_at_tick`])
+    /// returns `Ok`: dying on cue is the injected behaviour, not a bug.
+    pub fn run(mut self, mut stream: TcpStream) -> Result<(), ProtoError> {
+        let node_id = self.node_id;
         // Register with the controller.
         write_frame(
             &mut stream,
             &Report {
-                node_id: self.node_id,
+                node_id,
                 job_id: None,
                 ips: 0.0,
                 power_w: IDLE_WATTS,
                 job_done: false,
             },
-        )?;
+        )
+        .map_err(|e| classify(node_id, e))?;
         loop {
-            let cmd: Command = read_frame(&mut stream)?;
+            let cmd: Command = read_frame(&mut stream).map_err(|e| classify(node_id, e))?;
             match cmd {
                 Command::Shutdown => return Ok(()),
                 Command::SetCap { cap_w } => {
@@ -77,8 +99,13 @@ impl NodeWorker {
                     self.job = Some((job_id, idx, work_intervals, 0.0));
                 }
                 Command::Tick => {
+                    if self.crash_at_tick == Some(self.ticks_seen) {
+                        // Injected node failure: vanish without a report.
+                        return Ok(());
+                    }
+                    self.ticks_seen += 1;
                     let report = self.tick();
-                    write_frame(&mut stream, &report)?;
+                    write_frame(&mut stream, &report).map_err(|e| classify(node_id, e))?;
                 }
             }
         }
@@ -149,6 +176,7 @@ impl NodeWorker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::FrameError;
     use perq_apps::ecp_suite;
 
     fn worker() -> NodeWorker {
@@ -246,5 +274,49 @@ mod tests {
         assert!(r.ips > 0.0);
         write_frame(&mut sock, &Command::Shutdown).unwrap();
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn dropped_controller_is_a_typed_connection_loss() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let w = NodeWorker::new(7, ecp_suite(), 10.0, 3);
+        let handle = std::thread::spawn(move || w.run(TcpStream::connect(addr).unwrap()));
+        let (mut sock, _) = listener.accept().unwrap();
+        let reg: Report = read_frame(&mut sock).unwrap();
+        assert_eq!(reg.node_id, 7);
+        // Vanish without sending Shutdown: the worker must observe a
+        // typed connection loss, not panic.
+        drop(sock);
+        let err = handle
+            .join()
+            .expect("worker thread must not panic")
+            .expect_err("connection loss must surface as an error");
+        assert!(
+            matches!(err, ProtoError::ConnectionLost { node_id: 7 }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn armed_crash_drops_the_connection_on_cue() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let w = NodeWorker::new(2, ecp_suite(), 10.0, 3).with_crash_at_tick(1);
+        let handle = std::thread::spawn(move || w.run(TcpStream::connect(addr).unwrap()));
+        let (mut sock, _) = listener.accept().unwrap();
+        let _reg: Report = read_frame(&mut sock).unwrap();
+        // Tick 0 is served normally.
+        write_frame(&mut sock, &Command::Tick).unwrap();
+        let r: Report = read_frame(&mut sock).unwrap();
+        assert_eq!(r.node_id, 2);
+        // Tick 1 triggers the armed crash: no report, connection gone.
+        write_frame(&mut sock, &Command::Tick).unwrap();
+        let res: Result<Report, _> = read_frame(&mut sock);
+        assert!(matches!(res, Err(FrameError::Io(_))), "got {res:?}");
+        // Dying on cue is the injected behaviour: Ok, not an error.
+        handle.join().unwrap().unwrap();
     }
 }

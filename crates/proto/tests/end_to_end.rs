@@ -22,7 +22,9 @@ fn fop_run_completes_jobs_within_budget() {
     let config = ProtoConfig::tardis(4, 2.0, 240);
     let budget = config.budget_w();
     let cluster = ProtoCluster::new(config);
-    let result = cluster.run(jobs(40, 1), &mut FairPolicy::new());
+    let result = cluster
+        .run(jobs(40, 1), &mut FairPolicy::new())
+        .expect("prototype run");
     assert!(result.throughput() > 0, "no jobs completed");
     assert_eq!(result.budget_violations, 0);
     for log in &result.intervals {
@@ -39,7 +41,7 @@ fn perq_runs_on_the_prototype() {
     let config = ProtoConfig::tardis(4, 2.0, 240);
     let cluster = ProtoCluster::new(config);
     let mut perq = PerqPolicy::new(PerqConfig::default());
-    let result = cluster.run(jobs(40, 2), &mut perq);
+    let result = cluster.run(jobs(40, 2), &mut perq).expect("prototype run");
     assert!(result.throughput() > 0);
     // The budget bounds consumed power; on an 8-node cluster a single
     // job's first-visit phase peak can overshoot transiently (there are
@@ -63,7 +65,9 @@ fn perq_runs_on_the_prototype() {
 fn srn_prototype_run_is_recorded_consistently() {
     let config = ProtoConfig::tardis(4, 1.5, 180);
     let cluster = ProtoCluster::new(config);
-    let result = cluster.run(jobs(30, 3), &mut baselines::srn());
+    let result = cluster
+        .run(jobs(30, 3), &mut baselines::srn())
+        .expect("prototype run");
     // Every record is either completed or unfinished at window close.
     for rec in &result.records {
         match rec.outcome {
@@ -73,6 +77,7 @@ fn srn_prototype_run_is_recorded_consistently() {
             }
             JobOutcome::Unfinished => assert!(rec.progress_s < rec.spec.runtime_tdp_s),
             JobOutcome::Crashed => panic!("no crash injection configured"),
+            JobOutcome::Killed => panic!("no fault injection configured"),
         }
     }
 }
@@ -82,7 +87,9 @@ fn traced_job_power_and_ips_are_recorded() {
     let mut config = ProtoConfig::tardis(2, 2.0, 120);
     config.trace_jobs = vec![0, 1];
     let cluster = ProtoCluster::new(config);
-    let result = cluster.run(jobs(10, 4), &mut FairPolicy::new());
+    let result = cluster
+        .run(jobs(10, 4), &mut FairPolicy::new())
+        .expect("prototype run");
     let trace = result.traces.get(&0).expect("job 0 traced");
     assert!(!trace.points.is_empty());
     for p in &trace.points {
@@ -94,7 +101,9 @@ fn traced_job_power_and_ips_are_recorded() {
 fn prototype_determinism_for_fixed_seed() {
     let run = || {
         let config = ProtoConfig::tardis(3, 1.5, 100);
-        ProtoCluster::new(config).run(jobs(12, 9), &mut FairPolicy::new())
+        ProtoCluster::new(config)
+            .run(jobs(12, 9), &mut FairPolicy::new())
+            .expect("prototype run")
     };
     let a = run();
     let b = run();

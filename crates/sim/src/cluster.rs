@@ -1,3 +1,4 @@
+use crate::fault::{AppliedFault, FaultKind, FaultPlan};
 use crate::job::{JobOutcome, JobRecord, JobSpec, JobTrace, TracePoint};
 use crate::policy::{JobView, PolicyContext, PowerPolicy};
 use crate::scheduler::{RunningFootprint, Scheduler};
@@ -8,7 +9,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, Normal};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
 /// Static configuration of one simulation run.
@@ -129,6 +130,15 @@ pub struct SimResult {
     /// Number of intervals in which the policy requested more power than
     /// the budget (the simulator scaled the request down).
     pub budget_violations: usize,
+    /// Total simulated time spent above the budget, seconds
+    /// (`budget_violations · interval_s` — the degradation metric the
+    /// fault suite bounds).
+    pub budget_violation_s: f64,
+    /// Faults actually applied during the run, in application order.
+    pub faults: Vec<AppliedFault>,
+    /// Latency of each node recovery (crash-to-recover time, seconds),
+    /// matched first-crashed-first-recovered.
+    pub recovery_latency_s: Vec<f64>,
     /// Wall-clock time of each policy decision, seconds (Fig. 13 data).
     pub decision_times_s: Vec<f64>,
 }
@@ -161,6 +171,12 @@ struct RunningJob {
     last_ips: Option<f64>,
     last_power_w: Option<f64>,
     is_new: bool,
+    /// Fault injection: IPS reports are suppressed until this step.
+    ips_hidden_until: usize,
+    /// Fault injection: the power reading freezes until this step.
+    power_stale_until: usize,
+    /// Fault injection: the next power reading is scaled by this factor.
+    corrupt_power_factor: Option<f64>,
 }
 
 /// The cluster simulator. See the crate docs for the model.
@@ -174,6 +190,16 @@ pub struct Cluster {
     time_s: f64,
     rng: StdRng,
     ips_noise: Option<Normal<f64>>,
+    /// Fault injection state. The plan is data fixed before the run; the
+    /// cursor walks it as steps pass.
+    fault_plan: FaultPlan,
+    fault_cursor: usize,
+    step_idx: usize,
+    offline_nodes: usize,
+    fault_log: Vec<AppliedFault>,
+    /// Crash times awaiting a matching recovery (FIFO).
+    crash_times: VecDeque<f64>,
+    recovery_latency_s: Vec<f64>,
 }
 
 impl Cluster {
@@ -224,7 +250,26 @@ impl Cluster {
             time_s: 0.0,
             rng: StdRng::seed_from_u64(seed ^ 0x5043_5253_494d_5f31),
             ips_noise,
+            fault_plan: FaultPlan::default(),
+            fault_cursor: 0,
+            step_idx: 0,
+            offline_nodes: 0,
+            fault_log: Vec::new(),
+            crash_times: VecDeque::new(),
+            recovery_latency_s: Vec::new(),
         }
+    }
+
+    /// Installs a fault plan to apply during the run (builder style).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self.fault_cursor = 0;
+        self
+    }
+
+    /// Nodes currently offline due to injected crashes.
+    pub fn offline_nodes(&self) -> usize {
+        self.offline_nodes
     }
 
     /// The configuration in force.
@@ -237,11 +282,13 @@ impl Cluster {
         let mut intervals = Vec::new();
         let mut decision_times = Vec::new();
         let mut violations = 0usize;
+        let mut violation_s = 0.0;
 
         while self.time_s < self.config.duration_s {
             let log = self.step(policy, &mut decision_times);
             if log.violation {
                 violations += 1;
+                violation_s += self.config.interval_s;
             }
             intervals.push(log);
         }
@@ -266,6 +313,9 @@ impl Cluster {
             intervals,
             traces: std::mem::take(&mut self.traces),
             budget_violations: violations,
+            budget_violation_s: violation_s,
+            faults: std::mem::take(&mut self.fault_log),
+            recovery_latency_s: std::mem::take(&mut self.recovery_latency_s),
             decision_times_s: decision_times,
         }
     }
@@ -274,7 +324,11 @@ impl Cluster {
     fn step(&mut self, policy: &mut dyn PowerPolicy, decision_times: &mut Vec<f64>) -> IntervalLog {
         let dt = self.config.interval_s;
 
-        // 1. Scheduling.
+        // 0. Fault injection: apply every event due at this step.
+        self.apply_due_faults(policy);
+        let live_nodes = self.config.nodes - self.offline_nodes;
+
+        // 1. Scheduling (onto live nodes only).
         let footprints: Vec<RunningFootprint> = self
             .running
             .iter()
@@ -284,7 +338,7 @@ impl Cluster {
             })
             .collect();
         let busy: usize = self.running.iter().map(|j| j.spec.size).sum();
-        let free = self.config.nodes - busy;
+        let free = live_nodes.saturating_sub(busy);
         let started = self.scheduler.schedule(self.time_s, free, &footprints);
         for spec in started {
             let app = self.apps[spec.app_index].clone();
@@ -299,13 +353,18 @@ impl Cluster {
                 last_ips: None,
                 last_power_w: None,
                 is_new: true,
+                ips_hidden_until: 0,
+                power_stale_until: 0,
+                corrupt_power_factor: None,
                 spec,
             });
         }
 
-        // 2. Policy decision.
+        // 2. Policy decision. Offline nodes draw nothing and charge
+        //    nothing, so their share of the budget flows to the survivors
+        //    (the paper's reclamation step, applied to capacity loss).
         let busy: usize = self.running.iter().map(|j| j.spec.size).sum();
-        let idle = self.config.nodes - busy;
+        let idle = live_nodes.saturating_sub(busy);
         let busy_budget = self.config.budget_w() - idle as f64 * self.config.idle_w;
         let views: Vec<JobView> = self
             .running
@@ -374,11 +433,23 @@ impl Cluster {
             let demand_w = job.app.phase(elapsed).demand_frac * self.config.tdp_w;
             let consumed = job.rapl.advance(dt, demand_w);
             total_power += consumed * job.spec.size as f64;
-            job.last_power_w = Some(job.rapl.measured_power());
+
+            // Power telemetry: faults corrupt what the policy *sees*, not
+            // the physics — consumption above stays ground truth.
+            let true_power = job.rapl.measured_power();
+            job.last_power_w = if self.step_idx < job.power_stale_until {
+                // Stale sensor: the previous reading is repeated.
+                Some(job.last_power_w.unwrap_or(true_power))
+            } else if let Some(factor) = job.corrupt_power_factor.take() {
+                Some(true_power * factor)
+            } else {
+                Some(true_power)
+            };
 
             job.progress_s += perf * dt;
 
-            // IPS telemetry (with optional noise and dropout).
+            // IPS telemetry (with optional noise, dropout, and injected
+            // blackouts).
             let true_ips = job.spec.size as f64 * BASE_NODE_IPS * perf;
             let noise = self
                 .ips_noise
@@ -387,7 +458,12 @@ impl Cluster {
             let measured = (true_ips * (1.0 + noise)).max(0.0);
             let dropped = self.config.ips_dropout_prob > 0.0
                 && self.rng.gen_bool(self.config.ips_dropout_prob);
-            job.last_ips = if dropped { None } else { Some(measured) };
+            let hidden = self.step_idx < job.ips_hidden_until;
+            job.last_ips = if dropped || hidden {
+                None
+            } else {
+                Some(measured)
+            };
             job.is_new = false;
 
             if self.config.trace_all || self.config.trace_jobs.contains(&job.spec.id) {
@@ -453,13 +529,129 @@ impl Cluster {
             violation,
         };
         self.time_s += dt;
+        self.step_idx += 1;
         log
+    }
+
+    /// Applies every fault-plan event due at the current step. Targets
+    /// are resolved deterministically (`nth % running_jobs`), so a fixed
+    /// plan on a fixed workload yields an identical applied-fault log on
+    /// every run.
+    fn apply_due_faults(&mut self, policy: &mut dyn PowerPolicy) {
+        while self.fault_cursor < self.fault_plan.events().len()
+            && self.fault_plan.events()[self.fault_cursor].step <= self.step_idx
+        {
+            let event = self.fault_plan.events()[self.fault_cursor];
+            self.fault_cursor += 1;
+            let mut job_id = None;
+            match event.kind {
+                FaultKind::NodeCrash { count } => {
+                    // Never take the machine below one live node.
+                    let live = self.config.nodes - self.offline_nodes;
+                    let count = count.min(live.saturating_sub(1));
+                    if count == 0 {
+                        continue;
+                    }
+                    self.offline_nodes += count;
+                    for _ in 0..count {
+                        self.crash_times.push_back(self.time_s);
+                    }
+                    self.displace_jobs_over_capacity(policy);
+                }
+                FaultKind::NodeRecover { count } => {
+                    let count = count.min(self.offline_nodes);
+                    if count == 0 {
+                        continue;
+                    }
+                    self.offline_nodes -= count;
+                    for _ in 0..count {
+                        if let Some(t0) = self.crash_times.pop_front() {
+                            self.recovery_latency_s.push(self.time_s - t0);
+                        }
+                    }
+                }
+                FaultKind::TelemetryDropout { nth, intervals } => {
+                    if self.running.is_empty() {
+                        continue;
+                    }
+                    let job = &mut self.running[nth % self.running.len()];
+                    job.ips_hidden_until = self.step_idx + intervals;
+                    job_id = Some(job.spec.id);
+                }
+                FaultKind::StalePower { nth, intervals } => {
+                    if self.running.is_empty() {
+                        continue;
+                    }
+                    let job = &mut self.running[nth % self.running.len()];
+                    job.power_stale_until = self.step_idx + intervals;
+                    job_id = Some(job.spec.id);
+                }
+                FaultKind::CorruptPower { nth, factor } => {
+                    if self.running.is_empty() {
+                        continue;
+                    }
+                    let job = &mut self.running[nth % self.running.len()];
+                    job.corrupt_power_factor = Some(factor);
+                    job_id = Some(job.spec.id);
+                }
+                FaultKind::JobKill { nth } => {
+                    if self.running.is_empty() {
+                        continue;
+                    }
+                    let job = self.running.remove(nth % self.running.len());
+                    job_id = Some(job.spec.id);
+                    policy.job_departed(job.spec.id);
+                    self.records.push(JobRecord {
+                        app_name: job.app.name.clone(),
+                        spec: job.spec,
+                        start_s: job.start_s,
+                        end_s: self.time_s,
+                        progress_s: job.progress_s,
+                        outcome: JobOutcome::Killed,
+                    });
+                }
+            }
+            self.fault_log.push(AppliedFault {
+                t_s: self.time_s,
+                step: self.step_idx,
+                kind: event.kind,
+                job_id,
+                nodes_offline_after: self.offline_nodes,
+            });
+        }
+    }
+
+    /// After a capacity loss, displaces the most recently started jobs
+    /// until the busy footprint fits the live machine. Displaced jobs
+    /// lose their progress but return to the queue head, restarting once
+    /// capacity allows — graceful degradation instead of a wedge.
+    fn displace_jobs_over_capacity(&mut self, policy: &mut dyn PowerPolicy) {
+        let live = self.config.nodes - self.offline_nodes;
+        let mut busy: usize = self.running.iter().map(|j| j.spec.size).sum();
+        while busy > live && !self.running.is_empty() {
+            let (idx, _) = self
+                .running
+                .iter()
+                .enumerate()
+                .max_by(|(ia, a), (ib, b)| {
+                    a.start_s
+                        .partial_cmp(&b.start_s)
+                        .expect("finite start times")
+                        .then(ia.cmp(ib))
+                })
+                .expect("non-empty running list");
+            let job = self.running.remove(idx);
+            busy -= job.spec.size;
+            policy.job_departed(job.spec.id);
+            self.scheduler.requeue_front(job.spec);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultEvent, FaultRates};
     use crate::policy::FairPolicy;
     use crate::trace::{SystemModel, TraceGenerator};
 
@@ -644,5 +836,229 @@ mod tests {
             runtime_estimate_s: 130.0,
         }];
         Cluster::new(small_config(1.0, 600.0), jobs, 1);
+    }
+
+    fn long_jobs(n: usize) -> Vec<JobSpec> {
+        (0..n as u64)
+            .map(|id| JobSpec {
+                id,
+                app_index: 0,
+                size: 1,
+                runtime_tdp_s: 1e6,
+                runtime_estimate_s: 1.3e6,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn node_crash_shrinks_capacity_and_recovery_is_timed() {
+        // 8 live nodes, 8 single-node jobs; lose 2 nodes at step 5 and get
+        // them back at step 20.
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                step: 5,
+                kind: FaultKind::NodeCrash { count: 2 },
+            },
+            FaultEvent {
+                step: 20,
+                kind: FaultKind::NodeRecover { count: 2 },
+            },
+        ]);
+        let mut cluster =
+            Cluster::new(small_config(1.0, 300.0), long_jobs(8), 1).with_fault_plan(plan);
+        let result = cluster.run(&mut FairPolicy::new());
+
+        assert_eq!(result.faults.len(), 2);
+        assert_eq!(result.faults[0].nodes_offline_after, 2);
+        assert_eq!(result.faults[1].nodes_offline_after, 0);
+        // Two jobs are displaced while the machine is short, and restart
+        // after the recovery.
+        for log in &result.intervals {
+            let expected = if (50.0..200.0).contains(&log.t_s) {
+                6
+            } else {
+                8
+            };
+            assert_eq!(log.busy_nodes, expected, "at t={}", log.t_s);
+        }
+        // Crash at t=50, recovery at t=200: 150 s latency per node.
+        assert_eq!(result.recovery_latency_s, vec![150.0, 150.0]);
+        assert_eq!(result.budget_violations, 0);
+    }
+
+    #[test]
+    fn displaced_job_requeues_and_completes_after_recovery() {
+        // One 8-node job on an 8-node machine; losing any node displaces
+        // it. It must restart from scratch once the node returns and still
+        // complete — one record, outcome Completed.
+        let jobs = vec![JobSpec {
+            id: 0,
+            app_index: 0,
+            size: 8,
+            runtime_tdp_s: 100.0,
+            runtime_estimate_s: 130.0,
+        }];
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                step: 2,
+                kind: FaultKind::NodeCrash { count: 1 },
+            },
+            FaultEvent {
+                step: 5,
+                kind: FaultKind::NodeRecover { count: 1 },
+            },
+        ]);
+        let mut cluster = Cluster::new(small_config(1.0, 600.0), jobs, 1).with_fault_plan(plan);
+        let result = cluster.run(&mut FairPolicy::new());
+
+        assert_eq!(result.records.len(), 1, "{:?}", result.records);
+        let rec = &result.records[0];
+        assert_eq!(rec.outcome, JobOutcome::Completed);
+        assert_eq!(rec.start_s, 50.0, "restart must wait for the recovery");
+        assert!(rec.slowdown() < 1.05, "slowdown {}", rec.slowdown());
+        assert_eq!(result.recovery_latency_s, vec![30.0]);
+    }
+
+    #[test]
+    fn job_kill_produces_killed_record() {
+        let plan = FaultPlan::new(vec![FaultEvent {
+            step: 3,
+            kind: FaultKind::JobKill { nth: 0 },
+        }]);
+        let mut cluster =
+            Cluster::new(small_config(1.0, 300.0), long_jobs(2), 1).with_fault_plan(plan);
+        let result = cluster.run(&mut FairPolicy::new());
+
+        let killed: Vec<_> = result
+            .records
+            .iter()
+            .filter(|r| r.outcome == JobOutcome::Killed)
+            .collect();
+        assert_eq!(killed.len(), 1);
+        assert_eq!(killed[0].spec.id, 0);
+        assert_eq!(killed[0].end_s, 30.0);
+        assert_eq!(result.faults.len(), 1);
+        assert_eq!(result.faults[0].job_id, Some(0));
+        // The survivor runs to the window close.
+        assert!(result
+            .records
+            .iter()
+            .any(|r| r.spec.id == 1 && r.outcome == JobOutcome::Unfinished));
+    }
+
+    #[test]
+    fn generated_fault_plan_replays_bit_for_bit() {
+        let config = small_config(2.0, 1800.0);
+        let steps = (config.duration_s / config.interval_s) as usize;
+        let run = || {
+            let plan = FaultPlan::generate(13, steps, &FaultRates::aggressive());
+            let mut c =
+                Cluster::new(small_config(2.0, 1800.0), small_trace(40), 99).with_fault_plan(plan);
+            c.run(&mut FairPolicy::new())
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.faults.is_empty(), "aggressive plan must apply faults");
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.intervals, b.intervals);
+        assert_eq!(a.recovery_latency_s, b.recovery_latency_s);
+        assert_eq!(a.budget_violations, b.budget_violations);
+        // budget_violation_s is the violation count expressed in seconds.
+        let expected_s = a.budget_violations as f64 * config.interval_s;
+        assert!((a.budget_violation_s - expected_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn telemetry_faults_corrupt_what_the_policy_sees() {
+        struct Recorder {
+            inner: FairPolicy,
+            powers: Vec<Option<f64>>,
+            ips: Vec<Option<f64>>,
+        }
+        impl PowerPolicy for Recorder {
+            fn name(&self) -> &str {
+                "recorder"
+            }
+            fn assign(&mut self, ctx: &PolicyContext<'_>) -> Vec<crate::policy::PowerAssignment> {
+                if let Some(j) = ctx.jobs.iter().find(|j| j.id == 0) {
+                    self.powers.push(j.measured_power_w);
+                    self.ips.push(j.measured_ips);
+                }
+                self.inner.assign(ctx)
+            }
+        }
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                step: 5,
+                kind: FaultKind::StalePower {
+                    nth: 0,
+                    intervals: 3,
+                },
+            },
+            FaultEvent {
+                step: 12,
+                kind: FaultKind::CorruptPower {
+                    nth: 0,
+                    factor: 10.0,
+                },
+            },
+            FaultEvent {
+                step: 20,
+                kind: FaultKind::TelemetryDropout {
+                    nth: 0,
+                    intervals: 2,
+                },
+            },
+        ]);
+        let mut cluster =
+            Cluster::new(small_config(1.0, 400.0), long_jobs(1), 3).with_fault_plan(plan);
+        let mut policy = Recorder {
+            inner: FairPolicy::new(),
+            powers: Vec::new(),
+            ips: Vec::new(),
+        };
+        cluster.run(&mut policy);
+
+        // Stale sensor at steps 5..8: the step-4 reading is repeated, so
+        // the policy sees an identical value at steps 5..=8 (views lag the
+        // measurement by one interval).
+        let frozen = policy.powers[5].expect("reading present");
+        for step in 6..=8 {
+            assert_eq!(policy.powers[step], Some(frozen), "step {step}");
+        }
+        // Corruption at step 12 (factor 10) shows up in the step-13 view
+        // as a physically impossible per-node reading.
+        assert!(
+            policy.powers[13].expect("reading present") > TDP_WATTS,
+            "corrupt reading {:?} should exceed TDP",
+            policy.powers[13]
+        );
+        // IPS blackout at steps 20..22: the policy sees None.
+        assert!(policy.ips[19].is_some());
+        assert!(policy.ips[21].is_none());
+        assert!(policy.ips[22].is_none());
+    }
+
+    #[test]
+    fn crash_never_takes_the_machine_below_one_node() {
+        let plan = FaultPlan::new(vec![FaultEvent {
+            step: 1,
+            kind: FaultKind::NodeCrash { count: 100 },
+        }]);
+        let mut cluster =
+            Cluster::new(small_config(1.0, 300.0), long_jobs(4), 1).with_fault_plan(plan);
+        let result = cluster.run(&mut FairPolicy::new());
+        assert_eq!(result.faults.len(), 1);
+        assert_eq!(
+            result.faults[0].nodes_offline_after, 7,
+            "8-node machine keeps one live node"
+        );
+        assert_eq!(cluster.offline_nodes(), 7);
+        assert!(result
+            .intervals
+            .iter()
+            .skip(1)
+            .all(|log| log.busy_nodes <= 1));
     }
 }

@@ -1,0 +1,311 @@
+//! Seeded, deterministic fault injection for the cluster simulator.
+//!
+//! A [`FaultPlan`] is a time-ordered list of [`FaultEvent`]s, either
+//! scripted by hand or generated from a `StdRng` seed and per-step rates
+//! ([`FaultRates`]). The plan is *data*, fully determined before the run
+//! starts: the same seed always produces the same plan, and the simulator
+//! applies the plan's events at fixed control-interval boundaries, so the
+//! whole fault timeline replays bit-for-bit. The events the simulator
+//! actually applied (with the resolved job ids and the node-offline count)
+//! are logged as [`AppliedFault`]s in
+//! [`SimResult::faults`](crate::SimResult).
+//!
+//! Fault kinds mirror what a real over-provisioned cluster exhibits:
+//! nodes crash and later recover, power telemetry drops out or goes stale
+//! or returns garbage, and jobs are killed outright.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One kind of injected fault.
+///
+/// Faults that target a job carry an `nth` selector rather than a job id:
+/// at application time the simulator resolves it as `nth % running_jobs`,
+/// which lets plans be generated without knowing the workload. The
+/// resolved id is recorded in the [`AppliedFault`] log.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// `count` nodes drop out of the machine. Jobs that no longer fit on
+    /// the shrunken machine are displaced (restarted from the queue head).
+    NodeCrash {
+        /// Nodes lost.
+        count: usize,
+    },
+    /// `count` previously crashed nodes come back online.
+    NodeRecover {
+        /// Nodes restored.
+        count: usize,
+    },
+    /// The selected job's IPS telemetry is lost for `intervals` steps
+    /// (the policy sees `None`).
+    TelemetryDropout {
+        /// Job selector (`nth % running_jobs`).
+        nth: usize,
+        /// Blackout length in control intervals.
+        intervals: usize,
+    },
+    /// The selected job's power reading freezes at its last value for
+    /// `intervals` steps.
+    StalePower {
+        /// Job selector (`nth % running_jobs`).
+        nth: usize,
+        /// Staleness length in control intervals.
+        intervals: usize,
+    },
+    /// The selected job's next power reading is corrupted (scaled by
+    /// `factor`).
+    CorruptPower {
+        /// Job selector (`nth % running_jobs`).
+        nth: usize,
+        /// Multiplicative corruption of the true reading.
+        factor: f64,
+    },
+    /// The selected running job is killed (recorded as
+    /// [`JobOutcome::Killed`](crate::JobOutcome)).
+    JobKill {
+        /// Job selector (`nth % running_jobs`).
+        nth: usize,
+    },
+}
+
+/// A fault scheduled at a control-interval step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Control-interval index at which the fault fires.
+    pub step: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Per-step probabilities used by [`FaultPlan::generate`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultRates {
+    /// Probability per step that a node-crash event fires.
+    pub node_crash: f64,
+    /// Probability per step that crashed nodes recover (only drawn while
+    /// the plan has nodes offline).
+    pub node_recover: f64,
+    /// Probability per step of an IPS-telemetry blackout on one job.
+    pub telemetry_dropout: f64,
+    /// Probability per step of a stale power reading on one job.
+    pub stale_power: f64,
+    /// Probability per step of a corrupted power reading on one job.
+    pub corrupt_power: f64,
+    /// Probability per step that one running job is killed.
+    pub job_kill: f64,
+    /// Maximum nodes lost by a single crash event.
+    pub max_crash_batch: usize,
+}
+
+impl Default for FaultRates {
+    /// Mild rates: a handful of events over a day-long run.
+    fn default() -> Self {
+        FaultRates {
+            node_crash: 0.004,
+            node_recover: 0.05,
+            telemetry_dropout: 0.02,
+            stale_power: 0.01,
+            corrupt_power: 0.01,
+            job_kill: 0.002,
+            max_crash_batch: 2,
+        }
+    }
+}
+
+impl FaultRates {
+    /// Aggressive rates for stress tests: most steps carry an event.
+    pub fn aggressive() -> Self {
+        FaultRates {
+            node_crash: 0.05,
+            node_recover: 0.25,
+            telemetry_dropout: 0.20,
+            stale_power: 0.10,
+            corrupt_power: 0.10,
+            job_kill: 0.01,
+            max_crash_batch: 2,
+        }
+    }
+}
+
+/// A deterministic fault timeline: events sorted by step.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Builds a plan from scripted events (sorted by step; events at the
+    /// same step keep their given order).
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.step);
+        FaultPlan { events }
+    }
+
+    /// Generates a plan from a seed: the same `(seed, steps, rates)`
+    /// always yields the same plan. Draw order is fixed (one pass over
+    /// the steps, kinds in declaration order), so the RNG stream — and
+    /// therefore the plan — is reproducible bit-for-bit.
+    pub fn generate(seed: u64, steps: usize, rates: &FaultRates) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4641_554c_5453_4545);
+        let mut events = Vec::new();
+        let mut planned_offline = 0usize;
+        for step in 0..steps {
+            if rates.node_crash > 0.0 && rng.gen_bool(rates.node_crash.min(1.0)) {
+                let count = rng.gen_range(1..=rates.max_crash_batch.max(1));
+                events.push(FaultEvent {
+                    step,
+                    kind: FaultKind::NodeCrash { count },
+                });
+                planned_offline += count;
+            }
+            if planned_offline > 0
+                && rates.node_recover > 0.0
+                && rng.gen_bool(rates.node_recover.min(1.0))
+            {
+                let count = rng.gen_range(1..=planned_offline);
+                events.push(FaultEvent {
+                    step,
+                    kind: FaultKind::NodeRecover { count },
+                });
+                planned_offline -= count;
+            }
+            if rates.telemetry_dropout > 0.0 && rng.gen_bool(rates.telemetry_dropout.min(1.0)) {
+                events.push(FaultEvent {
+                    step,
+                    kind: FaultKind::TelemetryDropout {
+                        nth: rng.gen_range(0..1024),
+                        intervals: rng.gen_range(1..=5),
+                    },
+                });
+            }
+            if rates.stale_power > 0.0 && rng.gen_bool(rates.stale_power.min(1.0)) {
+                events.push(FaultEvent {
+                    step,
+                    kind: FaultKind::StalePower {
+                        nth: rng.gen_range(0..1024),
+                        intervals: rng.gen_range(1..=5),
+                    },
+                });
+            }
+            if rates.corrupt_power > 0.0 && rng.gen_bool(rates.corrupt_power.min(1.0)) {
+                events.push(FaultEvent {
+                    step,
+                    kind: FaultKind::CorruptPower {
+                        nth: rng.gen_range(0..1024),
+                        factor: rng.gen_range(0.25..3.0),
+                    },
+                });
+            }
+            if rates.job_kill > 0.0 && rng.gen_bool(rates.job_kill.min(1.0)) {
+                events.push(FaultEvent {
+                    step,
+                    kind: FaultKind::JobKill {
+                        nth: rng.gen_range(0..1024),
+                    },
+                });
+            }
+        }
+        FaultPlan { events }
+    }
+
+    /// The events, sorted by step.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// A fault as the simulator actually applied it: the scheduled kind plus
+/// the resolved target and the machine state after application. Two runs
+/// of the same seeded scenario produce identical applied-fault logs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppliedFault {
+    /// Simulation time at application, seconds.
+    pub t_s: f64,
+    /// Control-interval index at application.
+    pub step: usize,
+    /// The scheduled fault.
+    pub kind: FaultKind,
+    /// Job the fault resolved to, for job-targeted kinds.
+    pub job_id: Option<u64>,
+    /// Nodes offline after this fault was applied.
+    pub nodes_offline_after: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let rates = FaultRates::aggressive();
+        let a = FaultPlan::generate(42, 200, &rates);
+        let b = FaultPlan::generate(42, 200, &rates);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "aggressive rates must schedule events");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let rates = FaultRates::aggressive();
+        let a = FaultPlan::generate(1, 200, &rates);
+        let b = FaultPlan::generate(2, 200, &rates);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn events_are_sorted_by_step() {
+        let plan = FaultPlan::generate(7, 300, &FaultRates::aggressive());
+        assert!(plan.events().windows(2).all(|w| w[0].step <= w[1].step));
+        let scripted = FaultPlan::new(vec![
+            FaultEvent {
+                step: 9,
+                kind: FaultKind::JobKill { nth: 0 },
+            },
+            FaultEvent {
+                step: 2,
+                kind: FaultKind::NodeCrash { count: 1 },
+            },
+        ]);
+        assert_eq!(scripted.events()[0].step, 2);
+        assert_eq!(scripted.len(), 2);
+    }
+
+    #[test]
+    fn zero_rates_schedule_nothing() {
+        let rates = FaultRates {
+            node_crash: 0.0,
+            node_recover: 0.0,
+            telemetry_dropout: 0.0,
+            stale_power: 0.0,
+            corrupt_power: 0.0,
+            job_kill: 0.0,
+            max_crash_batch: 2,
+        };
+        assert!(FaultPlan::generate(3, 1000, &rates).is_empty());
+    }
+
+    #[test]
+    fn recoveries_never_exceed_crashes_in_plan() {
+        let plan = FaultPlan::generate(11, 500, &FaultRates::aggressive());
+        let mut offline = 0isize;
+        for e in plan.events() {
+            match e.kind {
+                FaultKind::NodeCrash { count } => offline += count as isize,
+                FaultKind::NodeRecover { count } => offline -= count as isize,
+                _ => {}
+            }
+            assert!(offline >= 0, "plan recovers more nodes than it crashed");
+        }
+    }
+}

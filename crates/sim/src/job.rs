@@ -30,6 +30,9 @@ pub enum JobOutcome {
     Completed,
     /// Crashed mid-run (failure injection).
     Crashed,
+    /// Killed by an injected fault (an explicit job-kill event, or a node
+    /// loss that took one of the job's nodes away).
+    Killed,
     /// Still running when the simulation window closed.
     Unfinished,
 }

@@ -42,6 +42,7 @@
 //! ```
 
 mod cluster;
+mod fault;
 mod job;
 mod metrics;
 mod policy;
@@ -49,8 +50,11 @@ mod scheduler;
 mod trace;
 
 pub use cluster::{Cluster, ClusterConfig, IntervalLog, SimResult};
+pub use fault::{AppliedFault, FaultEvent, FaultKind, FaultPlan, FaultRates};
 pub use job::{JobOutcome, JobRecord, JobSpec, JobTrace, TracePoint};
-pub use metrics::{compare_fairness, runtime_cdf, throughput, FairnessReport};
+pub use metrics::{
+    compare_fairness, fault_summary, runtime_cdf, throughput, FairnessReport, FaultSummary,
+};
 pub use policy::{FairPolicy, JobView, PolicyContext, PowerAssignment, PowerPolicy};
 pub use scheduler::{RunningFootprint, Scheduler};
 pub use trace::{SystemModel, TraceGenerator};

@@ -1,4 +1,5 @@
 use crate::cluster::SimResult;
+use crate::fault::FaultKind;
 use crate::job::JobOutcome;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -68,6 +69,61 @@ pub fn compare_fairness(policy: &SimResult, fop: &SimResult) -> FairnessReport {
     }
 }
 
+/// Aggregate fault and degradation metrics of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Faults actually applied.
+    pub injected: usize,
+    /// Jobs that ended with [`JobOutcome::Killed`].
+    pub jobs_killed: usize,
+    /// Nodes lost across all crash events.
+    pub nodes_crashed: usize,
+    /// Node recoveries observed.
+    pub recoveries: usize,
+    /// Mean crash-to-recover latency, seconds (0 when nothing recovered).
+    pub mean_recovery_s: f64,
+    /// Worst crash-to-recover latency, seconds.
+    pub max_recovery_s: f64,
+    /// Simulated seconds spent above the power budget.
+    pub budget_violation_s: f64,
+}
+
+/// Summarizes the fault injection and its fallout for one run.
+pub fn fault_summary(result: &SimResult) -> FaultSummary {
+    let nodes_crashed = result
+        .faults
+        .iter()
+        .map(|f| match f.kind {
+            FaultKind::NodeCrash { count } => count,
+            _ => 0,
+        })
+        .sum();
+    let jobs_killed = result
+        .records
+        .iter()
+        .filter(|r| r.outcome == JobOutcome::Killed)
+        .count();
+    let n = result.recovery_latency_s.len();
+    let mean = if n == 0 {
+        0.0
+    } else {
+        result.recovery_latency_s.iter().sum::<f64>() / n as f64
+    };
+    let max = result
+        .recovery_latency_s
+        .iter()
+        .fold(0.0_f64, |m, &l| m.max(l));
+    FaultSummary {
+        injected: result.faults.len(),
+        jobs_killed,
+        nodes_crashed,
+        recoveries: n,
+        mean_recovery_s: mean,
+        max_recovery_s: max,
+        budget_violation_s: result.budget_violation_s,
+    }
+}
+
 /// Empirical CDF of completed-job runtimes in hours: `(runtime_h,
 /// cumulative_fraction)` pairs sorted by runtime — Fig. 1 material.
 pub fn runtime_cdf(result: &SimResult) -> Vec<(f64, f64)> {
@@ -111,6 +167,9 @@ mod tests {
             intervals: Vec::new(),
             traces: HashMap::new(),
             budget_violations: 0,
+            budget_violation_s: 0.0,
+            faults: Vec::new(),
+            recovery_latency_s: Vec::new(),
             decision_times_s: Vec::new(),
         }
     }

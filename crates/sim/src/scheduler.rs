@@ -45,6 +45,14 @@ impl Scheduler {
         self.queue.front()
     }
 
+    /// Returns a job to the head of the queue. Used by fault injection:
+    /// a job displaced from crashed nodes loses its progress but keeps
+    /// its FCFS position, so it restarts as soon as the machine can hold
+    /// it again.
+    pub fn requeue_front(&mut self, job: JobSpec) {
+        self.queue.push_front(job);
+    }
+
     /// Selects the jobs to start now given `free_nodes` idle nodes and the
     /// footprints of currently running jobs. Returns the started jobs
     /// (removed from the queue).
@@ -137,6 +145,17 @@ mod tests {
             runtime_tdp_s: runtime_s,
             runtime_estimate_s: runtime_s,
         }
+    }
+
+    #[test]
+    fn requeued_job_restarts_ahead_of_the_queue() {
+        let mut s = Scheduler::new(vec![job(1, 4, 100.0)]);
+        s.requeue_front(job(0, 4, 100.0));
+        assert_eq!(s.head().unwrap().id, 0);
+        let started = s.schedule(0.0, 4, &[]);
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].id, 0);
+        assert_eq!(s.pending(), 1);
     }
 
     #[test]

@@ -40,7 +40,9 @@ fn main() {
     ];
 
     let mut perq = PerqPolicy::new(PerqConfig::default());
-    let result = ProtoCluster::new(config).run(jobs, &mut perq);
+    let result = ProtoCluster::new(config)
+        .run(jobs, &mut perq)
+        .expect("prototype run");
 
     println!("t(s)   ASPA: cap/draw(W) perf(%)  |  SimpleMOC: cap/draw(W) perf(%)");
     let t0 = result.traces.get(&0).cloned().unwrap_or_default();

@@ -38,7 +38,9 @@ fn main() {
             _ => Box::new(PerqPolicy::new(PerqConfig::default())),
         };
         let config = ProtoConfig::tardis(8, f, 600);
-        let result = ProtoCluster::new(config).run(jobs.clone(), policy.as_mut());
+        let result = ProtoCluster::new(config)
+            .run(jobs.clone(), policy.as_mut())
+            .expect("prototype run");
         let (mean_deg, max_deg) = match &fop_result {
             None => (0.0, 0.0),
             Some(fop) => {

@@ -1,0 +1,290 @@
+//! Fault-injection matrix and graceful-degradation acceptance tests.
+//!
+//! Three layers of coverage:
+//!
+//! 1. **Matrix**: every fault kind crossed with every policy on the
+//!    simulator — the run must terminate, consumption must respect the
+//!    budget, and violations must stay rare regardless of what the fault
+//!    does to the telemetry the policy sees.
+//! 2. **Acceptance**: the prototype cluster loses worker 2 at control
+//!    step 10. The run is seeded and replays bit-for-bit; the controller
+//!    writes the node off, kills the job that lost its rank, and the
+//!    dead node's budget share flows to the survivors without the
+//!    committed power ever exceeding the cluster cap.
+//! 3. **Replay property**: randomly seeded fault plans drive the
+//!    simulator to the identical result twice.
+
+use perq::core::{baselines, train_node_model, NodeModel, PerqConfig, PerqPolicy};
+use perq::proto::{ProtoCluster, ProtoConfig};
+use perq::sim::{
+    Cluster, ClusterConfig, FairPolicy, FaultEvent, FaultKind, FaultPlan, FaultRates, JobOutcome,
+    JobSpec, PowerPolicy, SimResult, SystemModel, TraceGenerator,
+};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared identified node model: PERQ's training is a one-time cost
+/// per node type, not per run.
+fn trained() -> &'static NodeModel {
+    static MODEL: OnceLock<NodeModel> = OnceLock::new();
+    MODEL.get_or_init(|| train_node_model(7).0)
+}
+
+fn make_policy(name: &str) -> Box<dyn PowerPolicy> {
+    match name {
+        "fop" => Box::new(FairPolicy::new()),
+        "sjs" => Box::new(baselines::sjs()),
+        "ljs" => Box::new(baselines::ljs()),
+        "srn" => Box::new(baselines::srn()),
+        "perq" => Box::new(PerqPolicy::with_model(
+            trained().clone(),
+            PerqConfig::default(),
+        )),
+        other => panic!("unknown policy {other}"),
+    }
+}
+
+fn ev(step: usize, kind: FaultKind) -> FaultEvent {
+    FaultEvent { step, kind }
+}
+
+/// Scripted single-kind fault scenarios, one per [`FaultKind`].
+fn scenarios() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            "node-crash-and-recover",
+            FaultPlan::new(vec![
+                ev(20, FaultKind::NodeCrash { count: 3 }),
+                ev(60, FaultKind::NodeRecover { count: 3 }),
+            ]),
+        ),
+        (
+            "telemetry-dropout",
+            FaultPlan::new(vec![ev(
+                25,
+                FaultKind::TelemetryDropout {
+                    nth: 1,
+                    intervals: 4,
+                },
+            )]),
+        ),
+        (
+            "stale-power",
+            FaultPlan::new(vec![ev(
+                25,
+                FaultKind::StalePower {
+                    nth: 0,
+                    intervals: 3,
+                },
+            )]),
+        ),
+        (
+            "corrupt-power",
+            FaultPlan::new(vec![
+                ev(
+                    25,
+                    FaultKind::CorruptPower {
+                        nth: 0,
+                        factor: 10.0,
+                    },
+                ),
+                ev(
+                    40,
+                    FaultKind::CorruptPower {
+                        nth: 1,
+                        factor: 0.25,
+                    },
+                ),
+            ]),
+        ),
+        (
+            "job-kill",
+            FaultPlan::new(vec![ev(30, FaultKind::JobKill { nth: 0 })]),
+        ),
+    ]
+}
+
+#[test]
+fn every_fault_kind_terminates_under_every_policy_within_budget() {
+    let system = SystemModel::tardis();
+    let budget = 8.0 * 290.0;
+    for (scenario, plan) in scenarios() {
+        for policy_name in ["fop", "sjs", "ljs", "srn", "perq"] {
+            let mut policy = make_policy(policy_name);
+            let config = ClusterConfig::for_system(&system, 2.0, 1800.0);
+            let jobs = TraceGenerator::new(system.clone(), 17)
+                .generate_saturating(config.nodes, config.duration_s);
+            let result = Cluster::new(config, jobs, 17)
+                .with_fault_plan(plan.clone())
+                .run(policy.as_mut());
+
+            assert!(
+                !result.faults.is_empty(),
+                "{scenario}/{policy_name}: the plan never applied"
+            );
+            let intervals = result.intervals.len();
+            assert_eq!(intervals, 180, "{scenario}/{policy_name}: run truncated");
+            for log in &result.intervals {
+                assert!(
+                    log.total_power_w <= budget * 1.05,
+                    "{scenario}/{policy_name}: {} W consumed at t={} (budget {budget})",
+                    log.total_power_w,
+                    log.t_s
+                );
+            }
+            assert!(
+                result.budget_violations as f64 <= 0.03 * intervals as f64,
+                "{scenario}/{policy_name}: {} violations in {} intervals",
+                result.budget_violations,
+                intervals
+            );
+            match scenario {
+                // 3 nodes crash at step 20 (t=200) and recover at step 60
+                // (t=600): 400 s of outage per node, whatever the policy.
+                "node-crash-and-recover" => {
+                    assert_eq!(
+                        result.recovery_latency_s,
+                        vec![400.0; 3],
+                        "{scenario}/{policy_name}: wrong recovery latencies"
+                    );
+                }
+                "job-kill" => {
+                    assert!(
+                        result
+                            .records
+                            .iter()
+                            .any(|r| r.outcome == JobOutcome::Killed),
+                        "{scenario}/{policy_name}: no job was killed"
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// The ISSUE acceptance scenario: 8 single-node jobs on 8 workers under
+/// FOP, worker 2 dies at control step 10.
+fn acceptance_run() -> SimResult {
+    let mut config = ProtoConfig::tardis(4, 2.0, 80);
+    config.crash_workers.push((2, 10));
+    config.trace_jobs.push(0);
+    // Long single-node jobs: every worker stays busy, so the fair share
+    // is exactly budget / live-jobs before and after the crash.
+    let jobs: Vec<JobSpec> = (0..8)
+        .map(|id| JobSpec {
+            id,
+            app_index: 0,
+            size: 1,
+            runtime_tdp_s: 10_000.0,
+            runtime_estimate_s: 12_000.0,
+        })
+        .collect();
+    ProtoCluster::new(config)
+        .run(jobs, &mut FairPolicy::new())
+        .expect("prototype run")
+}
+
+#[test]
+fn seeded_worker_crash_replays_deterministically_and_reallocates_budget() {
+    let a = acceptance_run();
+    let b = acceptance_run();
+
+    // Bit-for-bit replay: every field except wall-clock decision times.
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.intervals, b.intervals);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.budget_violations, b.budget_violations);
+    assert_eq!(a.traces.get(&0), b.traces.get(&0));
+
+    // The crash is logged at the scripted step against the right job
+    // (single-node jobs launch FCFS, so job 2 runs on node 2).
+    assert_eq!(a.faults.len(), 1, "exactly one injected fault");
+    assert_eq!(a.faults[0].step, 10);
+    assert!(matches!(
+        a.faults[0].kind,
+        FaultKind::NodeCrash { count: 1 }
+    ));
+    assert_eq!(a.faults[0].job_id, Some(2));
+    assert_eq!(a.faults[0].nodes_offline_after, 1);
+
+    // The job that lost its rank is killed at the end of that interval;
+    // everything else outlives the 80-interval window.
+    let killed: Vec<_> = a
+        .records
+        .iter()
+        .filter(|r| r.outcome == JobOutcome::Killed)
+        .collect();
+    assert_eq!(killed.len(), 1);
+    assert_eq!(killed[0].spec.id, 2);
+    assert_eq!(killed[0].end_s, 110.0);
+    assert_eq!(
+        a.records
+            .iter()
+            .filter(|r| r.outcome == JobOutcome::Unfinished)
+            .count(),
+        7
+    );
+
+    // Budget reallocation: the fair share is budget/8 = 145 W before the
+    // crash and budget/7 ≈ 165.7 W once the dead node is written off —
+    // the survivors inherit its share.
+    let budget = 4.0 * 290.0;
+    let trace = a.traces.get(&0).expect("job 0 traced");
+    for p in &trace.points {
+        if p.t_s <= 100.0 {
+            assert!(
+                (p.cap_w - budget / 8.0).abs() < 1e-9,
+                "pre-crash cap {}",
+                p.cap_w
+            );
+        } else {
+            assert!(
+                (p.cap_w - budget / 7.0).abs() < 1e-9,
+                "post-crash cap {}",
+                p.cap_w
+            );
+        }
+    }
+
+    // And the cluster cap is never exceeded, by commitment or draw.
+    assert_eq!(a.budget_violations, 0);
+    for log in &a.intervals {
+        assert!(
+            log.committed_power_w <= budget + 1e-6,
+            "committed {} W at t={}",
+            log.committed_power_w,
+            log.t_s
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any seeded fault plan — crashes, recoveries, telemetry faults, job
+    /// kills at aggressive rates — drives the simulator to the identical
+    /// result twice.
+    #[test]
+    fn seeded_fault_plans_replay_bit_for_bit(seed in 0u64..1_000_000) {
+        let run = || {
+            let system = SystemModel::tardis();
+            let config = ClusterConfig::for_system(&system, 2.0, 1500.0);
+            let steps = (config.duration_s / config.interval_s) as usize;
+            let plan = FaultPlan::generate(seed, steps, &FaultRates::aggressive());
+            let jobs = TraceGenerator::new(system.clone(), seed)
+                .generate_saturating(config.nodes, config.duration_s);
+            Cluster::new(config, jobs, seed)
+                .with_fault_plan(plan)
+                .run(&mut FairPolicy::new())
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a.records, &b.records);
+        prop_assert_eq!(&a.intervals, &b.intervals);
+        prop_assert_eq!(&a.faults, &b.faults);
+        prop_assert_eq!(&a.recovery_latency_s, &b.recovery_latency_s);
+        prop_assert_eq!(a.budget_violations, b.budget_violations);
+        prop_assert_eq!(a.budget_violation_s, b.budget_violation_s);
+    }
+}
