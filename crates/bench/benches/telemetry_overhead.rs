@@ -1,0 +1,189 @@
+//! Telemetry overhead on the solver hot path: the `qp_scaling`
+//! structured decision (assemble + solve) with the no-op recorder vs a
+//! live recorder attached. The subsystem's contract is that recording
+//! is cheap enough to leave on (<5% slowdown), so this bench measures
+//! exactly that margin.
+//!
+//! Two modes:
+//!
+//! - Default (criterion): `cargo bench --bench telemetry_overhead`.
+//! - Snapshot: `cargo bench --bench telemetry_overhead -- --snapshot`
+//!   hand-times both variants per configuration and writes
+//!   `BENCH_telemetry_overhead.json` at the repo root (the committed
+//!   artifact).
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use perq_core::mpc_assembly::{assemble_structured_qp, AssemblyParams, MpcInput, MpcJobState};
+use perq_qp::{ProjGradSettings, ProjGradSolver, Workspace};
+use perq_telemetry::Recorder;
+
+const JOB_COUNTS: [usize; 4] = [16, 64, 256, 1024];
+const HORIZONS: [usize; 2] = [4, 8];
+
+/// Synthetic but model-shaped Markov parameters (decaying response).
+fn markov(m: usize) -> Vec<f64> {
+    (0..m).map(|j| 0.25 * 0.5f64.powi(j as i32)).collect()
+}
+
+fn params(m: usize, markov: &[f64]) -> AssemblyParams<'_> {
+    AssemblyParams {
+        horizon: m,
+        wt_job: 1.0,
+        wt_sys: 1.0,
+        w_dp: 1.0,
+        terminal_weight: 2.0,
+        markov,
+        feedthrough: 0.55,
+        input_offset: -0.02,
+    }
+}
+
+/// Deterministic pseudo-random job population (LCG — identical across
+/// runs and harnesses, and identical to `qp_scaling`'s population).
+fn jobs(n: usize, m: usize) -> Vec<MpcJobState> {
+    let mut state = 0x5eed_0001_u64.wrapping_add(n as u64);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|i| MpcJobState {
+            size: 1 + (i % 16),
+            target: 0.6 + 0.5 * next(),
+            current_cap_frac: 0.35 + 0.55 * next(),
+            gain: 0.2 + 1.5 * next(),
+            free_response: (0..m).map(|_| 0.4 + 0.5 * next()).collect(),
+            curve_value: 0.3 + 0.6 * next(),
+            curve_slope: 0.5 + next(),
+            bias: 0.05 * (next() - 0.5),
+            charged: next() > 0.2,
+        })
+        .collect()
+}
+
+fn make_input<'a>(jobs: &'a [MpcJobState]) -> MpcInput<'a> {
+    let total: f64 = jobs.iter().map(|j| j.size as f64).sum();
+    MpcInput {
+        jobs,
+        system_target: 1.1,
+        budget_nodes: 0.6 * total,
+        cap_min_frac: 0.31,
+        wp_nodes: (0.8 * total).max(1.0),
+    }
+}
+
+fn solver(recorder: Recorder) -> ProjGradSolver {
+    // The controller's production settings.
+    ProjGradSolver::new(ProjGradSettings {
+        max_iters: 400,
+        tol: 1e-6,
+        power_iters: 20,
+    })
+    .with_recorder(recorder)
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead/decide");
+    group.sample_size(10);
+    for &m in &HORIZONS {
+        let h = markov(m);
+        let p = params(m, &h);
+        for &nj in &JOB_COUNTS {
+            let js = jobs(nj, m);
+            let input = make_input(&js);
+            for (label, rec) in [("noop", Recorder::noop()), ("live", Recorder::manual())] {
+                let sv = solver(rec);
+                let mut ws = Workspace::default();
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{label}/h{m}"), nj),
+                    &nj,
+                    |b, _| {
+                        b.iter(|| {
+                            let (qp, warm, _) = assemble_structured_qp(&p, &input).unwrap();
+                            sv.solve_with(&qp, Some(&warm), &mut ws, None).unwrap()
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+
+/// One snapshot measurement: median-of-`reps` wall time in milliseconds.
+fn time_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn snapshot() {
+    let mut rows = Vec::new();
+    let mut worst_pct = f64::NEG_INFINITY;
+    for &m in &HORIZONS {
+        let h = markov(m);
+        let p = params(m, &h);
+        for &nj in &JOB_COUNTS {
+            let js = jobs(nj, m);
+            let input = make_input(&js);
+            let reps = if nj >= 1024 { 5 } else { 9 };
+
+            let run = |rec: Recorder| {
+                let sv = solver(rec);
+                let mut ws = Workspace::default();
+                time_ms(reps, || {
+                    let (qp, warm, _) = assemble_structured_qp(&p, &input).unwrap();
+                    sv.solve_with(&qp, Some(&warm), &mut ws, None).unwrap();
+                })
+            };
+            let noop_ms = run(Recorder::noop());
+            let live_ms = run(Recorder::manual());
+            let overhead_pct = 100.0 * (live_ms - noop_ms) / noop_ms;
+            worst_pct = worst_pct.max(overhead_pct);
+            println!(
+                "jobs={nj:5} horizon={m}: noop {noop_ms:8.3} ms, live {live_ms:8.3} ms, overhead {overhead_pct:+.2}%"
+            );
+            rows.push(serde_json::json!({
+                "jobs": nj,
+                "horizon": m,
+                "noop_ms": noop_ms,
+                "live_ms": live_ms,
+                "overhead_pct": overhead_pct,
+            }));
+        }
+    }
+    println!("worst-case overhead: {worst_pct:+.2}% (requirement: < 5%)");
+    let doc = serde_json::json!({
+        "bench": "telemetry_overhead",
+        "description": "qp_scaling structured decision (assemble + solve) with the no-op recorder vs a live recorder attached to the solver",
+        "solver": {"max_iters": 400, "tol": 1e-6},
+        "requirement_pct": 5.0,
+        "worst_overhead_pct": worst_pct,
+        "rows": rows,
+    });
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_telemetry_overhead.json"
+    );
+    std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap()).unwrap();
+    println!("wrote {path}");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--snapshot") {
+        snapshot();
+        return;
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -59,8 +59,10 @@ fn main() {
     {
         let config = ClusterConfig::for_system(&eval.system, f, eval.duration_s);
         let jobs = eval.trace(config.nodes);
-        let mut cfg = PerqConfig::default();
-        cfg.dither_frac = 0.0;
+        let cfg = PerqConfig {
+            dither_frac: 0.0,
+            ..PerqConfig::default()
+        };
         let mut policy = PerqPolicy::with_model(eval.model.clone(), cfg);
         let result = Cluster::new(config, jobs, eval.seed).run(&mut policy);
         report("PERQ (no dither)", result);

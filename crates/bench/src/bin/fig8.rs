@@ -2,18 +2,27 @@
 //! target IPS, and actual IPS over each job's execution, for four jobs
 //! with diverse characteristics.
 //!
+//! The trace data is written as JSON Lines through the telemetry
+//! exporter (one `fig8_trace_point` event per interval, one
+//! `fig8_tracking_summary` event per panel); stdout carries only the
+//! human-readable summary.
+//!
 //! ```text
-//! cargo run --release -p perq-bench --bin fig8 -- [hours]
+//! cargo run --release -p perq-bench --bin fig8 -- [hours] [out.jsonl]
 //! ```
 
 use perq_core::{PerqConfig, PerqPolicy};
 use perq_sim::{Cluster, ClusterConfig, SystemModel, TraceGenerator};
+use perq_telemetry::{FieldValue, Recorder};
 
 fn main() {
     let hours: f64 = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(4.0);
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "FIG8_traces.jsonl".to_string());
     let system = SystemModel::trinity();
     let seed = 8;
     let mut config = ClusterConfig::for_system(&system, 2.0, hours * 3600.0);
@@ -52,33 +61,41 @@ fn main() {
         }
     }
 
+    let rec = Recorder::manual();
     for (panel, id) in picked.iter().enumerate() {
-        let rec = result
+        let record = result
             .records
             .iter()
             .find(|r| r.spec.id == *id)
             .expect("record");
         let trace = &result.traces[id];
         println!(
-            "(panel {}) job {} — app {}, {} nodes, runtime {:.2} h",
+            "(panel {}) job {} — app {}, {} nodes, runtime {:.2} h, {} trace points",
             (b'a' + panel as u8) as char,
             id,
-            rec.app_name,
-            rec.spec.size,
-            rec.runtime_s() / 3600.0
+            record.app_name,
+            record.spec.size,
+            record.runtime_s() / 3600.0,
+            trace.points.len()
         );
-        println!(
-            "{:>9} {:>14} {:>14} {:>14}",
-            "t(h)", "cap(kW)", "target IPS", "actual IPS"
-        );
-        let stride = (trace.points.len() / 24).max(1);
-        for p in trace.points.iter().step_by(stride) {
-            println!(
-                "{:>9.2} {:>14.2} {:>14.3e} {:>14.3e}",
-                (p.t_s - rec.start_s) / 3600.0,
-                p.cap_w * rec.spec.size as f64 / 1000.0,
-                p.target_ips.unwrap_or(0.0),
-                p.ips
+        for p in &trace.points {
+            rec.set_time_s(p.t_s);
+            rec.counter_inc("perq_bench_fig8_points_total");
+            rec.event(
+                "fig8_trace_point",
+                &[
+                    ("panel", FieldValue::U64(panel as u64)),
+                    ("job_id", FieldValue::U64(*id)),
+                    (
+                        "cap_kw",
+                        FieldValue::F64(p.cap_w * record.spec.size as f64 / 1000.0),
+                    ),
+                    (
+                        "target_ips",
+                        FieldValue::F64(p.target_ips.unwrap_or(f64::NAN)),
+                    ),
+                    ("ips", FieldValue::F64(p.ips)),
+                ],
             );
         }
         // Tracking quality summary over the post-convergence tail: the
@@ -96,13 +113,28 @@ fn main() {
                 .filter_map(|p| p.target_ips.map(|t| ((p.ips - t) / t - signed).abs()))
                 .sum::<f64>()
                 / tail.len() as f64;
+            rec.event(
+                "fig8_tracking_summary",
+                &[
+                    ("panel", FieldValue::U64(panel as u64)),
+                    ("job_id", FieldValue::U64(*id)),
+                    ("mean_offset_pct", FieldValue::F64(100.0 * signed)),
+                    ("spread_pct", FieldValue::F64(100.0 * spread)),
+                ],
+            );
             println!(
-                "tracking after convergence: mean offset {:+.1}% of target (overshoot is                  expected — the system objective asks for more), spread ±{:.1}%",
+                "tracking after convergence: mean offset {:+.1}% of target (overshoot is expected — the system objective asks for more), spread ±{:.1}%",
                 100.0 * signed,
                 100.0 * spread
             );
         }
-        println!();
+    }
+    match std::fs::write(&out_path, rec.export_jsonl()) {
+        Ok(()) => println!("trace data written to {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
     }
     println!("expected shape: IPS converges to target within a few intervals and stays");
     println!("stable; low-sensitivity jobs may run below their power share at no perf cost.");

@@ -2,24 +2,33 @@
 //! trace. The paper reports < 3% throughput loss up to 120 s intervals
 //! and mean degradation above 5% only past 40 s.
 //!
+//! The sweep data is written as JSON Lines through the telemetry
+//! exporter (one `fig9_interval_sweep` event per interval setting);
+//! stdout carries the human-readable table.
+//!
 //! ```text
-//! cargo run --release -p perq-bench --bin fig9 -- [hours]
+//! cargo run --release -p perq-bench --bin fig9 -- [hours] [out.jsonl]
 //! ```
 
 use perq_bench::{improvement_pct, Evaluation, PolicyKind};
 use perq_sim::{ClusterConfig, SystemModel};
+use perq_telemetry::{FieldValue, Recorder};
 
 fn main() {
     let hours: f64 = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(4.0);
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "FIG9_interval_sweep.jsonl".to_string());
     let eval = Evaluation::new(SystemModel::mira(), hours * 3600.0, 9);
     println!("Fig. 9 (Mira, {hours} h, f = 2.0): control-interval sweep");
     println!(
         "{:>12} {:>8} {:>16} {:>12}",
         "interval(s)", "jobs", "vs 5s bar (%)", "meandeg(%)"
     );
+    let rec = Recorder::manual();
     let mut bar1: Option<usize> = None;
     for interval in [5.0, 10.0, 20.0, 40.0, 60.0, 120.0] {
         let mut config = ClusterConfig::for_system(&eval.system, 2.0, eval.duration_s);
@@ -28,13 +37,39 @@ fn main() {
         let perq = eval.run_with_config(config, PolicyKind::Perq);
         let fairness = perq_sim::compare_fairness(&perq, &fop);
         let base = *bar1.get_or_insert(perq.throughput());
+        let vs_bar = improvement_pct(perq.throughput(), base);
+        rec.set_time_s(interval);
+        rec.counter_inc("perq_bench_fig9_settings_total");
+        rec.event(
+            "fig9_interval_sweep",
+            &[
+                ("interval_s", FieldValue::F64(interval)),
+                ("jobs_completed", FieldValue::U64(perq.throughput() as u64)),
+                ("vs_bar_pct", FieldValue::F64(vs_bar)),
+                (
+                    "mean_degradation_pct",
+                    FieldValue::F64(fairness.mean_degradation_pct),
+                ),
+                (
+                    "max_degradation_pct",
+                    FieldValue::F64(fairness.max_degradation_pct),
+                ),
+            ],
+        );
         println!(
             "{:>12.0} {:>8} {:>16.2} {:>12.1}",
             interval,
             perq.throughput(),
-            improvement_pct(perq.throughput(), base),
+            vs_bar,
             fairness.mean_degradation_pct
         );
+    }
+    match std::fs::write(&out_path, rec.export_jsonl()) {
+        Ok(()) => println!("sweep data written to {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
     }
     println!();
     println!("expected shape: small throughput loss (|Δ| < ~3%) even at 120 s; mean");

@@ -19,6 +19,7 @@ use perq_sim::{
     compare_fairness, fault_summary, Cluster, ClusterConfig, FairPolicy, FaultPlan, FaultRates,
     PowerPolicy, SimResult, SystemModel, TraceGenerator,
 };
+use perq_telemetry::Recorder;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -31,16 +32,22 @@ USAGE:
                    [hours=4] [seed=42] [interval=10] [json=out.json]
                    [faults=SEED] (seeded fault injection: node crashes, telemetry
                    dropouts, job kills — deterministic per seed)
+                   [metrics-out=PATH] [metrics-fmt=prom|jsonl] (telemetry export:
+                   solver, controller, and simulator metrics for the policy run)
     perq train     [seed=7]
     perq prototype [wp=8] [f=2.0] [policy=perq|fop|sjs|ljs|srn] [jobs=200] [intervals=600]
                    [crash=NODE@STEP] (kill worker NODE at control step STEP)
+                   [metrics-out=PATH] [metrics-fmt=prom|jsonl]
     perq stress    [clients=100000] [connections=4]
+    perq metrics-validate file=PATH [require=name1,name2,...]
+                   (parse a Prometheus exposition and check required metrics — CI smoke)
     perq help
 
 Examples:
     perq simulate system=trinity policy=perq f=1.8 hours=8
-    perq simulate system=tardis policy=perq faults=7
+    perq simulate system=tardis policy=perq faults=7 metrics-out=metrics.prom metrics-fmt=prom
     perq prototype wp=4 f=2.0 policy=srn crash=2@10
+    perq metrics-validate file=metrics.prom require=perq_sim_steps_total,perq_qp_solves_total
 "
     );
     ExitCode::from(2)
@@ -84,6 +91,39 @@ fn policy(map: &HashMap<String, String>) -> Box<dyn PowerPolicy> {
             Box::new(PerqPolicy::new(PerqConfig::default()))
         }
     }
+}
+
+/// A live recorder when `metrics-out=` was given, the no-op otherwise.
+/// The manual clock keeps exports deterministic: timestamps come from
+/// simulated time, never the wall.
+fn metrics_recorder(map: &HashMap<String, String>) -> Recorder {
+    if map.contains_key("metrics-out") {
+        Recorder::manual()
+    } else {
+        Recorder::noop()
+    }
+}
+
+/// Writes the recorder's export to `metrics-out=` in `metrics-fmt=`
+/// (default jsonl). No-op when `metrics-out=` was not given.
+fn write_metrics(map: &HashMap<String, String>, recorder: &Recorder) -> Result<(), ExitCode> {
+    let Some(path) = map.get("metrics-out") else {
+        return Ok(());
+    };
+    let body = match map.get("metrics-fmt").map(String::as_str) {
+        Some("prom") => recorder.export_prometheus(),
+        Some("jsonl") | None => recorder.export_jsonl(),
+        Some(other) => {
+            eprintln!("unknown metrics-fmt '{other}' (expected prom|jsonl)");
+            return Err(ExitCode::from(2));
+        }
+    };
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("failed to write {path}: {e}");
+        return Err(ExitCode::FAILURE);
+    }
+    println!("metrics written to {path}");
+    Ok(())
 }
 
 fn summarize(result: &SimResult, fop: Option<&SimResult>) {
@@ -150,16 +190,27 @@ fn cmd_simulate(map: HashMap<String, String>) -> ExitCode {
         c
     };
 
-    // Always run the FOP reference for the fairness metrics.
-    let fop_result =
-        with_plan(Cluster::new(config.clone(), jobs.clone(), seed)).run(&mut FairPolicy::new());
+    // Always run the FOP reference for the fairness metrics. The
+    // recorder follows the *chosen* policy's run, whichever that is.
+    let recorder = metrics_recorder(&map);
     let mut chosen = policy(&map);
-    let result = if chosen.name() == "FOP" {
+    let chosen_is_fop = chosen.name() == "FOP";
+    let mut fop_cluster = with_plan(Cluster::new(config.clone(), jobs.clone(), seed));
+    if chosen_is_fop {
+        fop_cluster = fop_cluster.with_recorder(recorder.clone());
+    }
+    let fop_result = fop_cluster.run(&mut FairPolicy::new());
+    let result = if chosen_is_fop {
         fop_result.clone()
     } else {
-        with_plan(Cluster::new(config, jobs, seed)).run(chosen.as_mut())
+        with_plan(Cluster::new(config, jobs, seed))
+            .with_recorder(recorder.clone())
+            .run(chosen.as_mut())
     };
     summarize(&result, Some(&fop_result));
+    if let Err(code) = write_metrics(&map, &recorder) {
+        return code;
+    }
 
     if let Some(path) = map.get("json") {
         match serde_json::to_string_pretty(&result) {
@@ -233,8 +284,10 @@ fn cmd_prototype(map: HashMap<String, String>) -> ExitCode {
         "prototype: {} workers (budget {} nodes), {} jobs, {} intervals",
         config.nodes, config.wp_nodes, n_jobs, intervals
     );
+    let recorder = metrics_recorder(&map);
     let mut chosen = policy(&map);
-    let result = match ProtoCluster::new(config).run(jobs, chosen.as_mut()) {
+    let cluster = ProtoCluster::new(config).with_recorder(recorder.clone());
+    let result = match cluster.run(jobs, chosen.as_mut()) {
         Ok(result) => result,
         Err(e) => {
             eprintln!("prototype run failed: {e}");
@@ -242,7 +295,41 @@ fn cmd_prototype(map: HashMap<String, String>) -> ExitCode {
         }
     };
     summarize(&result, None);
+    if let Err(code) = write_metrics(&map, &recorder) {
+        return code;
+    }
     ExitCode::SUCCESS
+}
+
+fn cmd_metrics_validate(map: HashMap<String, String>) -> ExitCode {
+    let Some(path) = map.get("file") else {
+        eprintln!("metrics-validate needs file=PATH");
+        return ExitCode::from(2);
+    };
+    let body = match std::fs::read_to_string(path) {
+        Ok(body) => body,
+        Err(e) => {
+            eprintln!("failed to read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let required: Vec<&str> = map
+        .get("require")
+        .map(|r| r.split(',').filter(|s| !s.is_empty()).collect())
+        .unwrap_or_default();
+    match perq_telemetry::validate_prometheus(&body, &required) {
+        Ok(()) => {
+            println!(
+                "{path}: valid Prometheus exposition; {} required metric(s) present",
+                required.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_stress(map: HashMap<String, String>) -> ExitCode {
@@ -269,6 +356,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(map),
         "prototype" => cmd_prototype(map),
         "stress" => cmd_stress(map),
+        "metrics-validate" => cmd_metrics_validate(map),
         _ => usage(),
     }
 }

@@ -1,6 +1,7 @@
 use crate::model::NodeModel;
 use crate::mpc_assembly::{assemble_dense_qp, assemble_structured_qp, AssemblyParams};
 use perq_qp::{BoxBudgetQp, LmaxCache, ProjGradSettings, ProjGradSolver, StructuredQp, Workspace};
+use perq_telemetry::Recorder;
 use std::sync::Mutex;
 
 pub use crate::mpc_assembly::{MpcInput, MpcJobState};
@@ -96,6 +97,7 @@ pub struct MpcController {
     /// Identified input offset `u₀` of the node model.
     input_offset: f64,
     solver: ProjGradSolver,
+    recorder: Recorder,
     /// Interior-mutable so [`MpcController::decide`] keeps its `&self`
     /// signature while reusing buffers and the spectral cache.
     scratch: Mutex<ControllerScratch>,
@@ -111,6 +113,7 @@ impl Clone for MpcController {
             feedthrough: self.feedthrough,
             input_offset: self.input_offset,
             solver: self.solver.clone(),
+            recorder: self.recorder.clone(),
             scratch: Mutex::new(ControllerScratch::default()),
         }
     }
@@ -132,8 +135,18 @@ impl MpcController {
             feedthrough: model.ss.feedthrough(),
             input_offset: model.ss.input_offset(),
             solver,
+            recorder: Recorder::noop(),
             scratch: Mutex::new(ControllerScratch::default()),
         }
+    }
+
+    /// Attaches a telemetry recorder. Decisions then report
+    /// `perq_core_*` metrics (decide span, job/horizon gauges, QP
+    /// iteration histogram) and the handle is forwarded to the inner QP
+    /// solver for its `perq_qp_*` metrics.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.solver.set_recorder(recorder.clone());
+        self.recorder = recorder;
     }
 
     /// The controller's settings.
@@ -194,6 +207,7 @@ impl MpcController {
     /// Solves one decision instance via the structured O(jobs) path.
     /// Returns `None` when there are no jobs.
     pub fn decide(&self, input: &MpcInput<'_>) -> Option<MpcDecision> {
+        let _span = self.recorder.span("perq_core_decide");
         let (qp, warm, _consts) = self.assemble_qp(input)?;
         let mut scratch = self.scratch.lock().expect("controller scratch poisoned");
         let ControllerScratch { ws, lmax } = &mut *scratch;
@@ -201,6 +215,15 @@ impl MpcController {
             .solver
             .solve_with(&qp, Some(&warm), ws, Some(lmax))
             .expect("MPC QP is validated feasible");
+        if self.recorder.enabled() {
+            self.recorder.counter_inc("perq_core_decides_total");
+            self.recorder
+                .gauge_set("perq_core_jobs", input.jobs.len() as f64);
+            self.recorder
+                .gauge_set("perq_core_horizon", self.settings.horizon as f64);
+            self.recorder
+                .observe("perq_core_qp_iterations", sol.iterations as f64);
+        }
         Some(self.extract_decision(input, &sol))
     }
 

@@ -3,6 +3,7 @@ use crate::mpc::{MpcController, MpcInput, MpcJobState, MpcSettings};
 use crate::targets::TargetGenerator;
 use perq_apps::{BASE_NODE_IPS, IDLE_WATTS};
 use perq_sim::{PolicyContext, PowerAssignment, PowerPolicy};
+use perq_telemetry::Recorder;
 use std::collections::HashMap;
 
 /// Configuration of the full PERQ policy.
@@ -59,6 +60,7 @@ pub struct PerqPolicy {
     max_groups: usize,
     step: u64,
     name: String,
+    recorder: Recorder,
 }
 
 impl PerqPolicy {
@@ -83,6 +85,7 @@ impl PerqPolicy {
             max_groups: config.max_groups,
             step: 0,
             name: "PERQ".to_string(),
+            recorder: Recorder::noop(),
         }
     }
 
@@ -133,6 +136,11 @@ impl PowerPolicy for PerqPolicy {
         &self.name
     }
 
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.controller.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
     fn assign(&mut self, ctx: &PolicyContext<'_>) -> Vec<PowerAssignment> {
         if ctx.jobs.is_empty() {
             return Vec::new();
@@ -161,6 +169,9 @@ impl PowerPolicy for PerqPolicy {
                 let plausible = (0.5 * IDLE_WATTS..=cap_max * 1.1).contains(&power);
                 if plausible {
                     adapter.observe_power(power / cap_max, cap_frac);
+                } else {
+                    self.recorder
+                        .counter_inc("perq_core_implausible_power_total");
                 }
             }
         }

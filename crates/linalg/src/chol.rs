@@ -90,8 +90,8 @@ impl Cholesky {
         // Back substitution: Lᵀ x = y.
         for i in (0..n).rev() {
             let mut sum = out[i];
-            for k in (i + 1)..n {
-                sum -= self.l[(k, i)] * out[k];
+            for (k, &outk) in out.iter().enumerate().skip(i + 1) {
+                sum -= self.l[(k, i)] * outk;
             }
             out[i] = sum / self.l[(i, i)];
         }

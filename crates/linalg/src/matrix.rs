@@ -245,8 +245,7 @@ impl Matrix {
             });
         }
         out.fill(0.0);
-        for i in 0..self.rows {
-            let xi = x[i];
+        for (i, &xi) in x.iter().enumerate() {
             if xi == 0.0 {
                 continue;
             }

@@ -87,13 +87,13 @@ impl Qr {
                 continue;
             }
             let mut dot = y[k];
-            for i in (k + 1)..m {
-                dot += self.qr[(i, k)] * y[i];
+            for (i, &yi) in y.iter().enumerate().skip(k + 1) {
+                dot += self.qr[(i, k)] * yi;
             }
             let scaled = self.betas[k] * dot;
             y[k] -= scaled;
-            for i in (k + 1)..m {
-                y[i] -= scaled * self.qr[(i, k)];
+            for (i, yi) in y.iter_mut().enumerate().skip(k + 1) {
+                *yi -= scaled * self.qr[(i, k)];
             }
         }
         // Back substitution with R.
@@ -104,8 +104,8 @@ impl Qr {
                 return Err(LinalgError::Singular { pivot: i });
             }
             let mut sum = y[i];
-            for j in (i + 1)..n {
-                sum -= self.qr[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.qr[(i, j)] * xj;
             }
             x[i] = sum / rii;
         }

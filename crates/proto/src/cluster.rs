@@ -1,12 +1,13 @@
 use crate::error::ProtoError;
 use crate::messages::{Command, Report};
-use crate::transport::{read_frame_retry, write_frame, write_frame_retry, RetryPolicy};
+use crate::transport::{read_frame_retry_with, write_frame, write_frame_retry_with, RetryPolicy};
 use crate::worker::NodeWorker;
 use perq_apps::{ecp_suite, AppProfile, BASE_NODE_IPS, IDLE_WATTS, MIN_CAP_WATTS, TDP_WATTS};
 use perq_sim::{
     AppliedFault, FaultKind, IntervalLog, JobOutcome, JobRecord, JobSpec, JobTrace, JobView,
     PolicyContext, PowerPolicy, Scheduler, SimResult, TracePoint,
 };
+use perq_telemetry::{FieldValue, Recorder};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::{TcpListener, TcpStream};
 use std::thread::JoinHandle;
@@ -88,6 +89,7 @@ struct LiveJob {
 pub struct ProtoCluster {
     config: ProtoConfig,
     apps: Vec<AppProfile>,
+    recorder: Recorder,
 }
 
 impl ProtoCluster {
@@ -96,7 +98,17 @@ impl ProtoCluster {
         ProtoCluster {
             config,
             apps: ecp_suite(),
+            recorder: Recorder::noop(),
         }
+    }
+
+    /// Attaches a telemetry recorder (builder style). The controller
+    /// drives the recorder's clock from logical interval time, counts
+    /// every frame crossing its sockets, and journals worker write-offs,
+    /// so one recorder covers the transport, the policy, and the solver.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Runs the control loop over a job trace under the given policy.
@@ -150,13 +162,11 @@ impl ProtoCluster {
                 sock.set_read_timeout(Some(self.config.heartbeat_timeout))
                     .map_err(ProtoError::Socket)?;
             }
-            let reg: Report =
-                read_frame_retry(&mut sock, &self.config.retry).map_err(|source| {
-                    ProtoError::Registration {
-                        registered,
-                        expected: self.config.nodes,
-                        source,
-                    }
+            let reg: Report = read_frame_retry_with(&mut sock, &self.config.retry, &self.recorder)
+                .map_err(|source| ProtoError::Registration {
+                    registered,
+                    expected: self.config.nodes,
+                    source,
                 })?;
             streams.insert(reg.node_id, sock);
         }
@@ -199,9 +209,15 @@ impl ProtoCluster {
         let mut violations = 0usize;
         let mut faults: Vec<AppliedFault> = Vec::new();
         let mut lost: BTreeSet<u32> = BTreeSet::new();
+        let rec = self.recorder.clone();
+        policy.set_recorder(rec.clone());
 
         for step in 0..cfg.max_intervals {
             let now_s = step as f64 * cfg.interval_s;
+            // Telemetry timestamps follow logical interval time, so two
+            // runs of the same configuration export identical journals
+            // regardless of socket latency.
+            rec.set_time_s(now_s);
             let mut newly_dead: BTreeSet<u32> = BTreeSet::new();
 
             // 1. Scheduling.
@@ -225,7 +241,7 @@ impl ProtoCluster {
                         app: app.name.clone(),
                         work_intervals,
                     };
-                    if write_frame_retry(sock, &launch, &cfg.retry).is_err() {
+                    if write_frame_retry_with(sock, &launch, &cfg.retry, &rec).is_err() {
                         newly_dead.insert(node);
                     }
                 }
@@ -296,7 +312,7 @@ impl ProtoCluster {
                         continue;
                     };
                     let cap = Command::SetCap { cap_w: caps[i] };
-                    if write_frame_retry(sock, &cap, &cfg.retry).is_err() {
+                    if write_frame_retry_with(sock, &cap, &cfg.retry, &rec).is_err() {
                         newly_dead.insert(node);
                     }
                 }
@@ -305,7 +321,7 @@ impl ProtoCluster {
                 if newly_dead.contains(&node) {
                     continue;
                 }
-                if write_frame_retry(sock, &Command::Tick, &cfg.retry).is_err() {
+                if write_frame_retry_with(sock, &Command::Tick, &cfg.retry, &rec).is_err() {
                     newly_dead.insert(node);
                 }
             }
@@ -314,7 +330,7 @@ impl ProtoCluster {
                 if newly_dead.contains(&node) {
                     continue;
                 }
-                match read_frame_retry::<Report, _>(sock, &cfg.retry) {
+                match read_frame_retry_with::<Report, _>(sock, &cfg.retry, &rec) {
                     Ok(report) => {
                         reports.insert(node, report);
                     }
@@ -409,6 +425,18 @@ impl ProtoCluster {
                 streams.remove(&node);
                 free_nodes.retain(|&n| n != node);
                 lost.insert(node);
+                if rec.enabled() {
+                    rec.counter_inc("perq_proto_worker_writeoffs_total");
+                    let mut fields = vec![
+                        ("node", FieldValue::U64(node as u64)),
+                        ("step", FieldValue::U64(step as u64)),
+                        ("nodes_lost", FieldValue::U64(lost.len() as u64)),
+                    ];
+                    if let Some(id) = victim {
+                        fields.push(("job_id", FieldValue::U64(id)));
+                    }
+                    rec.event("perq_proto_writeoff", &fields);
+                }
                 faults.push(AppliedFault {
                     t_s: now_s,
                     step,
@@ -455,6 +483,17 @@ impl ProtoCluster {
                 violations += 1;
             }
             let busy_nodes = cfg.nodes - free_nodes.len() - lost.len();
+            if rec.enabled() {
+                rec.counter_inc("perq_proto_ticks_total");
+                if violation {
+                    rec.counter_inc("perq_proto_budget_violations_total");
+                }
+                rec.gauge_set("perq_proto_power_w", total_power);
+                rec.gauge_set("perq_proto_budget_w", cfg.budget_w());
+                rec.gauge_set("perq_proto_running_jobs", live.len() as f64);
+                rec.gauge_set("perq_proto_busy_nodes", busy_nodes as f64);
+                rec.gauge_set("perq_proto_lost_nodes", lost.len() as f64);
+            }
             intervals.push(IntervalLog {
                 t_s: now_s,
                 busy_nodes,

@@ -40,7 +40,7 @@ pub use cluster::{ProtoCluster, ProtoConfig};
 pub use error::ProtoError;
 pub use messages::{Command, Report};
 pub use transport::{
-    is_transient, read_frame, read_frame_retry, write_frame, write_frame_retry, FaultyTransport,
-    FrameError, RetryPolicy,
+    is_transient, read_frame, read_frame_retry, read_frame_retry_with, write_frame,
+    write_frame_retry, write_frame_retry_with, FaultyTransport, FrameError, RetryPolicy,
 };
 pub use worker::NodeWorker;

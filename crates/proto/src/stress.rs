@@ -76,17 +76,12 @@ pub fn run_stress(clients: usize, connections: usize) -> StressReport {
 
     let start = Instant::now();
     go.store(true, Ordering::Release);
-    let counts_expected = per_conn;
-    for (idx, mut sock) in conns.into_iter().enumerate() {
-        let n = counts_expected.min(total - idx * counts_expected.min(total / 1.max(1)));
-        let _ = n;
+    for mut sock in conns {
         readers.push(thread::spawn(move || {
             let mut received = 0usize;
-            loop {
-                match read_frame::<Report, _>(&mut sock) {
-                    Ok(_) => received += 1,
-                    Err(_) => break, // sender closed after its share
-                }
+            // Each sender closes its socket after its share of frames.
+            while read_frame::<Report, _>(&mut sock).is_ok() {
+                received += 1;
             }
             received
         }));

@@ -1,4 +1,5 @@
 use bytes::{Buf, BufMut, BytesMut};
+use perq_telemetry::Recorder;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::de::DeserializeOwned;
@@ -146,14 +147,39 @@ pub fn read_frame_retry<T: DeserializeOwned, R: Read>(
     reader: &mut R,
     retry: &RetryPolicy,
 ) -> Result<T, FrameError> {
+    read_frame_retry_with(reader, retry, &Recorder::noop())
+}
+
+/// [`read_frame_retry`] reporting to a telemetry recorder: successful
+/// frames (`perq_proto_frames_recv_total`), retried attempts
+/// (`perq_proto_retries_total`), final failures
+/// (`perq_proto_recv_errors_total`), and transient exhaustion — a
+/// worker that stayed silent through every attempt
+/// (`perq_proto_heartbeat_timeouts_total`).
+pub fn read_frame_retry_with<T: DeserializeOwned, R: Read>(
+    reader: &mut R,
+    retry: &RetryPolicy,
+    rec: &Recorder,
+) -> Result<T, FrameError> {
     let mut attempt = 0u32;
     loop {
         match read_frame(reader) {
+            Ok(value) => {
+                rec.counter_inc("perq_proto_frames_recv_total");
+                return Ok(value);
+            }
             Err(e) if is_transient(&e) && attempt + 1 < retry.max_attempts.max(1) => {
+                rec.counter_inc("perq_proto_retries_total");
                 std::thread::sleep(retry.delay(attempt));
                 attempt += 1;
             }
-            other => return other,
+            Err(e) => {
+                rec.counter_inc("perq_proto_recv_errors_total");
+                if is_transient(&e) {
+                    rec.counter_inc("perq_proto_heartbeat_timeouts_total");
+                }
+                return Err(e);
+            }
         }
     }
 }
@@ -164,14 +190,35 @@ pub fn write_frame_retry<T: Serialize, W: Write>(
     value: &T,
     retry: &RetryPolicy,
 ) -> Result<(), FrameError> {
+    write_frame_retry_with(writer, value, retry, &Recorder::noop())
+}
+
+/// [`write_frame_retry`] reporting to a telemetry recorder: successful
+/// frames (`perq_proto_frames_sent_total`), retried attempts
+/// (`perq_proto_retries_total`), and final failures
+/// (`perq_proto_send_errors_total`).
+pub fn write_frame_retry_with<T: Serialize, W: Write>(
+    writer: &mut W,
+    value: &T,
+    retry: &RetryPolicy,
+    rec: &Recorder,
+) -> Result<(), FrameError> {
     let mut attempt = 0u32;
     loop {
         match write_frame(writer, value) {
+            Ok(()) => {
+                rec.counter_inc("perq_proto_frames_sent_total");
+                return Ok(());
+            }
             Err(e) if is_transient(&e) && attempt + 1 < retry.max_attempts.max(1) => {
+                rec.counter_inc("perq_proto_retries_total");
                 std::thread::sleep(retry.delay(attempt));
                 attempt += 1;
             }
-            other => return other,
+            Err(e) => {
+                rec.counter_inc("perq_proto_send_errors_total");
+                return Err(e);
+            }
         }
     }
 }
@@ -408,6 +455,37 @@ mod tests {
             other => panic!("expected transient Io error, got {other:?}"),
         }
         assert_eq!(flaky.attempts, 3, "must stop at max_attempts");
+    }
+
+    #[test]
+    fn retry_telemetry_counts_frames_retries_and_timeouts() {
+        let rec = Recorder::manual();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Command::Tick).unwrap();
+        let mut flaky = Flaky {
+            inner: Cursor::new(buf),
+            failures: 2,
+            attempts: 0,
+        };
+        let _: Command = read_frame_retry_with(&mut flaky, &fast_retry(4), &rec).unwrap();
+        assert_eq!(rec.counter_value("perq_proto_frames_recv_total"), 1);
+        assert_eq!(rec.counter_value("perq_proto_retries_total"), 2);
+
+        // A peer that stays silent through every attempt is a heartbeat
+        // timeout, not a generic receive error.
+        let mut dead = Flaky {
+            inner: Cursor::new(Vec::new()),
+            failures: 100,
+            attempts: 0,
+        };
+        let res: Result<Command, _> = read_frame_retry_with(&mut dead, &fast_retry(2), &rec);
+        assert!(res.is_err());
+        assert_eq!(rec.counter_value("perq_proto_recv_errors_total"), 1);
+        assert_eq!(rec.counter_value("perq_proto_heartbeat_timeouts_total"), 1);
+
+        let mut sink = Vec::new();
+        write_frame_retry_with(&mut sink, &Command::Tick, &fast_retry(2), &rec).unwrap();
+        assert_eq!(rec.counter_value("perq_proto_frames_sent_total"), 1);
     }
 
     #[test]

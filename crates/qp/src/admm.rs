@@ -1,6 +1,7 @@
 use crate::problem::QpSolution;
 use crate::{QpError, Result};
 use perq_linalg::{vecops, Cholesky, Matrix};
+use perq_telemetry::Recorder;
 
 /// A convex QP with general two-sided linear constraints (OSQP form):
 ///
@@ -92,12 +93,29 @@ impl Default for AdmmSettings {
 pub struct AdmmSolver {
     /// Solver settings.
     pub settings: AdmmSettings,
+    recorder: Recorder,
 }
 
 impl AdmmSolver {
     /// Creates a solver with custom settings.
     pub fn new(settings: AdmmSettings) -> Self {
-        AdmmSolver { settings }
+        AdmmSolver {
+            settings,
+            recorder: Recorder::noop(),
+        }
+    }
+
+    /// Attaches a telemetry recorder (builder form). Every solve then
+    /// reports `perq_qp_admm_*` counters, the iteration histogram, and
+    /// the final residual.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Attaches a telemetry recorder in place.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Solves the QP, optionally warm starting from `x0`.
@@ -120,8 +138,8 @@ impl AdmmSolver {
             _ => vec![0.0; n],
         };
         let mut z = qp.a.matvec(&x).expect("validated");
-        for i in 0..m {
-            z[i] = z[i].max(qp.l[i]).min(qp.u[i]);
+        for (i, zi) in z.iter_mut().enumerate() {
+            *zi = zi.max(qp.l[i]).min(qp.u[i]);
         }
         let mut y = vec![0.0; m];
         // All iteration buffers are allocated once up front; the loop body
@@ -176,6 +194,15 @@ impl AdmmSolver {
         }
 
         let objective = qp.objective(&x);
+        if self.recorder.enabled() {
+            self.recorder.counter_inc("perq_qp_admm_solves_total");
+            if converged {
+                self.recorder.counter_inc("perq_qp_admm_converged_total");
+            }
+            self.recorder
+                .observe("perq_qp_admm_iterations", iterations as f64);
+            self.recorder.gauge_set("perq_qp_admm_residual", residual);
+        }
         Ok(QpSolution {
             x,
             objective,

@@ -2,6 +2,7 @@ use crate::problem::{QpOperator, QpSolution};
 use crate::projection::{project_box_budgets_scratch, ProjectionScratch};
 use crate::Result;
 use perq_linalg::vecops;
+use perq_telemetry::Recorder;
 
 /// Tuning knobs for the accelerated projected-gradient solver.
 #[derive(Debug, Clone)]
@@ -90,12 +91,30 @@ impl LmaxCache {
 pub struct ProjGradSolver {
     /// Solver settings.
     pub settings: ProjGradSettings,
+    recorder: Recorder,
 }
 
 impl ProjGradSolver {
     /// Creates a solver with custom settings.
     pub fn new(settings: ProjGradSettings) -> Self {
-        ProjGradSolver { settings }
+        ProjGradSolver {
+            settings,
+            recorder: Recorder::noop(),
+        }
+    }
+
+    /// Attaches a telemetry recorder (builder form). Every solve then
+    /// reports `perq_qp_*` metrics: solve/restart/convergence counters,
+    /// an iteration histogram, the final residual, and `LmaxCache`
+    /// hit/miss counters.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Attaches a telemetry recorder in place.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Solves the QP, optionally warm starting from `x0`.
@@ -146,6 +165,7 @@ impl ProjGradSolver {
         let mut f_prev = qp.objective(&x);
         let mut residual = f64::INFINITY;
         let mut iterations = 0;
+        let mut restarts = 0u64;
 
         for k in 0..self.settings.max_iters {
             iterations = k + 1;
@@ -162,6 +182,7 @@ impl ProjGradSolver {
             let f_next = qp.objective(&ws.x_next);
             if f_next > f_prev + 1e-12 {
                 // Adaptive restart: drop momentum, retry from the best point.
+                restarts += 1;
                 t = 1.0;
                 ws.y.copy_from_slice(&x);
                 f_prev = qp.objective(&x);
@@ -187,6 +208,17 @@ impl ProjGradSolver {
         project_box_budgets_scratch(&mut x, lo, hi, budgets, &mut ws.proj);
         let objective = qp.objective(&x);
         let converged = residual < self.settings.tol * lipschitz.max(1.0);
+        if self.recorder.enabled() {
+            self.recorder.counter_inc("perq_qp_solves_total");
+            if converged {
+                self.recorder.counter_inc("perq_qp_converged_total");
+            }
+            self.recorder
+                .counter_add("perq_qp_restarts_total", restarts);
+            self.recorder
+                .observe("perq_qp_iterations", iterations as f64);
+            self.recorder.gauge_set("perq_qp_residual", residual);
+        }
         Ok(QpSolution {
             x,
             objective,
@@ -221,6 +253,13 @@ impl ProjGradSolver {
                 } else {
                     None
                 };
+                if self.recorder.enabled() {
+                    self.recorder.counter_inc(if seed.is_some() {
+                        "perq_qp_lmax_cache_hits_total"
+                    } else {
+                        "perq_qp_lmax_cache_misses_total"
+                    });
+                }
                 let mut est = power_iterate(qp, self.settings.power_iters, ws, seed);
                 if let Some(b) = bound {
                     est = est.min(b);

@@ -82,7 +82,7 @@ impl StructuredQp {
             return Err(QpError::BadProblem("block size must be positive".into()));
         }
         let n = c.len();
-        if n % block != 0 {
+        if !n.is_multiple_of(block) {
             return Err(QpError::BadProblem(format!(
                 "dimension {n} is not a multiple of block size {block}"
             )));
@@ -112,7 +112,7 @@ impl StructuredQp {
                     cp.s.len()
                 )));
             }
-            if !(cp.weight >= 0.0) {
+            if cp.weight < 0.0 || cp.weight.is_nan() {
                 return Err(QpError::BadProblem(format!(
                     "coupling {r} has negative or NaN weight {}",
                     cp.weight

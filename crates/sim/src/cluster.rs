@@ -5,6 +5,7 @@ use crate::scheduler::{RunningFootprint, Scheduler};
 use crate::trace::SystemModel;
 use perq_apps::{AppProfile, BASE_NODE_IPS, IDLE_WATTS, MIN_CAP_WATTS, TDP_WATTS};
 use perq_rapl::{CapLimits, PowerCapDevice, SimulatedRapl};
+use perq_telemetry::{FieldValue, Recorder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, Normal};
@@ -200,6 +201,7 @@ pub struct Cluster {
     /// Crash times awaiting a matching recovery (FIFO).
     crash_times: VecDeque<f64>,
     recovery_latency_s: Vec<f64>,
+    recorder: Recorder,
 }
 
 impl Cluster {
@@ -257,6 +259,7 @@ impl Cluster {
             fault_log: Vec::new(),
             crash_times: VecDeque::new(),
             recovery_latency_s: Vec::new(),
+            recorder: Recorder::noop(),
         }
     }
 
@@ -264,6 +267,17 @@ impl Cluster {
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;
         self.fault_cursor = 0;
+        self
+    }
+
+    /// Attaches a telemetry recorder (builder style). The simulator
+    /// drives the recorder's clock from *simulated* time and forwards
+    /// the handle to the policy at the start of [`Cluster::run`], so a
+    /// single recorder collects `perq_sim_*`, `perq_core_*`, and
+    /// `perq_qp_*` metrics for the whole run and its exports replay
+    /// bit-for-bit under a fixed seed.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -283,12 +297,19 @@ impl Cluster {
         let mut decision_times = Vec::new();
         let mut violations = 0usize;
         let mut violation_s = 0.0;
+        policy.set_recorder(self.recorder.clone());
 
         while self.time_s < self.config.duration_s {
             let log = self.step(policy, &mut decision_times);
             if log.violation {
                 violations += 1;
                 violation_s += self.config.interval_s;
+                if self.recorder.enabled() {
+                    self.recorder
+                        .counter_inc("perq_sim_budget_violations_total");
+                    self.recorder
+                        .gauge_set("perq_sim_budget_violation_seconds", violation_s);
+                }
             }
             intervals.push(log);
         }
@@ -323,6 +344,8 @@ impl Cluster {
     /// Executes one control interval; returns its log entry.
     fn step(&mut self, policy: &mut dyn PowerPolicy, decision_times: &mut Vec<f64>) -> IntervalLog {
         let dt = self.config.interval_s;
+        // Telemetry timestamps follow simulated time, never wall time.
+        self.recorder.set_time_s(self.time_s);
 
         // 0. Fault injection: apply every event due at this step.
         self.apply_due_faults(policy);
@@ -528,6 +551,21 @@ impl Cluster {
             committed_power_w: committed_after + idle as f64 * self.config.idle_w,
             violation,
         };
+        if self.recorder.enabled() {
+            self.recorder.counter_inc("perq_sim_steps_total");
+            self.recorder.gauge_set("perq_sim_power_w", total_power);
+            self.recorder
+                .gauge_set("perq_sim_budget_w", self.config.budget_w());
+            self.recorder
+                .gauge_set("perq_sim_committed_power_w", log.committed_power_w);
+            self.recorder
+                .gauge_set("perq_sim_queue_depth", self.scheduler.pending() as f64);
+            self.recorder
+                .gauge_set("perq_sim_running_jobs", log.running_jobs as f64);
+            self.recorder.gauge_set("perq_sim_busy_nodes", busy as f64);
+            self.recorder
+                .gauge_set("perq_sim_offline_nodes", self.offline_nodes as f64);
+        }
         self.time_s += dt;
         self.step_idx += 1;
         log
@@ -574,7 +612,8 @@ impl Cluster {
                     if self.running.is_empty() {
                         continue;
                     }
-                    let job = &mut self.running[nth % self.running.len()];
+                    let idx = nth % self.running.len();
+                    let job = &mut self.running[idx];
                     job.ips_hidden_until = self.step_idx + intervals;
                     job_id = Some(job.spec.id);
                 }
@@ -582,7 +621,8 @@ impl Cluster {
                     if self.running.is_empty() {
                         continue;
                     }
-                    let job = &mut self.running[nth % self.running.len()];
+                    let idx = nth % self.running.len();
+                    let job = &mut self.running[idx];
                     job.power_stale_until = self.step_idx + intervals;
                     job_id = Some(job.spec.id);
                 }
@@ -590,7 +630,8 @@ impl Cluster {
                     if self.running.is_empty() {
                         continue;
                     }
-                    let job = &mut self.running[nth % self.running.len()];
+                    let idx = nth % self.running.len();
+                    let job = &mut self.running[idx];
                     job.corrupt_power_factor = Some(factor);
                     job_id = Some(job.spec.id);
                 }
@@ -610,6 +651,26 @@ impl Cluster {
                         outcome: JobOutcome::Killed,
                     });
                 }
+            }
+            if self.recorder.enabled() {
+                self.recorder.counter_inc("perq_sim_faults_total");
+                let kind = match event.kind {
+                    FaultKind::NodeCrash { .. } => "node_crash",
+                    FaultKind::NodeRecover { .. } => "node_recover",
+                    FaultKind::TelemetryDropout { .. } => "telemetry_dropout",
+                    FaultKind::StalePower { .. } => "stale_power",
+                    FaultKind::CorruptPower { .. } => "corrupt_power",
+                    FaultKind::JobKill { .. } => "job_kill",
+                };
+                let mut fields = vec![
+                    ("step", FieldValue::U64(self.step_idx as u64)),
+                    ("kind", FieldValue::Str(kind)),
+                    ("nodes_offline", FieldValue::U64(self.offline_nodes as u64)),
+                ];
+                if let Some(id) = job_id {
+                    fields.push(("job_id", FieldValue::U64(id)));
+                }
+                self.recorder.event("perq_sim_fault", &fields);
             }
             self.fault_log.push(AppliedFault {
                 t_s: self.time_s,

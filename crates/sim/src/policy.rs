@@ -109,6 +109,11 @@ pub trait PowerPolicy {
     /// Notifies the policy that a job left the system (completed or
     /// crashed) so it can drop per-job state. Default: no-op.
     fn job_departed(&mut self, _job_id: u64) {}
+
+    /// Attaches a telemetry recorder so the policy can report its own
+    /// metrics (solver iterations, gate rejections, ...). Default: the
+    /// policy records nothing.
+    fn set_recorder(&mut self, _recorder: perq_telemetry::Recorder) {}
 }
 
 /// The fairness-oriented policy (FOP): every busy node gets an equal share

@@ -117,8 +117,8 @@ impl ArxModel {
         b[0] = 1.0;
         // C_i = b_i + b₀ a_i for i = 1..n (with b_i = 0 beyond nb−1).
         let mut c = vec![0.0; n];
-        for i in 0..n {
-            c[i] = self.b.get(i + 1).copied().unwrap_or(0.0)
+        for (i, ci) in c.iter_mut().enumerate() {
+            *ci = self.b.get(i + 1).copied().unwrap_or(0.0)
                 + b0 * self.a.get(i).copied().unwrap_or(0.0);
         }
         let b_sum: f64 = self.b.iter().sum();

@@ -74,10 +74,9 @@ impl Rls {
         vecops::axpy(err, &k, &mut self.theta);
         // P ← (P − k φᵀ P) / λ
         let phi_p = self.p.tmatvec(phi).expect("dims");
-        let n = self.theta.len();
-        for i in 0..n {
-            for j in 0..n {
-                self.p[(i, j)] = (self.p[(i, j)] - k[i] * phi_p[j]) / self.lambda;
+        for (i, &ki) in k.iter().enumerate() {
+            for (j, &pj) in phi_p.iter().enumerate() {
+                self.p[(i, j)] = (self.p[(i, j)] - ki * pj) / self.lambda;
             }
         }
         self.updates += 1;

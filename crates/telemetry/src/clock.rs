@@ -1,0 +1,108 @@
+//! Injectable time sources.
+//!
+//! Everything in the telemetry subsystem that needs "now" asks a
+//! [`Clock`]. Production code may use [`WallClock`]; deterministic
+//! harnesses (the simulator, the fault suite, the replay tests) use a
+//! [`ManualClock`] advanced from simulated time, so exported telemetry
+//! is a pure function of the seed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond clock.
+///
+/// Implementations must be monotone: successive `now_ns` calls never go
+/// backwards.
+pub trait Clock: Send + Sync {
+    /// Current time in nanoseconds from an arbitrary epoch.
+    fn now_ns(&self) -> u64;
+
+    /// Advances the clock to at least `t_ns`. No-op for real clocks;
+    /// manual clocks ratchet forward (never backwards).
+    fn advance_to_ns(&self, _t_ns: u64) {}
+}
+
+/// A [`Clock`] driven explicitly by the harness.
+///
+/// `advance_to_ns` ratchets: the clock only moves forward, so replayed
+/// runs that set time from simulated seconds stay monotone even if the
+/// caller repeats a timestamp.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now_ns: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at t = 0.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.now_ns.load(Ordering::Relaxed)
+    }
+
+    fn advance_to_ns(&self, t_ns: u64) {
+        self.now_ns.fetch_max(t_ns, Ordering::Relaxed);
+    }
+}
+
+/// A [`Clock`] backed by [`std::time::Instant`].
+///
+/// Only for interactive / production use: runs recorded against a wall
+/// clock are *not* byte-replayable.
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose epoch is the moment of construction.
+    pub fn new() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        let d = self.epoch.elapsed();
+        d.as_secs()
+            .saturating_mul(1_000_000_000)
+            .saturating_add(u64::from(d.subsec_nanos()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_ratchets_forward() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance_to_ns(50);
+        assert_eq!(c.now_ns(), 50);
+        c.advance_to_ns(10); // never backwards
+        assert_eq!(c.now_ns(), 50);
+        c.advance_to_ns(51);
+        assert_eq!(c.now_ns(), 51);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+}

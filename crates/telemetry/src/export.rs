@@ -1,0 +1,344 @@
+//! Exporters: Prometheus text exposition and JSONL, plus a small
+//! exposition parser used by the CI smoke check.
+//!
+//! Both exporters are deterministic: metric order comes from the
+//! registry's sorted keys, journal order is arrival order, and floats
+//! are rendered with Rust's shortest-round-trip formatting. Two runs
+//! with identical recorded state therefore produce identical bytes.
+
+use crate::journal::{Event, FieldValue};
+use crate::metrics::{MetricKind, MetricSnapshot};
+use std::fmt::Write as _;
+
+/// Formats a float for Prometheus (which permits `NaN`/`+Inf`/`-Inf`).
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Formats a float for JSON (which forbids non-finite values → null).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes a string for a JSON literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_field(v: &FieldValue) -> String {
+    match v {
+        FieldValue::U64(x) => x.to_string(),
+        FieldValue::I64(x) => x.to_string(),
+        FieldValue::F64(x) => json_f64(*x),
+        FieldValue::Str(s) => json_str(s),
+        FieldValue::Bool(b) => b.to_string(),
+    }
+}
+
+/// Renders metric snapshots as Prometheus text exposition (version
+/// 0.0.4). Histograms are rendered summary-style with fixed quantiles.
+pub(crate) fn to_prometheus(snaps: &[MetricSnapshot]) -> String {
+    let mut out = String::new();
+    for m in snaps {
+        match &m.kind {
+            MetricKind::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {} counter", m.name);
+                let _ = writeln!(out, "{} {}", m.name, v);
+            }
+            MetricKind::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {} gauge", m.name);
+                let _ = writeln!(out, "{} {}", m.name, prom_f64(*v));
+            }
+            MetricKind::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {} summary", m.name);
+                let _ = writeln!(out, "{}{{quantile=\"0.5\"}} {}", m.name, prom_f64(h.p50));
+                let _ = writeln!(out, "{}{{quantile=\"0.95\"}} {}", m.name, prom_f64(h.p95));
+                let _ = writeln!(out, "{}{{quantile=\"0.99\"}} {}", m.name, prom_f64(h.p99));
+                let _ = writeln!(out, "{}_sum {}", m.name, prom_f64(h.sum));
+                let _ = writeln!(out, "{}_count {}", m.name, h.count);
+            }
+        }
+    }
+    out
+}
+
+/// Renders the journal (one line per event, arrival order) followed by
+/// one line per metric, as JSON Lines.
+pub(crate) fn to_jsonl(events: &[Event], snaps: &[MetricSnapshot]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let _ = write!(out, "{{\"t_ns\":{},\"event\":{}", e.t_ns, json_str(e.name));
+        if !e.fields.is_empty() {
+            out.push_str(",\"fields\":{");
+            for (i, (k, v)) in e.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:{}", json_str(k), json_field(v));
+            }
+            out.push('}');
+        }
+        out.push_str("}\n");
+    }
+    for m in snaps {
+        match &m.kind {
+            MetricKind::Counter(v) => {
+                let _ = writeln!(
+                    out,
+                    "{{\"metric\":{},\"type\":\"counter\",\"value\":{}}}",
+                    json_str(m.name),
+                    v
+                );
+            }
+            MetricKind::Gauge(v) => {
+                let _ = writeln!(
+                    out,
+                    "{{\"metric\":{},\"type\":\"gauge\",\"value\":{}}}",
+                    json_str(m.name),
+                    json_f64(*v)
+                );
+            }
+            MetricKind::Histogram(h) => {
+                let _ = writeln!(
+                    out,
+                    "{{\"metric\":{},\"type\":\"histogram\",\"count\":{},\"sum\":{},\
+                     \"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                    json_str(m.name),
+                    h.count,
+                    json_f64(h.sum),
+                    json_f64(h.min),
+                    json_f64(h.max),
+                    json_f64(h.p50),
+                    json_f64(h.p95),
+                    json_f64(h.p99),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// One parsed exposition sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedSample {
+    /// Sample name (including any `_sum`/`_count` suffix).
+    pub name: String,
+    /// Raw label block without braces, empty if none.
+    pub labels: String,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Error from [`parse_prometheus`] / [`validate_prometheus`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExpositionError {
+    /// A line that is neither a comment nor a valid sample.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A required metric name was absent.
+    MissingMetric(String),
+}
+
+impl std::fmt::Display for ExpositionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExpositionError::Malformed { line, reason } => {
+                write!(f, "malformed exposition at line {line}: {reason}")
+            }
+            ExpositionError::MissingMetric(name) => {
+                write!(f, "required metric {name} missing from exposition")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExpositionError {}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parses Prometheus text exposition into samples. Comment (`#`) and
+/// blank lines are skipped; anything else must be
+/// `name[{labels}] value`.
+pub fn parse_prometheus(text: &str) -> Result<Vec<ParsedSample>, ExpositionError> {
+    let mut samples = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let malformed = |reason: &str| ExpositionError::Malformed {
+            line: i + 1,
+            reason: reason.to_string(),
+        };
+        let (name_part, value_part) = match line.find('}') {
+            Some(close) => {
+                let (head, tail) = line.split_at(close + 1);
+                (head, tail.trim())
+            }
+            None => match line.split_once(char::is_whitespace) {
+                Some((n, v)) => (n, v.trim()),
+                None => return Err(malformed("no value")),
+            },
+        };
+        let (name, labels) = match name_part.split_once('{') {
+            Some((n, l)) => {
+                let l = l
+                    .strip_suffix('}')
+                    .ok_or_else(|| malformed("unclosed label block"))?;
+                (n, l.to_string())
+            }
+            None => (name_part, String::new()),
+        };
+        if !valid_metric_name(name) {
+            return Err(malformed(&format!("invalid metric name {name:?}")));
+        }
+        let value = match value_part {
+            "NaN" => f64::NAN,
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v
+                .parse::<f64>()
+                .map_err(|_| malformed(&format!("invalid value {v:?}")))?,
+        };
+        samples.push(ParsedSample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+/// Parses an exposition and checks every required metric family is
+/// present. A requirement `r` is met by a sample named `r`, `r_sum`,
+/// or `r_count` (so summary families satisfy their base name).
+pub fn validate_prometheus(text: &str, required: &[&str]) -> Result<(), ExpositionError> {
+    let samples = parse_prometheus(text)?;
+    for &req in required {
+        let found = samples.iter().any(|s| {
+            s.name == req
+                || s.name
+                    .strip_prefix(req)
+                    .is_some_and(|rest| rest == "_sum" || rest == "_count")
+        });
+        if !found {
+            return Err(ExpositionError::MissingMetric(req.to_string()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FieldValue, ManualClock, Recorder};
+
+    fn sample_recorder() -> Recorder {
+        let rec = Recorder::with_clock(Box::new(ManualClock::new()));
+        rec.set_time_s(1.0);
+        rec.counter_add("perq_test_steps_total", 7);
+        rec.gauge_set("perq_test_power_w", 512.25);
+        rec.observe("perq_test_latency", 0.004);
+        rec.observe("perq_test_latency", 0.006);
+        rec.event("perq_test_fault", &[("node", FieldValue::U64(3))]);
+        rec
+    }
+
+    #[test]
+    fn prometheus_roundtrips_through_parser() {
+        let text = sample_recorder().export_prometheus();
+        let samples = parse_prometheus(&text).expect("parses");
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "perq_test_steps_total" && s.value == 7.0));
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "perq_test_latency_count" && s.value == 2.0));
+        validate_prometheus(
+            &text,
+            &[
+                "perq_test_steps_total",
+                "perq_test_power_w",
+                "perq_test_latency",
+            ],
+        )
+        .expect("all required present");
+        assert_eq!(
+            validate_prometheus(&text, &["perq_test_absent"]),
+            Err(ExpositionError::MissingMetric("perq_test_absent".into()))
+        );
+    }
+
+    #[test]
+    fn jsonl_is_deterministic_and_wellformed() {
+        let a = sample_recorder().export_jsonl();
+        let b = sample_recorder().export_jsonl();
+        assert_eq!(a, b, "identical state must export identical bytes");
+        assert!(a.contains("\"event\":\"perq_test_fault\""));
+        assert!(a.contains("\"t_ns\":1000000000"));
+        assert!(a.contains("\"metric\":\"perq_test_power_w\""));
+        for line in a.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "line {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_values_never_break_json() {
+        let rec = Recorder::manual();
+        rec.gauge_set("perq_test_bad", f64::NAN);
+        let jsonl = rec.export_jsonl();
+        assert!(jsonl.contains("\"value\":null"));
+        let prom = rec.export_prometheus();
+        assert!(prom.contains("perq_test_bad NaN"));
+        assert!(parse_prometheus(&prom).is_ok());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_prometheus("ok_metric 1\nbad metric name 2.0.0").is_err());
+        assert!(parse_prometheus("1leading_digit 4").is_err());
+        assert!(parse_prometheus("no_value").is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! Bounded ring-buffer event journal.
+//!
+//! Discrete happenings — fault injections, worker write-offs, span
+//! completions — are appended here with their clock timestamp. The
+//! buffer is bounded: when full, the *oldest* events are dropped and a
+//! drop counter keeps the loss visible in exports.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A typed event field value. Keeping this an enum (rather than
+/// stringifying at record time) defers formatting cost to export.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer field.
+    U64(u64),
+    /// Signed integer field.
+    I64(i64),
+    /// Floating-point field.
+    F64(f64),
+    /// Static string field.
+    Str(&'static str),
+    /// Boolean field.
+    Bool(bool),
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Clock timestamp in nanoseconds.
+    pub t_ns: u64,
+    /// Event name (`perq_<crate>_<name>` convention).
+    pub name: &'static str,
+    /// Ordered key/value payload.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// Bounded FIFO of [`Event`]s.
+#[derive(Debug)]
+pub struct Journal {
+    inner: Mutex<JournalInner>,
+}
+
+#[derive(Debug)]
+struct JournalInner {
+    events: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Journal {
+    /// A journal holding at most `capacity` events. Capacity 0 keeps
+    /// nothing (every push counts as dropped).
+    pub fn new(capacity: usize) -> Self {
+        Journal {
+            inner: Mutex::new(JournalInner {
+                events: VecDeque::with_capacity(capacity.min(4096)),
+                capacity,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Appends an event, evicting the oldest if full.
+    pub fn push(&self, event: Event) {
+        let mut g = self.inner.lock().unwrap();
+        if g.capacity == 0 {
+            g.dropped += 1;
+            return;
+        }
+        if g.events.len() == g.capacity {
+            g.events.pop_front();
+            g.dropped += 1;
+        }
+        g.events.push_back(event);
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().events.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events evicted or refused since creation.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// Copies out the buffered events in arrival order.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.inner.lock().unwrap().events.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> Event {
+        Event {
+            t_ns: t,
+            name: "test_event",
+            fields: vec![("i", FieldValue::U64(t))],
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest_and_counts_drops() {
+        let j = Journal::new(3);
+        for t in 0..5 {
+            j.push(ev(t));
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 2);
+        let ts: Vec<u64> = j.snapshot().iter().map(|e| e.t_ns).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_refuses_everything() {
+        let j = Journal::new(0);
+        j.push(ev(1));
+        assert!(j.is_empty());
+        assert_eq!(j.dropped(), 1);
+    }
+}

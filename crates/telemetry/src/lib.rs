@@ -1,0 +1,54 @@
+//! Deterministic metrics, tracing, and event-journal subsystem for PERQ.
+//!
+//! Control-theoretic power managers are judged by their *transient*
+//! behaviour — iteration counts, residual decay, per-interval budget
+//! headroom, retry activity — not just end-state throughput. This crate
+//! makes those internals observable without giving up the repo's core
+//! guarantee: **seeded runs replay bit-for-bit**, including their
+//! exported telemetry.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** Time comes from an injectable [`Clock`]. The
+//!    simulator drives a [`ManualClock`] from simulated seconds, so two
+//!    runs with the same seed produce byte-identical JSONL exports. Wall
+//!    time is opt-in ([`WallClock`]) and never the default.
+//! 2. **Cheap enough to leave on.** The default [`Recorder`] is a no-op
+//!    (one `Option` check per call, no allocation, no locking). The
+//!    `telemetry_overhead` bench in `perq-bench` holds the live recorder
+//!    to <5% slowdown on the `qp_scaling` workload.
+//! 3. **Zero heavy dependencies.** Counters and gauges are atomics;
+//!    histograms are fixed-size log-linear bucket arrays behind a
+//!    mutex; exporters are hand-rolled Prometheus text exposition and
+//!    JSONL.
+//!
+//! Metric naming follows `perq_<crate>_<name>` (e.g.
+//! `perq_qp_iterations`, `perq_sim_power_w`,
+//! `perq_proto_retries_total`). Counters end in `_total`; histogram
+//! time series end in `_seconds` when they come from spans.
+//!
+//! ```
+//! use perq_telemetry::{ManualClock, Recorder};
+//!
+//! let rec = Recorder::with_clock(Box::new(ManualClock::new()));
+//! rec.counter_add("perq_doc_events_total", 3);
+//! rec.observe("perq_doc_latency", 0.25);
+//! let text = rec.export_prometheus();
+//! assert!(text.contains("perq_doc_events_total 3"));
+//!
+//! let noop = Recorder::noop();
+//! noop.counter_add("ignored", 1); // no-op: no state, no cost
+//! assert!(noop.export_prometheus().is_empty());
+//! ```
+
+mod clock;
+mod export;
+mod journal;
+mod metrics;
+mod recorder;
+
+pub use clock::{Clock, ManualClock, WallClock};
+pub use export::{parse_prometheus, validate_prometheus, ExpositionError, ParsedSample};
+pub use journal::{Event, FieldValue, Journal};
+pub use metrics::{Histogram, HistogramSnapshot, MetricKind, MetricSnapshot};
+pub use recorder::{Recorder, Span};

@@ -1,0 +1,377 @@
+//! Metric primitives: counters, gauges, and log-linear histograms,
+//! held in a name-keyed registry with deterministic (sorted) iteration
+//! order.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Sub-buckets per power of two. 8 gives ≤12.5% relative quantile
+/// error, plenty for latency/iteration distributions.
+const GRID: usize = 8;
+/// Smallest tracked exponent: values below 2⁻⁴⁰ (≈ 1e-12) land in the
+/// underflow bucket together with zero and negatives.
+const E_MIN: i32 = -40;
+/// Largest tracked exponent: values at or above 2⁴⁰ (≈ 1e12) land in
+/// the overflow bucket.
+const E_MAX: i32 = 40;
+const NBUCKETS: usize = (E_MAX - E_MIN) as usize * GRID + 2;
+
+/// A fixed-footprint log-linear histogram.
+///
+/// The value axis is split into powers of two, each subdivided into
+/// [`GRID`] equal-width sub-buckets — the classic HDR layout. Bucket 0
+/// catches non-positive and sub-`2^E_MIN` values; the last bucket
+/// catches overflow. Alongside the buckets the histogram tracks exact
+/// `count`, `sum`, `min`, and `max`, so quantile estimates can be
+/// clamped to the true observed range.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Number of buckets, exposed for invariant tests.
+    pub const NUM_BUCKETS: usize = NBUCKETS;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; NBUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Bucket index for a value. NaN counts as underflow so recording
+    /// never panics.
+    pub fn bucket_index(v: f64) -> usize {
+        if v <= 0.0 || v.is_nan() {
+            return 0;
+        }
+        let e = v.log2().floor() as i32;
+        if e < E_MIN {
+            return 0;
+        }
+        if e >= E_MAX {
+            return NBUCKETS - 1;
+        }
+        let lo = (e as f64).exp2();
+        let frac = v / lo - 1.0; // in [0, 1)
+        let sub = ((frac * GRID as f64) as usize).min(GRID - 1);
+        1 + (e - E_MIN) as usize * GRID + sub
+    }
+
+    /// Upper bound of a bucket: bucket `i` covers
+    /// `[bucket_upper(i-1), bucket_upper(i))`. Strictly increasing in
+    /// the index; the overflow bucket's bound is `+inf`.
+    pub fn bucket_upper(idx: usize) -> f64 {
+        if idx == 0 {
+            return (E_MIN as f64).exp2();
+        }
+        if idx >= NBUCKETS - 1 {
+            return f64::INFINITY;
+        }
+        let i = idx - 1;
+        let e = E_MIN + (i / GRID) as i32;
+        let sub = i % GRID;
+        (e as f64).exp2() * (1.0 + (sub + 1) as f64 / GRID as f64)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        self.counts[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        if v.is_nan() {
+            return;
+        }
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Element-wise merge: the result is as if both histograms'
+    /// observations had been recorded into one. Bucket counts, `count`,
+    /// `min`, and `max` merge exactly (and associatively); `sum` is
+    /// associative only up to floating-point rounding.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all (non-NaN) observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest observation, or `None` while empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0 && self.min.is_finite()).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` while empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0 && self.max.is_finite()).then_some(self.max)
+    }
+
+    /// Raw bucket counts, exposed for invariant tests.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`), clamped to the
+    /// observed `[min, max]` range. `None` while empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based: the smallest k such
+        // that at least ceil(q * count) observations are ≤ the answer.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let rep = Self::bucket_upper(idx);
+                let lo = if self.min.is_finite() {
+                    self.min
+                } else {
+                    f64::NEG_INFINITY
+                };
+                let hi = if self.max.is_finite() {
+                    self.max
+                } else {
+                    f64::INFINITY
+                };
+                return Some(rep.clamp(lo, hi));
+            }
+        }
+        self.max()
+    }
+
+    /// Fixed-quantile snapshot for the exporters.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min().unwrap_or(0.0),
+            max: self.max().unwrap_or(0.0),
+            p50: self.quantile(0.50).unwrap_or(0.0),
+            p95: self.quantile(0.95).unwrap_or(0.0),
+            p99: self.quantile(0.99).unwrap_or(0.0),
+        }
+    }
+}
+
+/// A point-in-time summary of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 95th percentile.
+    pub p95: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
+/// The value of one exported metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricKind {
+    /// Monotone event count.
+    Counter(u64),
+    /// Last-write-wins measurement.
+    Gauge(f64),
+    /// Distribution summary.
+    Histogram(HistogramSnapshot),
+}
+
+/// One named metric in an export snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Metric name (`perq_<crate>_<name>` convention).
+    pub name: &'static str,
+    /// Current value.
+    pub kind: MetricKind,
+}
+
+/// Name-keyed metric storage. `BTreeMap` keys give every export a
+/// deterministic order regardless of registration order.
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Registry {
+    pub(crate) fn counter_add(&self, name: &'static str, delta: u64) {
+        let mut g = self.inner.lock().unwrap();
+        *g.counters.entry(name).or_insert(0) += delta;
+    }
+
+    pub(crate) fn gauge_set(&self, name: &'static str, value: f64) {
+        let mut g = self.inner.lock().unwrap();
+        g.gauges.insert(name, value);
+    }
+
+    pub(crate) fn observe(&self, name: &'static str, value: f64) {
+        let mut g = self.inner.lock().unwrap();
+        g.histograms.entry(name).or_default().observe(value);
+    }
+
+    pub(crate) fn counter_value(&self, name: &str) -> u64 {
+        let g = self.inner.lock().unwrap();
+        g.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let g = self.inner.lock().unwrap();
+        let mut out = Vec::with_capacity(g.counters.len() + g.gauges.len() + g.histograms.len());
+        for (&name, &v) in &g.counters {
+            out.push(MetricSnapshot {
+                name,
+                kind: MetricKind::Counter(v),
+            });
+        }
+        for (&name, &v) in &g.gauges {
+            out.push(MetricSnapshot {
+                name,
+                kind: MetricKind::Gauge(v),
+            });
+        }
+        for (&name, h) in &g.histograms {
+            out.push(MetricSnapshot {
+                name,
+                kind: MetricKind::Histogram(h.snapshot()),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_strictly_increasing() {
+        for i in 1..NBUCKETS {
+            assert!(
+                Histogram::bucket_upper(i) > Histogram::bucket_upper(i - 1),
+                "bound not increasing at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn values_fall_at_or_below_their_bucket_bound() {
+        for &v in &[1e-13, 0.5, 1.0, 1.1, 3.7, 1024.0, 9.9e11, 3.3e12] {
+            let idx = Histogram::bucket_index(v);
+            assert!(v <= Histogram::bucket_upper(idx), "v={v} idx={idx}");
+            if idx > 0 {
+                assert!(
+                    v >= Histogram::bucket_upper(idx - 1),
+                    "v={v} below previous bound"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_bracket_the_distribution() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.observe(i as f64 / 100.0); // 0.01 .. 10.0
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((4.0..=6.0).contains(&p50), "p50 = {p50}");
+        assert!((9.0..=10.0).contains(&p99), "p99 = {p99}");
+        assert!(h.quantile(0.0).unwrap() >= h.min().unwrap());
+        assert!(h.quantile(1.0).unwrap() <= h.max().unwrap());
+    }
+
+    #[test]
+    fn nonpositive_and_nan_observations_are_safe() {
+        let mut h = Histogram::new();
+        h.observe(-3.0);
+        h.observe(0.0);
+        h.observe(f64::NAN);
+        h.observe(2.0);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), Some(-3.0));
+        assert_eq!(h.max(), Some(2.0));
+        let q = h.quantile(0.5).unwrap();
+        assert!((-3.0..=2.0).contains(&q));
+    }
+
+    #[test]
+    fn merge_matches_single_stream() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for i in 0..50 {
+            let v = (i as f64).mul_add(0.37, 0.1);
+            if i % 2 == 0 {
+                a.observe(v);
+            } else {
+                b.observe(v);
+            }
+            all.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.bucket_counts(), all.bucket_counts());
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        assert!((a.sum() - all.sum()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registry_snapshot_is_sorted_by_name() {
+        let r = Registry::default();
+        r.counter_add("z_total", 1);
+        r.counter_add("a_total", 2);
+        r.gauge_set("m_gauge", 3.5);
+        let snap = r.snapshot();
+        assert_eq!(snap[0].name, "a_total");
+        assert_eq!(snap[1].name, "z_total");
+        assert_eq!(snap[2].name, "m_gauge");
+    }
+}

@@ -1,0 +1,269 @@
+//! The [`Recorder`] handle: the one type instrumented code holds.
+//!
+//! A `Recorder` is a cheaply clonable handle that is either *live*
+//! (shared registry + journal + clock) or a *no-op*. The no-op path is
+//! a single `Option` discriminant check per call — no locks, no
+//! allocation — so instrumentation can stay compiled-in and enabled by
+//! configuration, not by feature flags.
+
+use crate::clock::{Clock, ManualClock};
+use crate::export;
+use crate::journal::{Event, FieldValue, Journal};
+use crate::metrics::{MetricSnapshot, Registry};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default journal capacity: generous for hour-long simulations while
+/// bounding memory at a few MB.
+const DEFAULT_JOURNAL_CAPACITY: usize = 65_536;
+
+struct Inner {
+    clock: Box<dyn Clock>,
+    registry: Registry,
+    journal: Journal,
+}
+
+/// Handle to a telemetry sink, or a no-op.
+///
+/// Clones share the same underlying registry/journal, so a recorder
+/// can be fanned out across the solver, simulator, and transport and
+/// still export one coherent snapshot.
+#[derive(Clone, Default)]
+pub struct Recorder(Option<Arc<Inner>>);
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// The no-op recorder: every call returns immediately.
+    pub fn noop() -> Self {
+        Recorder(None)
+    }
+
+    /// A live recorder with the given clock and the default journal
+    /// capacity.
+    pub fn with_clock(clock: Box<dyn Clock>) -> Self {
+        Recorder::with_clock_and_capacity(clock, DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    /// A live recorder with an explicit journal capacity.
+    pub fn with_clock_and_capacity(clock: Box<dyn Clock>, journal_capacity: usize) -> Self {
+        Recorder(Some(Arc::new(Inner {
+            clock,
+            registry: Registry::default(),
+            journal: Journal::new(journal_capacity),
+        })))
+    }
+
+    /// A live recorder on a [`ManualClock`] starting at t = 0 — the
+    /// standard deterministic configuration.
+    pub fn manual() -> Self {
+        Recorder::with_clock(Box::new(ManualClock::new()))
+    }
+
+    /// True when this handle records anywhere.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Current clock reading in nanoseconds (0 for a no-op recorder).
+    pub fn now_ns(&self) -> u64 {
+        self.0.as_ref().map_or(0, |i| i.clock.now_ns())
+    }
+
+    /// Advances the clock to the given simulated time. The simulator
+    /// calls this once per step so journal timestamps and span
+    /// durations are functions of simulated — not wall — time.
+    pub fn set_time_s(&self, t_s: f64) {
+        if let Some(i) = &self.0 {
+            let ns = (t_s.max(0.0) * 1e9) as u64;
+            i.clock.advance_to_ns(ns);
+        }
+    }
+
+    /// Adds `delta` to a counter.
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        if let Some(i) = &self.0 {
+            i.registry.counter_add(name, delta);
+        }
+    }
+
+    /// Increments a counter by one.
+    pub fn counter_inc(&self, name: &'static str) {
+        self.counter_add(name, 1);
+    }
+
+    /// Reads a counter back (0 if absent or no-op). Intended for tests
+    /// and the overhead bench, not for control logic.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |i| i.registry.counter_value(name))
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&self, name: &'static str, value: f64) {
+        if let Some(i) = &self.0 {
+            i.registry.gauge_set(name, value);
+        }
+    }
+
+    /// Records one histogram observation.
+    pub fn observe(&self, name: &'static str, value: f64) {
+        if let Some(i) = &self.0 {
+            i.registry.observe(name, value);
+        }
+    }
+
+    /// Appends a journal event stamped with the current clock reading.
+    pub fn event(&self, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+        if let Some(i) = &self.0 {
+            i.journal.push(Event {
+                t_ns: i.clock.now_ns(),
+                name,
+                fields: fields.to_vec(),
+            });
+        }
+    }
+
+    /// Opens a span. On drop the span observes its duration (seconds)
+    /// into the `<name>_seconds` histogram. Under a [`ManualClock`]
+    /// driven purely by `set_time_s` the duration is whatever simulated
+    /// time elapsed — typically zero — keeping exports replayable.
+    pub fn span(&self, name: &'static str) -> Span {
+        Span(
+            self.0
+                .as_ref()
+                .map(|i| (Arc::clone(i), name, i.clock.now_ns())),
+        )
+    }
+
+    /// Snapshot of every metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        self.0
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.registry.snapshot())
+    }
+
+    /// Snapshot of the journal in arrival order.
+    pub fn journal_events(&self) -> Vec<Event> {
+        self.0
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.journal.snapshot())
+    }
+
+    /// Number of journal events evicted so far.
+    pub fn journal_dropped(&self) -> u64 {
+        self.0.as_ref().map_or(0, |i| i.journal.dropped())
+    }
+
+    /// Renders the current metrics as Prometheus text exposition.
+    /// Empty string for a no-op recorder.
+    pub fn export_prometheus(&self) -> String {
+        match &self.0 {
+            None => String::new(),
+            Some(_) => export::to_prometheus(&self.snapshot()),
+        }
+    }
+
+    /// Renders the journal followed by a metric snapshot as JSONL.
+    /// Empty string for a no-op recorder.
+    pub fn export_jsonl(&self) -> String {
+        match &self.0 {
+            None => String::new(),
+            Some(_) => export::to_jsonl(&self.journal_events(), &self.snapshot()),
+        }
+    }
+}
+
+/// RAII span guard returned by [`Recorder::span`].
+#[must_use = "a span records on drop; binding it to `_` drops immediately"]
+pub struct Span(Option<(Arc<Inner>, &'static str, u64)>);
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((inner, name, start_ns)) = self.0.take() {
+            let end_ns = inner.clock.now_ns();
+            let secs = end_ns.saturating_sub(start_ns) as f64 / 1e9;
+            inner.registry.observe(seconds_name(name), secs);
+        }
+    }
+}
+
+/// Maps a span name to its leaked `<name>_seconds` histogram key.
+/// Leaking is bounded by the number of distinct span names (a handful
+/// of static call sites), and buys `&'static str` keys on the hot path.
+fn seconds_name(name: &'static str) -> &'static str {
+    static CACHE: OnceLock<Mutex<BTreeMap<&'static str, &'static str>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut g = cache.lock().unwrap();
+    g.entry(name)
+        .or_insert_with(|| Box::leak(format!("{name}_seconds").into_boxed_str()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricKind;
+
+    #[test]
+    fn noop_recorder_discards_everything() {
+        let r = Recorder::noop();
+        r.counter_inc("c_total");
+        r.gauge_set("g", 1.0);
+        r.observe("h", 2.0);
+        r.event("e", &[]);
+        drop(r.span("s"));
+        assert!(!r.enabled());
+        assert!(r.snapshot().is_empty());
+        assert!(r.journal_events().is_empty());
+        assert!(r.export_prometheus().is_empty());
+        assert!(r.export_jsonl().is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let r = Recorder::manual();
+        let r2 = r.clone();
+        r.counter_add("shared_total", 2);
+        r2.counter_add("shared_total", 3);
+        assert_eq!(r.counter_value("shared_total"), 5);
+    }
+
+    #[test]
+    fn span_observes_elapsed_simulated_time() {
+        let r = Recorder::manual();
+        r.set_time_s(10.0);
+        let span = r.span("perq_test_work");
+        r.set_time_s(12.5);
+        drop(span);
+        let snap = r.snapshot();
+        let h = snap
+            .iter()
+            .find(|m| m.name == "perq_test_work_seconds")
+            .expect("span histogram");
+        match &h.kind {
+            MetricKind::Histogram(s) => {
+                assert_eq!(s.count, 1);
+                assert!((s.sum - 2.5).abs() < 1e-9, "sum = {}", s.sum);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn events_are_stamped_with_manual_time() {
+        let r = Recorder::manual();
+        r.set_time_s(3.0);
+        r.event("perq_test_fault", &[("node", FieldValue::U64(2))]);
+        let evs = r.journal_events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].t_ns, 3_000_000_000);
+        assert_eq!(evs[0].name, "perq_test_fault");
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the log-linear histogram: structural invariants
+//! of the bucket grid, conservation under observation and merge, and
+//! quantile sanity.
+
+use perq_telemetry::Histogram;
+use proptest::prelude::*;
+
+/// Observation values spanning the interesting range: subnormals up to
+/// huge magnitudes, plus the non-positive bucket.
+fn values() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e12..1e12f64,
+        1e-15..1e-9f64,
+        Just(0.0),
+        Just(-0.0),
+        Just(f64::MIN_POSITIVE),
+    ]
+}
+
+proptest! {
+    /// Bucket upper bounds are strictly increasing across the finite
+    /// part of the grid, so buckets partition the positive reals.
+    #[test]
+    fn bucket_bounds_are_monotone(idx in 0usize..Histogram::NUM_BUCKETS - 2) {
+        let lo = Histogram::bucket_upper(idx);
+        let hi = Histogram::bucket_upper(idx + 1);
+        prop_assert!(lo < hi, "upper({idx}) = {lo} >= upper({}) = {hi}", idx + 1);
+    }
+
+    /// Every value maps to a bucket whose bounds bracket it:
+    /// `upper(i-1) <= v < upper(i)` for positive in-range values.
+    #[test]
+    fn observation_lands_inside_its_bucket(v in 1e-11..1e11f64) {
+        let idx = Histogram::bucket_index(v);
+        prop_assert!(idx < Histogram::NUM_BUCKETS);
+        prop_assert!(v < Histogram::bucket_upper(idx), "v={v} idx={idx}");
+        if idx > 0 {
+            prop_assert!(
+                v >= Histogram::bucket_upper(idx - 1),
+                "v={v} below bucket {idx}'s lower bound"
+            );
+        }
+    }
+
+    /// Observing n values yields count n, an exact sum, and exact
+    /// min/max — the bucketing approximates only the distribution.
+    #[test]
+    fn count_sum_min_max_are_conserved(vs in prop::collection::vec(values(), 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &vs {
+            h.observe(v);
+        }
+        prop_assert_eq!(h.count(), vs.len() as u64);
+        let bucket_total: u64 = h.bucket_counts().iter().sum();
+        prop_assert_eq!(bucket_total, vs.len() as u64, "bucket counts must conserve mass");
+        let exact_sum: f64 = vs.iter().sum();
+        prop_assert!((h.sum() - exact_sum).abs() <= 1e-9 * (1.0 + exact_sum.abs()));
+        let exact_min = vs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let exact_max = vs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(h.min(), Some(exact_min));
+        prop_assert_eq!(h.max(), Some(exact_max));
+    }
+
+    /// Quantiles are clamped into the observed range and ordered.
+    #[test]
+    fn quantiles_stay_within_min_max(vs in prop::collection::vec(values(), 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &vs {
+            h.observe(v);
+        }
+        let (min, max) = (h.min().unwrap(), h.max().unwrap());
+        let p50 = h.quantile(0.5).unwrap();
+        let p95 = h.quantile(0.95).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        for q in [p50, p95, p99] {
+            prop_assert!(q >= min && q <= max, "quantile {q} outside [{min}, {max}]");
+        }
+        prop_assert!(p50 <= p95 && p95 <= p99, "quantiles must be ordered");
+    }
+
+    /// Merge is associative and equivalent to observing the union:
+    /// (a ∪ b) ∪ c and a ∪ (b ∪ c) agree exactly on bucket counts,
+    /// count, min, max, and quantiles (sum approximately).
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(values(), 0..60),
+        b in prop::collection::vec(values(), 0..60),
+        c in prop::collection::vec(values(), 0..60),
+    ) {
+        let fill = |vs: &[f64]| {
+            let mut h = Histogram::new();
+            for &v in vs {
+                h.observe(v);
+            }
+            h
+        };
+        let (ha, hb, hc) = (fill(&a), fill(&b), fill(&c));
+
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(left.bucket_counts(), right.bucket_counts());
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.min(), right.min());
+        prop_assert_eq!(left.max(), right.max());
+        prop_assert!((left.sum() - right.sum()).abs() <= 1e-9 * (1.0 + left.sum().abs()));
+        for q in [0.5, 0.95, 0.99] {
+            prop_assert_eq!(left.quantile(q), right.quantile(q));
+        }
+
+        // Merge must also match direct observation of the union.
+        let union: Vec<f64> = a.iter().chain(&b).chain(&c).cloned().collect();
+        let direct = fill(&union);
+        prop_assert_eq!(left.bucket_counts(), direct.bucket_counts());
+        prop_assert_eq!(left.count(), direct.count());
+        prop_assert_eq!(left.min(), direct.min());
+        prop_assert_eq!(left.max(), direct.max());
+    }
+}

@@ -14,6 +14,7 @@
 //!
 //! | Layer | Crate | Contents |
 //! |-------|-------|----------|
+//! | observability | [`telemetry`] | deterministic metrics registry, spans, event journal, Prometheus/JSONL exporters |
 //! | numerics | [`linalg`] | dense matrices, Cholesky/LU/QR, least squares |
 //! | optimization | [`qp`] | projected-gradient and ADMM convex QP solvers |
 //! | identification | [`sysid`] | ARX fitting, state-space models, Kalman observers, RLS, monotone curves |
@@ -54,6 +55,7 @@ pub use perq_qp as qp;
 pub use perq_rapl as rapl;
 pub use perq_sim as sim;
 pub use perq_sysid as sysid;
+pub use perq_telemetry as telemetry;
 
 /// Convenience prelude importing the types most programs need.
 pub mod prelude {

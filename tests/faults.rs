@@ -20,6 +20,7 @@ use perq::sim::{
     Cluster, ClusterConfig, FairPolicy, FaultEvent, FaultKind, FaultPlan, FaultRates, JobOutcome,
     JobSpec, PowerPolicy, SimResult, SystemModel, TraceGenerator,
 };
+use perq::telemetry::{validate_prometheus, Recorder};
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
@@ -257,6 +258,199 @@ fn seeded_worker_crash_replays_deterministically_and_reallocates_budget() {
             log.t_s
         );
     }
+}
+
+/// Regression for the same-tick double-death path in the prototype's
+/// budget reallocation: two workers hosting *different* jobs die on the
+/// same control tick. The audit of `control_loop` found no
+/// double-counting — `streams.remove` and the `free_nodes` purge run
+/// before the killed-job survivor-freeing loop, which re-checks both —
+/// and this test pins that behaviour: each dead node is written off
+/// exactly once, and the survivors split the budget six ways.
+#[test]
+fn two_workers_dying_same_tick_reallocate_budget_once() {
+    let mut config = ProtoConfig::tardis(4, 2.0, 40);
+    config.crash_workers.push((1, 10));
+    config.crash_workers.push((2, 10));
+    config.trace_jobs.push(0);
+    let jobs: Vec<JobSpec> = (0..8)
+        .map(|id| JobSpec {
+            id,
+            app_index: 0,
+            size: 1,
+            runtime_tdp_s: 10_000.0,
+            runtime_estimate_s: 12_000.0,
+        })
+        .collect();
+    let result = ProtoCluster::new(config)
+        .run(jobs, &mut FairPolicy::new())
+        .expect("prototype run");
+
+    // Both crashes logged on the scripted step, one write-off each.
+    assert_eq!(result.faults.len(), 2, "{:?}", result.faults);
+    for fault in &result.faults {
+        assert_eq!(fault.step, 10);
+        assert!(matches!(fault.kind, FaultKind::NodeCrash { count: 1 }));
+    }
+    assert_eq!(result.faults[1].nodes_offline_after, 2);
+
+    // Jobs 1 and 2 (on nodes 1 and 2, FCFS) die with their hosts.
+    let mut killed: Vec<u64> = result
+        .records
+        .iter()
+        .filter(|r| r.outcome == JobOutcome::Killed)
+        .map(|r| r.spec.id)
+        .collect();
+    killed.sort_unstable();
+    assert_eq!(killed, vec![1, 2]);
+
+    // Budget reallocation happens exactly once per dead node: the fair
+    // share moves from budget/8 to budget/6 — not budget/4, which a
+    // double write-off would produce, and not budget/7.
+    let budget = 4.0 * 290.0;
+    let trace = result.traces.get(&0).expect("job 0 traced");
+    for p in &trace.points {
+        let expected = if p.t_s <= 100.0 {
+            budget / 8.0
+        } else {
+            budget / 6.0
+        };
+        assert!(
+            (p.cap_w - expected).abs() < 1e-9,
+            "cap {} at t={} (expected {expected})",
+            p.cap_w,
+            p.t_s
+        );
+    }
+
+    // The six survivors stay busy and the cluster cap holds throughout.
+    assert_eq!(result.budget_violations, 0);
+    for log in &result.intervals {
+        assert!(log.committed_power_w <= budget + 1e-6, "at t={}", log.t_s);
+        if log.t_s > 100.0 {
+            assert_eq!(log.busy_nodes, 6, "at t={}", log.t_s);
+        }
+    }
+}
+
+/// Same-tick double death where both dead workers host the *same* job:
+/// the job must be killed once, its surviving ranks must not be freed
+/// twice, and the write-off count must match the node count.
+#[test]
+fn two_workers_of_one_job_dying_same_tick_kill_it_once() {
+    let mut config = ProtoConfig::tardis(4, 2.0, 40);
+    config.crash_workers.push((0, 10));
+    config.crash_workers.push((1, 10));
+    config.trace_jobs.push(1);
+    // Job 0 spans nodes 0-1 (FCFS assignment); jobs 1..=6 are
+    // single-node on nodes 2..=7.
+    let mut jobs = vec![JobSpec {
+        id: 0,
+        app_index: 0,
+        size: 2,
+        runtime_tdp_s: 10_000.0,
+        runtime_estimate_s: 12_000.0,
+    }];
+    jobs.extend((1..7).map(|id| JobSpec {
+        id,
+        app_index: 0,
+        size: 1,
+        runtime_tdp_s: 10_000.0,
+        runtime_estimate_s: 12_000.0,
+    }));
+    let result = ProtoCluster::new(config)
+        .run(jobs, &mut FairPolicy::new())
+        .expect("prototype run");
+
+    assert_eq!(result.faults.len(), 2, "{:?}", result.faults);
+    for fault in &result.faults {
+        assert_eq!(fault.step, 10);
+        assert_eq!(fault.job_id, Some(0), "both dead nodes hosted job 0");
+    }
+    let killed: Vec<u64> = result
+        .records
+        .iter()
+        .filter(|r| r.outcome == JobOutcome::Killed)
+        .map(|r| r.spec.id)
+        .collect();
+    assert_eq!(killed, vec![0], "job 0 killed exactly once");
+
+    // Six single-node survivors split the budget six ways after the
+    // crash (and eight busy nodes split it eight ways before).
+    let budget = 4.0 * 290.0;
+    let trace = result.traces.get(&1).expect("job 1 traced");
+    for p in &trace.points {
+        let expected = if p.t_s <= 100.0 {
+            budget / 8.0
+        } else {
+            budget / 6.0
+        };
+        assert!(
+            (p.cap_w - expected).abs() < 1e-9,
+            "cap {} at t={} (expected {expected})",
+            p.cap_w,
+            p.t_s
+        );
+    }
+    assert_eq!(result.budget_violations, 0);
+    for log in &result.intervals {
+        if log.t_s > 100.0 {
+            assert_eq!(log.busy_nodes, 6, "at t={}", log.t_s);
+        }
+    }
+}
+
+/// Deterministic trace replay: the same seed and the same [`FaultPlan`]
+/// must yield *byte-identical* telemetry exports across two runs — the
+/// journal (fault events, in order, stamped with simulated time), every
+/// counter/gauge/histogram, and both export formats. Runs under the
+/// full PERQ policy so the solver and controller metrics are covered,
+/// not just the simulator's.
+#[test]
+fn telemetry_export_replays_byte_for_byte_under_seeded_faults() {
+    let run = || {
+        let system = SystemModel::tardis();
+        let config = ClusterConfig::for_system(&system, 2.0, 1500.0);
+        let steps = (config.duration_s / config.interval_s) as usize;
+        let plan = FaultPlan::generate(13, steps, &FaultRates::aggressive());
+        let jobs = TraceGenerator::new(system.clone(), 13)
+            .generate_saturating(config.nodes, config.duration_s);
+        let recorder = Recorder::manual();
+        let mut policy = make_policy("perq");
+        let result = Cluster::new(config, jobs, 13)
+            .with_fault_plan(plan)
+            .with_recorder(recorder.clone())
+            .run(policy.as_mut());
+        (
+            result,
+            recorder.export_jsonl(),
+            recorder.export_prometheus(),
+        )
+    };
+    let (result_a, jsonl_a, prom_a) = run();
+    let (_result_b, jsonl_b, prom_b) = run();
+
+    assert!(!result_a.faults.is_empty(), "aggressive plan must apply");
+    assert!(!jsonl_a.is_empty());
+    assert_eq!(jsonl_a, jsonl_b, "JSONL export must replay byte-for-byte");
+    assert_eq!(prom_a, prom_b, "Prometheus export must replay");
+
+    // The journal carries the fault events and the registry carries
+    // metrics from every instrumented layer of the stack.
+    assert!(jsonl_a.contains("\"event\":\"perq_sim_fault\""));
+    validate_prometheus(
+        &prom_a,
+        &[
+            "perq_sim_steps_total",
+            "perq_sim_power_w",
+            "perq_sim_faults_total",
+            "perq_core_decides_total",
+            "perq_core_decide_seconds",
+            "perq_qp_solves_total",
+            "perq_qp_iterations",
+        ],
+    )
+    .expect("exposition parses with all layers present");
 }
 
 proptest! {
