@@ -12,70 +12,103 @@
 //!   the paper deliberately trains on NPB and evaluates on unseen apps;
 //!   this arm quantifies how much (little) an in-distribution model buys.
 //!
+//! Every arm is an independent scenario, so the study runs on the
+//! campaign engine: `threads=N` fans the arms out with byte-identical
+//! results (distinct node models are trained once and shared).
+//!
 //! ```text
-//! cargo run --release -p perq-bench --bin ablation -- [hours]
+//! cargo run --release -p perq-bench --bin ablation -- [hours] [threads]
 //! ```
 
-use perq_bench::{improvement_pct, Evaluation, PolicyKind};
-use perq_core::{train_node_model_with, PerqConfig, PerqPolicy};
-use perq_sim::{compare_fairness, Cluster, ClusterConfig, SystemModel};
+use perq_bench::improvement_pct;
+use perq_campaign::{run_campaign, CampaignOptions, ModelSpec, PolicySpec, Scenario};
+use perq_core::PerqConfig;
+use perq_sim::{compare_fairness, SystemModel};
+use perq_telemetry::Recorder;
 
 fn main() {
     let hours: f64 = std::env::args()
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(6.0);
+    let threads: usize = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1);
     let f = 2.0;
-    let eval = Evaluation::new(SystemModel::mira(), hours * 3600.0, 20190622);
-    let baseline = eval.baseline_throughput();
-    let fop = eval.run(f, PolicyKind::Fop);
+    let system = SystemModel::mira();
+    let duration_s = hours * 3600.0;
+    let seed = 20190622;
+    // The Evaluation harness's NPB model (seed 7), shared by the PERQ
+    // arms except the over-fit check.
+    let npb = ModelSpec::Npb { seed: 7 };
+
+    let arms: Vec<(&str, f64, PolicySpec)> = vec![
+        ("f=1 baseline", 1.0, PolicySpec::Fop),
+        ("FOP", f, PolicySpec::Fop),
+        ("PERQ", f, PolicySpec::perq_with_model(npb.clone())),
+        ("LJS (largest-first)", f, PolicySpec::Ljs),
+        (
+            "PERQ-T (thru-only)",
+            f,
+            PolicySpec::perq_throughput(npb.clone()),
+        ),
+        // PERQ without identification dither.
+        (
+            "PERQ (no dither)",
+            f,
+            PolicySpec::Perq {
+                config: PerqConfig {
+                    dither_frac: 0.0,
+                    ..PerqConfig::default()
+                },
+                model: npb.clone(),
+            },
+        ),
+        // PERQ with a model trained on the *evaluation* suite (over-fit
+        // arm; the paper's protocol trains on NPB only).
+        (
+            "PERQ (eval-trained)",
+            f,
+            PolicySpec::perq_with_model(ModelSpec::EcpSuite {
+                interval_s: 10.0,
+                steps_per_app: 600,
+                seed: 7,
+            }),
+        ),
+    ];
+    let grid: Vec<Scenario> = arms
+        .iter()
+        .map(|(name, arm_f, policy)| {
+            Scenario::new(
+                *name,
+                system.clone(),
+                *arm_f,
+                duration_s,
+                seed,
+                policy.clone(),
+            )
+        })
+        .collect();
+    let outcomes = run_campaign(&grid, &CampaignOptions { threads }, &Recorder::noop());
+
+    let baseline = outcomes[0].result.throughput();
+    let fop = &outcomes[1].result;
     println!("Ablations (Mira, {hours} h, f = {f}); f=1 baseline {baseline} jobs");
     println!(
         "{:<22} {:>6} {:>12} {:>11} {:>11}",
         "arm", "jobs", "improv(%)", "meandeg(%)", "maxdeg(%)"
     );
-
-    let report = |name: &str, result: perq_sim::SimResult| {
-        let fairness = compare_fairness(&result, &fop);
+    for ((name, _, _), outcome) in arms.iter().zip(&outcomes).skip(1) {
+        let fairness = compare_fairness(&outcome.result, fop);
         println!(
             "{:<22} {:>6} {:>12.1} {:>11.1} {:>11.1}",
             name,
-            result.throughput(),
-            improvement_pct(result.throughput(), baseline),
+            outcome.result.throughput(),
+            improvement_pct(outcome.result.throughput(), baseline),
             fairness.mean_degradation_pct,
             fairness.max_degradation_pct
         );
-    };
-
-    report("FOP", fop.clone());
-    report("PERQ", eval.run(f, PolicyKind::Perq));
-    report("LJS (largest-first)", eval.run(f, PolicyKind::Ljs));
-    report(
-        "PERQ-T (thru-only)",
-        eval.run(f, PolicyKind::PerqThroughput),
-    );
-
-    // PERQ without identification dither.
-    {
-        let config = ClusterConfig::for_system(&eval.system, f, eval.duration_s);
-        let jobs = eval.trace(config.nodes);
-        let cfg = PerqConfig {
-            dither_frac: 0.0,
-            ..PerqConfig::default()
-        };
-        let mut policy = PerqPolicy::with_model(eval.model.clone(), cfg);
-        let result = Cluster::new(config, jobs, eval.seed).run(&mut policy);
-        report("PERQ (no dither)", result);
-    }
-
-    // PERQ with a model trained on the *evaluation* suite (over-fit arm).
-    {
-        let config = ClusterConfig::for_system(&eval.system, f, eval.duration_s);
-        let jobs = eval.trace(config.nodes);
-        let (model, _) = train_node_model_with(perq_apps::ecp_suite(), 10.0, 600, 7);
-        let mut policy = PerqPolicy::with_model(model, PerqConfig::default());
-        let result = Cluster::new(config, jobs, eval.seed).run(&mut policy);
-        report("PERQ (eval-trained)", result);
     }
 
     println!();

@@ -2,10 +2,17 @@
 //! horizons 2–5, at the concurrent-job counts of the Mira and Trinity
 //! simulations. The paper reports > 80% of decisions within 0.5 s.
 //!
+//! Each (system, horizon) cell is independent and deterministic (its own
+//! seeded RNG), so the grid fans out on the campaign engine's
+//! `parallel_map`. The default is serial — for a *timing* figure,
+//! concurrent cells perturb each other — but `threads=N` is available
+//! for quick shape checks.
+//!
 //! ```text
-//! cargo run --release -p perq-bench --bin fig13 -- [instances]
+//! cargo run --release -p perq-bench --bin fig13 -- [instances] [threads]
 //! ```
 
+use perq_campaign::parallel_map;
 use perq_core::{train_node_model, MpcController, MpcInput, MpcJobState, MpcSettings};
 use perq_sysid::KalmanObserver;
 use rand::rngs::StdRng;
@@ -41,53 +48,73 @@ fn random_jobs(
         .collect()
 }
 
-fn run_cdf(system: &str, n_jobs: usize, wp_nodes: f64, instances: usize) {
-    println!("-- {system}: {n_jobs} concurrent jobs --");
-    println!(
-        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>12}",
-        "horizon", "p50(ms)", "p80(ms)", "p95(ms)", "max(ms)", "<0.5s (%)"
+/// One (system, concurrency, horizon) cell of the decision-time grid.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    system: &'static str,
+    n_jobs: usize,
+    wp_nodes: f64,
+    horizon: usize,
+}
+
+/// Times `instances` independent MPC decisions for one cell. Seeded per
+/// horizon exactly as before the fan-out, so inputs are reproducible.
+fn time_cell(model: &perq_core::NodeModel, cell: Cell, instances: usize) -> Vec<f64> {
+    let ctrl = MpcController::new(
+        model,
+        MpcSettings {
+            horizon: cell.horizon,
+            ..MpcSettings::default()
+        },
     );
-    let (model, _) = train_node_model(13);
-    for horizon in [2usize, 3, 4, 5] {
-        let ctrl = MpcController::new(
-            &model,
-            MpcSettings {
-                horizon,
-                ..MpcSettings::default()
-            },
-        );
-        let mut rng = StdRng::seed_from_u64(13 + horizon as u64);
-        let mut times_ms: Vec<f64> = Vec::with_capacity(instances);
-        for _ in 0..instances {
-            let jobs = random_jobs(&ctrl, &model, n_jobs, &mut rng);
-            let budget: f64 = jobs.iter().map(|j| j.size as f64).sum::<f64>() * 0.55;
-            let input = MpcInput {
-                jobs: &jobs,
-                system_target: 3.5,
-                budget_nodes: budget,
-                cap_min_frac: 90.0 / 290.0,
-                wp_nodes,
-            };
-            let t0 = Instant::now();
-            let d = ctrl.decide(&input).expect("jobs present");
-            times_ms.push(t0.elapsed().as_secs_f64() * 1000.0);
-            std::hint::black_box(d);
+    let mut rng = StdRng::seed_from_u64(13 + cell.horizon as u64);
+    let mut times_ms: Vec<f64> = Vec::with_capacity(instances);
+    for _ in 0..instances {
+        let jobs = random_jobs(&ctrl, model, cell.n_jobs, &mut rng);
+        let budget: f64 = jobs.iter().map(|j| j.size as f64).sum::<f64>() * 0.55;
+        let input = MpcInput {
+            jobs: &jobs,
+            system_target: 3.5,
+            budget_nodes: budget,
+            cap_min_frac: 90.0 / 290.0,
+            wp_nodes: cell.wp_nodes,
+        };
+        let t0 = Instant::now();
+        let d = ctrl.decide(&input).expect("jobs present");
+        times_ms.push(t0.elapsed().as_secs_f64() * 1000.0);
+        std::hint::black_box(d);
+    }
+    times_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times_ms
+}
+
+fn print_cdf_grid(cells: &[Cell], timings: &[Vec<f64>]) {
+    let mut current_system = "";
+    for (cell, times_ms) in cells.iter().zip(timings) {
+        if cell.system != current_system {
+            current_system = cell.system;
+            println!("-- {}: {} concurrent jobs --", cell.system, cell.n_jobs);
+            println!(
+                "{:>8} {:>10} {:>10} {:>10} {:>10} {:>12}",
+                "horizon", "p50(ms)", "p80(ms)", "p95(ms)", "max(ms)", "<0.5s (%)"
+            );
         }
-        times_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let pct = |p: f64| times_ms[((times_ms.len() as f64 - 1.0) * p) as usize];
         let under_half_s =
             times_ms.iter().filter(|&&t| t < 500.0).count() as f64 / times_ms.len() as f64;
         println!(
             "{:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>11.1}%",
-            horizon,
+            cell.horizon,
             pct(0.5),
             pct(0.8),
             pct(0.95),
             times_ms.last().expect("non-empty"),
             100.0 * under_half_s
         );
+        if cell.horizon == 5 {
+            println!();
+        }
     }
-    println!();
 }
 
 fn grouped_scaling(instances: usize) {
@@ -130,12 +157,30 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(200);
+    let threads: usize = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1);
     println!("Fig. 13: MPC decision-time distribution ({instances} instances per point)");
     println!();
     // Concurrent-job counts of the paper's 24 h simulations:
     // Mira ≈ N_OP / mean size ≈ 98304/1894 ≈ 52; Trinity ≈ 38840/1830 ≈ 21.
-    run_cdf("Mira", 52, 49_152.0, instances);
-    run_cdf("Trinity", 21, 19_420.0, instances);
+    let mut cells = Vec::new();
+    for (system, n_jobs, wp_nodes) in [("Mira", 52, 49_152.0), ("Trinity", 21, 19_420.0)] {
+        for horizon in [2usize, 3, 4, 5] {
+            cells.push(Cell {
+                system,
+                n_jobs,
+                wp_nodes,
+                horizon,
+            });
+        }
+    }
+    let (model, _) = train_node_model(13);
+    let timings = parallel_map(&cells, threads, |_i, &cell| {
+        time_cell(&model, cell, instances)
+    });
+    print_cdf_grid(&cells, &timings);
     grouped_scaling(instances);
     println!("paper: > 80% of decisions within 0.5 s at horizon 4; time grows with horizon.");
 }

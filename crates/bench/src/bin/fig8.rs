@@ -11,8 +11,8 @@
 //! cargo run --release -p perq-bench --bin fig8 -- [hours] [out.jsonl]
 //! ```
 
-use perq_core::{PerqConfig, PerqPolicy};
-use perq_sim::{Cluster, ClusterConfig, SystemModel, TraceGenerator};
+use perq_campaign::{run_campaign, CampaignOptions, PolicySpec, Scenario};
+use perq_sim::SystemModel;
 use perq_telemetry::{FieldValue, Recorder};
 
 fn main() {
@@ -23,17 +23,24 @@ fn main() {
     let out_path = std::env::args()
         .nth(2)
         .unwrap_or_else(|| "FIG8_traces.jsonl".to_string());
-    let system = SystemModel::trinity();
     let seed = 8;
-    let mut config = ClusterConfig::for_system(&system, 2.0, hours * 3600.0);
-    let jobs =
-        TraceGenerator::new(system, seed).generate_saturating(config.nodes, config.duration_s);
 
     // Trace a handful of early jobs with different sizes/apps; report four.
-    config.trace_jobs = (0..16).collect();
-    let mut perq = PerqPolicy::new(PerqConfig::default());
-    let mut cluster = Cluster::new(config, jobs.clone(), seed);
-    let result = cluster.run(&mut perq);
+    let mut scenario = Scenario::new(
+        "fig8",
+        SystemModel::trinity(),
+        2.0,
+        hours * 3600.0,
+        seed,
+        PolicySpec::perq_default(),
+    );
+    scenario.trace_jobs = (0..16).collect();
+    let outcomes = run_campaign(
+        std::slice::from_ref(&scenario),
+        &CampaignOptions::default(),
+        &perq_telemetry::Recorder::noop(),
+    );
+    let result = &outcomes[0].result;
 
     // Pick four traced jobs with the most points (longest running) and
     // distinct apps.

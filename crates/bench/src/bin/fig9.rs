@@ -4,15 +4,21 @@
 //!
 //! The sweep data is written as JSON Lines through the telemetry
 //! exporter (one `fig9_interval_sweep` event per interval setting);
-//! stdout carries the human-readable table.
+//! stdout carries the human-readable table. Every (interval, policy)
+//! cell is an independent scenario, so the sweep fans out on the
+//! campaign engine: `threads=N` runs cells concurrently with
+//! byte-identical results.
 //!
 //! ```text
-//! cargo run --release -p perq-bench --bin fig9 -- [hours] [out.jsonl]
+//! cargo run --release -p perq-bench --bin fig9 -- [hours] [out.jsonl] [threads]
 //! ```
 
-use perq_bench::{improvement_pct, Evaluation, PolicyKind};
-use perq_sim::{ClusterConfig, SystemModel};
+use perq_bench::improvement_pct;
+use perq_campaign::{run_campaign, CampaignOptions, ModelSpec, PolicySpec, Scenario};
+use perq_sim::SystemModel;
 use perq_telemetry::{FieldValue, Recorder};
+
+const INTERVALS: [f64; 6] = [5.0, 10.0, 20.0, 40.0, 60.0, 120.0];
 
 fn main() {
     let hours: f64 = std::env::args()
@@ -22,20 +28,44 @@ fn main() {
     let out_path = std::env::args()
         .nth(2)
         .unwrap_or_else(|| "FIG9_interval_sweep.jsonl".to_string());
-    let eval = Evaluation::new(SystemModel::mira(), hours * 3600.0, 9);
+    let threads: usize = std::env::args()
+        .nth(3)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1);
     println!("Fig. 9 (Mira, {hours} h, f = 2.0): control-interval sweep");
     println!(
         "{:>12} {:>8} {:>16} {:>12}",
         "interval(s)", "jobs", "vs 5s bar (%)", "meandeg(%)"
     );
+
+    // One FOP + one PERQ scenario per interval setting; the Evaluation
+    // harness's model seed (7) and trace seed (9) are preserved.
+    let mut grid: Vec<Scenario> = Vec::new();
+    for &interval in &INTERVALS {
+        for policy in [
+            PolicySpec::Fop,
+            PolicySpec::perq_with_model(ModelSpec::Npb { seed: 7 }),
+        ] {
+            let mut s = Scenario::new(
+                format!("fig9-{interval}s-{}", policy.name()),
+                SystemModel::mira(),
+                2.0,
+                hours * 3600.0,
+                9,
+                policy,
+            );
+            s.interval_s = interval;
+            grid.push(s);
+        }
+    }
+    let outcomes = run_campaign(&grid, &CampaignOptions { threads }, &Recorder::noop());
+
     let rec = Recorder::manual();
     let mut bar1: Option<usize> = None;
-    for interval in [5.0, 10.0, 20.0, 40.0, 60.0, 120.0] {
-        let mut config = ClusterConfig::for_system(&eval.system, 2.0, eval.duration_s);
-        config.interval_s = interval;
-        let fop = eval.run_with_config(config.clone(), PolicyKind::Fop);
-        let perq = eval.run_with_config(config, PolicyKind::Perq);
-        let fairness = perq_sim::compare_fairness(&perq, &fop);
+    for (i, &interval) in INTERVALS.iter().enumerate() {
+        let fop = &outcomes[2 * i].result;
+        let perq = &outcomes[2 * i + 1].result;
+        let fairness = perq_sim::compare_fairness(perq, fop);
         let base = *bar1.get_or_insert(perq.throughput());
         let vs_bar = improvement_pct(perq.throughput(), base);
         rec.set_time_s(interval);

@@ -1,0 +1,459 @@
+//! Deterministic parallel campaign engine.
+//!
+//! The paper's entire evaluation is a grid of *independent* seeded
+//! simulations — budgets × policies × traces × fault plans. This crate
+//! runs such grids across worker threads while keeping every observable
+//! output **byte-identical to the serial run**:
+//!
+//! - Each [`Scenario`] is fully specified by data (system, seed, policy
+//!   spec, fault spec), so a worker needs no shared mutable state.
+//! - Every clock involved is simulated; nothing reads wall time except
+//!   the per-decision latency samples, which are excluded from
+//!   determinism comparisons ([`perq_sim::SimResult::same_simulation`]).
+//! - Each worker records into its own `telemetry::Recorder`; the engine
+//!   folds them into the caller's recorder in **scenario-index order**
+//!   (counters add, histograms merge, journals append), so the merged
+//!   export does not depend on thread count or completion order.
+//!
+//! See DESIGN.md §8 for the worker model and the determinism argument.
+
+mod parallel;
+
+pub use parallel::parallel_map;
+
+use perq_core::{
+    baselines, train_node_model, train_node_model_with, NodeModel, PerqConfig, PerqPolicy,
+};
+use perq_sim::{
+    Cluster, ClusterConfig, FairPolicy, FaultPlan, FaultRates, PowerPolicy, SimResult, SystemModel,
+    TraceGenerator,
+};
+use perq_telemetry::{FieldValue, Recorder};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which node model a PERQ scenario trains (cached across the campaign:
+/// scenarios sharing a spec share one training run).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModelSpec {
+    /// The paper's protocol: NPB-like training suite, 10 s interval.
+    Npb {
+        /// Identification seed.
+        seed: u64,
+    },
+    /// Trained on the evaluation (ECP) suite — the ablation's
+    /// "what if the model saw the evaluation apps" arm.
+    EcpSuite {
+        /// Sampling interval, seconds.
+        interval_s: f64,
+        /// Excitation record length per application.
+        steps_per_app: usize,
+        /// Identification seed.
+        seed: u64,
+    },
+}
+
+impl ModelSpec {
+    fn train(&self) -> NodeModel {
+        match *self {
+            ModelSpec::Npb { seed } => train_node_model(seed).0,
+            ModelSpec::EcpSuite {
+                interval_s,
+                steps_per_app,
+                seed,
+            } => train_node_model_with(perq_apps::ecp_suite(), interval_s, steps_per_app, seed).0,
+        }
+    }
+}
+
+/// The policy a scenario runs — a pure-data description, so scenario
+/// files round-trip through serde and two scenarios with equal specs
+/// produce bit-identical policies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicySpec {
+    /// Fairness-oriented policy: equal power everywhere.
+    Fop,
+    /// Smallest job size first.
+    Sjs,
+    /// Largest job size first.
+    Ljs,
+    /// Smallest remaining node-hours first (oracle baseline).
+    Srn,
+    /// The PERQ controller.
+    Perq {
+        /// Controller configuration.
+        config: PerqConfig,
+        /// Node-model training recipe.
+        model: ModelSpec,
+    },
+}
+
+impl PolicySpec {
+    /// The standard PERQ arm: default configuration, NPB model with the
+    /// default training seed.
+    pub fn perq_default() -> Self {
+        let config = PerqConfig::default();
+        let model = ModelSpec::Npb {
+            seed: config.training_seed,
+        };
+        PolicySpec::Perq { config, model }
+    }
+
+    /// PERQ with an explicit model recipe and otherwise-default config.
+    pub fn perq_with_model(model: ModelSpec) -> Self {
+        PolicySpec::Perq {
+            config: PerqConfig::default(),
+            model,
+        }
+    }
+
+    /// The paper's PERQ-T ablation arm: the system-throughput weight
+    /// scaled 1000x, which makes the controller throughput-only.
+    pub fn perq_throughput(model: ModelSpec) -> Self {
+        let mut config = PerqConfig::default();
+        config.mpc.wt_sys *= 1000.0;
+        PolicySpec::Perq { config, model }
+    }
+
+    /// Display name (also what `SimResult::policy` will report).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicySpec::Fop => "FOP",
+            PolicySpec::Sjs => "SJS",
+            PolicySpec::Ljs => "LJS",
+            PolicySpec::Srn => "SRN",
+            PolicySpec::Perq { .. } => "PERQ",
+        }
+    }
+
+    /// The model spec this policy needs trained, if any.
+    fn model_spec(&self) -> Option<&ModelSpec> {
+        match self {
+            PolicySpec::Perq { model, .. } => Some(model),
+            _ => None,
+        }
+    }
+
+    /// Instantiates the policy. `models` must hold an entry for this
+    /// policy's [`ModelSpec`] (the engine pre-trains them).
+    fn build(&self, models: &BTreeMap<String, NodeModel>) -> Box<dyn PowerPolicy> {
+        match self {
+            PolicySpec::Fop => Box::new(FairPolicy::new()),
+            PolicySpec::Sjs => Box::new(baselines::sjs()),
+            PolicySpec::Ljs => Box::new(baselines::ljs()),
+            PolicySpec::Srn => Box::new(baselines::srn()),
+            PolicySpec::Perq { config, model } => {
+                let trained = models
+                    .get(&model_key(model))
+                    .expect("engine pre-trains every referenced model");
+                Box::new(PerqPolicy::with_model(trained.clone(), config.clone()))
+            }
+        }
+    }
+}
+
+/// Cache key for a [`ModelSpec`] (its Debug form is injective over the
+/// spec's fields and deterministic).
+fn model_key(spec: &ModelSpec) -> String {
+    format!("{spec:?}")
+}
+
+/// Fault injection for a scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultSpec {
+    /// Plan generated from Poisson rates under a seed (deterministic).
+    Generated {
+        /// Plan generation seed.
+        seed: u64,
+        /// Per-step event rates.
+        rates: FaultRates,
+    },
+    /// An explicit, fully materialised plan.
+    Plan(FaultPlan),
+}
+
+impl FaultSpec {
+    fn materialise(&self, steps: usize) -> FaultPlan {
+        match self {
+            FaultSpec::Generated { seed, rates } => FaultPlan::generate(*seed, steps, rates),
+            FaultSpec::Plan(plan) => plan.clone(),
+        }
+    }
+}
+
+/// One cell of a campaign grid: everything needed to reproduce a single
+/// simulation, as data. The power budget is encoded by `f` (the budget
+/// is `wp_nodes · TDP` and the machine has `f · wp_nodes` nodes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Label used in logs and journal events.
+    pub name: String,
+    /// System under evaluation (node counts, trace calibration).
+    pub system: SystemModel,
+    /// Over-provisioning factor.
+    pub f: f64,
+    /// Simulated duration, seconds.
+    pub duration_s: f64,
+    /// Control interval, seconds.
+    pub interval_s: f64,
+    /// Trace + noise + RAPL seed.
+    pub seed: u64,
+    /// The policy to run.
+    pub policy: PolicySpec,
+    /// Optional fault injection.
+    pub faults: Option<FaultSpec>,
+    /// Job ids whose full power/IPS traces are recorded.
+    pub trace_jobs: Vec<u64>,
+}
+
+impl Scenario {
+    /// A standard scenario with the default 10 s interval, no faults,
+    /// and no traced jobs.
+    pub fn new(
+        name: impl Into<String>,
+        system: SystemModel,
+        f: f64,
+        duration_s: f64,
+        seed: u64,
+        policy: PolicySpec,
+    ) -> Self {
+        Scenario {
+            name: name.into(),
+            system,
+            f,
+            duration_s,
+            interval_s: 10.0,
+            seed,
+            policy,
+            faults: None,
+            trace_jobs: Vec::new(),
+        }
+    }
+
+    /// The cluster configuration this scenario induces.
+    pub fn cluster_config(&self) -> ClusterConfig {
+        let mut config = ClusterConfig::for_system(&self.system, self.f, self.duration_s);
+        config.interval_s = self.interval_s;
+        config.trace_jobs = self.trace_jobs.clone();
+        config
+    }
+
+    /// Runs the scenario in isolation, recording into `recorder`.
+    /// Deterministic: two calls with equal specs produce results for
+    /// which [`SimResult::same_simulation`] holds and byte-identical
+    /// recorder exports.
+    pub fn run(&self, models: &BTreeMap<String, NodeModel>, recorder: Recorder) -> SimResult {
+        let config = self.cluster_config();
+        let steps = (config.duration_s / config.interval_s).ceil() as usize;
+        let jobs = TraceGenerator::new(self.system.clone(), self.seed)
+            .generate_saturating(config.nodes, self.duration_s);
+        let mut policy = self.policy.build(models);
+        let mut cluster = Cluster::new(config, jobs, self.seed).with_recorder(recorder);
+        if let Some(faults) = &self.faults {
+            cluster = cluster.with_fault_plan(faults.materialise(steps));
+        }
+        cluster.run(policy.as_mut())
+    }
+}
+
+/// Campaign execution options.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignOptions {
+    /// Worker threads; `1` runs strictly serially.
+    pub threads: usize,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions { threads: 1 }
+    }
+}
+
+/// One scenario's outcome.
+#[derive(Debug, Serialize)]
+pub struct ScenarioOutcome {
+    /// The scenario that ran (by value, for self-contained reports).
+    pub scenario: Scenario,
+    /// Its simulation result.
+    pub result: SimResult,
+}
+
+/// Runs a scenario grid across up to `opts.threads` workers.
+///
+/// Results come back in scenario order. If `recorder` is live, each
+/// worker records into a private manual-clock recorder and the engine
+/// merges them into `recorder` in scenario-index order after the
+/// fan-out, then emits one `perq_campaign_scenario` journal event per
+/// scenario — so the merged export is a pure function of the grid,
+/// independent of thread count and completion order.
+pub fn run_campaign(
+    scenarios: &[Scenario],
+    opts: &CampaignOptions,
+    recorder: &Recorder,
+) -> Vec<ScenarioOutcome> {
+    let models = train_referenced_models(scenarios, opts.threads);
+    let collect = recorder.enabled();
+    let runs: Vec<(Recorder, SimResult)> = parallel_map(scenarios, opts.threads, |_i, scenario| {
+        let worker = if collect {
+            Recorder::manual()
+        } else {
+            Recorder::noop()
+        };
+        let result = scenario.run(&models, worker.clone());
+        (worker, result)
+    });
+
+    let mut outcomes = Vec::with_capacity(runs.len());
+    for (scenario, (worker, result)) in scenarios.iter().zip(runs) {
+        // Fixed fold order: scenario index. This is the determinism
+        // linchpin — see the crate docs.
+        recorder.merge_from(&worker);
+        if recorder.enabled() {
+            recorder.counter_inc("perq_campaign_scenarios_total");
+            recorder.event(
+                "perq_campaign_scenario",
+                &[
+                    ("index", FieldValue::U64(outcomes.len() as u64)),
+                    ("seed", FieldValue::U64(scenario.seed)),
+                    ("policy", FieldValue::Str(scenario.policy.name())),
+                    ("throughput", FieldValue::U64(result.throughput() as u64)),
+                    (
+                        "budget_violations",
+                        FieldValue::U64(result.budget_violations as u64),
+                    ),
+                    ("faults", FieldValue::U64(result.faults.len() as u64)),
+                ],
+            );
+        }
+        outcomes.push(ScenarioOutcome {
+            scenario: scenario.clone(),
+            result,
+        });
+    }
+    outcomes
+}
+
+/// Pre-trains every distinct node model the grid references, in
+/// parallel, keyed so scenarios sharing a spec share the training run.
+fn train_referenced_models(scenarios: &[Scenario], threads: usize) -> BTreeMap<String, NodeModel> {
+    let mut specs: Vec<ModelSpec> = Vec::new();
+    for scenario in scenarios {
+        if let Some(spec) = scenario.policy.model_spec() {
+            if !specs.iter().any(|s| s == spec) {
+                specs.push(spec.clone());
+            }
+        }
+    }
+    let trained = parallel_map(&specs, threads, |_i, spec| spec.train());
+    specs
+        .into_iter()
+        .zip(trained)
+        .map(|(spec, model)| (model_key(&spec), model))
+        .collect()
+}
+
+/// A fig8-style grid: PERQ tracking runs (traced jobs, f = 2) across a
+/// seed range, used by the scaling bench and the CLI default.
+pub fn fig8_style_grid(
+    system: SystemModel,
+    duration_s: f64,
+    seeds: std::ops::Range<u64>,
+) -> Vec<Scenario> {
+    seeds
+        .map(|seed| {
+            let mut s = Scenario::new(
+                format!("fig8-seed{seed}"),
+                system.clone(),
+                2.0,
+                duration_s,
+                seed,
+                PolicySpec::perq_default(),
+            );
+            s.trace_jobs = (0..16).collect();
+            s
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_grid() -> Vec<Scenario> {
+        let system = SystemModel::tardis();
+        let mut grid = vec![
+            Scenario::new("fop-a", system.clone(), 1.5, 900.0, 3, PolicySpec::Fop),
+            Scenario::new("sjs-b", system.clone(), 2.0, 900.0, 4, PolicySpec::Sjs),
+            Scenario::new("srn-c", system.clone(), 1.0, 900.0, 5, PolicySpec::Srn),
+        ];
+        grid[1].faults = Some(FaultSpec::Generated {
+            seed: 13,
+            rates: FaultRates::aggressive(),
+        });
+        grid
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_counts() {
+        let grid = tiny_grid();
+        let serial = run_campaign(&grid, &CampaignOptions { threads: 1 }, &Recorder::noop());
+        for threads in [2, 8] {
+            let par = run_campaign(&grid, &CampaignOptions { threads }, &Recorder::noop());
+            assert_eq!(par.len(), serial.len());
+            for (a, b) in serial.iter().zip(par.iter()) {
+                assert_eq!(a.scenario, b.scenario);
+                assert!(
+                    a.result.same_simulation(&b.result),
+                    "scenario {} diverged at {threads} threads",
+                    a.scenario.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exports_are_byte_identical_across_thread_counts() {
+        let grid = tiny_grid();
+        let export = |threads: usize| {
+            let recorder = Recorder::manual();
+            run_campaign(&grid, &CampaignOptions { threads }, &recorder);
+            (recorder.export_prometheus(), recorder.export_jsonl())
+        };
+        let (prom1, jsonl1) = export(1);
+        assert!(!prom1.is_empty());
+        assert!(jsonl1.contains("perq_campaign_scenario"));
+        for threads in [2, 8] {
+            let (prom, jsonl) = export(threads);
+            assert_eq!(prom, prom1, "prometheus diverged at {threads} threads");
+            assert_eq!(jsonl, jsonl1, "jsonl diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn fault_specs_materialise_deterministically() {
+        let mut scenario = tiny_grid().remove(1);
+        scenario.name = "faulty".into();
+        let run = || {
+            let out = run_campaign(
+                std::slice::from_ref(&scenario),
+                &CampaignOptions { threads: 1 },
+                &Recorder::noop(),
+            );
+            out.into_iter().next().unwrap().result
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.faults.is_empty(), "aggressive rates must apply faults");
+        assert!(a.same_simulation(&b));
+    }
+
+    #[test]
+    fn scenario_round_trips_through_policy_names() {
+        assert_eq!(PolicySpec::Fop.name(), "FOP");
+        assert_eq!(PolicySpec::perq_default().name(), "PERQ");
+        let grid = fig8_style_grid(SystemModel::tardis(), 600.0, 0..3);
+        assert_eq!(grid.len(), 3);
+        assert!(grid.iter().all(|s| s.trace_jobs.len() == 16));
+        assert_eq!(grid[2].seed, 2);
+    }
+}

@@ -1,0 +1,127 @@
+//! Order-preserving fan-out primitive.
+//!
+//! [`parallel_map`] is the only concurrency the campaign engine uses:
+//! every scenario is shared-nothing (its own RNGs, its own recorder),
+//! workers pull items off an atomic queue, and results land in a slot
+//! vector indexed by item — so the output order is *item* order, never
+//! completion order. Everything downstream (telemetry merges, result
+//! aggregation) folds in that fixed order, which is what makes exports
+//! byte-identical across thread counts.
+
+/// Applies `f(index, item)` to every item using up to `threads` worker
+/// threads and returns the results in item order.
+///
+/// `threads <= 1` (or a single item) runs strictly serially on the
+/// caller thread. With the `parallel` feature the fan-out runs on a
+/// dedicated rayon pool of exactly `threads` threads; without it, a
+/// `std::thread::scope` pool with an atomic work index provides the
+/// same semantics, so the engine is parallel even in minimal builds.
+///
+/// `f` must be deterministic per item for campaign replays to be exact;
+/// the engine guarantees the rest (fixed fold order, no shared state).
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    #[cfg(feature = "parallel")]
+    {
+        rayon_map(items, threads, f)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        scoped_map(items, threads, f)
+    }
+}
+
+#[cfg(feature = "parallel")]
+fn rayon_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    use rayon::prelude::*;
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("rayon pool construction");
+    // par_iter preserves index order in collect regardless of which
+    // worker finishes first.
+    pool.install(|| items.par_iter().enumerate().map(|(i, t)| f(i, t)).collect())
+}
+
+#[cfg(not(feature = "parallel"))]
+fn scoped_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    let workers = threads.min(items.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock().expect("slot lock") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every index was claimed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn maps_in_item_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial: Vec<u64> = parallel_map(&items, 1, |i, &x| x * 3 + i as u64);
+        for threads in [2, 4, 8, 64] {
+            let par = parallel_map(&items, threads, |i, &x| x * 3 + i as u64);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_singleton_inputs() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map(&empty, 8, |_, &x: &u64| x).is_empty());
+        assert_eq!(parallel_map(&[5u64], 8, |i, &x| x + i as u64), vec![5]);
+    }
+
+    #[test]
+    fn every_item_is_visited_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        let calls = AtomicU64::new(0);
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, 8, |_, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(out, items);
+    }
+}

@@ -1,0 +1,122 @@
+//! Campaign determinism under parallelism: for seeded scenario grids —
+//! including fault plans — runs at 1, 2, and 8 worker threads must
+//! produce identical simulations and **byte-identical** JSONL and
+//! Prometheus exports. This is the contract that makes campaign output
+//! diffable across machines and thread counts.
+
+use perq_campaign::{run_campaign, CampaignOptions, FaultSpec, ModelSpec, PolicySpec, Scenario};
+use perq_sim::{FaultRates, SimResult, SystemModel};
+use perq_telemetry::Recorder;
+use proptest::prelude::*;
+
+fn cheap_policy(choice: usize) -> PolicySpec {
+    match choice % 4 {
+        0 => PolicySpec::Fop,
+        1 => PolicySpec::Sjs,
+        2 => PolicySpec::Ljs,
+        _ => PolicySpec::Srn,
+    }
+}
+
+/// Runs the grid at a thread count and returns the per-scenario results
+/// plus both export formats.
+fn run_at(grid: &[Scenario], threads: usize) -> (Vec<SimResult>, String, String) {
+    let recorder = Recorder::manual();
+    let outcomes = run_campaign(grid, &CampaignOptions { threads }, &recorder);
+    (
+        outcomes.into_iter().map(|o| o.result).collect(),
+        recorder.export_prometheus(),
+        recorder.export_jsonl(),
+    )
+}
+
+fn assert_thread_count_invariant(grid: &[Scenario]) {
+    let (serial, prom1, jsonl1) = run_at(grid, 1);
+    for threads in [2usize, 8] {
+        let (par, prom, jsonl) = run_at(grid, threads);
+        assert_eq!(par.len(), serial.len());
+        for (i, (a, b)) in serial.iter().zip(par.iter()).enumerate() {
+            assert!(
+                a.same_simulation(b),
+                "scenario {} ({}) diverged at {threads} threads",
+                i,
+                grid[i].name
+            );
+        }
+        assert_eq!(
+            prom, prom1,
+            "prometheus export diverged at {threads} threads"
+        );
+        assert_eq!(jsonl, jsonl1, "jsonl export diverged at {threads} threads");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn seeded_grids_with_fault_plans_are_thread_count_invariant(
+        seeds in prop::collection::vec(0u64..1000, 1..5),
+        policy_choices in prop::collection::vec(0usize..4, 1..5),
+        f in 1.0f64..2.0,
+        fault_seed in 0u64..100,
+    ) {
+        let system = SystemModel::tardis();
+        let grid: Vec<Scenario> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &seed)| {
+                let mut s = Scenario::new(
+                    format!("case-{i}"),
+                    system.clone(),
+                    f,
+                    600.0,
+                    seed,
+                    cheap_policy(policy_choices[i % policy_choices.len()]),
+                );
+                // Alternate fault injection so every grid mixes faulty
+                // and clean scenarios; traced jobs exercise the journal.
+                if i % 2 == 0 {
+                    s.faults = Some(FaultSpec::Generated {
+                        seed: fault_seed + i as u64,
+                        rates: FaultRates::aggressive(),
+                    });
+                }
+                s.trace_jobs = vec![0, 1];
+                s
+            })
+            .collect();
+        assert_thread_count_invariant(&grid);
+    }
+}
+
+/// The MPC-driven policy goes through the full controller (model
+/// training, FISTA solves, warm starts, LmaxCache) — one deterministic
+/// PERQ grid pins that whole stack to the same invariant.
+#[test]
+fn perq_grid_is_thread_count_invariant() {
+    let system = SystemModel::tardis();
+    let mut grid = vec![
+        Scenario::new(
+            "perq-a",
+            system.clone(),
+            2.0,
+            600.0,
+            17,
+            PolicySpec::perq_with_model(ModelSpec::Npb { seed: 7 }),
+        ),
+        Scenario::new(
+            "perq-b",
+            system.clone(),
+            1.5,
+            600.0,
+            18,
+            PolicySpec::perq_throughput(ModelSpec::Npb { seed: 7 }),
+        ),
+    ];
+    grid[1].faults = Some(FaultSpec::Generated {
+        seed: 3,
+        rates: FaultRates::aggressive(),
+    });
+    assert_thread_count_invariant(&grid);
+}

@@ -7,6 +7,8 @@
 //! - `perq train` — identify the node model from the NPB-like suite and
 //!   print its diagnostics.
 //! - `perq prototype` — run the TCP prototype cluster under a policy.
+//! - `perq campaign` — run a grid of scenarios on the deterministic
+//!   parallel campaign engine (`perq-campaign`).
 //! - `perq stress` — the report-collection stress test.
 //!
 //! Run `perq help` (or any subcommand with `--help`-style ignorance) for
@@ -38,6 +40,13 @@ USAGE:
     perq prototype [wp=8] [f=2.0] [policy=perq|fop|sjs|ljs|srn] [jobs=200] [intervals=600]
                    [crash=NODE@STEP] (kill worker NODE at control step STEP)
                    [metrics-out=PATH] [metrics-fmt=prom|jsonl]
+    perq campaign  [threads=1] [scenarios=FILE.json] [json=out.json]
+                   [system=mira|trinity|tardis] [policy=perq|fop|sjs|ljs|srn]
+                   [seeds=4] [hours=0.5] [f=2.0]
+                   [metrics-out=PATH] [metrics-fmt=prom|jsonl]
+                   (scenarios=FILE runs a serde-encoded grid; otherwise a
+                   fig8-style grid over seeds 0..SEEDS is generated. Exports
+                   are byte-identical at any thread count.)
     perq stress    [clients=100000] [connections=4]
     perq metrics-validate file=PATH [require=name1,name2,...]
                    (parse a Prometheus exposition and check required metrics — CI smoke)
@@ -45,6 +54,8 @@ USAGE:
 
 Examples:
     perq simulate system=trinity policy=perq f=1.8 hours=8
+    perq campaign threads=8 system=tardis policy=fop seeds=16 hours=1
+    perq campaign threads=4 scenarios=grid.json metrics-out=campaign.prom metrics-fmt=prom
     perq simulate system=tardis policy=perq faults=7 metrics-out=metrics.prom metrics-fmt=prom
     perq prototype wp=4 f=2.0 policy=srn crash=2@10
     perq metrics-validate file=metrics.prom require=perq_sim_steps_total,perq_qp_solves_total
@@ -301,6 +312,98 @@ fn cmd_prototype(map: HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_campaign(map: HashMap<String, String>) -> ExitCode {
+    use perq_campaign::{fig8_style_grid, run_campaign, CampaignOptions, PolicySpec, Scenario};
+
+    let threads: usize = get(&map, "threads", 1);
+    let scenarios: Vec<Scenario> = if let Some(path) = map.get("scenarios") {
+        let body = match std::fs::read_to_string(path) {
+            Ok(body) => body,
+            Err(e) => {
+                eprintln!("failed to read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match serde_json::from_str(&body) {
+            Ok(grid) => grid,
+            Err(e) => {
+                eprintln!("failed to parse {path} as a scenario grid: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let seeds: u64 = get(&map, "seeds", 4);
+        let hours: f64 = get(&map, "hours", 0.5);
+        let f: f64 = get(&map, "f", 2.0);
+        let policy = match map.get("policy").map(String::as_str) {
+            Some("fop") => PolicySpec::Fop,
+            Some("sjs") => PolicySpec::Sjs,
+            Some("ljs") => PolicySpec::Ljs,
+            Some("srn") => PolicySpec::Srn,
+            Some("perq") | None => PolicySpec::perq_default(),
+            Some(other) => {
+                eprintln!("unknown policy '{other}', using perq");
+                PolicySpec::perq_default()
+            }
+        };
+        let mut grid = fig8_style_grid(system(&map), hours * 3600.0, 0..seeds);
+        for s in grid.iter_mut() {
+            s.f = f;
+            s.policy = policy.clone();
+        }
+        grid
+    };
+    if scenarios.is_empty() {
+        eprintln!("scenario grid is empty");
+        return ExitCode::from(2);
+    }
+    println!(
+        "campaign: {} scenario(s) on {} thread(s)",
+        scenarios.len(),
+        threads.max(1)
+    );
+
+    let recorder = metrics_recorder(&map);
+    let start = std::time::Instant::now();
+    let outcomes = run_campaign(&scenarios, &CampaignOptions { threads }, &recorder);
+    let elapsed = start.elapsed().as_secs_f64();
+
+    println!(
+        "{:<24} {:>6} {:>10} {:>10} {:>7}",
+        "scenario", "policy", "throughput", "violations", "faults"
+    );
+    for o in &outcomes {
+        println!(
+            "{:<24} {:>6} {:>10} {:>10} {:>7}",
+            o.scenario.name,
+            o.result.policy,
+            o.result.throughput(),
+            o.result.budget_violations,
+            o.result.faults.len()
+        );
+    }
+    println!("campaign wall-clock: {elapsed:.2} s");
+    if let Err(code) = write_metrics(&map, &recorder) {
+        return code;
+    }
+    if let Some(path) = map.get("json") {
+        match serde_json::to_string_pretty(&outcomes) {
+            Ok(body) => {
+                if let Err(e) = std::fs::write(path, body) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("full outcomes written to {path}");
+            }
+            Err(e) => {
+                eprintln!("failed to serialize outcomes: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_metrics_validate(map: HashMap<String, String>) -> ExitCode {
     let Some(path) = map.get("file") else {
         eprintln!("metrics-validate needs file=PATH");
@@ -355,6 +458,7 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(map),
         "train" => cmd_train(map),
         "prototype" => cmd_prototype(map),
+        "campaign" => cmd_campaign(map),
         "stress" => cmd_stress(map),
         "metrics-validate" => cmd_metrics_validate(map),
         _ => usage(),

@@ -140,17 +140,23 @@ impl MpcController {
         };
         let group_decision = self.decide(&grouped_input)?;
 
+        let m = self.settings().horizon;
         let mut caps = vec![0.0; input.jobs.len()];
         let mut predicted = vec![0.0; input.jobs.len()];
+        let mut x = vec![0.0; input.jobs.len() * m];
         for (g, members) in groups.iter().enumerate() {
             for &i in members {
                 caps[i] = group_decision.caps_frac[g];
                 predicted[i] = group_decision.predicted_ips[g];
+                // Expand the group trajectory to every member so the
+                // result stays usable as a per-job warm start.
+                x[i * m..(i + 1) * m].copy_from_slice(&group_decision.x[g * m..(g + 1) * m]);
             }
         }
         Some(MpcDecision {
             caps_frac: caps,
             predicted_ips: predicted,
+            x,
             qp_iterations: group_decision.qp_iterations,
             converged: group_decision.converged,
         })

@@ -7,7 +7,8 @@ use std::sync::Mutex;
 pub use crate::mpc_assembly::{MpcInput, MpcJobState};
 
 /// MPC controller settings (the weights of Eq. 2/Eq. 3 and the horizon).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[serde(default)]
 pub struct MpcSettings {
     /// Prediction horizon `M` in control intervals (paper uses ~4 and
     /// reports insensitivity to the exact value).
@@ -49,6 +50,12 @@ pub struct MpcDecision {
     pub caps_frac: Vec<f64>,
     /// Predicted normalized per-node IPS per job at the first step.
     pub predicted_ips: Vec<f64>,
+    /// The full optimized cap trajectory, job-major (`x[i·M + j]` is job
+    /// `i`'s cap at horizon step `j`). Shift it one step and feed it to
+    /// [`MpcController::decide_warm`] as the next interval's warm start:
+    /// consecutive instances differ by one interval of feedback, so the
+    /// previous optimum is a far better start than holding current caps.
+    pub x: Vec<f64>,
     /// QP iterations used.
     pub qp_iterations: usize,
     /// Whether the QP converged within the iteration cap.
@@ -207,13 +214,32 @@ impl MpcController {
     /// Solves one decision instance via the structured O(jobs) path.
     /// Returns `None` when there are no jobs.
     pub fn decide(&self, input: &MpcInput<'_>) -> Option<MpcDecision> {
+        self.decide_warm(input, None)
+    }
+
+    /// Like [`MpcController::decide`], but seeded from a caller-provided
+    /// warm start — typically the previous interval's
+    /// [`MpcDecision::x`] shifted by one step. A hint of the wrong
+    /// length (the job population changed shape) falls back to the
+    /// assembled default (current caps held across the horizon); any
+    /// hint is projected into the feasible set before the first
+    /// iteration, so stale values cost iterations, never correctness.
+    pub fn decide_warm(
+        &self,
+        input: &MpcInput<'_>,
+        warm_hint: Option<&[f64]>,
+    ) -> Option<MpcDecision> {
         let _span = self.recorder.span("perq_core_decide");
-        let (qp, warm, _consts) = self.assemble_qp(input)?;
+        let (qp, assembled_warm, _consts) = self.assemble_qp(input)?;
+        let warm = match warm_hint {
+            Some(hint) if hint.len() == assembled_warm.len() => hint,
+            _ => &assembled_warm[..],
+        };
         let mut scratch = self.scratch.lock().expect("controller scratch poisoned");
         let ControllerScratch { ws, lmax } = &mut *scratch;
         let sol = self
             .solver
-            .solve_with(&qp, Some(&warm), ws, Some(lmax))
+            .solve_with(&qp, Some(warm), ws, Some(lmax))
             .expect("MPC QP is validated feasible");
         if self.recorder.enabled() {
             self.recorder.counter_inc("perq_core_decides_total");
@@ -258,6 +284,7 @@ impl MpcController {
         MpcDecision {
             caps_frac: caps,
             predicted_ips: predicted,
+            x: sol.x.clone(),
             qp_iterations: sol.iterations,
             converged: sol.converged,
         }
@@ -583,6 +610,62 @@ mod tests {
         // an nv×nv Hessian.
         let nv = input.jobs.len() * ctrl.settings().horizon;
         assert!(sqp.hessian_stored_floats() < nv * nv / 2);
+    }
+
+    #[test]
+    fn warm_hint_reaches_the_same_optimum() {
+        let m = model();
+        let ctrl = MpcController::new(
+            &m,
+            MpcSettings {
+                max_qp_iters: 200_000,
+                qp_tol: 1e-12,
+                ..MpcSettings::default()
+            },
+        );
+        let jobs: Vec<MpcJobState> = (0..4)
+            .map(|i| {
+                job_at(
+                    &ctrl,
+                    &m,
+                    5,
+                    0.4 + 0.1 * i as f64,
+                    0.9,
+                    0.5 + 0.3 * i as f64,
+                )
+            })
+            .collect();
+        let input = MpcInput {
+            jobs: &jobs,
+            system_target: 1.2,
+            budget_nodes: 12.0,
+            cap_min_frac: 90.0 / 290.0,
+            wp_nodes: 20.0,
+        };
+        let horizon = ctrl.settings().horizon;
+        let cold = ctrl.decide(&input).unwrap();
+        assert_eq!(cold.x.len(), jobs.len() * horizon);
+
+        // Shift-by-one feedback of the previous trajectory, plus a
+        // deliberately out-of-range value: the solver projects the start,
+        // so the optimum is unchanged.
+        let mut shifted = Vec::with_capacity(cold.x.len());
+        for traj in cold.x.chunks(horizon) {
+            shifted.extend_from_slice(&traj[1..]);
+            shifted.push(traj[horizon - 1]);
+        }
+        shifted[0] = 5.0;
+        let warm = ctrl.decide_warm(&input, Some(&shifted)).unwrap();
+        for (a, b) in cold.caps_frac.iter().zip(warm.caps_frac.iter()) {
+            assert!((a - b).abs() < 1e-9, "cold {a} vs warm {b}");
+        }
+
+        // A wrong-length hint (population changed shape) must fall back
+        // to the assembled default, not panic.
+        let warm2 = ctrl.decide_warm(&input, Some(&shifted[..3])).unwrap();
+        for (a, b) in cold.caps_frac.iter().zip(warm2.caps_frac.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
     }
 
     #[test]

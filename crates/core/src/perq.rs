@@ -7,7 +7,8 @@ use perq_telemetry::Recorder;
 use std::collections::HashMap;
 
 /// Configuration of the full PERQ policy.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[serde(default)]
 pub struct PerqConfig {
     /// MPC weights and horizon.
     pub mpc: MpcSettings,
@@ -55,6 +56,12 @@ pub struct PerqPolicy {
     controller: MpcController,
     target_gen: TargetGenerator,
     adapters: HashMap<u64, JobAdapter>,
+    /// Last decision's optimized cap trajectory per job (horizon steps),
+    /// shifted one step and fed back as the next decision's FISTA warm
+    /// start — consecutive MPC instances differ by one interval of
+    /// feedback, so this cuts solver iterations without changing what
+    /// the solver converges to.
+    prev_traj: HashMap<u64, Vec<f64>>,
     dither_frac: f64,
     group_threshold: usize,
     max_groups: usize,
@@ -80,6 +87,7 @@ impl PerqPolicy {
             controller,
             target_gen: TargetGenerator::new(config.improvement_ratio),
             adapters: HashMap::new(),
+            prev_traj: HashMap::new(),
             dither_frac: config.dither_frac,
             group_threshold: config.group_threshold,
             max_groups: config.max_groups,
@@ -177,6 +185,8 @@ impl PowerPolicy for PerqPolicy {
         }
         self.adapters
             .retain(|id, _| ctx.jobs.iter().any(|j| j.id == *id));
+        let adapters = &self.adapters;
+        self.prev_traj.retain(|id, _| adapters.contains_key(id));
 
         // 2. Targets.
         let targets = self.target_gen.generate(&self.model, ctx, &self.adapters);
@@ -243,14 +253,38 @@ impl PowerPolicy for PerqPolicy {
             wp_nodes: ctx.wp_nodes as f64,
         };
         let decision = if ctx.jobs.len() > self.group_threshold {
+            // The grouped path solves in group space, where last
+            // interval's per-job trajectories don't map onto the
+            // variables; it warm-starts from held caps internally.
             self.controller
                 .decide_grouped(&input, self.max_groups)
                 .expect("non-empty job list always yields a decision")
         } else {
+            // Warm start: last interval's optimized trajectory per job,
+            // advanced one step (the classic MPC shift), falling back to
+            // the current cap held across the horizon for new jobs.
+            let m = self.controller.settings().horizon;
+            let mut warm = Vec::with_capacity(ctx.jobs.len() * m);
+            for (job, state) in ctx.jobs.iter().zip(job_states.iter()) {
+                match self.prev_traj.get(&job.id) {
+                    Some(traj) if traj.len() == m => {
+                        warm.extend_from_slice(&traj[1..]);
+                        warm.push(traj[m - 1]);
+                    }
+                    _ => warm.extend(std::iter::repeat_n(state.current_cap_frac, m)),
+                }
+            }
             self.controller
-                .decide(&input)
+                .decide_warm(&input, Some(&warm))
                 .expect("non-empty job list always yields a decision")
         };
+        let m = self.controller.settings().horizon;
+        if decision.x.len() == ctx.jobs.len() * m {
+            for (i, job) in ctx.jobs.iter().enumerate() {
+                self.prev_traj
+                    .insert(job.id, decision.x[i * m..(i + 1) * m].to_vec());
+            }
+        }
         let mut caps = decision.caps_frac.clone();
 
         // 5. Identification dither: alternate a small perturbation per
@@ -303,6 +337,7 @@ impl PowerPolicy for PerqPolicy {
 
     fn job_departed(&mut self, job_id: u64) {
         self.adapters.remove(&job_id);
+        self.prev_traj.remove(&job_id);
     }
 }
 
@@ -382,6 +417,17 @@ mod tests {
             "mean degradation {}%",
             report.mean_degradation_pct
         );
+    }
+
+    #[test]
+    fn warm_started_policy_replays_bit_for_bit() {
+        // The warm-start feedback loop (prev_traj → decide_warm) must not
+        // introduce any nondeterminism: same seed, same simulation.
+        let run = || {
+            let mut p = PerqPolicy::new(PerqConfig::default());
+            run_tardis(&mut p, 1.6, 1.0, 9)
+        };
+        assert!(run().same_simulation(&run()));
     }
 
     #[test]

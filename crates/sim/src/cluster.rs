@@ -1,7 +1,7 @@
 use crate::fault::{AppliedFault, FaultKind, FaultPlan};
 use crate::job::{JobOutcome, JobRecord, JobSpec, JobTrace, TracePoint};
 use crate::policy::{JobView, PolicyContext, PowerPolicy};
-use crate::scheduler::{RunningFootprint, Scheduler};
+use crate::scheduler::{RunningFootprint, ScheduleScratch, Scheduler};
 use crate::trace::SystemModel;
 use perq_apps::{AppProfile, BASE_NODE_IPS, IDLE_WATTS, MIN_CAP_WATTS, TDP_WATTS};
 use perq_rapl::{CapLimits, PowerCapDevice, SimulatedRapl};
@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, Normal};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::Instant;
 
 /// Static configuration of one simulation run.
@@ -145,6 +145,22 @@ pub struct SimResult {
 }
 
 impl SimResult {
+    /// True when every *simulated* field of the two results matches.
+    /// `decision_times_s` is a wall-clock measurement and is ignored: it
+    /// is the one field that legitimately differs between replays of the
+    /// same seed. Campaign determinism checks compare with this.
+    pub fn same_simulation(&self, other: &SimResult) -> bool {
+        self.policy == other.policy
+            && self.f == other.f
+            && self.records == other.records
+            && self.intervals == other.intervals
+            && self.traces == other.traces
+            && self.budget_violations == other.budget_violations
+            && self.budget_violation_s == other.budget_violation_s
+            && self.faults == other.faults
+            && self.recovery_latency_s == other.recovery_latency_s
+    }
+
     /// Completed-job count — the paper's system-throughput metric.
     pub fn throughput(&self) -> usize {
         self.records
@@ -180,12 +196,34 @@ struct RunningJob {
     corrupt_power_factor: Option<f64>,
 }
 
+/// Reusable per-interval buffers. `Cluster::step` used to allocate
+/// fresh `Vec`s for views, caps, and the finished list every interval;
+/// they now live here and are cleared-and-refilled instead (same
+/// pattern as the QP `Workspace`).
+#[derive(Default)]
+struct StepScratch {
+    views: Vec<JobView>,
+    caps: Vec<f64>,
+    finished: Vec<usize>,
+    decision_times_s: Vec<f64>,
+}
+
 /// The cluster simulator. See the crate docs for the model.
 pub struct Cluster {
     config: ClusterConfig,
     apps: Vec<AppProfile>,
     scheduler: Scheduler,
     running: Vec<RunningJob>,
+    /// Scheduler footprints, mirrored in lockstep with `running` (same
+    /// indices) so the hot path never rebuilds them from a rescan.
+    footprints: Vec<RunningFootprint>,
+    /// Sum of `running[i].spec.size`, maintained on delta.
+    busy_nodes: usize,
+    sched_scratch: ScheduleScratch,
+    scratch: StepScratch,
+    /// `config.trace_jobs` as a set: the per-job trace check is O(1)
+    /// instead of a linear scan every job every interval.
+    trace_set: HashSet<u64>,
     records: Vec<JobRecord>,
     traces: HashMap<u64, JobTrace>,
     time_s: f64,
@@ -202,6 +240,10 @@ pub struct Cluster {
     crash_times: VecDeque<f64>,
     recovery_latency_s: Vec<f64>,
     recorder: Recorder,
+    /// Routes scheduling through the pre-overhaul full-rescan + sort
+    /// path, which also cross-checks the incremental mirrors each step.
+    #[cfg(any(test, feature = "rescan-oracle"))]
+    rescan_oracle: bool,
 }
 
 impl Cluster {
@@ -242,11 +284,17 @@ impl Cluster {
         } else {
             None
         };
+        let trace_set = config.trace_jobs.iter().copied().collect();
         Cluster {
             config,
             apps,
             scheduler: Scheduler::new(jobs),
             running: Vec::new(),
+            footprints: Vec::new(),
+            busy_nodes: 0,
+            sched_scratch: ScheduleScratch::default(),
+            scratch: StepScratch::default(),
+            trace_set,
             records: Vec::new(),
             traces: HashMap::new(),
             time_s: 0.0,
@@ -260,6 +308,8 @@ impl Cluster {
             crash_times: VecDeque::new(),
             recovery_latency_s: Vec::new(),
             recorder: Recorder::noop(),
+            #[cfg(any(test, feature = "rescan-oracle"))]
+            rescan_oracle: false,
         }
     }
 
@@ -286,6 +336,41 @@ impl Cluster {
         self.offline_nodes
     }
 
+    /// Schedules via the pre-overhaul full-rescan + sort path instead of
+    /// the incremental mirrors + heap. Kept as a regression oracle: the
+    /// rescan path additionally asserts the mirrors agree with a fresh
+    /// scan every step.
+    #[cfg(any(test, feature = "rescan-oracle"))]
+    pub fn set_rescan_oracle(&mut self, on: bool) {
+        self.rescan_oracle = on;
+    }
+
+    /// Starts a job, updating the incremental mirrors.
+    fn push_running(&mut self, job: RunningJob) {
+        self.busy_nodes += job.spec.size;
+        self.footprints.push(RunningFootprint {
+            size: job.spec.size,
+            estimated_end_s: job.start_s + job.spec.runtime_estimate_s,
+        });
+        self.running.push(job);
+    }
+
+    /// Removes a job preserving order (fault paths), updating the mirrors.
+    fn remove_running(&mut self, idx: usize) -> RunningJob {
+        let job = self.running.remove(idx);
+        self.footprints.remove(idx);
+        self.busy_nodes -= job.spec.size;
+        job
+    }
+
+    /// Removes a job by swap (hot completion path), updating the mirrors.
+    fn swap_remove_running(&mut self, idx: usize) -> RunningJob {
+        let job = self.running.swap_remove(idx);
+        self.footprints.swap_remove(idx);
+        self.busy_nodes -= job.spec.size;
+        job
+    }
+
     /// The configuration in force.
     pub fn config(&self) -> &ClusterConfig {
         &self.config
@@ -294,13 +379,12 @@ impl Cluster {
     /// Runs the simulation to the configured duration under a policy.
     pub fn run(&mut self, policy: &mut dyn PowerPolicy) -> SimResult {
         let mut intervals = Vec::new();
-        let mut decision_times = Vec::new();
         let mut violations = 0usize;
         let mut violation_s = 0.0;
         policy.set_recorder(self.recorder.clone());
 
         while self.time_s < self.config.duration_s {
-            let log = self.step(policy, &mut decision_times);
+            let log = self.step(policy);
             if log.violation {
                 violations += 1;
                 violation_s += self.config.interval_s;
@@ -325,6 +409,8 @@ impl Cluster {
                 outcome: JobOutcome::Unfinished,
             });
         }
+        self.footprints.clear();
+        self.busy_nodes = 0;
         self.records.sort_by_key(|r| r.spec.id);
 
         SimResult {
@@ -337,12 +423,12 @@ impl Cluster {
             budget_violation_s: violation_s,
             faults: std::mem::take(&mut self.fault_log),
             recovery_latency_s: std::mem::take(&mut self.recovery_latency_s),
-            decision_times_s: decision_times,
+            decision_times_s: std::mem::take(&mut self.scratch.decision_times_s),
         }
     }
 
     /// Executes one control interval; returns its log entry.
-    fn step(&mut self, policy: &mut dyn PowerPolicy, decision_times: &mut Vec<f64>) -> IntervalLog {
+    fn step(&mut self, policy: &mut dyn PowerPolicy) -> IntervalLog {
         let dt = self.config.interval_s;
         // Telemetry timestamps follow simulated time, never wall time.
         self.recorder.set_time_s(self.time_s);
@@ -351,23 +437,15 @@ impl Cluster {
         self.apply_due_faults(policy);
         let live_nodes = self.config.nodes - self.offline_nodes;
 
-        // 1. Scheduling (onto live nodes only).
-        let footprints: Vec<RunningFootprint> = self
-            .running
-            .iter()
-            .map(|j| RunningFootprint {
-                size: j.spec.size,
-                estimated_end_s: j.start_s + j.spec.runtime_estimate_s,
-            })
-            .collect();
-        let busy: usize = self.running.iter().map(|j| j.spec.size).sum();
-        let free = live_nodes.saturating_sub(busy);
-        let started = self.scheduler.schedule(self.time_s, free, &footprints);
+        // 1. Scheduling (onto live nodes only). `footprints` and
+        //    `busy_nodes` mirror `running` on delta, so no rescan here.
+        let free = live_nodes.saturating_sub(self.busy_nodes);
+        let started = self.schedule_started(free);
         for spec in started {
             let app = self.apps[spec.app_index].clone();
             let limits = CapLimits::new(self.config.cap_min_w, self.config.tdp_w);
             let rapl = SimulatedRapl::new(limits, 0.005, 0.01, spec.id ^ 0xABCD);
-            self.running.push(RunningJob {
+            self.push_running(RunningJob {
                 cap_w: self.config.tdp_w,
                 app,
                 start_s: self.time_s,
@@ -386,13 +464,12 @@ impl Cluster {
         // 2. Policy decision. Offline nodes draw nothing and charge
         //    nothing, so their share of the budget flows to the survivors
         //    (the paper's reclamation step, applied to capacity loss).
-        let busy: usize = self.running.iter().map(|j| j.spec.size).sum();
+        let busy = self.busy_nodes;
         let idle = live_nodes.saturating_sub(busy);
         let busy_budget = self.config.budget_w() - idle as f64 * self.config.idle_w;
-        let views: Vec<JobView> = self
-            .running
-            .iter()
-            .map(|j| JobView {
+        self.scratch.views.clear();
+        for j in &self.running {
+            self.scratch.views.push(JobView {
                 id: j.spec.id,
                 size: j.spec.size,
                 elapsed_s: self.time_s - j.start_s,
@@ -403,8 +480,9 @@ impl Cluster {
                     * j.spec.size as f64
                     / 3600.0,
                 is_new: j.is_new,
-            })
-            .collect();
+            });
+        }
+        let running_jobs = self.scratch.views.len();
         let ctx = PolicyContext {
             time_s: self.time_s,
             interval_s: dt,
@@ -413,11 +491,13 @@ impl Cluster {
             cap_max_w: self.config.tdp_w,
             total_nodes: self.config.nodes,
             wp_nodes: self.config.wp_nodes,
-            jobs: &views,
+            jobs: &self.scratch.views,
         };
         let decision_start = Instant::now();
         let assignments = policy.assign(&ctx);
-        decision_times.push(decision_start.elapsed().as_secs_f64());
+        self.scratch
+            .decision_times_s
+            .push(decision_start.elapsed().as_secs_f64());
         assert_eq!(
             assignments.len(),
             self.running.len(),
@@ -434,10 +514,13 @@ impl Cluster {
         //    jobs that do not draw them is using the over-provisioning
         //    headroom exactly as intended. Consumption above the budget is
         //    recorded as a violation after the interval (step 4).
-        let caps: Vec<f64> = assignments
-            .iter()
-            .map(|a| a.cap_w.clamp(self.config.cap_min_w, self.config.tdp_w))
-            .collect();
+        self.scratch.caps.clear();
+        self.scratch.caps.extend(
+            assignments
+                .iter()
+                .map(|a| a.cap_w.clamp(self.config.cap_min_w, self.config.tdp_w)),
+        );
+        let caps = &self.scratch.caps;
         let committed_after: f64 = caps
             .iter()
             .zip(self.running.iter())
@@ -446,7 +529,6 @@ impl Cluster {
 
         // 4. Advance jobs.
         let mut total_power = idle as f64 * self.config.idle_w;
-        let mut finished: Vec<usize> = Vec::new();
         for (i, job) in self.running.iter_mut().enumerate() {
             job.cap_w = caps[i];
             job.rapl.request_cap(caps[i]);
@@ -489,7 +571,7 @@ impl Cluster {
             };
             job.is_new = false;
 
-            if self.config.trace_all || self.config.trace_jobs.contains(&job.spec.id) {
+            if self.config.trace_all || self.trace_set.contains(&job.spec.id) {
                 self.traces
                     .entry(job.spec.id)
                     .or_default()
@@ -511,7 +593,7 @@ impl Cluster {
                 } else {
                     self.time_s + dt
                 };
-                finished.push(i);
+                self.scratch.finished.push(i);
                 self.records.push(JobRecord {
                     app_name: job.app.name.clone(),
                     spec: job.spec.clone(),
@@ -521,7 +603,7 @@ impl Cluster {
                     outcome: JobOutcome::Completed,
                 });
             } else if self.config.crash_prob > 0.0 && self.rng.gen_bool(self.config.crash_prob) {
-                finished.push(i);
+                self.scratch.finished.push(i);
                 self.records.push(JobRecord {
                     app_name: job.app.name.clone(),
                     spec: job.spec.clone(),
@@ -532,8 +614,10 @@ impl Cluster {
                 });
             }
         }
-        for &i in finished.iter().rev() {
-            let job = self.running.swap_remove(i);
+        // `finished` is ascending; popping removes back-to-front so the
+        // swap never disturbs a still-pending index.
+        while let Some(i) = self.scratch.finished.pop() {
+            let job = self.swap_remove_running(i);
             policy.job_departed(job.spec.id);
         }
 
@@ -546,7 +630,7 @@ impl Cluster {
         let log = IntervalLog {
             t_s: self.time_s,
             busy_nodes: busy,
-            running_jobs: views.len(),
+            running_jobs,
             total_power_w: total_power,
             committed_power_w: committed_after + idle as f64 * self.config.idle_w,
             violation,
@@ -569,6 +653,40 @@ impl Cluster {
         self.time_s += dt;
         self.step_idx += 1;
         log
+    }
+
+    /// Picks the jobs to start this interval: the heap-based scheduler
+    /// over the incremental mirrors, or the rescan oracle when enabled.
+    fn schedule_started(&mut self, free: usize) -> Vec<JobSpec> {
+        #[cfg(any(test, feature = "rescan-oracle"))]
+        if self.rescan_oracle {
+            return self.schedule_via_rescan(free);
+        }
+        self.scheduler.schedule_with_scratch(
+            self.time_s,
+            free,
+            &self.footprints,
+            &mut self.sched_scratch,
+        )
+    }
+
+    /// Pre-overhaul reference path: rebuild the footprints with a full
+    /// rescan of `running` and reserve via the sorting scheduler,
+    /// cross-checking the incremental mirrors on the way.
+    #[cfg(any(test, feature = "rescan-oracle"))]
+    fn schedule_via_rescan(&mut self, free: usize) -> Vec<JobSpec> {
+        let footprints: Vec<RunningFootprint> = self
+            .running
+            .iter()
+            .map(|j| RunningFootprint {
+                size: j.spec.size,
+                estimated_end_s: j.start_s + j.spec.runtime_estimate_s,
+            })
+            .collect();
+        let busy: usize = self.running.iter().map(|j| j.spec.size).sum();
+        assert_eq!(busy, self.busy_nodes, "busy-node mirror out of sync");
+        assert_eq!(footprints, self.footprints, "footprint mirror out of sync");
+        self.scheduler.schedule(self.time_s, free, &footprints)
     }
 
     /// Applies every fault-plan event due at the current step. Targets
@@ -639,7 +757,7 @@ impl Cluster {
                     if self.running.is_empty() {
                         continue;
                     }
-                    let job = self.running.remove(nth % self.running.len());
+                    let job = self.remove_running(nth % self.running.len());
                     job_id = Some(job.spec.id);
                     policy.job_departed(job.spec.id);
                     self.records.push(JobRecord {
@@ -688,8 +806,7 @@ impl Cluster {
     /// capacity allows — graceful degradation instead of a wedge.
     fn displace_jobs_over_capacity(&mut self, policy: &mut dyn PowerPolicy) {
         let live = self.config.nodes - self.offline_nodes;
-        let mut busy: usize = self.running.iter().map(|j| j.spec.size).sum();
-        while busy > live && !self.running.is_empty() {
+        while self.busy_nodes > live && !self.running.is_empty() {
             let (idx, _) = self
                 .running
                 .iter()
@@ -701,8 +818,7 @@ impl Cluster {
                         .then(ia.cmp(ib))
                 })
                 .expect("non-empty running list");
-            let job = self.running.remove(idx);
-            busy -= job.spec.size;
+            let job = self.remove_running(idx);
             policy.job_departed(job.spec.id);
             self.scheduler.requeue_front(job.spec);
         }
@@ -1028,6 +1144,50 @@ mod tests {
         // budget_violation_s is the violation count expressed in seconds.
         let expected_s = a.budget_violations as f64 * config.interval_s;
         assert!((a.budget_violation_s - expected_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_hot_path_matches_rescan_oracle() {
+        // The oracle is the pre-overhaul loop: footprints rebuilt by a
+        // full rescan each interval and the reservation computed by a
+        // stable sort. On a recorded scenario with an aggressive fault
+        // plan (crashes, displacement, kills — every mirror mutation
+        // path), the incremental heap path must reproduce the exact
+        // IntervalLog sequence, records, and fault log. The oracle run
+        // additionally cross-checks the mirrors against a fresh scan at
+        // every step.
+        let config = small_config(2.0, 1800.0);
+        let steps = (config.duration_s / config.interval_s) as usize;
+        let run = |oracle: bool| {
+            let plan = FaultPlan::generate(13, steps, &FaultRates::aggressive());
+            let mut c =
+                Cluster::new(small_config(2.0, 1800.0), small_trace(40), 99).with_fault_plan(plan);
+            c.set_rescan_oracle(oracle);
+            c.run(&mut FairPolicy::new())
+        };
+        let fast = run(false);
+        let slow = run(true);
+        assert!(!slow.faults.is_empty(), "scenario must exercise faults");
+        assert_eq!(fast.intervals, slow.intervals);
+        assert_eq!(fast.records, slow.records);
+        assert_eq!(fast.faults, slow.faults);
+        assert_eq!(fast.recovery_latency_s, slow.recovery_latency_s);
+        assert!(fast.same_simulation(&slow));
+    }
+
+    #[test]
+    fn same_simulation_ignores_wall_clock_only() {
+        let run = || {
+            let mut c = Cluster::new(small_config(1.5, 900.0), small_trace(30), 7);
+            c.run(&mut FairPolicy::new())
+        };
+        let a = run();
+        let mut b = run();
+        assert!(a.same_simulation(&b));
+        b.decision_times_s.clear();
+        assert!(a.same_simulation(&b), "wall-clock field must not matter");
+        b.budget_violations += 1;
+        assert!(!a.same_simulation(&b));
     }
 
     #[test]

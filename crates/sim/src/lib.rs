@@ -56,5 +56,5 @@ pub use metrics::{
     compare_fairness, fault_summary, runtime_cdf, throughput, FairnessReport, FaultSummary,
 };
 pub use policy::{FairPolicy, JobView, PolicyContext, PowerAssignment, PowerPolicy};
-pub use scheduler::{RunningFootprint, Scheduler};
+pub use scheduler::{RunningFootprint, ScheduleScratch, Scheduler};
 pub use trace::{SystemModel, TraceGenerator};

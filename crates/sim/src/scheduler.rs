@@ -1,5 +1,6 @@
 use crate::job::JobSpec;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// FCFS scheduler with EASY backfilling.
 ///
@@ -20,12 +21,44 @@ pub struct Scheduler {
 }
 
 /// A running job's footprint as the scheduler sees it.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunningFootprint {
     /// Nodes occupied.
     pub size: usize,
     /// Estimated completion time (absolute simulation seconds).
     pub estimated_end_s: f64,
+}
+
+/// Reusable buffer for [`Scheduler::schedule_with_scratch`], so the
+/// reservation heap is built in place each interval instead of
+/// allocating a fresh `Vec` (same pattern as the QP `Workspace`).
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleScratch {
+    ends: Vec<Reverse<EndKey>>,
+}
+
+/// Heap key for completion events: orders by time, then by position in
+/// the `running ⧺ started` chain, reproducing exactly the order a
+/// *stable* sort on time alone would produce (ties keep chain order).
+/// `ord` is the total-order bit pattern of the time; `raw` carries the
+/// original `f64` bits so the time can be read back after a pop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EndKey {
+    ord: u64,
+    chain_idx: usize,
+    raw: u64,
+    size: usize,
+}
+
+/// Monotone map from finite `f64` to `u64`: `a < b ⇔ ord_bits(a) <
+/// ord_bits(b)`, matching the `partial_cmp` sort the oracle path uses.
+fn ord_bits(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
 }
 
 impl Scheduler {
@@ -62,18 +95,7 @@ impl Scheduler {
         mut free_nodes: usize,
         running: &[RunningFootprint],
     ) -> Vec<JobSpec> {
-        let mut started = Vec::new();
-
-        // Start the head (and successive heads) while they fit: plain FCFS.
-        while let Some(head) = self.queue.front() {
-            if head.size <= free_nodes {
-                let job = self.queue.pop_front().expect("non-empty");
-                free_nodes -= job.size;
-                started.push(job);
-            } else {
-                break;
-            }
-        }
+        let mut started = self.start_fcfs(&mut free_nodes);
         let Some(head) = self.queue.front() else {
             return started;
         };
@@ -95,22 +117,122 @@ impl Scheduler {
             .collect();
         ends.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
 
+        let head_size = head.size;
         let mut available = free_nodes;
         let mut shadow_time = f64::INFINITY;
         let mut extra_at_shadow = 0usize;
         for (end, size) in ends {
             available += size;
-            if available >= head.size {
+            if available >= head_size {
                 shadow_time = end;
-                extra_at_shadow = available - head.size;
+                extra_at_shadow = available - head_size;
                 break;
             }
         }
 
-        // Backfill pass: any queued job (beyond the head) that fits on the
-        // free nodes may start if it cannot delay the reservation.
+        self.backfill(
+            now_s,
+            free_nodes,
+            shadow_time,
+            extra_at_shadow,
+            &mut started,
+        );
+        started
+    }
+
+    /// [`Scheduler::schedule`] with a partial-selection heap instead of a
+    /// full sort over every running job. Only as many completion events
+    /// as the reservation needs are popped — usually one or two out of
+    /// hundreds — and the heap's backing `Vec` lives in `scratch` so the
+    /// per-interval hot path allocates nothing. Bit-identical to the
+    /// sorting path, including stable tie order (see [`EndKey`]).
+    pub fn schedule_with_scratch(
+        &mut self,
+        now_s: f64,
+        mut free_nodes: usize,
+        running: &[RunningFootprint],
+        scratch: &mut ScheduleScratch,
+    ) -> Vec<JobSpec> {
+        let mut started = self.start_fcfs(&mut free_nodes);
+        let Some(head) = self.queue.front() else {
+            return started;
+        };
+        if free_nodes == 0 {
+            return started;
+        }
+
+        let mut buf = std::mem::take(&mut scratch.ends);
+        buf.clear();
+        buf.extend(
+            running
+                .iter()
+                .map(|r| (r.estimated_end_s, r.size))
+                .chain(
+                    started
+                        .iter()
+                        .map(|j| (now_s + j.runtime_estimate_s, j.size)),
+                )
+                .enumerate()
+                .map(|(chain_idx, (end, size))| {
+                    Reverse(EndKey {
+                        ord: ord_bits(end),
+                        chain_idx,
+                        raw: end.to_bits(),
+                        size,
+                    })
+                }),
+        );
+        let mut heap = BinaryHeap::from(buf);
+
         let head_size = head.size;
-        let _ = head_size;
+        let mut available = free_nodes;
+        let mut shadow_time = f64::INFINITY;
+        let mut extra_at_shadow = 0usize;
+        while let Some(Reverse(key)) = heap.pop() {
+            available += key.size;
+            if available >= head_size {
+                shadow_time = f64::from_bits(key.raw);
+                extra_at_shadow = available - head_size;
+                break;
+            }
+        }
+        scratch.ends = heap.into_vec();
+
+        self.backfill(
+            now_s,
+            free_nodes,
+            shadow_time,
+            extra_at_shadow,
+            &mut started,
+        );
+        started
+    }
+
+    /// FCFS pass: starts the head (and successive heads) while they fit.
+    fn start_fcfs(&mut self, free_nodes: &mut usize) -> Vec<JobSpec> {
+        let mut started = Vec::new();
+        while let Some(head) = self.queue.front() {
+            if head.size <= *free_nodes {
+                let job = self.queue.pop_front().expect("non-empty");
+                *free_nodes -= job.size;
+                started.push(job);
+            } else {
+                break;
+            }
+        }
+        started
+    }
+
+    /// Backfill pass: any queued job (beyond the head) that fits on the
+    /// free nodes may start if it cannot delay the head's reservation.
+    fn backfill(
+        &mut self,
+        now_s: f64,
+        mut free_nodes: usize,
+        shadow_time: f64,
+        mut extra_at_shadow: usize,
+        started: &mut Vec<JobSpec>,
+    ) {
         let mut idx = 1; // skip the reserved head
         while idx < self.queue.len() && free_nodes > 0 {
             let candidate = &self.queue[idx];
@@ -129,7 +251,6 @@ impl Scheduler {
                 idx += 1;
             }
         }
-        started
     }
 }
 
@@ -247,6 +368,59 @@ mod tests {
         let mut s = Scheduler::new(vec![job(0, 20, 100.0), job(1, 4, 65.0)]);
         let started = s.schedule(0.0, 4, &running);
         assert!(started.is_empty());
+    }
+
+    #[test]
+    fn ord_bits_matches_float_order() {
+        // −0.0 is excluded: the total order ranks it below +0.0 while
+        // partial_cmp calls them equal — irrelevant for completion times,
+        // which are nonnegative sums.
+        let xs = [0.0, 1e-300, 0.5, 1.0, 50.0, 1e12, f64::INFINITY, -1.0];
+        for &a in &xs {
+            for &b in &xs {
+                assert_eq!(
+                    ord_bits(a).cmp(&ord_bits(b)),
+                    a.partial_cmp(&b).unwrap(),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heap_path_matches_sort_path_including_ties() {
+        // Deliberate ties in estimated completion times: the stable sort
+        // keeps chain order, and the heap keys must reproduce it so both
+        // paths compute the same shadow time and spare pool.
+        let running = [
+            RunningFootprint {
+                size: 8,
+                estimated_end_s: 50.0,
+            },
+            RunningFootprint {
+                size: 4,
+                estimated_end_s: 50.0,
+            },
+            RunningFootprint {
+                size: 2,
+                estimated_end_s: 30.0,
+            },
+        ];
+        let queues: Vec<Vec<JobSpec>> = vec![
+            vec![job(0, 12, 100.0), job(1, 8, 100.0), job(2, 2, 30.0)],
+            vec![job(0, 13, 100.0), job(1, 4, 45.0), job(2, 4, 60.0)],
+            vec![job(0, 14, 100.0), job(1, 3, 100.0), job(2, 3, 100.0)],
+            vec![job(0, 20, 50.0), job(1, 4, 50.0)],
+        ];
+        let mut scratch = ScheduleScratch::default();
+        for (free, q) in [(8usize, 0usize), (8, 1), (8, 2), (4, 3), (0, 0), (2, 2)] {
+            let mut a = Scheduler::new(queues[q].clone());
+            let mut b = Scheduler::new(queues[q].clone());
+            let sorted = a.schedule(10.0, free, &running);
+            let heaped = b.schedule_with_scratch(10.0, free, &running, &mut scratch);
+            assert_eq!(sorted, heaped, "free={free} queue={q}");
+            assert_eq!(a.pending(), b.pending());
+        }
     }
 
     #[test]

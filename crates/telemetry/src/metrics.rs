@@ -259,6 +259,28 @@ impl Registry {
         g.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Merges another registry into this one: counters add, histograms
+    /// merge bucket-wise (see [`Histogram::merge`]), and gauges take the
+    /// other registry's value (last-write-wins in merge order). Merging
+    /// registries in a fixed order therefore yields a deterministic
+    /// result regardless of how their contents were produced.
+    pub(crate) fn merge_from(&self, other: &Registry) {
+        if std::ptr::eq(self, other) {
+            return;
+        }
+        let theirs = other.inner.lock().unwrap();
+        let mut ours = self.inner.lock().unwrap();
+        for (&name, &v) in &theirs.counters {
+            *ours.counters.entry(name).or_insert(0) += v;
+        }
+        for (&name, &v) in &theirs.gauges {
+            ours.gauges.insert(name, v);
+        }
+        for (&name, h) in &theirs.histograms {
+            ours.histograms.entry(name).or_default().merge(h);
+        }
+    }
+
     pub(crate) fn snapshot(&self) -> Vec<MetricSnapshot> {
         let g = self.inner.lock().unwrap();
         let mut out = Vec::with_capacity(g.counters.len() + g.gauges.len() + g.histograms.len());
@@ -361,6 +383,40 @@ mod tests {
         assert_eq!(a.min(), all.min());
         assert_eq!(a.max(), all.max());
         assert!((a.sum() - all.sum()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registry_merge_is_deterministic_in_merge_order() {
+        let mk = |c: u64, g: f64, obs: &[f64]| {
+            let r = Registry::default();
+            r.counter_add("c_total", c);
+            r.gauge_set("g", g);
+            for &v in obs {
+                r.observe("h", v);
+            }
+            r
+        };
+        let a = mk(2, 1.0, &[0.5, 4.0]);
+        let b = mk(3, 7.5, &[2.0]);
+        a.merge_from(&b);
+        let snap = a.snapshot();
+        assert_eq!(snap[0].kind, MetricKind::Counter(5));
+        assert_eq!(
+            snap[1].kind,
+            MetricKind::Gauge(7.5),
+            "gauge: last write wins"
+        );
+        match &snap[2].kind {
+            MetricKind::Histogram(h) => {
+                assert_eq!(h.count, 3);
+                assert_eq!(h.min, 0.5);
+                assert_eq!(h.max, 4.0);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+        // Self-merge is a no-op, not a deadlock or a double-count.
+        a.merge_from(&a);
+        assert_eq!(a.counter_value("c_total"), 5);
     }
 
     #[test]

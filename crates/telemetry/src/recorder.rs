@@ -143,6 +143,31 @@ impl Recorder {
         )
     }
 
+    /// Merges another recorder's state into this one: counters add,
+    /// histograms merge bucket-wise, gauges take the other recorder's
+    /// value (last-write-wins in merge order), journal events append in
+    /// the other recorder's arrival order with their original
+    /// timestamps, and the clock ratchets to the later of the two.
+    ///
+    /// The merge is deterministic in merge order: folding per-worker
+    /// recorders into one in a *fixed* order (the campaign engine uses
+    /// scenario index order) yields byte-identical exports regardless of
+    /// thread count or completion order. No-op when either side is a
+    /// no-op recorder or both handles share the same state.
+    pub fn merge_from(&self, other: &Recorder) {
+        let (Some(ours), Some(theirs)) = (&self.0, &other.0) else {
+            return;
+        };
+        if Arc::ptr_eq(ours, theirs) {
+            return;
+        }
+        ours.registry.merge_from(&theirs.registry);
+        for event in theirs.journal.snapshot() {
+            ours.journal.push(event);
+        }
+        ours.clock.advance_to_ns(theirs.clock.now_ns());
+    }
+
     /// Snapshot of every metric, sorted by name.
     pub fn snapshot(&self) -> Vec<MetricSnapshot> {
         self.0
@@ -254,6 +279,41 @@ mod tests {
             }
             other => panic!("unexpected kind {other:?}"),
         }
+    }
+
+    #[test]
+    fn merge_folds_metrics_journal_and_clock() {
+        let worker = |t: f64, c: u64| {
+            let r = Recorder::manual();
+            r.set_time_s(t);
+            r.counter_add("perq_test_steps_total", c);
+            r.gauge_set("perq_test_power_w", t * 100.0);
+            r.observe("perq_test_latency", t);
+            r.event("perq_test_done", &[("n", FieldValue::U64(c))]);
+            r
+        };
+        let merged = Recorder::manual();
+        merged.merge_from(&worker(1.0, 2));
+        merged.merge_from(&worker(3.0, 5));
+        assert_eq!(merged.counter_value("perq_test_steps_total"), 7);
+        let evs = merged.journal_events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].t_ns, 1_000_000_000);
+        assert_eq!(evs[1].t_ns, 3_000_000_000);
+        assert_eq!(merged.now_ns(), 3_000_000_000, "clock ratchets to max");
+
+        // Merging in a fixed order is deterministic byte-for-byte.
+        let again = Recorder::manual();
+        again.merge_from(&worker(1.0, 2));
+        again.merge_from(&worker(3.0, 5));
+        assert_eq!(merged.export_prometheus(), again.export_prometheus());
+        assert_eq!(merged.export_jsonl(), again.export_jsonl());
+
+        // No-op endpoints and self-merges change nothing.
+        merged.merge_from(&Recorder::noop());
+        Recorder::noop().merge_from(&merged);
+        merged.merge_from(&merged.clone());
+        assert_eq!(merged.counter_value("perq_test_steps_total"), 7);
     }
 
     #[test]
