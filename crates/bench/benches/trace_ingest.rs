@@ -1,0 +1,144 @@
+//! SWF ingestion throughput: parse, write, round-trip, and the
+//! transform pipeline on synthetic logs of increasing size. The parser
+//! is a per-line streaming pass, so ingest should scale linearly in
+//! records and comfortably outrun the simulator it feeds (a 50k-job
+//! log parses in milliseconds; simulating it takes minutes).
+//!
+//! Two modes:
+//!
+//! - Default (criterion): `cargo bench --bench trace_ingest`.
+//! - Snapshot: `cargo bench --bench trace_ingest -- --snapshot`
+//!   hand-times each stage per log size and writes
+//!   `BENCH_trace_ingest.json` at the repo root (the committed
+//!   artifact).
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use perq_trace::{parse_swf, write_swf, SwfHeader, SwfRecord, SwfTrace};
+
+const RECORD_COUNTS: [usize; 3] = [1_000, 10_000, 50_000];
+
+/// Deterministic pseudo-random log (LCG — identical across runs and
+/// harnesses), shaped like an archive trace: bursty arrivals, mixed
+/// sizes, a sprinkle of `-1` unavailable fields.
+fn synthetic_trace(n: usize) -> SwfTrace {
+    let mut state = 0x7ace_0001_u64.wrapping_add(n as u64);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut header = SwfHeader::default();
+    header.set("Version", "2.2");
+    header.set("Computer", "synthetic ingest benchmark");
+    header.set("MaxNodes", "1024");
+    let mut submit = 0.0;
+    let records = (1..=n)
+        .map(|id| {
+            submit += 30.0 * next();
+            let run = (60.0 + 7200.0 * next()).round();
+            let procs = 1 + (next() * 64.0) as i64;
+            let mut r = SwfRecord::unavailable();
+            r.job_id = id as i64;
+            r.submit_s = submit;
+            r.wait_s = (600.0 * next()).round();
+            r.run_s = run;
+            r.alloc_procs = procs;
+            r.req_procs = procs;
+            r.req_time_s = if next() < 0.1 { -1.0 } else { run * 1.5 };
+            r.status = 1;
+            r.user = 1 + (next() * 40.0) as i64;
+            r
+        })
+        .collect();
+    SwfTrace { header, records }
+}
+
+fn transformed(trace: &SwfTrace) -> SwfTrace {
+    let mut t = trace.clone();
+    t.slice_window(0.0, f64::MAX / 4.0);
+    t.scale_arrivals(2.0);
+    t.rescale_nodes(128);
+    t.clamp_runtime(120.0, 3600.0);
+    t
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_ingest");
+    for &n in &RECORD_COUNTS {
+        let trace = synthetic_trace(n);
+        let body = write_swf(&trace);
+        group.bench_with_input(BenchmarkId::new("parse", n), &body, |b, body| {
+            b.iter(|| parse_swf(body).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("write", n), &trace, |b, trace| {
+            b.iter(|| write_swf(trace))
+        });
+        group.bench_with_input(BenchmarkId::new("transform", n), &trace, |b, trace| {
+            b.iter(|| transformed(trace))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    // Warm up once, then take the fastest of `reps` timed runs.
+    f();
+    (0..reps)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn snapshot() {
+    let mut rows = Vec::new();
+    for &n in &RECORD_COUNTS {
+        let trace = synthetic_trace(n);
+        let body = write_swf(&trace);
+        let reps = if n >= 50_000 { 5 } else { 9 };
+        let parse_ms = time_ms(reps, || {
+            parse_swf(&body).unwrap();
+        });
+        let write_ms = time_ms(reps, || {
+            write_swf(&trace);
+        });
+        let transform_ms = time_ms(reps, || {
+            transformed(&trace);
+        });
+        let mb = body.len() as f64 / 1e6;
+        println!(
+            "records={n:6} ({mb:5.2} MB): parse {parse_ms:7.3} ms, write {write_ms:7.3} ms, \
+             transform {transform_ms:7.3} ms ({:.0} records/ms parse)",
+            n as f64 / parse_ms
+        );
+        rows.push(serde_json::json!({
+            "records": n,
+            "bytes": body.len(),
+            "parse_ms": parse_ms,
+            "write_ms": write_ms,
+            "transform_ms": transform_ms,
+        }));
+    }
+    let doc = serde_json::json!({
+        "bench": "trace_ingest",
+        "description": "SWF parse/write/transform throughput on synthetic archive-shaped logs",
+        "rows": rows,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace_ingest.json");
+    std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap()).unwrap();
+    println!("wrote {path}");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--snapshot") {
+        snapshot();
+        return;
+    }
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

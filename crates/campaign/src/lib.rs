@@ -6,7 +6,8 @@
 //! output **byte-identical to the serial run**:
 //!
 //! - Each [`Scenario`] is fully specified by data (system, seed, policy
-//!   spec, fault spec), so a worker needs no shared mutable state.
+//!   spec, fault spec, workload spec — synthetic generator or SWF trace
+//!   file), so a worker needs no shared mutable state.
 //! - Every clock involved is simulated; nothing reads wall time except
 //!   the per-decision latency samples, which are excluded from
 //!   determinism comparisons ([`perq_sim::SimResult::same_simulation`]).
@@ -25,12 +26,14 @@ use perq_core::{
     baselines, train_node_model, train_node_model_with, NodeModel, PerqConfig, PerqPolicy,
 };
 use perq_sim::{
-    Cluster, ClusterConfig, FairPolicy, FaultPlan, FaultRates, PowerPolicy, SimResult, SystemModel,
-    TraceGenerator,
+    Cluster, ClusterConfig, FairPolicy, FaultPlan, FaultRates, JobSpec, PowerPolicy, SimResult,
+    SwfImportSummary, SystemModel, TraceGenerator, TraceSource,
 };
 use perq_telemetry::{FieldValue, Recorder};
+use perq_trace::{parse_swf_report, ParseMode, SwfTrace};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// Which node model a PERQ scenario trains (cached across the campaign:
 /// scenarios sharing a spec share one training run).
@@ -158,6 +161,76 @@ fn model_key(spec: &ModelSpec) -> String {
     format!("{spec:?}")
 }
 
+/// A campaign could not run a scenario — in practice, a workload trace
+/// file that does not exist, does not parse, or yields no jobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignError {
+    /// Scenario the failure belongs to.
+    pub scenario: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario '{}': {}", self.scenario, self.message)
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// Deterministic replay options for an SWF workload. Transforms apply
+/// in a fixed order — window slice (in *logged* seconds), arrival
+/// scaling, node rescaling onto the scenario system's `N_WP`, runtime
+/// clamp — so a spec fully determines the replayed jobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwfReplayOptions {
+    /// Arrival-rate scaling factor (the paper's knob; 1.0 = as logged).
+    pub arrival_scale: f64,
+    /// Optional submit-time window `[start, end)`, sliced before any
+    /// other transform.
+    pub window_s: Option<(f64, f64)>,
+    /// Rescale the log's machine onto the scenario system's `wp_nodes`.
+    pub rescale_to_wp: bool,
+    /// Optional runtime clamp `[min, max]`, seconds.
+    pub clamp_runtime_s: Option<(f64, f64)>,
+    /// Power-synthesis seed; `None` uses the scenario seed.
+    pub synth_seed: Option<u64>,
+    /// Parse leniently (skip malformed lines) instead of failing on the
+    /// first one. Lenient is the default: archive logs carry warts.
+    pub lenient: bool,
+}
+
+impl Default for SwfReplayOptions {
+    fn default() -> Self {
+        SwfReplayOptions {
+            arrival_scale: 1.0,
+            window_s: None,
+            rescale_to_wp: true,
+            clamp_runtime_s: None,
+            synth_seed: None,
+            lenient: true,
+        }
+    }
+}
+
+/// Where a scenario's jobs come from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum WorkloadSpec {
+    /// The seeded synthetic saturating trace calibrated to the
+    /// scenario's [`SystemModel`] (the default, and the pre-SWF
+    /// behaviour).
+    #[default]
+    Synthetic,
+    /// An SWF log replayed through `perq-trace` → [`TraceSource`].
+    Swf {
+        /// Path to the SWF file, resolved when the scenario runs.
+        path: String,
+        /// Transform and synthesis options.
+        options: SwfReplayOptions,
+    },
+}
+
 /// Fault injection for a scenario.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum FaultSpec {
@@ -204,6 +277,9 @@ pub struct Scenario {
     pub faults: Option<FaultSpec>,
     /// Job ids whose full power/IPS traces are recorded.
     pub trace_jobs: Vec<u64>,
+    /// The workload source (synthetic generator or SWF replay).
+    #[serde(default)]
+    pub workload: WorkloadSpec,
 }
 
 impl Scenario {
@@ -227,7 +303,17 @@ impl Scenario {
             policy,
             faults: None,
             trace_jobs: Vec::new(),
+            workload: WorkloadSpec::default(),
         }
+    }
+
+    /// Switches the scenario onto an SWF workload.
+    pub fn with_swf(mut self, path: impl Into<String>, options: SwfReplayOptions) -> Self {
+        self.workload = WorkloadSpec::Swf {
+            path: path.into(),
+            options,
+        };
+        self
     }
 
     /// The cluster configuration this scenario induces.
@@ -238,21 +324,89 @@ impl Scenario {
         config
     }
 
+    /// Builds the scenario's job queue: the seeded synthetic saturating
+    /// trace, or the SWF file parsed, transformed, and power-synthesised
+    /// per the [`SwfReplayOptions`]. Pure function of the scenario spec
+    /// and the file's bytes.
+    pub fn jobs(&self) -> Result<(Vec<JobSpec>, Option<SwfImportSummary>), CampaignError> {
+        let config = self.cluster_config();
+        match &self.workload {
+            WorkloadSpec::Synthetic => Ok((
+                TraceGenerator::new(self.system.clone(), self.seed)
+                    .generate_saturating(config.nodes, self.duration_s),
+                None,
+            )),
+            WorkloadSpec::Swf { path, options } => {
+                let err = |message: String| CampaignError {
+                    scenario: self.name.clone(),
+                    message,
+                };
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| err(format!("cannot read trace '{path}': {e}")))?;
+                let mode = if options.lenient {
+                    ParseMode::Lenient
+                } else {
+                    ParseMode::Strict
+                };
+                let report = parse_swf_report(&text, mode)
+                    .map_err(|e| err(format!("trace '{path}': {e}")))?;
+                let mut trace: SwfTrace = report.trace;
+                if let Some((start, end)) = options.window_s {
+                    trace.slice_window(start, end);
+                }
+                if options.arrival_scale != 1.0 {
+                    trace.scale_arrivals(options.arrival_scale);
+                }
+                if options.rescale_to_wp {
+                    trace.rescale_nodes(self.system.wp_nodes);
+                }
+                if let Some((min_s, max_s)) = options.clamp_runtime_s {
+                    trace.clamp_runtime(min_s, max_s);
+                }
+                let synth_seed = options.synth_seed.unwrap_or(self.seed);
+                let (jobs, summary) = TraceSource::new(trace, synth_seed)
+                    .with_estimate_factor(self.system.estimate_factor)
+                    .jobs();
+                if jobs.is_empty() {
+                    return Err(err(format!(
+                        "trace '{path}' yields no runnable jobs after transforms"
+                    )));
+                }
+                Ok((jobs, Some(summary)))
+            }
+        }
+    }
+
     /// Runs the scenario in isolation, recording into `recorder`.
     /// Deterministic: two calls with equal specs produce results for
     /// which [`SimResult::same_simulation`] holds and byte-identical
     /// recorder exports.
+    ///
+    /// Panics when an SWF workload fails to load; [`Scenario::try_run`]
+    /// is the fallible form.
     pub fn run(&self, models: &BTreeMap<String, NodeModel>, recorder: Recorder) -> SimResult {
+        self.try_run(models, recorder)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Scenario::run`], with workload failures surfaced as errors.
+    pub fn try_run(
+        &self,
+        models: &BTreeMap<String, NodeModel>,
+        recorder: Recorder,
+    ) -> Result<SimResult, CampaignError> {
         let config = self.cluster_config();
         let steps = (config.duration_s / config.interval_s).ceil() as usize;
-        let jobs = TraceGenerator::new(self.system.clone(), self.seed)
-            .generate_saturating(config.nodes, self.duration_s);
+        let (jobs, import) = self.jobs()?;
+        if let Some(summary) = import {
+            summary.record_into(&recorder);
+        }
         let mut policy = self.policy.build(models);
         let mut cluster = Cluster::new(config, jobs, self.seed).with_recorder(recorder);
         if let Some(faults) = &self.faults {
             cluster = cluster.with_fault_plan(faults.materialise(steps));
         }
-        cluster.run(policy.as_mut())
+        Ok(cluster.run(policy.as_mut()))
     }
 }
 
@@ -291,6 +445,23 @@ pub fn run_campaign(
     opts: &CampaignOptions,
     recorder: &Recorder,
 ) -> Vec<ScenarioOutcome> {
+    try_run_campaign(scenarios, opts, recorder).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_campaign`], with workload failures surfaced as errors: every
+/// SWF workload is loaded once up front (serially, before any model is
+/// trained or worker spawned), so a misnamed trace file fails fast with
+/// the scenario's name instead of panicking inside a worker thread.
+pub fn try_run_campaign(
+    scenarios: &[Scenario],
+    opts: &CampaignOptions,
+    recorder: &Recorder,
+) -> Result<Vec<ScenarioOutcome>, CampaignError> {
+    for scenario in scenarios {
+        if !matches!(scenario.workload, WorkloadSpec::Synthetic) {
+            scenario.jobs()?;
+        }
+    }
     let models = train_referenced_models(scenarios, opts.threads);
     let collect = recorder.enabled();
     let runs: Vec<(Recorder, SimResult)> = parallel_map(scenarios, opts.threads, |_i, scenario| {
@@ -330,7 +501,7 @@ pub fn run_campaign(
             result,
         });
     }
-    outcomes
+    Ok(outcomes)
 }
 
 /// Pre-trains every distinct node model the grid references, in

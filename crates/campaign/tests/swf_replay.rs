@@ -1,0 +1,193 @@
+//! SWF replay through the campaign engine: same trace + seed must give
+//! byte-identical telemetry exports and `same_simulation` results at
+//! any thread count, and trace workloads must fail fast (not panic in a
+//! worker) when the file is missing or unusable.
+
+use perq_campaign::{
+    run_campaign, try_run_campaign, CampaignOptions, PolicySpec, Scenario, SwfReplayOptions,
+    WorkloadSpec,
+};
+use perq_sim::SystemModel;
+use perq_telemetry::Recorder;
+
+fn fixture(name: &str) -> String {
+    format!("{}/../trace/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// A grid replaying the hand-built Tardis fixture under two policies
+/// and two synthesis seeds.
+fn swf_grid() -> Vec<Scenario> {
+    let system = SystemModel::tardis();
+    [
+        (PolicySpec::Fop, 3u64),
+        (PolicySpec::Sjs, 3),
+        (PolicySpec::Fop, 9),
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(i, (policy, seed))| {
+        Scenario::new(
+            format!("swf-{i}"),
+            system.clone(),
+            2.0,
+            1800.0,
+            seed,
+            policy,
+        )
+        .with_swf(fixture("tardis_tiny.swf"), SwfReplayOptions::default())
+    })
+    .collect()
+}
+
+#[test]
+fn swf_replay_is_byte_identical_across_thread_counts() {
+    let grid = swf_grid();
+    let export = |threads: usize| {
+        let recorder = Recorder::manual();
+        let outcomes = run_campaign(&grid, &CampaignOptions { threads }, &recorder);
+        (
+            outcomes,
+            recorder.export_prometheus(),
+            recorder.export_jsonl(),
+        )
+    };
+    let (serial, prom1, jsonl1) = export(1);
+    assert!(
+        prom1.contains("perq_trace_jobs_imported_total"),
+        "replay must record import counters"
+    );
+    for threads in [2, 4] {
+        let (par, prom, jsonl) = export(threads);
+        assert_eq!(prom, prom1, "prometheus diverged at {threads} threads");
+        assert_eq!(jsonl, jsonl1, "jsonl diverged at {threads} threads");
+        for (a, b) in serial.iter().zip(par.iter()) {
+            assert!(
+                a.result.same_simulation(&b.result),
+                "scenario {} diverged at {threads} threads",
+                a.scenario.name
+            );
+        }
+    }
+}
+
+#[test]
+fn swf_replay_is_reproducible_run_to_run() {
+    let grid = swf_grid();
+    let opts = CampaignOptions { threads: 2 };
+    let a = run_campaign(&grid, &opts, &Recorder::noop());
+    let b = run_campaign(&grid, &opts, &Recorder::noop());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert!(x.result.same_simulation(&y.result));
+    }
+    // Replayed jobs actually complete on this tiny system.
+    assert!(a.iter().all(|o| o.result.throughput() > 0));
+}
+
+#[test]
+fn lenient_mode_replays_the_malformed_fixture() {
+    let system = SystemModel::tardis();
+    let scenario = Scenario::new("lenient", system, 2.0, 900.0, 5, PolicySpec::Fop)
+        .with_swf(fixture("malformed.swf"), SwfReplayOptions::default());
+    let recorder = Recorder::manual();
+    let outcomes = run_campaign(
+        std::slice::from_ref(&scenario),
+        &CampaignOptions { threads: 1 },
+        &recorder,
+    );
+    assert_eq!(outcomes.len(), 1);
+    let prom = recorder.export_prometheus();
+    assert!(prom.contains("perq_trace_jobs_imported_total 3"), "{prom}");
+}
+
+#[test]
+fn strict_mode_fails_fast_with_line_numbered_error() {
+    let system = SystemModel::tardis();
+    let scenario = Scenario::new("strict", system, 2.0, 900.0, 5, PolicySpec::Fop).with_swf(
+        fixture("malformed.swf"),
+        SwfReplayOptions {
+            lenient: false,
+            ..SwfReplayOptions::default()
+        },
+    );
+    let err = try_run_campaign(
+        std::slice::from_ref(&scenario),
+        &CampaignOptions { threads: 4 },
+        &Recorder::noop(),
+    )
+    .unwrap_err();
+    assert_eq!(err.scenario, "strict");
+    assert!(err.message.contains("line 5"), "{}", err.message);
+}
+
+#[test]
+fn missing_trace_file_is_an_error_not_a_worker_panic() {
+    let system = SystemModel::tardis();
+    let scenario = Scenario::new("missing", system, 2.0, 900.0, 5, PolicySpec::Fop)
+        .with_swf("/nonexistent/trace.swf", SwfReplayOptions::default());
+    let err = try_run_campaign(
+        std::slice::from_ref(&scenario),
+        &CampaignOptions { threads: 4 },
+        &Recorder::noop(),
+    )
+    .unwrap_err();
+    assert!(err.message.contains("cannot read trace"), "{}", err.message);
+}
+
+#[test]
+fn synthesis_seed_changes_the_replay() {
+    let system = SystemModel::tardis();
+    let scenario = |synth_seed| {
+        Scenario::new("seeded", system.clone(), 2.0, 1800.0, 7, PolicySpec::Fop).with_swf(
+            fixture("tardis_tiny.swf"),
+            SwfReplayOptions {
+                synth_seed: Some(synth_seed),
+                ..SwfReplayOptions::default()
+            },
+        )
+    };
+    let run = |s: Scenario| {
+        run_campaign(
+            std::slice::from_ref(&s),
+            &CampaignOptions { threads: 1 },
+            &Recorder::noop(),
+        )
+        .remove(0)
+        .result
+    };
+    let a = run(scenario(1));
+    let b = run(scenario(1));
+    assert!(
+        a.same_simulation(&b),
+        "same synth seed must replay identically"
+    );
+    // Different synthesis seeds assign different power profiles, which
+    // the per-job records expose via the executed application name.
+    let c = run(scenario(2));
+    let apps = |r: &perq_sim::SimResult| {
+        r.records
+            .iter()
+            .map(|j| j.app_name.clone())
+            .collect::<Vec<_>>()
+    };
+    assert_ne!(
+        apps(&a),
+        apps(&c),
+        "synth seed should reshuffle app profiles"
+    );
+}
+
+#[test]
+fn default_workload_stays_synthetic() {
+    let scenario = Scenario::new(
+        "plain",
+        SystemModel::tardis(),
+        2.0,
+        900.0,
+        3,
+        PolicySpec::Fop,
+    );
+    assert_eq!(scenario.workload, WorkloadSpec::Synthetic);
+    let (jobs, summary) = scenario.jobs().unwrap();
+    assert!(summary.is_none());
+    assert!(!jobs.is_empty());
+}

@@ -9,12 +9,14 @@
 //! - `perq prototype` — run the TCP prototype cluster under a policy.
 //! - `perq campaign` — run a grid of scenarios on the deterministic
 //!   parallel campaign engine (`perq-campaign`).
+//! - `perq trace` — inspect, validate, convert, and replay SWF workload
+//!   logs (`perq-trace`).
 //! - `perq stress` — the report-collection stress test.
+//! - `perq metrics-validate` — CI smoke check on a Prometheus export.
 //!
 //! Run `perq help` (or any subcommand with `--help`-style ignorance) for
 //! usage. The CLI keeps zero non-workspace dependencies: argument parsing
-//! is a hand-rolled key=value scheme, which is all these four commands
-//! need.
+//! is a hand-rolled key=value scheme, which is all these commands need.
 
 use perq_core::{baselines, train_node_model, PerqConfig, PerqPolicy};
 use perq_sim::{
@@ -47,6 +49,20 @@ USAGE:
                    (scenarios=FILE runs a serde-encoded grid; otherwise a
                    fig8-style grid over seeds 0..SEEDS is generated. Exports
                    are byte-identical at any thread count.)
+    perq trace inspect  file=LOG.swf [calib=mira|trinity|none]
+                   (header, per-log statistics, and the Fig. 1 calibration table)
+    perq trace validate file=LOG.swf [mode=strict|lenient]
+                   (strict: fail on the first malformed line, with its line number;
+                   lenient: count and list skipped lines)
+    perq trace convert  file=LOG.swf out=OUT.swf [mode=strict|lenient] [scale=F]
+                   [window=START:END] [nodes=N] [clamp=MIN:MAX]
+                   (apply deterministic transforms — slice, arrival scaling,
+                   node rescaling, runtime clamping — and re-emit SWF)
+    perq trace replay   file=LOG.swf [system=mira|trinity|tardis] [policy=perq|fop|sjs|ljs|srn]
+                   [f=2.0] [hours=1] [seed=42] [synth-seed=SEED] [mode=strict|lenient]
+                   [scale=F] [window=START:END] [clamp=MIN:MAX]
+                   [metrics-out=PATH] [metrics-fmt=prom|jsonl]
+                   (replay the log through the simulator with seeded power profiles)
     perq stress    [clients=100000] [connections=4]
     perq metrics-validate file=PATH [require=name1,name2,...]
                    (parse a Prometheus exposition and check required metrics — CI smoke)
@@ -58,6 +74,8 @@ Examples:
     perq campaign threads=4 scenarios=grid.json metrics-out=campaign.prom metrics-fmt=prom
     perq simulate system=tardis policy=perq faults=7 metrics-out=metrics.prom metrics-fmt=prom
     perq prototype wp=4 f=2.0 policy=srn crash=2@10
+    perq trace inspect file=log.swf calib=mira
+    perq trace replay file=log.swf system=tardis policy=perq f=2.0 hours=1
     perq metrics-validate file=metrics.prom require=perq_sim_steps_total,perq_qp_solves_total
 "
     );
@@ -435,6 +453,274 @@ fn cmd_metrics_validate(map: HashMap<String, String>) -> ExitCode {
     }
 }
 
+/// Parses `KEY=A:B` into a pair of floats.
+fn pair(map: &HashMap<String, String>, key: &str) -> Result<Option<(f64, f64)>, ExitCode> {
+    let Some(spec) = map.get(key) else {
+        return Ok(None);
+    };
+    match spec
+        .split_once(':')
+        .and_then(|(a, b)| Some((a.parse::<f64>().ok()?, b.parse::<f64>().ok()?)))
+    {
+        Some(pair) => Ok(Some(pair)),
+        None => {
+            eprintln!("bad {key} spec '{spec}' (expected A:B)");
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
+fn parse_mode(
+    map: &HashMap<String, String>,
+    default: perq_trace::ParseMode,
+) -> perq_trace::ParseMode {
+    match map.get("mode").map(String::as_str) {
+        Some("strict") => perq_trace::ParseMode::Strict,
+        Some("lenient") => perq_trace::ParseMode::Lenient,
+        Some(other) => {
+            eprintln!("unknown mode '{other}' (expected strict|lenient), using default");
+            default
+        }
+        None => default,
+    }
+}
+
+/// Reads and parses `file=` in the given mode, reporting any skipped
+/// lines. Lenient mode never fails; strict mode prints the
+/// line-numbered diagnostic and bails.
+fn load_trace(
+    map: &HashMap<String, String>,
+    mode: perq_trace::ParseMode,
+) -> Result<perq_trace::ParseReport, ExitCode> {
+    let Some(path) = map.get("file") else {
+        eprintln!("trace commands need file=LOG.swf");
+        return Err(ExitCode::from(2));
+    };
+    let body = match std::fs::read_to_string(path) {
+        Ok(body) => body,
+        Err(e) => {
+            eprintln!("failed to read {path}: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    match perq_trace::parse_swf_report(&body, mode) {
+        Ok(report) => Ok(report),
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn cmd_trace_inspect(map: HashMap<String, String>) -> ExitCode {
+    use perq_trace::{CalibrationReport, CalibrationTargets, TraceStats};
+    let report = match load_trace(&map, parse_mode(&map, perq_trace::ParseMode::Lenient)) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let trace = &report.trace;
+    println!("header lines      : {}", trace.header.lines.len());
+    for key in ["Computer", "MaxNodes", "MaxProcs", "UnixStartTime"] {
+        if let Some(value) = trace.header.get(key) {
+            println!("  {key:<15} : {value}");
+        }
+    }
+    let stats = TraceStats::of(trace);
+    println!("records           : {}", stats.records);
+    println!("valid jobs        : {}", stats.valid_jobs);
+    if !report.skipped.is_empty() {
+        println!("skipped lines     : {}", report.skipped.len());
+    }
+    match trace.machine_size() {
+        Some(size) => println!("machine size      : {size}"),
+        None => println!("machine size      : unknown"),
+    }
+    println!("mean runtime      : {:.1} min", stats.mean_runtime_min);
+    println!("jobs > 30 min     : {:.0}%", 100.0 * stats.frac_over_30min);
+    println!(
+        "mean / max procs  : {:.1} / {}",
+        stats.mean_procs, stats.max_procs
+    );
+    println!("arrival span      : {:.1} h", stats.arrival_span_s / 3600.0);
+    let targets = match map.get("calib").map(String::as_str) {
+        Some("mira") => Some(CalibrationTargets::mira()),
+        Some("trinity") => Some(CalibrationTargets::trinity()),
+        Some("none") | None => None,
+        Some(other) => {
+            eprintln!("unknown calib '{other}' (expected mira|trinity|none)");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(targets) = targets {
+        println!("\ncalibration vs Fig. 1 targets ({}):", targets.name);
+        print!("{}", CalibrationReport::compare(&stats, &targets));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_trace_validate(map: HashMap<String, String>) -> ExitCode {
+    let mode = parse_mode(&map, perq_trace::ParseMode::Strict);
+    let report = match load_trace(&map, mode) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    println!(
+        "{}: {} record(s) parsed, {} line(s) skipped",
+        map["file"],
+        report.trace.records.len(),
+        report.skipped.len()
+    );
+    for d in &report.skipped {
+        println!("  skipped line {}: {}", d.line, d.message);
+    }
+    if report.trace.records.is_empty() {
+        eprintln!("no valid records");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Applies the shared transform order (window → arrival scale → node
+/// rescale → runtime clamp) from the key=value spec.
+fn apply_transforms(
+    trace: &mut perq_trace::SwfTrace,
+    map: &HashMap<String, String>,
+    rescale_key: &str,
+) -> Result<(), ExitCode> {
+    if let Some((start, end)) = pair(map, "window")? {
+        trace.slice_window(start, end);
+    }
+    if let Some(scale) = map.get("scale") {
+        match scale.parse::<f64>() {
+            Ok(f) if f > 0.0 && f.is_finite() => trace.scale_arrivals(f),
+            _ => {
+                eprintln!("bad scale '{scale}' (expected a positive number)");
+                return Err(ExitCode::from(2));
+            }
+        }
+    }
+    if let Some(nodes) = map.get(rescale_key) {
+        match nodes.parse::<usize>() {
+            Ok(n) if n > 0 => trace.rescale_nodes(n),
+            _ => {
+                eprintln!("bad {rescale_key} '{nodes}' (expected a positive integer)");
+                return Err(ExitCode::from(2));
+            }
+        }
+    }
+    if let Some((min, max)) = pair(map, "clamp")? {
+        trace.clamp_runtime(min, max);
+    }
+    Ok(())
+}
+
+fn cmd_trace_convert(map: HashMap<String, String>) -> ExitCode {
+    let Some(out) = map.get("out").cloned() else {
+        eprintln!("trace convert needs out=OUT.swf");
+        return ExitCode::from(2);
+    };
+    let mut report = match load_trace(&map, parse_mode(&map, perq_trace::ParseMode::Lenient)) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    if let Err(code) = apply_transforms(&mut report.trace, &map, "nodes") {
+        return code;
+    }
+    let body = perq_trace::write_swf(&report.trace);
+    if let Err(e) = std::fs::write(&out, body) {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{out}: {} record(s) written ({} skipped on parse)",
+        report.trace.records.len(),
+        report.skipped.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_trace_replay(map: HashMap<String, String>) -> ExitCode {
+    use perq_campaign::{
+        try_run_campaign, CampaignOptions, PolicySpec, Scenario, SwfReplayOptions,
+    };
+    let Some(path) = map.get("file").cloned() else {
+        eprintln!("trace replay needs file=LOG.swf");
+        return ExitCode::from(2);
+    };
+    let system = system(&map);
+    let f: f64 = get(&map, "f", 2.0);
+    let hours: f64 = get(&map, "hours", 1.0);
+    let seed: u64 = get(&map, "seed", 42);
+    let policy = match map.get("policy").map(String::as_str) {
+        Some("fop") => PolicySpec::Fop,
+        Some("sjs") => PolicySpec::Sjs,
+        Some("ljs") => PolicySpec::Ljs,
+        Some("srn") => PolicySpec::Srn,
+        Some("perq") | None => PolicySpec::perq_default(),
+        Some(other) => {
+            eprintln!("unknown policy '{other}', using perq");
+            PolicySpec::perq_default()
+        }
+    };
+    let window = match pair(&map, "window") {
+        Ok(w) => w,
+        Err(code) => return code,
+    };
+    let clamp = match pair(&map, "clamp") {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let options = SwfReplayOptions {
+        arrival_scale: get(&map, "scale", 1.0),
+        window_s: window,
+        clamp_runtime_s: clamp,
+        synth_seed: map.get("synth-seed").and_then(|v| v.parse().ok()),
+        lenient: parse_mode(&map, perq_trace::ParseMode::Lenient) == perq_trace::ParseMode::Lenient,
+        ..SwfReplayOptions::default()
+    };
+    let scenario = Scenario::new("replay", system.clone(), f, hours * 3600.0, seed, policy)
+        .with_swf(path.clone(), options);
+    println!(
+        "replaying {path} on {}: f={f:.2}, {hours} h, seed {seed}",
+        system.name
+    );
+    let recorder = metrics_recorder(&map);
+    let outcomes = match try_run_campaign(
+        std::slice::from_ref(&scenario),
+        &CampaignOptions { threads: 1 },
+        &recorder,
+    ) {
+        Ok(outcomes) => outcomes,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    summarize(&outcomes[0].result, None);
+    if let Err(code) = write_metrics(&map, &recorder) {
+        return code;
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_trace(args: &[String]) -> ExitCode {
+    let Some(action) = args.first() else {
+        eprintln!("trace needs an action: inspect|validate|convert|replay");
+        return usage();
+    };
+    let map = parse_args(&args[1..]);
+    match action.as_str() {
+        "inspect" => cmd_trace_inspect(map),
+        "validate" => cmd_trace_validate(map),
+        "convert" => cmd_trace_convert(map),
+        "replay" => cmd_trace_replay(map),
+        other => {
+            eprintln!("unknown trace action '{other}' (expected inspect|validate|convert|replay)");
+            usage()
+        }
+    }
+}
+
 fn cmd_stress(map: HashMap<String, String>) -> ExitCode {
     let clients: usize = get(&map, "clients", 100_000);
     let connections: usize = get(&map, "connections", 4);
@@ -459,6 +745,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(map),
         "prototype" => cmd_prototype(map),
         "campaign" => cmd_campaign(map),
+        "trace" => cmd_trace(&args[1..]),
         "stress" => cmd_stress(map),
         "metrics-validate" => cmd_metrics_validate(map),
         _ => usage(),

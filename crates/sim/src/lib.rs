@@ -27,6 +27,10 @@
 //! - The queue is saturated (paper: "making sure that there is always a
 //!   job available to run at the head of the queue"): all jobs are ready
 //!   at t = 0 in trace order.
+//! - Workloads come from the seeded synthetic [`TraceGenerator`]s
+//!   (Mira/Trinity-calibrated) or from real SWF archive logs via
+//!   [`TraceSource`] (`perq-trace`), which attaches seeded `perq-apps`
+//!   power profiles to every replayed job.
 //!
 //! # Example
 //!
@@ -47,6 +51,7 @@ mod job;
 mod metrics;
 mod policy;
 mod scheduler;
+mod swf;
 mod trace;
 
 pub use cluster::{Cluster, ClusterConfig, IntervalLog, SimResult};
@@ -57,4 +62,5 @@ pub use metrics::{
 };
 pub use policy::{FairPolicy, JobView, PolicyContext, PowerAssignment, PowerPolicy};
 pub use scheduler::{RunningFootprint, ScheduleScratch, Scheduler};
+pub use swf::{swf_from_jobs, SwfImportSummary, TraceSource};
 pub use trace::{SystemModel, TraceGenerator};

@@ -145,7 +145,7 @@ impl Scheduler {
     /// as the reservation needs are popped — usually one or two out of
     /// hundreds — and the heap's backing `Vec` lives in `scratch` so the
     /// per-interval hot path allocates nothing. Bit-identical to the
-    /// sorting path, including stable tie order (see [`EndKey`]).
+    /// sorting path, including stable tie order (see `EndKey`).
     pub fn schedule_with_scratch(
         &mut self,
         now_s: f64,

@@ -1,0 +1,65 @@
+//! Golden calibration check: traces generated from the Mira and
+//! Trinity system models, exported to SWF and measured with the
+//! `perq-trace` statistics, must reproduce the paper's Fig. 1 workload
+//! characterization — mean runtime (≈72 min Mira, ≈30 min Trinity),
+//! the share of jobs over 30 minutes, and the capacity jobs/day at
+//! f = 2 (≈1052 and ≈1024).
+//!
+//! This is the bridge test between the two workload sources: if either
+//! the synthetic generators or the SWF export/stats pipeline drifts,
+//! the calibration table moves and this test names the row that broke.
+
+use perq_sim::{swf_from_jobs, SystemModel, TraceGenerator};
+use perq_trace::{CalibrationReport, CalibrationTargets, TraceStats};
+
+const JOBS: usize = 4000;
+const TOLERANCE: f64 = 0.10;
+
+fn report(system: SystemModel, targets: &CalibrationTargets) -> CalibrationReport {
+    let jobs = TraceGenerator::new(system.clone(), 2019).generate(JOBS);
+    let swf = swf_from_jobs(&jobs, &system.name, system.wp_nodes);
+    let stats = TraceStats::of(&swf);
+    assert_eq!(
+        stats.valid_jobs, JOBS,
+        "every generated job must survive export"
+    );
+    CalibrationReport::compare(&stats, targets)
+}
+
+#[test]
+fn mira_trace_matches_fig1_targets() {
+    let rep = report(SystemModel::mira(), &CalibrationTargets::mira());
+    assert!(
+        rep.within(TOLERANCE),
+        "Mira calibration off by {:.1}% (> {:.0}%):\n{rep}",
+        100.0 * rep.worst_rel_err(),
+        100.0 * TOLERANCE
+    );
+}
+
+#[test]
+fn trinity_trace_matches_fig1_targets() {
+    let rep = report(SystemModel::trinity(), &CalibrationTargets::trinity());
+    assert!(
+        rep.within(TOLERANCE),
+        "Trinity calibration off by {:.1}% (> {:.0}%):\n{rep}",
+        100.0 * rep.worst_rel_err(),
+        100.0 * TOLERANCE
+    );
+}
+
+#[test]
+fn systems_are_distinguishable_by_their_stats() {
+    // Mira's jobs are markedly longer than Trinity's — the stats
+    // pipeline must preserve that separation, not wash it out.
+    let mira = TraceGenerator::new(SystemModel::mira(), 7).generate(JOBS);
+    let trinity = TraceGenerator::new(SystemModel::trinity(), 7).generate(JOBS);
+    let s_mira = TraceStats::of(&swf_from_jobs(&mira, "Mira", SystemModel::mira().wp_nodes));
+    let s_trin = TraceStats::of(&swf_from_jobs(
+        &trinity,
+        "Trinity",
+        SystemModel::trinity().wp_nodes,
+    ));
+    assert!(s_mira.mean_runtime_min > 1.5 * s_trin.mean_runtime_min);
+    assert!(s_mira.frac_over_30min > s_trin.frac_over_30min);
+}

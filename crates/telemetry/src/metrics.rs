@@ -19,7 +19,7 @@ const NBUCKETS: usize = (E_MAX - E_MIN) as usize * GRID + 2;
 /// A fixed-footprint log-linear histogram.
 ///
 /// The value axis is split into powers of two, each subdivided into
-/// [`GRID`] equal-width sub-buckets — the classic HDR layout. Bucket 0
+/// `GRID` equal-width sub-buckets — the classic HDR layout. Bucket 0
 /// catches non-positive and sub-`2^E_MIN` values; the last bucket
 /// catches overflow. Alongside the buckets the histogram tracks exact
 /// `count`, `sum`, `min`, and `max`, so quantile estimates can be

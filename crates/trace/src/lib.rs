@@ -1,0 +1,49 @@
+//! Standard Workload Format (SWF) ingestion for the PERQ evaluation
+//! pipeline.
+//!
+//! The paper's evaluation (§3, Figs. 6–7) is driven by Mira and Trinity
+//! job logs. This crate makes any SWF v2.x log from the Parallel
+//! Workloads Archive — roughly forty public production traces — a PERQ
+//! workload:
+//!
+//! - **Parse**: a streaming, line-at-a-time parser ([`SwfParser`],
+//!   [`parse_swf`], [`parse_swf_report`], [`parse_swf_reader`]) with
+//!   strict and lenient modes. Strict aborts on the first malformed line
+//!   with a 1-based line number; lenient skips malformed lines and
+//!   reports each as a [`Diagnostic`], which is how real archive logs
+//!   (occasional truncated or hand-edited lines) are ingested.
+//! - **Write**: [`write_swf`] renders a trace back to SWF text such
+//!   that parse → write → parse is the identity on records (and the
+//!   header block round-trips byte-identically).
+//! - **Transform**: deterministic knobs on [`SwfTrace`] — the paper's
+//!   arrival-rate factor ([`SwfTrace::scale_arrivals`]), time-window
+//!   slicing ([`SwfTrace::slice_window`]), node-count rescaling onto
+//!   `N_WP` ([`SwfTrace::rescale_nodes`]), and runtime clamping
+//!   ([`SwfTrace::clamp_runtime`]).
+//! - **Power synthesis**: [`PowerSynth`] attaches a `perq-apps`
+//!   application profile to every job via a stateless seeded hash, so a
+//!   replayed log carries the power/IPS semantics the controller needs.
+//! - **Statistics**: [`TraceStats`] and [`CalibrationReport`] compare an
+//!   ingested log against the Fig. 1 calibration targets
+//!   ([`CalibrationTargets::mira`] / [`CalibrationTargets::trinity`]).
+//!
+//! The replay path through the simulator and campaign engine lives in
+//! `perq-sim` (`TraceSource`) and `perq-campaign` (`WorkloadSpec::Swf`);
+//! DESIGN.md §9 documents the field mapping and the determinism
+//! contract.
+
+mod parse;
+mod record;
+mod stats;
+mod synth;
+mod transform;
+mod write;
+
+pub use parse::{
+    parse_swf, parse_swf_reader, parse_swf_report, Diagnostic, ParseMode, ParseReport, SwfError,
+    SwfParser,
+};
+pub use record::{SwfHeader, SwfRecord, SwfTrace};
+pub use stats::{CalibrationReport, CalibrationRow, CalibrationTargets, TraceStats};
+pub use synth::PowerSynth;
+pub use write::{write_record, write_swf};

@@ -1,0 +1,293 @@
+use crate::record::{SwfHeader, SwfRecord, SwfTrace};
+use std::fmt;
+
+/// How the parser treats malformed data lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParseMode {
+    /// Any malformed line aborts the parse with a line-numbered
+    /// [`SwfError`].
+    #[default]
+    Strict,
+    /// Malformed lines are skipped and reported as line-numbered
+    /// [`Diagnostic`]s in the [`ParseReport`]; parsing continues. This is
+    /// how production archive logs — which carry occasional truncated or
+    /// hand-edited lines — are ingested.
+    Lenient,
+}
+
+/// A line-numbered parse problem (1-based line numbers, as editors
+/// display them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// What was wrong with the line.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+/// Parse failure in [`ParseMode::Strict`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwfError(pub Diagnostic);
+
+impl fmt::Display for SwfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SWF parse error at {}", self.0)
+    }
+}
+
+impl std::error::Error for SwfError {}
+
+/// Outcome of a parse: the trace plus, in lenient mode, every line that
+/// was skipped and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseReport {
+    /// The parsed log.
+    pub trace: SwfTrace,
+    /// Skipped lines (always empty in strict mode, which errors instead).
+    pub skipped: Vec<Diagnostic>,
+}
+
+/// Streaming line-at-a-time SWF parser.
+///
+/// Feed lines in file order with [`SwfParser::push_line`]; each call
+/// returns at most one record, so arbitrarily large logs parse in
+/// constant memory (modulo the records the caller chooses to keep).
+/// [`parse_swf`] and [`parse_swf_report`] are the whole-input fronts.
+#[derive(Debug, Default)]
+pub struct SwfParser {
+    mode: ParseMode,
+    line_no: usize,
+    header_done: bool,
+    header: SwfHeader,
+    skipped: Vec<Diagnostic>,
+}
+
+impl SwfParser {
+    /// A parser in the given mode.
+    pub fn new(mode: ParseMode) -> Self {
+        SwfParser {
+            mode,
+            ..SwfParser::default()
+        }
+    }
+
+    /// Consumes the next line. Returns `Ok(Some(record))` for a data
+    /// line, `Ok(None)` for header/comment/blank lines (and, in lenient
+    /// mode, for skipped malformed lines).
+    pub fn push_line(&mut self, line: &str) -> Result<Option<SwfRecord>, SwfError> {
+        self.line_no += 1;
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if let Some(rest) = trimmed.strip_prefix(';') {
+            if self.header_done {
+                // Mid-file comments are legal SWF; they are kept out of
+                // the header so the header block stays a prefix.
+                return Ok(None);
+            }
+            self.header.lines.push(rest.to_string());
+            return Ok(None);
+        }
+        if trimmed.trim().is_empty() {
+            return Ok(None);
+        }
+        self.header_done = true;
+        match parse_record(trimmed) {
+            Ok(record) => Ok(Some(record)),
+            Err(message) => {
+                let diagnostic = Diagnostic {
+                    line: self.line_no,
+                    message,
+                };
+                match self.mode {
+                    ParseMode::Strict => Err(SwfError(diagnostic)),
+                    ParseMode::Lenient => {
+                        self.skipped.push(diagnostic);
+                        Ok(None)
+                    }
+                }
+            }
+        }
+    }
+
+    /// The header accumulated so far (complete once the first data line
+    /// has been seen).
+    pub fn header(&self) -> &SwfHeader {
+        &self.header
+    }
+
+    /// Lines skipped so far (lenient mode).
+    pub fn skipped(&self) -> &[Diagnostic] {
+        &self.skipped
+    }
+
+    /// Finishes the parse, yielding header and diagnostics. The caller
+    /// supplies the records it kept.
+    pub fn finish(self, records: Vec<SwfRecord>) -> ParseReport {
+        ParseReport {
+            trace: SwfTrace {
+                header: self.header,
+                records,
+            },
+            skipped: self.skipped,
+        }
+    }
+}
+
+/// Parses a complete SWF document in strict mode.
+pub fn parse_swf(input: &str) -> Result<SwfTrace, SwfError> {
+    Ok(parse_swf_report(input, ParseMode::Strict)?.trace)
+}
+
+/// Parses a complete SWF document in the given mode, with diagnostics.
+pub fn parse_swf_report(input: &str, mode: ParseMode) -> Result<ParseReport, SwfError> {
+    let mut parser = SwfParser::new(mode);
+    let mut records = Vec::new();
+    for line in input.lines() {
+        if let Some(record) = parser.push_line(line)? {
+            records.push(record);
+        }
+    }
+    Ok(parser.finish(records))
+}
+
+/// Streams an SWF document from a reader in the given mode, without
+/// holding the input text in memory.
+pub fn parse_swf_reader<R: std::io::BufRead>(
+    reader: R,
+    mode: ParseMode,
+) -> Result<ParseReport, Box<dyn std::error::Error>> {
+    let mut parser = SwfParser::new(mode);
+    let mut records = Vec::new();
+    for line in reader.lines() {
+        if let Some(record) = parser.push_line(&line?)? {
+            records.push(record);
+        }
+    }
+    Ok(parser.finish(records))
+}
+
+fn parse_record(line: &str) -> Result<SwfRecord, String> {
+    let mut fields = line.split_whitespace();
+    let mut next = |name: &str| {
+        fields
+            .next()
+            .ok_or_else(|| format!("missing field '{name}' (SWF records have 18 fields)"))
+    };
+    let record = SwfRecord {
+        job_id: int(next("job number")?, "job number")?,
+        submit_s: num(next("submit time")?, "submit time")?,
+        wait_s: num(next("wait time")?, "wait time")?,
+        run_s: num(next("run time")?, "run time")?,
+        alloc_procs: int(next("allocated processors")?, "allocated processors")?,
+        avg_cpu_s: num(next("average cpu time")?, "average cpu time")?,
+        used_mem_kb: num(next("used memory")?, "used memory")?,
+        req_procs: int(next("requested processors")?, "requested processors")?,
+        req_time_s: num(next("requested time")?, "requested time")?,
+        req_mem_kb: num(next("requested memory")?, "requested memory")?,
+        status: int(next("status")?, "status")?,
+        user: int(next("user id")?, "user id")?,
+        group: int(next("group id")?, "group id")?,
+        app: int(next("executable number")?, "executable number")?,
+        queue: int(next("queue number")?, "queue number")?,
+        partition: int(next("partition number")?, "partition number")?,
+        prev_job: int(next("preceding job")?, "preceding job")?,
+        think_s: num(next("think time")?, "think time")?,
+    };
+    if let Some(extra) = fields.next() {
+        return Err(format!(
+            "trailing field '{extra}' (SWF records have exactly 18 fields)"
+        ));
+    }
+    Ok(record)
+}
+
+fn int(field: &str, name: &str) -> Result<i64, String> {
+    field
+        .parse()
+        .map_err(|_| format!("field '{name}': '{field}' is not an integer"))
+}
+
+fn num(field: &str, name: &str) -> Result<f64, String> {
+    let value: f64 = field
+        .parse()
+        .map_err(|_| format!("field '{name}': '{field}' is not a number"))?;
+    if !value.is_finite() {
+        return Err(format!("field '{name}': '{field}' is not finite"));
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = "; Version: 2.2\n; MaxNodes: 16\n\
+        1 0 0 120 4 -1 -1 4 180 -1 1 1 1 1 1 -1 -1 -1\n\
+        2 10 5 60.5 2 -1 -1 2 90 -1 1 2 1 2 1 -1 -1 -1\n";
+
+    #[test]
+    fn parses_header_and_records() {
+        let trace = parse_swf(TINY).unwrap();
+        assert_eq!(trace.header.get("Version"), Some("2.2"));
+        assert_eq!(trace.header.max_nodes(), Some(16));
+        assert_eq!(trace.records.len(), 2);
+        assert_eq!(trace.records[0].job_id, 1);
+        assert_eq!(trace.records[1].run_s, 60.5);
+    }
+
+    #[test]
+    fn strict_mode_reports_line_numbers() {
+        let input = format!("{TINY}3 20 0 not-a-number 1 -1 -1 1 30 -1 1 3 1 1 1 -1 -1 -1\n");
+        let err = parse_swf(&input).unwrap_err();
+        assert_eq!(err.0.line, 5);
+        assert!(err.0.message.contains("run time"), "{}", err.0.message);
+    }
+
+    #[test]
+    fn strict_mode_rejects_wrong_field_counts() {
+        let short = parse_swf("1 0 0 120 4\n").unwrap_err();
+        assert!(short.0.message.contains("missing field"));
+        let long = parse_swf("1 0 0 120 4 -1 -1 4 180 -1 1 1 1 1 1 -1 -1 -1 99\n").unwrap_err();
+        assert!(long.0.message.contains("trailing field"));
+    }
+
+    #[test]
+    fn lenient_mode_skips_and_counts() {
+        let input =
+            format!("{TINY}garbage line here\n3 20 0 30 1 -1 -1 1 30 -1 1 3 1 1 1 -1 -1 -1\n");
+        let report = parse_swf_report(&input, ParseMode::Lenient).unwrap();
+        assert_eq!(report.trace.records.len(), 3);
+        assert_eq!(report.skipped.len(), 1);
+        assert_eq!(report.skipped[0].line, 5);
+    }
+
+    #[test]
+    fn mid_file_comments_and_blank_lines_are_ignored() {
+        let input = "; Version: 2.2\n1 0 0 120 4 -1 -1 4 180 -1 1 1 1 1 1 -1 -1 -1\n\n; checkpoint\n2 1 0 60 2 -1 -1 2 90 -1 1 1 1 1 1 -1 -1 -1\n";
+        let trace = parse_swf(input).unwrap();
+        assert_eq!(trace.records.len(), 2);
+        assert_eq!(
+            trace.header.lines.len(),
+            1,
+            "mid-file comment stays out of the header"
+        );
+    }
+
+    #[test]
+    fn non_finite_numbers_are_rejected() {
+        let err = parse_swf("1 0 0 inf 4 -1 -1 4 180 -1 1 1 1 1 1 -1 -1 -1\n").unwrap_err();
+        assert!(err.0.message.contains("not finite"));
+    }
+
+    #[test]
+    fn reader_front_matches_str_front() {
+        let from_str = parse_swf_report(TINY, ParseMode::Strict).unwrap();
+        let from_reader = parse_swf_reader(TINY.as_bytes(), ParseMode::Strict).unwrap();
+        assert_eq!(from_str, from_reader);
+    }
+}

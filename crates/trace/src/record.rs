@@ -1,0 +1,225 @@
+use serde::{Deserialize, Serialize};
+
+/// One job record of a Standard Workload Format (SWF) v2.x log: the 18
+/// whitespace-separated fields of a data line, in field order.
+///
+/// Integer-valued fields use the SWF convention that `-1` means "not
+/// available". Time-valued fields are `f64` because the format allows
+/// fractional seconds ("this can be in fractions" — SWF spec on run
+/// time); integral values are written back without a decimal point, so
+/// records round-trip through [`crate::write_swf`] byte-faithfully.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwfRecord {
+    /// Field 1: job number (usually 1-based and consecutive, but the
+    /// parser does not require it).
+    pub job_id: i64,
+    /// Field 2: submit time in seconds since the log's `UnixStartTime`.
+    pub submit_s: f64,
+    /// Field 3: wait time in the queue, seconds.
+    pub wait_s: f64,
+    /// Field 4: run time (wall clock), seconds.
+    pub run_s: f64,
+    /// Field 5: number of allocated processors.
+    pub alloc_procs: i64,
+    /// Field 6: average CPU time used per processor, seconds.
+    pub avg_cpu_s: f64,
+    /// Field 7: used memory per processor, kilobytes.
+    pub used_mem_kb: f64,
+    /// Field 8: requested number of processors.
+    pub req_procs: i64,
+    /// Field 9: requested (estimated) run time, seconds.
+    pub req_time_s: f64,
+    /// Field 10: requested memory per processor, kilobytes.
+    pub req_mem_kb: f64,
+    /// Field 11: completion status (1 = completed, 0 = failed, 5 =
+    /// cancelled; log-specific codes appear in the wild).
+    pub status: i64,
+    /// Field 12: user id.
+    pub user: i64,
+    /// Field 13: group id.
+    pub group: i64,
+    /// Field 14: executable (application) number.
+    pub app: i64,
+    /// Field 15: queue number.
+    pub queue: i64,
+    /// Field 16: partition number.
+    pub partition: i64,
+    /// Field 17: preceding job number (dependency chains).
+    pub prev_job: i64,
+    /// Field 18: think time from the preceding job, seconds.
+    pub think_s: f64,
+}
+
+impl SwfRecord {
+    /// A record with every field "not available" (`-1`), handy as a
+    /// base when synthesising records.
+    pub fn unavailable() -> Self {
+        SwfRecord {
+            job_id: -1,
+            submit_s: -1.0,
+            wait_s: -1.0,
+            run_s: -1.0,
+            alloc_procs: -1,
+            avg_cpu_s: -1.0,
+            used_mem_kb: -1.0,
+            req_procs: -1,
+            req_time_s: -1.0,
+            req_mem_kb: -1.0,
+            status: -1,
+            user: -1,
+            group: -1,
+            app: -1,
+            queue: -1,
+            partition: -1,
+            prev_job: -1,
+            think_s: -1.0,
+        }
+    }
+
+    /// The processor count to schedule by: allocated processors when
+    /// recorded, otherwise the requested count (`None` if neither is
+    /// available or the value is non-positive).
+    pub fn procs(&self) -> Option<usize> {
+        if self.alloc_procs > 0 {
+            Some(self.alloc_procs as usize)
+        } else if self.req_procs > 0 {
+            Some(self.req_procs as usize)
+        } else {
+            None
+        }
+    }
+
+    /// The user's runtime estimate when recorded and positive.
+    pub fn estimate_s(&self) -> Option<f64> {
+        (self.req_time_s > 0.0).then_some(self.req_time_s)
+    }
+}
+
+/// The `;`-prefixed header of an SWF log.
+///
+/// Each element of [`SwfHeader::lines`] is one header line *without* its
+/// leading `;`, stored verbatim so a parsed log writes back
+/// byte-identically. Metadata fields follow the SWF `; Key: value`
+/// convention and are looked up on demand with [`SwfHeader::get`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SwfHeader {
+    /// Header lines in file order, without the leading `;`.
+    pub lines: Vec<String>,
+}
+
+impl SwfHeader {
+    /// The value of the first `; Key: value` header field named `key`
+    /// (case-sensitive, as the SWF spec capitalises its field names).
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.lines.iter().find_map(|line| {
+            let (k, v) = line.split_once(':')?;
+            (k.trim() == key).then(|| v.trim())
+        })
+    }
+
+    /// Sets (or appends) a `; Key: value` metadata field.
+    pub fn set(&mut self, key: &str, value: impl std::fmt::Display) {
+        let rendered = format!(" {key}: {value}");
+        for line in self.lines.iter_mut() {
+            if let Some((k, _)) = line.split_once(':') {
+                if k.trim() == key {
+                    *line = rendered;
+                    return;
+                }
+            }
+        }
+        self.lines.push(rendered);
+    }
+
+    /// `MaxNodes` as an integer, when present.
+    pub fn max_nodes(&self) -> Option<usize> {
+        self.get("MaxNodes")?.parse().ok()
+    }
+
+    /// `MaxProcs` as an integer, when present.
+    pub fn max_procs(&self) -> Option<usize> {
+        self.get("MaxProcs")?.parse().ok()
+    }
+
+    /// `UnixStartTime` as an integer, when present.
+    pub fn unix_start_time(&self) -> Option<i64> {
+        self.get("UnixStartTime")?.parse().ok()
+    }
+}
+
+/// A parsed SWF log: header plus data records in file order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SwfTrace {
+    /// The `;` header block.
+    pub header: SwfHeader,
+    /// Data records in file order.
+    pub records: Vec<SwfRecord>,
+}
+
+impl SwfTrace {
+    /// The machine size the log advertises: `MaxNodes` if present,
+    /// otherwise `MaxProcs`, otherwise the largest processor count any
+    /// record uses.
+    pub fn machine_size(&self) -> Option<usize> {
+        self.header
+            .max_nodes()
+            .or_else(|| self.header.max_procs())
+            .or_else(|| self.records.iter().filter_map(|r| r.procs()).max())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_get_parses_key_value_fields() {
+        let header = SwfHeader {
+            lines: vec![
+                " Version: 2.2".into(),
+                " Computer: Hand-built test cluster".into(),
+                " MaxNodes: 128".into(),
+                "".into(),
+            ],
+        };
+        assert_eq!(header.get("Version"), Some("2.2"));
+        assert_eq!(header.get("MaxNodes"), Some("128"));
+        assert_eq!(header.max_nodes(), Some(128));
+        assert_eq!(header.get("MaxProcs"), None);
+    }
+
+    #[test]
+    fn header_set_replaces_in_place_and_appends() {
+        let mut header = SwfHeader {
+            lines: vec![" MaxNodes: 128".into()],
+        };
+        header.set("MaxNodes", 64);
+        header.set("Note", "rescaled");
+        assert_eq!(header.max_nodes(), Some(64));
+        assert_eq!(header.get("Note"), Some("rescaled"));
+        assert_eq!(header.lines.len(), 2);
+    }
+
+    #[test]
+    fn procs_prefers_allocated_over_requested() {
+        let mut r = SwfRecord::unavailable();
+        assert_eq!(r.procs(), None);
+        r.req_procs = 64;
+        assert_eq!(r.procs(), Some(64));
+        r.alloc_procs = 32;
+        assert_eq!(r.procs(), Some(32));
+    }
+
+    #[test]
+    fn machine_size_falls_back_to_observed_max() {
+        let mut a = SwfRecord::unavailable();
+        a.alloc_procs = 48;
+        let mut b = SwfRecord::unavailable();
+        b.req_procs = 96;
+        let trace = SwfTrace {
+            header: SwfHeader::default(),
+            records: vec![a, b],
+        };
+        assert_eq!(trace.machine_size(), Some(96));
+    }
+}

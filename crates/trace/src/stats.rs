@@ -1,0 +1,286 @@
+//! Workload statistics and Fig. 1 calibration comparison.
+//!
+//! The paper calibrates its synthetic Mira/Trinity workloads to three
+//! published statistics (Fig. 1 and §3): mean job runtime, the fraction
+//! of jobs longer than 30 minutes, and jobs completed per simulated day
+//! at `f = 2`. [`TraceStats`] computes the same statistics for an
+//! ingested SWF log, and [`CalibrationReport`] lines them up against a
+//! system's targets so "is this archive log Mira-like?" is one function
+//! call.
+
+use crate::record::SwfTrace;
+use std::fmt;
+
+/// Summary statistics of an SWF trace's *valid* jobs (positive runtime
+/// and processor count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Records in the trace.
+    pub records: usize,
+    /// Records with positive runtime and a usable processor count.
+    pub valid_jobs: usize,
+    /// Mean runtime over valid jobs, minutes.
+    pub mean_runtime_min: f64,
+    /// Fraction of valid jobs running longer than 30 minutes.
+    pub frac_over_30min: f64,
+    /// Mean processor count over valid jobs.
+    pub mean_procs: f64,
+    /// Largest processor count any valid job uses.
+    pub max_procs: usize,
+    /// Mean work per valid job, processor-seconds.
+    pub mean_work_proc_s: f64,
+    /// Span of submit times (first to last), seconds.
+    pub arrival_span_s: f64,
+}
+
+impl TraceStats {
+    /// Computes the statistics of `trace`.
+    pub fn of(trace: &SwfTrace) -> Self {
+        let mut valid = 0usize;
+        let mut runtime_sum = 0.0;
+        let mut over_30 = 0usize;
+        let mut procs_sum = 0.0;
+        let mut max_procs = 0usize;
+        let mut work_sum = 0.0;
+        let mut submit_min = f64::INFINITY;
+        let mut submit_max = f64::NEG_INFINITY;
+        for r in &trace.records {
+            if r.submit_s >= 0.0 {
+                submit_min = submit_min.min(r.submit_s);
+                submit_max = submit_max.max(r.submit_s);
+            }
+            let Some(procs) = r.procs() else { continue };
+            if r.run_s <= 0.0 {
+                continue;
+            }
+            valid += 1;
+            runtime_sum += r.run_s;
+            if r.run_s > 30.0 * 60.0 {
+                over_30 += 1;
+            }
+            procs_sum += procs as f64;
+            max_procs = max_procs.max(procs);
+            work_sum += r.run_s * procs as f64;
+        }
+        let denom = valid.max(1) as f64;
+        TraceStats {
+            records: trace.records.len(),
+            valid_jobs: valid,
+            mean_runtime_min: runtime_sum / denom / 60.0,
+            frac_over_30min: over_30 as f64 / denom,
+            mean_procs: procs_sum / denom,
+            max_procs,
+            mean_work_proc_s: work_sum / denom,
+            arrival_span_s: if submit_max >= submit_min {
+                submit_max - submit_min
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Capacity-bound estimate of jobs completed per simulated day on a
+    /// machine with `nodes` nodes: how many mean-work jobs one day of
+    /// node-seconds funds, assuming full packing. This is the quantity
+    /// the paper's ≈1052 (Mira) / ≈1024 (Trinity) jobs-per-day targets
+    /// pin — power capping shifts *which* jobs finish, not the node-time
+    /// budget funding them.
+    pub fn capacity_jobs_per_day(&self, nodes: usize) -> f64 {
+        if self.mean_work_proc_s <= 0.0 {
+            return 0.0;
+        }
+        nodes as f64 * 86_400.0 / self.mean_work_proc_s
+    }
+}
+
+/// Published Fig. 1 calibration targets for one system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationTargets {
+    /// System name.
+    pub name: &'static str,
+    /// Worst-case-provisioned node count `N_WP`.
+    pub wp_nodes: usize,
+    /// Mean job runtime, minutes.
+    pub mean_runtime_min: f64,
+    /// Fraction of jobs longer than 30 minutes.
+    pub frac_over_30min: f64,
+    /// Jobs completed per simulated day at `f = 2`.
+    pub jobs_per_day_f2: f64,
+}
+
+impl CalibrationTargets {
+    /// Argonne Mira (Fig. 1 and §3).
+    pub fn mira() -> Self {
+        CalibrationTargets {
+            name: "Mira",
+            wp_nodes: 49_152,
+            mean_runtime_min: 72.0,
+            frac_over_30min: 0.62,
+            jobs_per_day_f2: 1052.0,
+        }
+    }
+
+    /// LANL Trinity (Fig. 1 and §3).
+    pub fn trinity() -> Self {
+        CalibrationTargets {
+            name: "Trinity",
+            wp_nodes: 19_420,
+            mean_runtime_min: 30.0,
+            frac_over_30min: 0.46,
+            jobs_per_day_f2: 1024.0,
+        }
+    }
+}
+
+/// One compared statistic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationRow {
+    /// Statistic name.
+    pub metric: &'static str,
+    /// Published target.
+    pub target: f64,
+    /// Value measured from the trace.
+    pub measured: f64,
+    /// `|measured - target| / target`.
+    pub rel_err: f64,
+}
+
+/// A trace's statistics lined up against a system's Fig. 1 targets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationReport {
+    /// Which system's targets were compared against.
+    pub system: &'static str,
+    /// Per-statistic comparison rows.
+    pub rows: Vec<CalibrationRow>,
+}
+
+impl CalibrationReport {
+    /// Compares `stats` against `targets`. The jobs-per-day row uses
+    /// the capacity estimate on the `f = 2` over-provisioned machine
+    /// (`2 · N_WP` nodes), matching how the paper's number arises.
+    pub fn compare(stats: &TraceStats, targets: &CalibrationTargets) -> Self {
+        let row = |metric, target: f64, measured: f64| CalibrationRow {
+            metric,
+            target,
+            measured,
+            rel_err: if target != 0.0 {
+                ((measured - target) / target).abs()
+            } else {
+                measured.abs()
+            },
+        };
+        CalibrationReport {
+            system: targets.name,
+            rows: vec![
+                row(
+                    "mean runtime (min)",
+                    targets.mean_runtime_min,
+                    stats.mean_runtime_min,
+                ),
+                row(
+                    "P(runtime > 30 min)",
+                    targets.frac_over_30min,
+                    stats.frac_over_30min,
+                ),
+                row(
+                    "jobs/day at f=2 (capacity)",
+                    targets.jobs_per_day_f2,
+                    stats.capacity_jobs_per_day(2 * targets.wp_nodes),
+                ),
+            ],
+        }
+    }
+
+    /// Largest relative error across the rows.
+    pub fn worst_rel_err(&self) -> f64 {
+        self.rows.iter().map(|r| r.rel_err).fold(0.0, f64::max)
+    }
+
+    /// Whether every row is within `tolerance` relative error.
+    pub fn within(&self, tolerance: f64) -> bool {
+        self.worst_rel_err() <= tolerance
+    }
+}
+
+impl fmt::Display for CalibrationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<28} {:>10} {:>10} {:>8}",
+            format!("vs {} (Fig. 1)", self.system),
+            "target",
+            "measured",
+            "rel err"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<28} {:>10.2} {:>10.2} {:>7.1}%",
+                row.metric,
+                row.target,
+                row.measured,
+                100.0 * row.rel_err
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{SwfRecord, SwfTrace};
+
+    fn trace(jobs: &[(f64, i64)]) -> SwfTrace {
+        let records = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(run_s, procs))| {
+                let mut r = SwfRecord::unavailable();
+                r.job_id = i as i64 + 1;
+                r.submit_s = i as f64 * 10.0;
+                r.run_s = run_s;
+                r.alloc_procs = procs;
+                r
+            })
+            .collect();
+        SwfTrace {
+            header: Default::default(),
+            records,
+        }
+    }
+
+    #[test]
+    fn stats_skip_invalid_records() {
+        let t = trace(&[(600.0, 4), (-1.0, 4), (2400.0, -1), (3600.0, 8)]);
+        let s = TraceStats::of(&t);
+        assert_eq!(s.records, 4);
+        assert_eq!(s.valid_jobs, 2);
+        assert!((s.mean_runtime_min - (600.0 + 3600.0) / 2.0 / 60.0).abs() < 1e-12);
+        assert_eq!(s.frac_over_30min, 0.5);
+        assert_eq!(s.max_procs, 8);
+        assert_eq!(s.arrival_span_s, 30.0);
+    }
+
+    #[test]
+    fn capacity_estimate_is_node_seconds_over_mean_work() {
+        let t = trace(&[(3600.0, 10)]);
+        let s = TraceStats::of(&t);
+        // 100 nodes · 86400 s / (3600 s · 10 procs) = 240 jobs/day.
+        assert!((s.capacity_jobs_per_day(100) - 240.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibration_report_flags_mismatch() {
+        let t = trace(&[(600.0, 4); 10]);
+        let report = CalibrationReport::compare(&TraceStats::of(&t), &CalibrationTargets::mira());
+        assert_eq!(report.rows.len(), 3);
+        assert!(
+            !report.within(0.10),
+            "a 10-minute workload is not Mira-like"
+        );
+        let rendered = format!("{report}");
+        assert!(rendered.contains("mean runtime"));
+        assert!(rendered.contains("Mira"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Deterministic, order-preserving trace transforms.
+//!
+//! These are the knobs the PERQ evaluation turns on its workloads
+//! (§3): the arrival-rate factor `f`, slicing a day out of a
+//! multi-month log, rescaling a log's machine onto the simulated
+//! system's `N_WP` node count, and clamping runtimes into the
+//! simulator's envelope. All transforms are pure functions of their
+//! inputs — no RNG, no ambient state — so a transformed trace is as
+//! reproducible as the file it came from.
+
+use crate::record::SwfTrace;
+
+impl SwfTrace {
+    /// Compresses inter-arrival times by `factor` (the paper's
+    /// arrival-rate knob: `factor = 2` doubles the arrival rate by
+    /// halving every submit timestamp). `factor` must be positive.
+    pub fn scale_arrivals(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "arrival-rate factor must be positive, got {factor}"
+        );
+        for r in self.records.iter_mut() {
+            if r.submit_s >= 0.0 {
+                r.submit_s /= factor;
+            }
+        }
+    }
+
+    /// Keeps only the jobs submitted in `[start_s, end_s)` and rebases
+    /// their submit times to the window start.
+    pub fn slice_window(&mut self, start_s: f64, end_s: f64) {
+        assert!(start_s <= end_s, "window start must not exceed its end");
+        self.records
+            .retain(|r| r.submit_s >= start_s && r.submit_s < end_s);
+        for r in self.records.iter_mut() {
+            r.submit_s -= start_s;
+        }
+    }
+
+    /// Rescales the log's machine onto a system with `target_nodes`
+    /// nodes: every processor count is scaled by
+    /// `target_nodes / machine_size`, rounded half-up, and clamped to
+    /// `[1, target_nodes]`; the header's `MaxNodes` is updated. No-op
+    /// when the log carries no usable machine size.
+    ///
+    /// The PERQ mapping targets `N_WP` — the worst-case-provisioned
+    /// footprint — so a rescaled job always fits the over-provisioned
+    /// machine (`N_OP = f · N_WP ≥ N_WP`) too.
+    pub fn rescale_nodes(&mut self, target_nodes: usize) {
+        assert!(target_nodes >= 1, "target node count must be at least 1");
+        let Some(size) = self.machine_size() else {
+            return;
+        };
+        let factor = target_nodes as f64 / size as f64;
+        let scale = |p: i64| -> i64 {
+            if p > 0 {
+                ((p as f64 * factor).round() as i64).clamp(1, target_nodes as i64)
+            } else {
+                p
+            }
+        };
+        for r in self.records.iter_mut() {
+            r.alloc_procs = scale(r.alloc_procs);
+            r.req_procs = scale(r.req_procs);
+        }
+        self.header.set("MaxNodes", target_nodes);
+    }
+
+    /// Clamps every recorded (positive) runtime into `[min_s, max_s]`,
+    /// and raises runtime estimates to stay no smaller than the clamped
+    /// runtime. Missing runtimes (`-1`) are left missing.
+    pub fn clamp_runtime(&mut self, min_s: f64, max_s: f64) {
+        assert!(
+            0.0 < min_s && min_s <= max_s,
+            "runtime clamp window invalid: [{min_s}, {max_s}]"
+        );
+        for r in self.records.iter_mut() {
+            if r.run_s > 0.0 {
+                r.run_s = r.run_s.clamp(min_s, max_s);
+                if r.req_time_s > 0.0 && r.req_time_s < r.run_s {
+                    r.req_time_s = r.run_s;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse::parse_swf;
+    use crate::record::{SwfRecord, SwfTrace};
+
+    fn trace_with_submits(submits: &[f64]) -> SwfTrace {
+        let records = submits
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let mut r = SwfRecord::unavailable();
+                r.job_id = i as i64 + 1;
+                r.submit_s = s;
+                r.run_s = 600.0;
+                r.alloc_procs = 8;
+                r
+            })
+            .collect();
+        SwfTrace {
+            header: Default::default(),
+            records,
+        }
+    }
+
+    #[test]
+    fn scale_arrivals_halves_submit_times_at_f2() {
+        let mut t = trace_with_submits(&[0.0, 100.0, 300.0]);
+        t.scale_arrivals(2.0);
+        let submits: Vec<f64> = t.records.iter().map(|r| r.submit_s).collect();
+        assert_eq!(submits, vec![0.0, 50.0, 150.0]);
+    }
+
+    #[test]
+    fn slice_window_retains_and_rebases() {
+        let mut t = trace_with_submits(&[0.0, 100.0, 300.0, 900.0]);
+        t.slice_window(100.0, 900.0);
+        let submits: Vec<f64> = t.records.iter().map(|r| r.submit_s).collect();
+        assert_eq!(submits, vec![0.0, 200.0]);
+        assert_eq!(t.records[0].job_id, 2, "job identity survives slicing");
+    }
+
+    #[test]
+    fn rescale_nodes_scales_and_clamps() {
+        let input = "; MaxNodes: 128\n1 0 0 600 64 -1 -1 128 900 -1 1 1 1 1 1 -1 -1 -1\n2 0 0 600 1 -1 -1 -1 900 -1 1 1 1 1 1 -1 -1 -1\n";
+        let mut t = parse_swf(input).unwrap();
+        t.rescale_nodes(16);
+        assert_eq!(t.records[0].alloc_procs, 8);
+        assert_eq!(t.records[0].req_procs, 16);
+        assert_eq!(
+            t.records[1].alloc_procs, 1,
+            "small jobs stay at least one node"
+        );
+        assert_eq!(t.records[1].req_procs, -1, "missing fields stay missing");
+        assert_eq!(t.header.max_nodes(), Some(16));
+    }
+
+    #[test]
+    fn clamp_runtime_respects_missing_and_raises_estimates() {
+        let mut t = trace_with_submits(&[0.0, 0.0]);
+        t.records[0].run_s = 5.0;
+        t.records[0].req_time_s = 10.0;
+        t.records[1].run_s = -1.0;
+        t.clamp_runtime(60.0, 3600.0);
+        assert_eq!(t.records[0].run_s, 60.0);
+        assert_eq!(t.records[0].req_time_s, 60.0);
+        assert_eq!(t.records[1].run_s, -1.0);
+    }
+}

@@ -1,0 +1,87 @@
+use crate::record::{SwfRecord, SwfTrace};
+use std::fmt::Write as _;
+
+/// Renders a number the way SWF logs carry them: integral values without
+/// a decimal point, fractional values in Rust's shortest round-trip
+/// form. Parsing the rendered text recovers the exact `f64`, which is
+/// what gives parse → write → parse its identity.
+fn fmt_num(out: &mut String, v: f64) {
+    if v == v.trunc() && v.abs() < 9.0e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// Appends one record as an SWF data line (no trailing newline).
+pub fn write_record(out: &mut String, r: &SwfRecord) {
+    let _ = write!(out, "{} ", r.job_id);
+    fmt_num(out, r.submit_s);
+    out.push(' ');
+    fmt_num(out, r.wait_s);
+    out.push(' ');
+    fmt_num(out, r.run_s);
+    let _ = write!(out, " {} ", r.alloc_procs);
+    fmt_num(out, r.avg_cpu_s);
+    out.push(' ');
+    fmt_num(out, r.used_mem_kb);
+    let _ = write!(out, " {} ", r.req_procs);
+    fmt_num(out, r.req_time_s);
+    out.push(' ');
+    fmt_num(out, r.req_mem_kb);
+    let _ = write!(
+        out,
+        " {} {} {} {} {} {} {} ",
+        r.status, r.user, r.group, r.app, r.queue, r.partition, r.prev_job
+    );
+    fmt_num(out, r.think_s);
+}
+
+/// Renders a full SWF document: the header lines (each restored behind
+/// its leading `;`) followed by one data line per record.
+pub fn write_swf(trace: &SwfTrace) -> String {
+    let mut out = String::new();
+    for line in &trace.header.lines {
+        out.push(';');
+        out.push_str(line);
+        out.push('\n');
+    }
+    for record in &trace.records {
+        write_record(&mut out, record);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_swf;
+
+    #[test]
+    fn writes_integers_without_decimal_point() {
+        let mut r = SwfRecord::unavailable();
+        r.job_id = 3;
+        r.submit_s = 100.0;
+        r.run_s = 60.5;
+        let mut line = String::new();
+        write_record(&mut line, &r);
+        assert!(line.starts_with("3 100 -1 60.5 "), "{line}");
+    }
+
+    #[test]
+    fn header_round_trips_byte_identically() {
+        let input =
+            "; Version: 2.2\n;\n; MaxNodes: 16\n1 0 0 120 4 -1 -1 4 180 -1 1 1 1 1 1 -1 -1 -1\n";
+        let trace = parse_swf(input).unwrap();
+        assert_eq!(write_swf(&trace), input);
+    }
+
+    #[test]
+    fn parse_write_parse_is_identity() {
+        let input = "; Version: 2.2\n1 0 0 120 4 -1 -1 4 180.25 -1 1 1 1 1 1 -1 -1 -1\n2 10 5 60.5 2 -1 -1 2 90 -1 1 2 1 2 1 -1 -1 -1\n";
+        let first = parse_swf(input).unwrap();
+        let second = parse_swf(&write_swf(&first)).unwrap();
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,58 @@
+//! The committed SWF fixtures: the hand-built Tardis-sized log, the
+//! public-log-shaped sample, and the malformed-line fixture that pins
+//! strict/lenient diagnostics.
+
+use perq_trace::{
+    parse_swf, parse_swf_report, write_swf, CalibrationReport, CalibrationTargets, ParseMode,
+    TraceStats,
+};
+
+const TARDIS: &str = include_str!("../fixtures/tardis_tiny.swf");
+const SAMPLE: &str = include_str!("../fixtures/sample_cluster.swf");
+const MALFORMED: &str = include_str!("../fixtures/malformed.swf");
+
+#[test]
+fn tardis_fixture_parses_and_round_trips() {
+    let trace = parse_swf(TARDIS).unwrap();
+    assert_eq!(trace.records.len(), 12);
+    assert_eq!(trace.header.max_nodes(), Some(8));
+    assert_eq!(trace.header.get("Version"), Some("2.2"));
+    assert_eq!(write_swf(&trace), TARDIS, "fixture is in canonical form");
+}
+
+#[test]
+fn sample_fixture_parses_and_round_trips() {
+    let trace = parse_swf(SAMPLE).unwrap();
+    assert_eq!(trace.records.len(), 40);
+    assert_eq!(trace.machine_size(), Some(128));
+    assert_eq!(write_swf(&trace), SAMPLE, "fixture is in canonical form");
+
+    let stats = TraceStats::of(&trace);
+    // Two cancelled jobs carry no runtime; the rest are valid.
+    assert_eq!(stats.valid_jobs, 38);
+    assert_eq!(stats.max_procs, 128);
+    assert!(stats.arrival_span_s > 7000.0);
+
+    // The comparison machinery runs on it (the sample is a small
+    // cluster, so it is *not* expected to hit the Mira targets).
+    let report = CalibrationReport::compare(&stats, &CalibrationTargets::mira());
+    assert_eq!(report.rows.len(), 3);
+}
+
+#[test]
+fn malformed_fixture_errors_with_line_number_in_strict_mode() {
+    let err = parse_swf(MALFORMED).unwrap_err();
+    assert_eq!(err.0.line, 5, "first malformed line");
+    assert!(err.0.message.contains("missing field"), "{}", err.0.message);
+}
+
+#[test]
+fn malformed_fixture_skips_are_counted_in_lenient_mode() {
+    let report = parse_swf_report(MALFORMED, ParseMode::Lenient).unwrap();
+    assert_eq!(report.trace.records.len(), 3);
+    let lines: Vec<usize> = report.skipped.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![5, 6, 8, 9]);
+    assert!(report.skipped[1].message.contains("not a number"));
+    assert!(report.skipped[2].message.contains("trailing field"));
+    assert!(report.skipped[3].message.contains("not finite"));
+}

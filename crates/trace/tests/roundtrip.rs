@@ -1,0 +1,121 @@
+//! Property tests: parse → write → parse is the identity on records,
+//! in both strict and lenient modes, for integral and fractional field
+//! values across the SWF value ranges (including `-1` "not available"
+//! markers).
+
+use perq_trace::{
+    parse_swf, parse_swf_report, write_swf, ParseMode, SwfHeader, SwfRecord, SwfTrace,
+};
+use proptest::prelude::*;
+
+/// A strategy over single SWF records. Two nested tuples because the
+/// 18 fields exceed the tuple-strategy arity; times mix integral and
+/// fractional seconds so the writer's number formatting is exercised on
+/// both shapes.
+fn record_strategy() -> impl Strategy<Value = SwfRecord> {
+    (
+        (
+            0i64..1_000_000, // job_id
+            -1.0f64..1.0e7,  // submit_s
+            -1.0f64..1.0e5,  // wait_s
+            -1.0f64..1.0e6,  // run_s
+            -1i64..100_000,  // alloc_procs
+            -1.0f64..1.0e6,  // avg_cpu_s
+            -1.0f64..1.0e8,  // used_mem_kb
+            -1i64..100_000,  // req_procs
+            -1.0f64..1.0e6,  // req_time_s
+        ),
+        (
+            -1.0f64..1.0e8,   // req_mem_kb
+            -1i64..6,         // status
+            -1i64..10_000,    // user
+            -1i64..1_000,     // group
+            -1i64..1_000,     // app
+            -1i64..100,       // queue
+            -1i64..100,       // partition
+            -1i64..1_000_000, // prev_job
+            -1.0f64..1.0e4,   // think_s
+        ),
+        prop::bool::ANY, // force integral times (exercises the int-format path)
+    )
+        .prop_map(
+            |((a, b, c, d, e, f, g, h, i), (j, k, l, m, n, o, p, q, r), integral)| {
+                let t = |v: f64| if integral { v.round() } else { v };
+                SwfRecord {
+                    job_id: a,
+                    submit_s: t(b),
+                    wait_s: t(c),
+                    run_s: t(d),
+                    alloc_procs: e,
+                    avg_cpu_s: t(f),
+                    used_mem_kb: t(g),
+                    req_procs: h,
+                    req_time_s: t(i),
+                    req_mem_kb: t(j),
+                    status: k,
+                    user: l,
+                    group: m,
+                    app: n,
+                    queue: o,
+                    partition: p,
+                    prev_job: q,
+                    think_s: t(r),
+                }
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn parse_write_parse_is_identity(
+        records in prop::collection::vec(record_strategy(), 0..40),
+        with_header in prop::bool::ANY,
+    ) {
+        let header = if with_header {
+            SwfHeader {
+                lines: vec![
+                    " Version: 2.2".to_string(),
+                    " Computer: proptest".to_string(),
+                    " MaxNodes: 4096".to_string(),
+                ],
+            }
+        } else {
+            SwfHeader::default()
+        };
+        let original = SwfTrace { header, records };
+        let text = write_swf(&original);
+
+        let strict = parse_swf(&text).unwrap();
+        prop_assert_eq!(&strict.records, &original.records);
+        prop_assert_eq!(&strict.header, &original.header);
+
+        let lenient = parse_swf_report(&text, ParseMode::Lenient).unwrap();
+        prop_assert_eq!(&lenient.trace.records, &original.records);
+        prop_assert!(lenient.skipped.is_empty());
+
+        // Writing the re-parsed trace reproduces the text byte-for-byte.
+        prop_assert_eq!(write_swf(&strict), text);
+    }
+
+    #[test]
+    fn transforms_preserve_parseability(
+        records in prop::collection::vec(record_strategy(), 1..30),
+        factor in 0.5f64..4.0,
+        target_nodes in 1usize..512,
+    ) {
+        let mut trace = SwfTrace { header: SwfHeader::default(), records };
+        trace.scale_arrivals(factor);
+        trace.rescale_nodes(target_nodes);
+        trace.clamp_runtime(60.0, 86_400.0);
+        for r in &trace.records {
+            if r.alloc_procs > 0 {
+                prop_assert!(r.alloc_procs <= target_nodes as i64);
+            }
+            if r.run_s > 0.0 {
+                prop_assert!((60.0..=86_400.0).contains(&r.run_s));
+            }
+        }
+        let reparsed = parse_swf(&write_swf(&trace)).unwrap();
+        prop_assert_eq!(reparsed.records, trace.records);
+    }
+}

@@ -20,6 +20,7 @@
 //! | identification | [`sysid`] | ARX fitting, state-space models, Kalman observers, RLS, monotone curves |
 //! | workloads | [`apps`] | ECP proxy-app and NPB-like synthetic profiles (Table 1, Figs. 2–3) |
 //! | hardware | [`rapl`] | simulated RAPL power capping |
+//! | workload logs | [`trace`] | SWF parsing/writing, deterministic transforms, seeded power synthesis |
 //! | evaluation | [`sim`] | cluster simulator, FCFS+EASY scheduling, Mira/Trinity traces |
 //! | **contribution** | [`core`] | PERQ target generator + MPC controller + baseline policies |
 //! | prototype | [`proto`] | TCP-connected miniature cluster (Tardis) |
@@ -56,6 +57,7 @@ pub use perq_rapl as rapl;
 pub use perq_sim as sim;
 pub use perq_sysid as sysid;
 pub use perq_telemetry as telemetry;
+pub use perq_trace as trace;
 
 /// Convenience prelude importing the types most programs need.
 pub mod prelude {
