@@ -52,7 +52,16 @@ fn bench_campaign(c: &mut Criterion) {
     group.sample_size(10);
     for threads in [1usize, 2, 8] {
         group.bench_function(format!("threads/{threads}"), |b| {
-            b.iter(|| run_campaign(&grid, &CampaignOptions { threads }, &Recorder::noop()))
+            b.iter(|| {
+                run_campaign(
+                    &grid,
+                    &CampaignOptions {
+                        threads,
+                        ..Default::default()
+                    },
+                    &Recorder::noop(),
+                )
+            })
         });
     }
     group.finish();
@@ -76,7 +85,14 @@ fn grid_section() -> Vec<String> {
     for threads in THREAD_COUNTS {
         let recorder = Recorder::manual();
         let t = wall_s(|| {
-            run_campaign(&grid, &CampaignOptions { threads }, &recorder);
+            run_campaign(
+                &grid,
+                &CampaignOptions {
+                    threads,
+                    ..Default::default()
+                },
+                &recorder,
+            );
         });
         let export = recorder.export_prometheus();
         if threads == 1 {
@@ -159,6 +175,10 @@ fn step_loop_row(system: SystemModel, duration_s: f64) -> String {
         for _ in 0..5 {
             let mut cluster = Cluster::new(config.clone(), jobs.clone(), 11);
             cluster.set_rescan_oracle(oracle);
+            // Both arms on the legacy per-job RAPL seeds: the oracle
+            // implies them, and the incremental arm must match for the
+            // before/after timing to compare identical simulations.
+            cluster.set_legacy_rapl_seed(true);
             median.push(wall_s(|| {
                 result = Some(cluster.run(&mut FairPolicy::new()));
             }));

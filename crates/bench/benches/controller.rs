@@ -17,7 +17,7 @@ fn jobs(ctrl: &MpcController, model: &NodeModel, n: usize, seed: u64) -> Vec<Mpc
             let mut obs = KalmanObserver::new(model.ss.clone(), 0.05, 1e-3);
             obs.seed_steady_state(model.curve.eval(cap), model.curve.eval(cap));
             MpcJobState {
-                size: 1 << rng.gen_range(9..13),
+                size: 1 << rng.gen_range(9usize..13),
                 target: rng.gen_range(0.5..1.0),
                 current_cap_frac: cap,
                 gain,

@@ -52,6 +52,7 @@ fn bench_fig12_prototype(c: &mut Criterion) {
                     size: 1,
                     runtime_tdp_s: 150.0,
                     runtime_estimate_s: 200.0,
+                    submit_s: 0.0,
                 },
                 JobSpec {
                     id: 1,
@@ -59,6 +60,7 @@ fn bench_fig12_prototype(c: &mut Criterion) {
                     size: 1,
                     runtime_tdp_s: 200.0,
                     runtime_estimate_s: 260.0,
+                    submit_s: 0.0,
                 },
             ];
             let mut perq = PerqPolicy::new(PerqConfig::default());

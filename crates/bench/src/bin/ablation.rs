@@ -90,7 +90,14 @@ fn main() {
             )
         })
         .collect();
-    let outcomes = run_campaign(&grid, &CampaignOptions { threads }, &Recorder::noop());
+    let outcomes = run_campaign(
+        &grid,
+        &CampaignOptions {
+            threads,
+            ..Default::default()
+        },
+        &Recorder::noop(),
+    );
 
     let baseline = outcomes[0].result.throughput();
     let fop = &outcomes[1].result;

@@ -19,6 +19,7 @@ fn main() {
             size: 1,
             runtime_tdp_s: 230.0,
             runtime_estimate_s: 300.0,
+            submit_s: 0.0,
         },
         // SimpleMOC: high sensitivity, enters the queue behind job 0 and
         // starts on the second node within the first interval.
@@ -28,6 +29,7 @@ fn main() {
             size: 1,
             runtime_tdp_s: 380.0,
             runtime_estimate_s: 480.0,
+            submit_s: 0.0,
         },
     ];
 

@@ -33,7 +33,7 @@ fn random_jobs(
             obs.seed_steady_state(model.curve.eval(cap), gain.min(1.2) * model.curve.eval(cap));
             MpcJobState {
                 size: *[512usize, 1024, 2048, 4096]
-                    .get(rng.gen_range(0..4))
+                    .get(rng.gen_range(0usize..4))
                     .expect("index in range"),
                 target: rng.gen_range(0.5..1.0),
                 current_cap_frac: cap,

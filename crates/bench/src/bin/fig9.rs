@@ -58,7 +58,14 @@ fn main() {
             grid.push(s);
         }
     }
-    let outcomes = run_campaign(&grid, &CampaignOptions { threads }, &Recorder::noop());
+    let outcomes = run_campaign(
+        &grid,
+        &CampaignOptions {
+            threads,
+            ..Default::default()
+        },
+        &Recorder::noop(),
+    );
 
     let rec = Recorder::manual();
     let mut bar1: Option<usize> = None;

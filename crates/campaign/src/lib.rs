@@ -26,8 +26,8 @@ use perq_core::{
     baselines, train_node_model, train_node_model_with, NodeModel, PerqConfig, PerqPolicy,
 };
 use perq_sim::{
-    Cluster, ClusterConfig, FairPolicy, FaultPlan, FaultRates, JobSpec, PowerPolicy, SimResult,
-    SwfImportSummary, SystemModel, TraceGenerator, TraceSource,
+    Cluster, ClusterConfig, FairPolicy, FaultPlan, FaultRates, JobSpec, PowerPolicy, SimEngine,
+    SimResult, SwfImportSummary, SystemModel, TraceGenerator, TraceSource,
 };
 use perq_telemetry::{FieldValue, Recorder};
 use perq_trace::{parse_swf_report, ParseMode, SwfTrace};
@@ -199,6 +199,13 @@ pub struct SwfReplayOptions {
     /// Parse leniently (skip malformed lines) instead of failing on the
     /// first one. Lenient is the default: archive logs carry warts.
     pub lenient: bool,
+    /// Honour the log's submit times (rebased so the first job arrives
+    /// at `t = 0`) instead of making every job ready at `t = 0`. Off by
+    /// default — the saturated queue reproduces the paper's setup —
+    /// but arrivals are what expose the dead time the event engine
+    /// skips. Missing in older scenario files, hence the serde default.
+    #[serde(default)]
+    pub honor_arrivals: bool,
 }
 
 impl Default for SwfReplayOptions {
@@ -210,6 +217,7 @@ impl Default for SwfReplayOptions {
             clamp_runtime_s: None,
             synth_seed: None,
             lenient: true,
+            honor_arrivals: false,
         }
     }
 }
@@ -280,6 +288,12 @@ pub struct Scenario {
     /// The workload source (synthetic generator or SWF replay).
     #[serde(default)]
     pub workload: WorkloadSpec,
+    /// Which simulator core executes the run. Both produce identical
+    /// results ([`SimResult::same_simulation`] and byte-identical
+    /// recorder exports); `Event` skips dead time. Defaults to `Step`
+    /// so older scenario files keep their meaning.
+    #[serde(default)]
+    pub engine: SimEngine,
 }
 
 impl Scenario {
@@ -304,6 +318,7 @@ impl Scenario {
             faults: None,
             trace_jobs: Vec::new(),
             workload: WorkloadSpec::default(),
+            engine: SimEngine::default(),
         }
     }
 
@@ -316,11 +331,20 @@ impl Scenario {
         self
     }
 
+    /// Selects the simulator core for this scenario.
+    pub fn with_engine(mut self, engine: SimEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// The cluster configuration this scenario induces.
     pub fn cluster_config(&self) -> ClusterConfig {
         let mut config = ClusterConfig::for_system(&self.system, self.f, self.duration_s);
         config.interval_s = self.interval_s;
         config.trace_jobs = self.trace_jobs.clone();
+        if let WorkloadSpec::Swf { options, .. } = &self.workload {
+            config.honor_arrivals = options.honor_arrivals;
+        }
         config
     }
 
@@ -366,6 +390,7 @@ impl Scenario {
                 let synth_seed = options.synth_seed.unwrap_or(self.seed);
                 let (jobs, summary) = TraceSource::new(trace, synth_seed)
                     .with_estimate_factor(self.system.estimate_factor)
+                    .with_arrivals(options.honor_arrivals)
                     .jobs();
                 if jobs.is_empty() {
                     return Err(err(format!(
@@ -406,8 +431,63 @@ impl Scenario {
         if let Some(faults) = &self.faults {
             cluster = cluster.with_fault_plan(faults.materialise(steps));
         }
-        Ok(cluster.run(policy.as_mut()))
+        Ok(cluster.run_engine(policy.as_mut(), self.engine))
     }
+}
+
+/// Runs a truncated copy of `scenario` under **both** engines and
+/// checks they agree — [`SimResult::same_simulation`] plus
+/// byte-identical Prometheus and JSONL exports. `steps` bounds the
+/// truncated run's length in control intervals.
+///
+/// Trains the scenario's models from scratch; inside a campaign the
+/// engine calls the shared-model variant instead.
+pub fn verify_engine_parity(scenario: &Scenario, steps: usize) -> Result<(), CampaignError> {
+    let models = train_referenced_models(std::slice::from_ref(scenario), 1);
+    engine_parity_check(scenario, steps, &models)
+}
+
+fn engine_parity_check(
+    scenario: &Scenario,
+    steps: usize,
+    models: &BTreeMap<String, NodeModel>,
+) -> Result<(), CampaignError> {
+    assert!(steps > 0, "parity check needs at least one step");
+    let mut short = scenario.clone();
+    short.duration_s = short.duration_s.min(steps as f64 * short.interval_s);
+    let run = |engine: SimEngine| -> Result<(SimResult, String, String), CampaignError> {
+        let recorder = Recorder::manual();
+        let result = short
+            .clone()
+            .with_engine(engine)
+            .try_run(models, recorder.clone())?;
+        Ok((
+            result,
+            recorder.export_prometheus(),
+            recorder.export_jsonl(),
+        ))
+    };
+    let (step, step_prom, step_jsonl) = run(SimEngine::Step)?;
+    let (event, event_prom, event_jsonl) = run(SimEngine::Event)?;
+    let fail = |what: &str| {
+        Err(CampaignError {
+            scenario: scenario.name.clone(),
+            message: format!(
+                "engine parity preflight over {steps} steps: step and event engines \
+                 disagree on {what}"
+            ),
+        })
+    };
+    if !step.same_simulation(&event) {
+        return fail("the simulation result");
+    }
+    if step_prom != event_prom {
+        return fail("the Prometheus export");
+    }
+    if step_jsonl != event_jsonl {
+        return fail("the JSONL journal");
+    }
+    Ok(())
 }
 
 /// Campaign execution options.
@@ -415,11 +495,20 @@ impl Scenario {
 pub struct CampaignOptions {
     /// Worker threads; `1` runs strictly serially.
     pub threads: usize,
+    /// When non-zero, every scenario that selects [`SimEngine::Event`]
+    /// first runs a truncated copy (this many control intervals) under
+    /// both engines and the campaign refuses to start if they disagree.
+    /// `0` (the default) skips the preflight.
+    #[serde(default)]
+    pub parity_preflight_steps: usize,
 }
 
 impl Default for CampaignOptions {
     fn default() -> Self {
-        CampaignOptions { threads: 1 }
+        CampaignOptions {
+            threads: 1,
+            parity_preflight_steps: 0,
+        }
     }
 }
 
@@ -463,6 +552,13 @@ pub fn try_run_campaign(
         }
     }
     let models = train_referenced_models(scenarios, opts.threads);
+    if opts.parity_preflight_steps > 0 {
+        for scenario in scenarios {
+            if scenario.engine == SimEngine::Event {
+                engine_parity_check(scenario, opts.parity_preflight_steps, &models)?;
+            }
+        }
+    }
     let collect = recorder.enabled();
     let runs: Vec<(Recorder, SimResult)> = parallel_map(scenarios, opts.threads, |_i, scenario| {
         let worker = if collect {
@@ -567,9 +663,23 @@ mod tests {
     #[test]
     fn results_are_identical_across_thread_counts() {
         let grid = tiny_grid();
-        let serial = run_campaign(&grid, &CampaignOptions { threads: 1 }, &Recorder::noop());
+        let serial = run_campaign(
+            &grid,
+            &CampaignOptions {
+                threads: 1,
+                ..Default::default()
+            },
+            &Recorder::noop(),
+        );
         for threads in [2, 8] {
-            let par = run_campaign(&grid, &CampaignOptions { threads }, &Recorder::noop());
+            let par = run_campaign(
+                &grid,
+                &CampaignOptions {
+                    threads,
+                    ..Default::default()
+                },
+                &Recorder::noop(),
+            );
             assert_eq!(par.len(), serial.len());
             for (a, b) in serial.iter().zip(par.iter()) {
                 assert_eq!(a.scenario, b.scenario);
@@ -587,7 +697,14 @@ mod tests {
         let grid = tiny_grid();
         let export = |threads: usize| {
             let recorder = Recorder::manual();
-            run_campaign(&grid, &CampaignOptions { threads }, &recorder);
+            run_campaign(
+                &grid,
+                &CampaignOptions {
+                    threads,
+                    ..Default::default()
+                },
+                &recorder,
+            );
             (recorder.export_prometheus(), recorder.export_jsonl())
         };
         let (prom1, jsonl1) = export(1);
@@ -607,7 +724,10 @@ mod tests {
         let run = || {
             let out = run_campaign(
                 std::slice::from_ref(&scenario),
-                &CampaignOptions { threads: 1 },
+                &CampaignOptions {
+                    threads: 1,
+                    ..Default::default()
+                },
                 &Recorder::noop(),
             );
             out.into_iter().next().unwrap().result
@@ -616,6 +736,45 @@ mod tests {
         let b = run();
         assert!(!a.faults.is_empty(), "aggressive rates must apply faults");
         assert!(a.same_simulation(&b));
+    }
+
+    #[test]
+    fn event_engine_campaign_matches_step_engine_campaign() {
+        let grid = tiny_grid();
+        let event_grid: Vec<Scenario> = grid
+            .iter()
+            .map(|s| s.clone().with_engine(SimEngine::Event))
+            .collect();
+        let run = |grid: &[Scenario]| {
+            let recorder = Recorder::manual();
+            let out = run_campaign(grid, &CampaignOptions::default(), &recorder);
+            let results: Vec<SimResult> = out.into_iter().map(|o| o.result).collect();
+            (
+                results,
+                recorder.export_prometheus(),
+                recorder.export_jsonl(),
+            )
+        };
+        let (step, step_prom, step_jsonl) = run(&grid);
+        let (event, event_prom, event_jsonl) = run(&event_grid);
+        for (a, b) in step.iter().zip(event.iter()) {
+            assert!(a.same_simulation(b), "engines diverged on {}", a.policy);
+        }
+        assert_eq!(step_prom, event_prom);
+        assert_eq!(step_jsonl, event_jsonl);
+    }
+
+    #[test]
+    fn parity_preflight_accepts_equivalent_engines() {
+        let scenario = tiny_grid().remove(1).with_engine(SimEngine::Event);
+        verify_engine_parity(&scenario, 20).expect("engines must agree on the prefix");
+        let opts = CampaignOptions {
+            threads: 2,
+            parity_preflight_steps: 10,
+        };
+        let out = try_run_campaign(&[scenario], &opts, &Recorder::noop())
+            .expect("preflight must pass for equivalent engines");
+        assert_eq!(out.len(), 1);
     }
 
     #[test]

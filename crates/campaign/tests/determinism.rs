@@ -22,7 +22,14 @@ fn cheap_policy(choice: usize) -> PolicySpec {
 /// plus both export formats.
 fn run_at(grid: &[Scenario], threads: usize) -> (Vec<SimResult>, String, String) {
     let recorder = Recorder::manual();
-    let outcomes = run_campaign(grid, &CampaignOptions { threads }, &recorder);
+    let outcomes = run_campaign(
+        grid,
+        &CampaignOptions {
+            threads,
+            ..Default::default()
+        },
+        &recorder,
+    );
     (
         outcomes.into_iter().map(|o| o.result).collect(),
         recorder.export_prometheus(),

@@ -44,7 +44,14 @@ fn swf_replay_is_byte_identical_across_thread_counts() {
     let grid = swf_grid();
     let export = |threads: usize| {
         let recorder = Recorder::manual();
-        let outcomes = run_campaign(&grid, &CampaignOptions { threads }, &recorder);
+        let outcomes = run_campaign(
+            &grid,
+            &CampaignOptions {
+                threads,
+                ..Default::default()
+            },
+            &recorder,
+        );
         (
             outcomes,
             recorder.export_prometheus(),
@@ -73,7 +80,10 @@ fn swf_replay_is_byte_identical_across_thread_counts() {
 #[test]
 fn swf_replay_is_reproducible_run_to_run() {
     let grid = swf_grid();
-    let opts = CampaignOptions { threads: 2 };
+    let opts = CampaignOptions {
+        threads: 2,
+        ..Default::default()
+    };
     let a = run_campaign(&grid, &opts, &Recorder::noop());
     let b = run_campaign(&grid, &opts, &Recorder::noop());
     for (x, y) in a.iter().zip(b.iter()) {
@@ -91,7 +101,10 @@ fn lenient_mode_replays_the_malformed_fixture() {
     let recorder = Recorder::manual();
     let outcomes = run_campaign(
         std::slice::from_ref(&scenario),
-        &CampaignOptions { threads: 1 },
+        &CampaignOptions {
+            threads: 1,
+            ..Default::default()
+        },
         &recorder,
     );
     assert_eq!(outcomes.len(), 1);
@@ -111,7 +124,10 @@ fn strict_mode_fails_fast_with_line_numbered_error() {
     );
     let err = try_run_campaign(
         std::slice::from_ref(&scenario),
-        &CampaignOptions { threads: 4 },
+        &CampaignOptions {
+            threads: 4,
+            ..Default::default()
+        },
         &Recorder::noop(),
     )
     .unwrap_err();
@@ -126,7 +142,10 @@ fn missing_trace_file_is_an_error_not_a_worker_panic() {
         .with_swf("/nonexistent/trace.swf", SwfReplayOptions::default());
     let err = try_run_campaign(
         std::slice::from_ref(&scenario),
-        &CampaignOptions { threads: 4 },
+        &CampaignOptions {
+            threads: 4,
+            ..Default::default()
+        },
         &Recorder::noop(),
     )
     .unwrap_err();
@@ -148,7 +167,10 @@ fn synthesis_seed_changes_the_replay() {
     let run = |s: Scenario| {
         run_campaign(
             std::slice::from_ref(&s),
-            &CampaignOptions { threads: 1 },
+            &CampaignOptions {
+                threads: 1,
+                ..Default::default()
+            },
             &Recorder::noop(),
         )
         .remove(0)

@@ -21,7 +21,7 @@
 use perq_core::{baselines, train_node_model, PerqConfig, PerqPolicy};
 use perq_sim::{
     compare_fairness, fault_summary, Cluster, ClusterConfig, FairPolicy, FaultPlan, FaultRates,
-    PowerPolicy, SimResult, SystemModel, TraceGenerator,
+    PowerPolicy, SimEngine, SimResult, SystemModel, TraceGenerator,
 };
 use perq_telemetry::Recorder;
 use std::collections::HashMap;
@@ -34,21 +34,29 @@ fn usage() -> ExitCode {
 USAGE:
     perq simulate  [system=mira|trinity|tardis] [policy=perq|fop|sjs|ljs|srn] [f=2.0]
                    [hours=4] [seed=42] [interval=10] [json=out.json]
+                   [engine=step|event] (simulator core; both produce identical
+                   results — event skips dead time on sparse workloads)
                    [faults=SEED] (seeded fault injection: node crashes, telemetry
                    dropouts, job kills — deterministic per seed)
                    [metrics-out=PATH] [metrics-fmt=prom|jsonl] (telemetry export:
                    solver, controller, and simulator metrics for the policy run)
+                   [engine-metrics-out=PATH] (engine diagnostics — events processed,
+                   intervals skipped, queue depth — as a Prometheus exposition)
     perq train     [seed=7]
     perq prototype [wp=8] [f=2.0] [policy=perq|fop|sjs|ljs|srn] [jobs=200] [intervals=600]
                    [crash=NODE@STEP] (kill worker NODE at control step STEP)
                    [metrics-out=PATH] [metrics-fmt=prom|jsonl]
     perq campaign  [threads=1] [scenarios=FILE.json] [json=out.json]
                    [system=mira|trinity|tardis] [policy=perq|fop|sjs|ljs|srn]
-                   [seeds=4] [hours=0.5] [f=2.0]
+                   [seeds=4] [hours=0.5] [f=2.0] [engine=step|event]
+                   [parity-steps=N] (run each event-engine scenario's first N
+                   intervals under both cores and refuse to start on divergence)
                    [metrics-out=PATH] [metrics-fmt=prom|jsonl]
-                   (scenarios=FILE runs a serde-encoded grid; otherwise a
-                   fig8-style grid over seeds 0..SEEDS is generated. Exports
-                   are byte-identical at any thread count.)
+                   (scenarios=FILE runs a serde-encoded grid — each scenario
+                   may carry its own \"engine\" field; otherwise a fig8-style
+                   grid over seeds 0..SEEDS is generated with engine=ENGINE.
+                   Exports are byte-identical at any thread count and for
+                   either engine.)
     perq trace inspect  file=LOG.swf [calib=mira|trinity|none]
                    (header, per-log statistics, and the Fig. 1 calibration table)
     perq trace validate file=LOG.swf [mode=strict|lenient]
@@ -61,6 +69,9 @@ USAGE:
     perq trace replay   file=LOG.swf [system=mira|trinity|tardis] [policy=perq|fop|sjs|ljs|srn]
                    [f=2.0] [hours=1] [seed=42] [synth-seed=SEED] [mode=strict|lenient]
                    [scale=F] [window=START:END] [clamp=MIN:MAX]
+                   [engine=step|event] [arrivals=true] (honour the log's submit
+                   times instead of queueing every job at t=0 — with the event
+                   engine, idle gaps between arrivals are skipped)
                    [metrics-out=PATH] [metrics-fmt=prom|jsonl]
                    (replay the log through the simulator with seeded power profiles)
     perq stress    [clients=100000] [connections=4]
@@ -70,6 +81,7 @@ USAGE:
 
 Examples:
     perq simulate system=trinity policy=perq f=1.8 hours=8
+    perq trace replay file=year.swf system=mira engine=event arrivals=true hours=8760
     perq campaign threads=8 system=tardis policy=fop seeds=16 hours=1
     perq campaign threads=4 scenarios=grid.json metrics-out=campaign.prom metrics-fmt=prom
     perq simulate system=tardis policy=perq faults=7 metrics-out=metrics.prom metrics-fmt=prom
@@ -120,6 +132,33 @@ fn policy(map: &HashMap<String, String>) -> Box<dyn PowerPolicy> {
             Box::new(PerqPolicy::new(PerqConfig::default()))
         }
     }
+}
+
+fn engine(map: &HashMap<String, String>) -> SimEngine {
+    match map.get("engine") {
+        None => SimEngine::default(),
+        Some(spec) => spec.parse().unwrap_or_else(|_| {
+            eprintln!("unknown engine '{spec}' (expected step|event), using step");
+            SimEngine::default()
+        }),
+    }
+}
+
+/// Writes the engine-diagnostics recorder to `engine-metrics-out=` as a
+/// Prometheus exposition. No-op when the key was not given.
+fn write_engine_metrics(
+    map: &HashMap<String, String>,
+    recorder: &Recorder,
+) -> Result<(), ExitCode> {
+    let Some(path) = map.get("engine-metrics-out") else {
+        return Ok(());
+    };
+    if let Err(e) = std::fs::write(path, recorder.export_prometheus()) {
+        eprintln!("failed to write {path}: {e}");
+        return Err(ExitCode::FAILURE);
+    }
+    println!("engine metrics written to {path}");
+    Ok(())
 }
 
 /// A live recorder when `metrics-out=` was given, the no-op otherwise.
@@ -190,12 +229,15 @@ fn cmd_simulate(map: HashMap<String, String>) -> ExitCode {
     let seed: u64 = get(&map, "seed", 42);
     let interval: f64 = get(&map, "interval", 10.0);
 
+    let engine = engine(&map);
+
     let mut config = ClusterConfig::for_system(&system, f, hours * 3600.0);
     config.interval_s = interval;
     let jobs = TraceGenerator::new(system.clone(), seed)
         .generate_saturating(config.nodes, config.duration_s);
     println!(
-        "simulating {}: {} nodes (wp {}), {} queued jobs, {hours} h at {interval} s intervals",
+        "simulating {}: {} nodes (wp {}), {} queued jobs, {hours} h at {interval} s \
+         intervals ({engine} engine)",
         system.name,
         config.nodes,
         config.wp_nodes,
@@ -222,22 +264,33 @@ fn cmd_simulate(map: HashMap<String, String>) -> ExitCode {
     // Always run the FOP reference for the fairness metrics. The
     // recorder follows the *chosen* policy's run, whichever that is.
     let recorder = metrics_recorder(&map);
+    let engine_recorder = if map.contains_key("engine-metrics-out") {
+        Recorder::manual()
+    } else {
+        Recorder::noop()
+    };
     let mut chosen = policy(&map);
     let chosen_is_fop = chosen.name() == "FOP";
     let mut fop_cluster = with_plan(Cluster::new(config.clone(), jobs.clone(), seed));
     if chosen_is_fop {
-        fop_cluster = fop_cluster.with_recorder(recorder.clone());
+        fop_cluster = fop_cluster
+            .with_recorder(recorder.clone())
+            .with_engine_recorder(engine_recorder.clone());
     }
-    let fop_result = fop_cluster.run(&mut FairPolicy::new());
+    let fop_result = fop_cluster.run_engine(&mut FairPolicy::new(), engine);
     let result = if chosen_is_fop {
         fop_result.clone()
     } else {
         with_plan(Cluster::new(config, jobs, seed))
             .with_recorder(recorder.clone())
-            .run(chosen.as_mut())
+            .with_engine_recorder(engine_recorder.clone())
+            .run_engine(chosen.as_mut(), engine)
     };
     summarize(&result, Some(&fop_result));
     if let Err(code) = write_metrics(&map, &recorder) {
+        return code;
+    }
+    if let Err(code) = write_engine_metrics(&map, &engine_recorder) {
         return code;
     }
 
@@ -331,7 +384,7 @@ fn cmd_prototype(map: HashMap<String, String>) -> ExitCode {
 }
 
 fn cmd_campaign(map: HashMap<String, String>) -> ExitCode {
-    use perq_campaign::{fig8_style_grid, run_campaign, CampaignOptions, PolicySpec, Scenario};
+    use perq_campaign::{fig8_style_grid, try_run_campaign, CampaignOptions, PolicySpec, Scenario};
 
     let threads: usize = get(&map, "threads", 1);
     let scenarios: Vec<Scenario> = if let Some(path) = map.get("scenarios") {
@@ -364,10 +417,12 @@ fn cmd_campaign(map: HashMap<String, String>) -> ExitCode {
                 PolicySpec::perq_default()
             }
         };
+        let engine = engine(&map);
         let mut grid = fig8_style_grid(system(&map), hours * 3600.0, 0..seeds);
         for s in grid.iter_mut() {
             s.f = f;
             s.policy = policy.clone();
+            s.engine = engine;
         }
         grid
     };
@@ -382,8 +437,18 @@ fn cmd_campaign(map: HashMap<String, String>) -> ExitCode {
     );
 
     let recorder = metrics_recorder(&map);
+    let opts = CampaignOptions {
+        threads,
+        parity_preflight_steps: get(&map, "parity-steps", 0),
+    };
     let start = std::time::Instant::now();
-    let outcomes = run_campaign(&scenarios, &CampaignOptions { threads }, &recorder);
+    let outcomes = match try_run_campaign(&scenarios, &opts, &recorder) {
+        Ok(outcomes) => outcomes,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let elapsed = start.elapsed().as_secs_f64();
 
     println!(
@@ -676,18 +741,24 @@ fn cmd_trace_replay(map: HashMap<String, String>) -> ExitCode {
         clamp_runtime_s: clamp,
         synth_seed: map.get("synth-seed").and_then(|v| v.parse().ok()),
         lenient: parse_mode(&map, perq_trace::ParseMode::Lenient) == perq_trace::ParseMode::Lenient,
+        honor_arrivals: get(&map, "arrivals", false),
         ..SwfReplayOptions::default()
     };
+    let engine = engine(&map);
     let scenario = Scenario::new("replay", system.clone(), f, hours * 3600.0, seed, policy)
-        .with_swf(path.clone(), options);
+        .with_swf(path.clone(), options)
+        .with_engine(engine);
     println!(
-        "replaying {path} on {}: f={f:.2}, {hours} h, seed {seed}",
+        "replaying {path} on {}: f={f:.2}, {hours} h, seed {seed} ({engine} engine)",
         system.name
     );
     let recorder = metrics_recorder(&map);
     let outcomes = match try_run_campaign(
         std::slice::from_ref(&scenario),
-        &CampaignOptions { threads: 1 },
+        &CampaignOptions {
+            threads: 1,
+            ..Default::default()
+        },
         &recorder,
     ) {
         Ok(outcomes) => outcomes,

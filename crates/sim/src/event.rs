@@ -1,0 +1,320 @@
+//! The event-driven simulator core (DESIGN.md §10).
+//!
+//! The stepper executes every control interval; on sparse workloads —
+//! SWF replays with honoured arrivals, night-time gaps, crashed-down
+//! machines — most intervals are *idle*: no job running, nothing
+//! startable, no fault or arrival due. Idle intervals are the only
+//! ones that are free to skip: they draw nothing from the simulation
+//! RNG (every stochastic draw happens inside the per-running-job
+//! advance loop) and emit no journal events, so their interval logs
+//! and recorder effects can be synthesized in bulk, byte-identically.
+//!
+//! The event core keeps a binary heap of *wake hints* keyed by
+//! interval index:
+//!
+//! - **Fault** — one entry per [`crate::FaultPlan`] event, at its exact
+//!   step; always valid.
+//! - **Arrival** — one entry per unreleased job, at a conservatively
+//!   early step derived from its submit time; revalidated on pop
+//!   against the accumulated simulation clock and re-armed one step
+//!   later when premature.
+//! - **Redecide** — pushed for the next step after every executed
+//!   interval while work remains (a job is running, or a released job
+//!   fits the free nodes). This is what pins byte-identity: while the
+//!   machine is busy the policy re-decides every interval, exactly
+//!   like the stepper.
+//! - **Completion** — a per-job prediction of the interval its
+//!   remaining work finishes at under its current cap; invalidated by
+//!   any cap change (the stamp on the entry stops matching the job's)
+//!   and revalidated on pop. Pure hint: correctness never depends on
+//!   it, it only wakes the core for diagnostics symmetry.
+//!
+//! Every popped hint is revalidated before it forces an executed
+//! interval, so a wrong hint costs at most one harmlessly executed
+//! idle interval (executing an idle interval is itself byte-identical
+//! to synthesizing it). The engine's own diagnostics (events
+//! processed, queue depth, wall time per simulated day) go to the
+//! separate engine recorder because they depend on the engine and on
+//! wall time; the main recorder's exports stay byte-identical across
+//! engines.
+
+use crate::cluster::{Cluster, SimResult};
+use crate::policy::PowerPolicy;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+const SECONDS_PER_DAY: f64 = 86_400.0;
+
+/// Which simulator core executes a run. Both produce byte-identical
+/// results under a fixed seed; [`SimEngine::Event`] skips dead time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SimEngine {
+    /// The reference stepper: every interval executes in order.
+    #[default]
+    Step,
+    /// The event-queue core: idle intervals are synthesized in bulk.
+    Event,
+}
+
+impl std::fmt::Display for SimEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SimEngine::Step => "step",
+            SimEngine::Event => "event",
+        })
+    }
+}
+
+impl std::str::FromStr for SimEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "step" => Ok(SimEngine::Step),
+            "event" => Ok(SimEngine::Event),
+            other => Err(format!("unknown engine '{other}' (step|event)")),
+        }
+    }
+}
+
+/// What a wake hint means when it fires.
+#[derive(Debug, Clone, Copy)]
+enum EventKind {
+    Redecide,
+    Fault,
+    Arrival { submit_s: f64 },
+    Completion { job_id: u64, stamp: u64 },
+}
+
+/// A heap entry: a wake hint at an interval index. Ordered by
+/// `(step, seq)` — the insertion sequence breaks ties deterministically,
+/// so the pop order is a pure function of the push order.
+struct Entry {
+    step: usize,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.step == other.step && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest step.
+        (other.step, other.seq).cmp(&(self.step, self.seq))
+    }
+}
+
+/// Min-heap of wake hints keyed by interval index.
+#[derive(Default)]
+struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    fn push(&mut self, step: usize, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { step, seq, kind });
+    }
+
+    fn pop(&mut self) -> Option<(usize, EventKind)> {
+        self.heap.pop().map(|e| (e.step, e.kind))
+    }
+
+    fn peek_step(&self) -> Option<usize> {
+        self.heap.peek().map(|e| e.step)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Conservatively early interval index for an arrival at `submit_s`:
+/// two steps before the nominal one, so clock accumulation error can
+/// never make the hint *late* (a premature hint is re-armed on pop; a
+/// late one would silently delay the release).
+fn arrival_hint_step(submit_s: f64, interval_s: f64) -> usize {
+    ((submit_s / interval_s).floor() as usize).saturating_sub(2)
+}
+
+impl Cluster {
+    /// Runs the simulation on the event-queue core. See the module docs
+    /// for the design; `Cluster::run_engine` for the contract.
+    pub(crate) fn run_event(&mut self, policy: &mut dyn PowerPolicy) -> SimResult {
+        let duration_s = self.config().duration_s;
+        let interval_s = self.config().interval_s;
+        let mut intervals = self.take_interval_buffer();
+        let mut violations = 0usize;
+        let mut violation_s = 0.0;
+        let mut queue = EventQueue::default();
+        let mut fresh_predictions: Vec<(u64, u64, usize)> = Vec::new();
+
+        for event in self.fault_plan.events() {
+            queue.push(event.step, EventKind::Fault);
+        }
+        let submits: Vec<f64> = self.scheduler.future_submit_times().collect();
+        for submit_s in submits {
+            queue.push(
+                arrival_hint_step(submit_s, interval_s),
+                EventKind::Arrival { submit_s },
+            );
+        }
+        queue.push(0, EventKind::Redecide);
+
+        let diag = self.engine_recorder().clone();
+        let mut day_wall_start = Instant::now();
+        let mut next_day_s = SECONDS_PER_DAY;
+
+        while self.sim_time_s() < duration_s {
+            // Drain every hint due at (or before) the current interval.
+            let mut due_now = false;
+            while queue
+                .peek_step()
+                .is_some_and(|step| step <= self.step_index())
+            {
+                let (_, kind) = queue.pop().expect("peeked entry");
+                if diag.enabled() {
+                    diag.counter_inc("perq_sim_events_total");
+                }
+                match kind {
+                    EventKind::Redecide | EventKind::Fault => due_now = true,
+                    EventKind::Arrival { submit_s } => {
+                        if submit_s <= self.sim_time_s() {
+                            due_now = true;
+                        } else {
+                            // Premature hint (by construction at most a
+                            // couple of steps): re-arm for the next one.
+                            queue.push(self.step_index() + 1, EventKind::Arrival { submit_s });
+                        }
+                    }
+                    EventKind::Completion { job_id, stamp } => {
+                        if self.prediction_is_current(job_id, stamp) {
+                            due_now = true;
+                        }
+                        // A stale stamp (cap changed) or departed job
+                        // kills the prediction: discard silently.
+                    }
+                }
+            }
+            if diag.enabled() {
+                diag.gauge_set("perq_sim_event_queue_depth", queue.len() as f64);
+            }
+
+            if !due_now {
+                // Nothing can happen before the next queued hint:
+                // synthesize the idle gap in one go.
+                let wake = queue.peek_step().unwrap_or(usize::MAX);
+                let skipped = self.skip_idle_until(wake, &mut intervals);
+                if diag.enabled() {
+                    diag.counter_add("perq_sim_intervals_skipped_total", skipped);
+                }
+            } else {
+                let log = self.step(policy);
+                self.tally_violation(&log, &mut violations, &mut violation_s);
+                intervals.push(log);
+                if diag.enabled() {
+                    diag.counter_inc("perq_sim_intervals_executed_total");
+                }
+
+                // While work remains — a job on the machine, or a
+                // released job that fits — the policy re-decides next
+                // interval, exactly like the stepper.
+                if self.has_running() || self.scheduler.any_pending_fits(self.free_live_nodes()) {
+                    queue.push(self.step_index(), EventKind::Redecide);
+                }
+                // Cap changes invalidate completion predictions; push
+                // fresh ones for the affected jobs.
+                self.refresh_completion_predictions(&mut fresh_predictions);
+                for &(job_id, stamp, steps_remaining) in &fresh_predictions {
+                    queue.push(
+                        self.step_index().saturating_add(steps_remaining - 1),
+                        EventKind::Completion { job_id, stamp },
+                    );
+                }
+            }
+
+            while diag.enabled() && self.sim_time_s() >= next_day_s {
+                diag.observe(
+                    "perq_sim_wall_per_sim_day_seconds",
+                    day_wall_start.elapsed().as_secs_f64(),
+                );
+                day_wall_start = Instant::now();
+                next_day_s += SECONDS_PER_DAY;
+            }
+        }
+
+        self.finish(policy.name(), intervals, violations, violation_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_parses_and_displays() {
+        assert_eq!("step".parse::<SimEngine>().unwrap(), SimEngine::Step);
+        assert_eq!("event".parse::<SimEngine>().unwrap(), SimEngine::Event);
+        assert!("fast".parse::<SimEngine>().is_err());
+        assert_eq!(SimEngine::Step.to_string(), "step");
+        assert_eq!(SimEngine::Event.to_string(), "event");
+        assert_eq!(SimEngine::default(), SimEngine::Step);
+    }
+
+    #[test]
+    fn engine_serde_round_trips() {
+        assert_eq!(
+            serde_json::to_string(&SimEngine::Event).unwrap(),
+            "\"event\""
+        );
+        assert_eq!(
+            serde_json::from_str::<SimEngine>("\"step\"").unwrap(),
+            SimEngine::Step
+        );
+    }
+
+    #[test]
+    fn queue_pops_in_step_then_insertion_order() {
+        let mut q = EventQueue::default();
+        q.push(5, EventKind::Redecide);
+        q.push(1, EventKind::Fault);
+        q.push(5, EventKind::Fault);
+        q.push(0, EventKind::Redecide);
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(s, _)| s)).collect();
+        assert_eq!(order, vec![0, 1, 5, 5]);
+
+        let mut q = EventQueue::default();
+        q.push(3, EventKind::Redecide);
+        q.push(3, EventKind::Fault);
+        let (_, first) = q.pop().unwrap();
+        assert!(matches!(first, EventKind::Redecide), "FIFO on ties");
+    }
+
+    #[test]
+    fn arrival_hints_are_never_late() {
+        for (submit, dt, nominal) in [
+            (0.0, 10.0, 0usize),
+            (95.0, 10.0, 9usize),
+            (100.0, 10.0, 10usize),
+            (100.05, 0.1, 1000usize),
+        ] {
+            let hint = arrival_hint_step(submit, dt);
+            assert!(hint <= nominal, "hint {hint} late for submit {submit}");
+            assert!(nominal - hint <= 3, "hint {hint} too early for {submit}");
+        }
+    }
+}

@@ -14,6 +14,14 @@ pub struct JobSpec {
     /// User-provided runtime estimate used by the backfilling scheduler,
     /// in seconds ("users typically overestimate runtime", §3).
     pub runtime_estimate_s: f64,
+    /// Submission time, in simulation seconds. The default `0.0`
+    /// reproduces the paper's saturated queue (every job ready at
+    /// `t = 0`); SWF replays with arrivals enabled carry the logged
+    /// submit times, rebased so the first job arrives at `t = 0`. Only
+    /// honoured when [`ClusterConfig::honor_arrivals`] is set
+    /// (`crate::ClusterConfig`).
+    #[serde(default)]
+    pub submit_s: f64,
 }
 
 impl JobSpec {
@@ -102,6 +110,7 @@ mod tests {
             size: 128,
             runtime_tdp_s: 3600.0,
             runtime_estimate_s: 4800.0,
+            submit_s: 0.0,
         }
     }
 

@@ -24,9 +24,15 @@
 //!   `N_WP · TDP`. The simulator *enforces* `Σ size·cap + idle·P_idle ≤
 //!   budget` by proportional scale-down if a policy overshoots, and
 //!   records the violation.
-//! - The queue is saturated (paper: "making sure that there is always a
-//!   job available to run at the head of the queue"): all jobs are ready
-//!   at t = 0 in trace order.
+//! - The queue is saturated by default (paper: "making sure that there
+//!   is always a job available to run at the head of the queue"): all
+//!   jobs are ready at t = 0 in trace order. SWF replays can instead
+//!   honour the log's submit times ([`ClusterConfig::honor_arrivals`]),
+//!   which introduces dead time the event engine skips.
+//! - Two interchangeable cores execute a run ([`SimEngine`]): the
+//!   reference stepper walks every control interval, while the
+//!   event-queue core synthesizes idle gaps in bulk. Both are
+//!   byte-identical under a fixed seed.
 //! - Workloads come from the seeded synthetic [`TraceGenerator`]s
 //!   (Mira/Trinity-calibrated) or from real SWF archive logs via
 //!   [`TraceSource`] (`perq-trace`), which attaches seeded `perq-apps`
@@ -46,6 +52,7 @@
 //! ```
 
 mod cluster;
+mod event;
 mod fault;
 mod job;
 mod metrics;
@@ -55,6 +62,7 @@ mod swf;
 mod trace;
 
 pub use cluster::{Cluster, ClusterConfig, IntervalLog, SimResult};
+pub use event::SimEngine;
 pub use fault::{AppliedFault, FaultEvent, FaultKind, FaultPlan, FaultRates};
 pub use job::{JobOutcome, JobRecord, JobSpec, JobTrace, TracePoint};
 pub use metrics::{

@@ -150,6 +150,7 @@ mod tests {
                 size: 1,
                 runtime_tdp_s: runtime,
                 runtime_estimate_s: runtime,
+                submit_s: 0.0,
             },
             app_name: "t".into(),
             start_s: 0.0,

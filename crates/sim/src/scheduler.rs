@@ -15,9 +15,19 @@ use std::collections::{BinaryHeap, VecDeque};
 /// ([`JobSpec::runtime_estimate_s`]); jobs slowed below their estimate by
 /// power capping can therefore delay the head in reality, exactly as on
 /// production systems.
+///
+/// Two queue disciplines exist: [`Scheduler::new`] is the paper's
+/// saturated queue (every job ready immediately, in trace order), and
+/// [`Scheduler::with_arrivals`] holds jobs with a future
+/// [`JobSpec::submit_s`] aside until [`Scheduler::release_due`] moves
+/// them into the FCFS queue — the sparse-trace mode the event-driven
+/// engine exploits to skip dead time.
 #[derive(Debug, Clone)]
 pub struct Scheduler {
     queue: VecDeque<JobSpec>,
+    /// Jobs not yet submitted, in ascending (`submit_s`, trace order).
+    /// Always empty under the saturated discipline.
+    future: VecDeque<JobSpec>,
 }
 
 /// A running job's footprint as the scheduler sees it.
@@ -63,14 +73,73 @@ fn ord_bits(x: f64) -> u64 {
 
 impl Scheduler {
     /// Creates a scheduler over a pre-generated trace (saturated queue:
-    /// every job is ready immediately, in trace order).
+    /// every job is ready immediately, in trace order; `submit_s` is
+    /// ignored).
     pub fn new(jobs: Vec<JobSpec>) -> Self {
-        Scheduler { queue: jobs.into() }
+        Scheduler {
+            queue: jobs.into(),
+            future: VecDeque::new(),
+        }
     }
 
-    /// Jobs still waiting.
+    /// Creates a scheduler that honours [`JobSpec::submit_s`]: jobs with
+    /// a positive submit time are withheld until [`Scheduler::release_due`]
+    /// passes their arrival. Jobs are ordered by (`submit_s`, trace
+    /// order), so ties release in trace order like the saturated queue.
+    pub fn with_arrivals(mut jobs: Vec<JobSpec>) -> Self {
+        jobs.sort_by(|a, b| a.submit_s.partial_cmp(&b.submit_s).expect("finite submits"));
+        let mut queue = VecDeque::new();
+        let mut future = VecDeque::new();
+        for job in jobs {
+            if job.submit_s <= 0.0 {
+                queue.push_back(job);
+            } else {
+                future.push_back(job);
+            }
+        }
+        Scheduler { queue, future }
+    }
+
+    /// Moves every job with `submit_s <= now_s` from the arrival buffer
+    /// into the FCFS queue; returns how many were released. No-op (and
+    /// free) under the saturated discipline.
+    pub fn release_due(&mut self, now_s: f64) -> usize {
+        let mut released = 0;
+        while self.future.front().is_some_and(|job| job.submit_s <= now_s) {
+            let job = self.future.pop_front().expect("front checked");
+            self.queue.push_back(job);
+            released += 1;
+        }
+        released
+    }
+
+    /// Submit time of the next withheld job, if any.
+    pub fn next_arrival_s(&self) -> Option<f64> {
+        self.future.front().map(|job| job.submit_s)
+    }
+
+    /// Submit times of every withheld job, in release order.
+    pub fn future_submit_times(&self) -> impl Iterator<Item = f64> + '_ {
+        self.future.iter().map(|job| job.submit_s)
+    }
+
+    /// Jobs still waiting in the released FCFS queue (withheld future
+    /// arrivals are not counted).
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Jobs withheld for a future arrival.
+    pub fn unreleased(&self) -> usize {
+        self.future.len()
+    }
+
+    /// True when some *released* job fits on `free` idle nodes — the
+    /// event engine's "could anything start now" probe for an otherwise
+    /// idle machine (with nothing running, EASY backfilling starts any
+    /// fitting job, so this is exact).
+    pub fn any_pending_fits(&self, free: usize) -> bool {
+        self.queue.iter().any(|job| job.size <= free)
     }
 
     /// Peeks at the queue head.
@@ -95,7 +164,8 @@ impl Scheduler {
         mut free_nodes: usize,
         running: &[RunningFootprint],
     ) -> Vec<JobSpec> {
-        let mut started = self.start_fcfs(&mut free_nodes);
+        let mut started = Vec::new();
+        self.start_fcfs(&mut free_nodes, &mut started);
         let Some(head) = self.queue.front() else {
             return started;
         };
@@ -149,16 +219,34 @@ impl Scheduler {
     pub fn schedule_with_scratch(
         &mut self,
         now_s: f64,
-        mut free_nodes: usize,
+        free_nodes: usize,
         running: &[RunningFootprint],
         scratch: &mut ScheduleScratch,
     ) -> Vec<JobSpec> {
-        let mut started = self.start_fcfs(&mut free_nodes);
+        let mut started = Vec::new();
+        self.schedule_with_scratch_into(now_s, free_nodes, running, scratch, &mut started);
+        started
+    }
+
+    /// [`Scheduler::schedule_with_scratch`] appending into a
+    /// caller-owned buffer, so the simulator's per-interval hot path
+    /// reuses one `Vec` for the started jobs instead of allocating a
+    /// fresh one every interval. `started` is cleared first.
+    pub fn schedule_with_scratch_into(
+        &mut self,
+        now_s: f64,
+        mut free_nodes: usize,
+        running: &[RunningFootprint],
+        scratch: &mut ScheduleScratch,
+        started: &mut Vec<JobSpec>,
+    ) {
+        started.clear();
+        self.start_fcfs(&mut free_nodes, started);
         let Some(head) = self.queue.front() else {
-            return started;
+            return;
         };
         if free_nodes == 0 {
-            return started;
+            return;
         }
 
         let mut buf = std::mem::take(&mut scratch.ends);
@@ -198,19 +286,12 @@ impl Scheduler {
         }
         scratch.ends = heap.into_vec();
 
-        self.backfill(
-            now_s,
-            free_nodes,
-            shadow_time,
-            extra_at_shadow,
-            &mut started,
-        );
-        started
+        self.backfill(now_s, free_nodes, shadow_time, extra_at_shadow, started);
     }
 
-    /// FCFS pass: starts the head (and successive heads) while they fit.
-    fn start_fcfs(&mut self, free_nodes: &mut usize) -> Vec<JobSpec> {
-        let mut started = Vec::new();
+    /// FCFS pass: starts the head (and successive heads) while they fit,
+    /// appending into the caller's buffer.
+    fn start_fcfs(&mut self, free_nodes: &mut usize, started: &mut Vec<JobSpec>) {
         while let Some(head) = self.queue.front() {
             if head.size <= *free_nodes {
                 let job = self.queue.pop_front().expect("non-empty");
@@ -220,7 +301,6 @@ impl Scheduler {
                 break;
             }
         }
-        started
     }
 
     /// Backfill pass: any queued job (beyond the head) that fits on the
@@ -265,7 +345,64 @@ mod tests {
             size,
             runtime_tdp_s: runtime_s,
             runtime_estimate_s: runtime_s,
+            submit_s: 0.0,
         }
+    }
+
+    fn arriving(id: u64, size: usize, runtime_s: f64, submit_s: f64) -> JobSpec {
+        JobSpec {
+            submit_s,
+            ..job(id, size, runtime_s)
+        }
+    }
+
+    #[test]
+    fn saturated_queue_ignores_submit_times() {
+        let mut s = Scheduler::new(vec![
+            arriving(0, 1, 60.0, 500.0),
+            arriving(1, 1, 60.0, 100.0),
+        ]);
+        assert_eq!(s.pending(), 2);
+        assert_eq!(s.unreleased(), 0);
+        assert_eq!(s.next_arrival_s(), None);
+        let started = s.schedule(0.0, 4, &[]);
+        // Trace order, not submit order: the saturated discipline is the
+        // paper's queue.
+        assert_eq!(started.iter().map(|j| j.id).collect::<Vec<_>>(), [0, 1]);
+    }
+
+    #[test]
+    fn arrivals_release_in_submit_then_trace_order() {
+        let mut s = Scheduler::with_arrivals(vec![
+            arriving(0, 1, 60.0, 200.0),
+            arriving(1, 1, 60.0, 0.0),
+            arriving(2, 1, 60.0, 100.0),
+            arriving(3, 1, 60.0, 100.0),
+        ]);
+        assert_eq!(s.pending(), 1, "only the t=0 job is ready");
+        assert_eq!(s.unreleased(), 3);
+        assert_eq!(s.next_arrival_s(), Some(100.0));
+        assert_eq!(s.release_due(50.0), 0);
+        assert_eq!(s.release_due(100.0), 2, "submit ties release together");
+        let started = s.schedule(100.0, 4, &[]);
+        assert_eq!(started.iter().map(|j| j.id).collect::<Vec<_>>(), [1, 2, 3]);
+        assert_eq!(s.next_arrival_s(), Some(200.0));
+        assert_eq!(s.release_due(200.0), 1);
+        assert_eq!(s.next_arrival_s(), None);
+        assert_eq!(
+            s.future_submit_times().collect::<Vec<_>>(),
+            Vec::<f64>::new()
+        );
+    }
+
+    #[test]
+    fn any_pending_fits_sees_only_released_jobs() {
+        let mut s =
+            Scheduler::with_arrivals(vec![arriving(0, 8, 60.0, 0.0), arriving(1, 2, 60.0, 300.0)]);
+        assert!(s.any_pending_fits(8));
+        assert!(!s.any_pending_fits(4), "the 2-node job is not released yet");
+        s.release_due(300.0);
+        assert!(s.any_pending_fits(4));
     }
 
     #[test]

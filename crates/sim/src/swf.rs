@@ -58,6 +58,7 @@ pub struct TraceSource {
     trace: SwfTrace,
     synth_seed: u64,
     estimate_factor: f64,
+    honor_arrivals: bool,
 }
 
 impl TraceSource {
@@ -69,6 +70,7 @@ impl TraceSource {
             trace,
             synth_seed,
             estimate_factor: 1.3,
+            honor_arrivals: false,
         }
     }
 
@@ -77,6 +79,16 @@ impl TraceSource {
     pub fn with_estimate_factor(mut self, factor: f64) -> Self {
         assert!(factor >= 1.0, "estimate factor must be at least 1");
         self.estimate_factor = factor;
+        self
+    }
+
+    /// When enabled, imported jobs carry the log's submit times rebased
+    /// so the first imported job arrives at `t = 0`. Off by default:
+    /// the simulator's saturated queue (every job ready at `t = 0`)
+    /// reproduces the paper's setup, while arrivals expose the dead
+    /// time the event engine skips.
+    pub fn with_arrivals(mut self, honor: bool) -> Self {
+        self.honor_arrivals = honor;
         self
     }
 
@@ -102,6 +114,7 @@ impl TraceSource {
         });
         let mut jobs = Vec::new();
         let mut summary = SwfImportSummary::default();
+        let mut arrival_base: Option<f64> = None;
         for index in order {
             let record = &self.trace.records[index];
             let (Some(size), true) = (record.procs(), record.run_s > 0.0) else {
@@ -114,12 +127,19 @@ impl TraceSource {
                 .estimate_s()
                 .unwrap_or(runtime_tdp_s * self.estimate_factor)
                 .max(runtime_tdp_s);
+            let submit_s = if self.honor_arrivals {
+                let base = *arrival_base.get_or_insert(record.submit_s);
+                (record.submit_s - base).max(0.0)
+            } else {
+                0.0
+            };
             jobs.push(JobSpec {
                 id,
                 app_index: synth.app_index(id),
                 size,
                 runtime_tdp_s,
                 runtime_estimate_s,
+                submit_s,
             });
         }
         summary.imported = jobs.len();
@@ -130,9 +150,9 @@ impl TraceSource {
 /// Exports simulator jobs as an SWF trace — the bridge back out, used
 /// to turn a synthetic [`crate::TraceGenerator`] workload into an SWF
 /// file (and by the ingest bench to build inputs of any size). Submit
-/// and wait times are zero (the simulator's queue is saturated at
-/// `t = 0`); the application index is recorded in the SWF executable
-/// field.
+/// times carry each job's `submit_s` (zero for saturated workloads);
+/// wait times are zero; the application index is recorded in the SWF
+/// executable field.
 pub fn swf_from_jobs(jobs: &[JobSpec], computer: &str, max_nodes: usize) -> SwfTrace {
     let mut trace = SwfTrace::default();
     trace.header.lines = vec![
@@ -149,7 +169,7 @@ pub fn swf_from_jobs(jobs: &[JobSpec], computer: &str, max_nodes: usize) -> SwfT
         .map(|job| {
             let mut r = perq_trace::SwfRecord::unavailable();
             r.job_id = job.id as i64 + 1;
-            r.submit_s = 0.0;
+            r.submit_s = job.submit_s;
             r.wait_s = 0.0;
             r.run_s = job.runtime_tdp_s;
             r.alloc_procs = job.size as i64;
@@ -199,6 +219,24 @@ mod tests {
         assert_eq!(jobs[1].size, 4);
         assert_eq!(jobs[1].runtime_estimate_s, 900.0);
         assert!(jobs.iter().all(|j| j.app_index < ecp_suite().len()));
+    }
+
+    #[test]
+    fn arrivals_are_rebased_to_first_imported_job() {
+        let trace = SwfTrace {
+            records: vec![
+                record(1000.0, 600.0, 4, 900.0),
+                record(500.0, -1.0, 2, -1.0), // cancelled: not a base candidate
+                record(1300.0, 120.0, 2, 200.0),
+            ],
+            ..SwfTrace::default()
+        };
+        let (saturated, _) = TraceSource::new(trace.clone(), 7).jobs();
+        assert!(saturated.iter().all(|j| j.submit_s == 0.0));
+        let (jobs, summary) = TraceSource::new(trace, 7).with_arrivals(true).jobs();
+        assert_eq!(summary.imported, 2);
+        assert_eq!(jobs[0].submit_s, 0.0, "first imported job rebases to 0");
+        assert_eq!(jobs[1].submit_s, 300.0);
     }
 
     #[test]

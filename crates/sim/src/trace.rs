@@ -155,6 +155,7 @@ impl TraceGenerator {
             size,
             runtime_tdp_s,
             runtime_estimate_s: runtime_tdp_s * self.system.estimate_factor,
+            submit_s: 0.0,
         }
     }
 

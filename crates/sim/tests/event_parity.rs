@@ -1,0 +1,240 @@
+//! Step-vs-event engine equivalence: the event core must reproduce the
+//! stepper **exactly** — same [`SimResult`] (records, interval logs, job
+//! traces, faults) and byte-identical telemetry exports — over random
+//! workloads, fault plans, and SWF fixture replays. The speedup comes
+//! only from skipping intervals where nothing can happen, so any
+//! divergence here means the skip logic changed physics.
+
+use perq_sim::{
+    Cluster, ClusterConfig, FairPolicy, FaultPlan, FaultRates, JobSpec, SimEngine, SimResult,
+    SystemModel, TraceGenerator, TraceSource,
+};
+use perq_telemetry::Recorder;
+use proptest::prelude::*;
+
+const TARDIS_TINY_SWF: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../trace/fixtures/tardis_tiny.swf"
+);
+
+fn tardis_config(f: f64, duration_s: f64) -> ClusterConfig {
+    ClusterConfig::for_system(&SystemModel::tardis(), f, duration_s)
+}
+
+/// Runs the same fully-specified simulation under one engine, returning
+/// the result plus both telemetry export encodings.
+fn run_one(
+    config: &ClusterConfig,
+    jobs: &[JobSpec],
+    seed: u64,
+    plan: Option<&FaultPlan>,
+    engine: SimEngine,
+) -> (SimResult, String, String) {
+    let recorder = Recorder::manual();
+    let mut cluster =
+        Cluster::new(config.clone(), jobs.to_vec(), seed).with_recorder(recorder.clone());
+    if let Some(plan) = plan {
+        cluster = cluster.with_fault_plan(plan.clone());
+    }
+    let result = cluster.run_engine(&mut FairPolicy::new(), engine);
+    (
+        result,
+        recorder.export_prometheus(),
+        recorder.export_jsonl(),
+    )
+}
+
+/// Asserts byte-identity between the two engines and hands back the
+/// step-engine result for further checks.
+fn assert_parity(
+    config: &ClusterConfig,
+    jobs: &[JobSpec],
+    seed: u64,
+    plan: Option<&FaultPlan>,
+) -> SimResult {
+    let (step, step_prom, step_jsonl) = run_one(config, jobs, seed, plan, SimEngine::Step);
+    let (event, event_prom, event_jsonl) = run_one(config, jobs, seed, plan, SimEngine::Event);
+    assert!(
+        step.same_simulation(&event),
+        "engines diverged (seed {seed}): step {} records / {} intervals, \
+         event {} records / {} intervals",
+        step.records.len(),
+        step.intervals.len(),
+        event.records.len(),
+        event.intervals.len()
+    );
+    assert_eq!(step_prom, event_prom, "Prometheus export diverged");
+    assert_eq!(step_jsonl, event_jsonl, "JSONL journal diverged");
+    step
+}
+
+/// A workload whose submissions leave long idle gaps — the event
+/// engine's best case.
+fn sparse_jobs() -> Vec<JobSpec> {
+    (0..8)
+        .map(|i| JobSpec {
+            id: i,
+            app_index: (i % 5) as usize,
+            size: 2 + (i % 3) as usize,
+            runtime_tdp_s: 400.0 + 130.0 * i as f64,
+            runtime_estimate_s: (400.0 + 130.0 * i as f64) * 1.3,
+            // Hours of dead time between consecutive arrivals.
+            submit_s: 7_200.0 * i as f64,
+        })
+        .collect()
+}
+
+#[test]
+fn sparse_arrival_replay_matches_and_skips_dead_time() {
+    let mut config = tardis_config(2.0, 24.0 * 3600.0);
+    config.honor_arrivals = true;
+    let jobs = sparse_jobs();
+    let step = assert_parity(&config, &jobs, 42, None);
+
+    // The skip has to be observable: far fewer policy decisions than
+    // intervals, and the engine diagnostics must say why.
+    let diag = Recorder::manual();
+    let mut cluster = Cluster::new(config, jobs, 42).with_engine_recorder(diag.clone());
+    let event = cluster.run_engine(&mut FairPolicy::new(), SimEngine::Event);
+    assert!(event.same_simulation(&step));
+    assert!(
+        event.decision_times_s.len() < step.intervals.len() / 2,
+        "a sparse day must skip most control decisions ({} of {})",
+        event.decision_times_s.len(),
+        step.intervals.len()
+    );
+    let prom = diag.export_prometheus();
+    assert!(prom.contains("perq_sim_events_total"), "{prom}");
+    assert!(
+        prom.contains("perq_sim_intervals_skipped_total"),
+        "sparse run recorded no skipped intervals: {prom}"
+    );
+}
+
+#[test]
+fn recycled_interval_buffer_changes_nothing() {
+    // Reusing a previous run's interval log (the allocation-recycling
+    // path benchmark medians and repeated what-if replays use) must be
+    // invisible in the results, on both engines — even when the donor
+    // run came from a different workload.
+    let mut config = tardis_config(2.0, 12.0 * 3600.0);
+    config.honor_arrivals = true;
+    let jobs = sparse_jobs();
+    let donor = TraceGenerator::new(SystemModel::tardis(), 3)
+        .generate_saturating(config.nodes, config.duration_s);
+    for engine in [SimEngine::Step, SimEngine::Event] {
+        let (fresh, fresh_prom, fresh_jsonl) = run_one(&config, &jobs, 42, None, engine);
+        let buffer = Cluster::new(config.clone(), donor.clone(), 7)
+            .run_engine(&mut FairPolicy::new(), engine)
+            .intervals;
+        let recorder = Recorder::manual();
+        let mut cluster = Cluster::new(config.clone(), jobs.clone(), 42)
+            .with_recorder(recorder.clone())
+            .with_recycled_intervals(buffer);
+        let recycled = cluster.run_engine(&mut FairPolicy::new(), engine);
+        assert!(
+            fresh.same_simulation(&recycled),
+            "recycled buffer changed the {engine} engine's results"
+        );
+        assert_eq!(fresh_prom, recorder.export_prometheus());
+        assert_eq!(fresh_jsonl, recorder.export_jsonl());
+    }
+}
+
+#[test]
+fn saturated_workload_matches_with_faults() {
+    let config = tardis_config(1.5, 2.0 * 3600.0);
+    let jobs = TraceGenerator::new(SystemModel::tardis(), 9)
+        .generate_saturating(config.nodes, config.duration_s);
+    let steps = (config.duration_s / config.interval_s) as usize;
+    let plan = FaultPlan::generate(13, steps, &FaultRates::aggressive());
+    let result = assert_parity(&config, &jobs, 9, Some(&plan));
+    assert!(
+        !result.faults.is_empty(),
+        "aggressive fault rates must inject something"
+    );
+}
+
+#[test]
+fn swf_fixture_replay_is_engine_invariant() {
+    let text = std::fs::read_to_string(TARDIS_TINY_SWF).expect("fixture must exist");
+    let report = perq_trace::parse_swf_report(&text, perq_trace::ParseMode::Lenient)
+        .expect("fixture parses");
+    for honor_arrivals in [false, true] {
+        let (jobs, summary) = TraceSource::new(report.trace.clone(), 5)
+            .with_arrivals(honor_arrivals)
+            .jobs();
+        assert!(summary.imported > 0);
+        let mut config = tardis_config(2.0, 4.0 * 3600.0);
+        config.honor_arrivals = honor_arrivals;
+        assert_parity(&config, &jobs, 5, None);
+    }
+}
+
+/// Random jobs with explicit arrival times: sizes, runtimes, and submit
+/// gaps all drawn by proptest so the shrunk counterexample (if any) is
+/// a minimal diverging workload.
+fn arb_arrival_jobs() -> impl Strategy<Value = Vec<JobSpec>> {
+    prop::collection::vec((1usize..6, 120.0f64..3000.0, 0.0f64..20_000.0), 1..24).prop_map(
+        |specs| {
+            let mut submit = 0.0;
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (size, rt, gap))| {
+                    submit += gap;
+                    JobSpec {
+                        id: i as u64,
+                        app_index: i % 10,
+                        size,
+                        runtime_tdp_s: rt,
+                        runtime_estimate_s: rt * 1.3,
+                        submit_s: submit,
+                    }
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn engines_agree_on_random_arrival_workloads(
+        jobs in arb_arrival_jobs(),
+        seed in 0u64..1000,
+        f in 1.0f64..2.0,
+    ) {
+        let mut config = tardis_config(f, 6.0 * 3600.0);
+        config.honor_arrivals = true;
+        assert_parity(&config, &jobs, seed, None);
+    }
+
+    #[test]
+    fn engines_agree_on_random_fault_plans(
+        trace_seed in 0u64..200,
+        plan_seed in 0u64..200,
+        aggressive in proptest::bool::ANY,
+    ) {
+        let config = tardis_config(1.8, 3600.0);
+        let jobs = TraceGenerator::new(SystemModel::tardis(), trace_seed)
+            .generate_saturating(config.nodes, config.duration_s);
+        let steps = (config.duration_s / config.interval_s) as usize;
+        let rates = if aggressive {
+            FaultRates::aggressive()
+        } else {
+            FaultRates::default()
+        };
+        let plan = FaultPlan::generate(plan_seed, steps, &rates);
+        assert_parity(&config, &jobs, trace_seed, Some(&plan));
+    }
+
+    #[test]
+    fn engines_agree_on_saturated_random_traces(seed in 0u64..500) {
+        let config = tardis_config(2.0, 1800.0);
+        let jobs = TraceGenerator::new(SystemModel::tardis(), seed)
+            .generate_saturating(config.nodes, config.duration_s);
+        assert_parity(&config, &jobs, seed, None);
+    }
+}

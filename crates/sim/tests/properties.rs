@@ -18,6 +18,7 @@ fn arb_jobs(max_size: usize) -> impl Strategy<Value = Vec<JobSpec>> {
                 size,
                 runtime_tdp_s: rt,
                 runtime_estimate_s: rt * 1.3,
+                submit_s: 0.0,
             })
             .collect()
     })

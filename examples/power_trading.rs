@@ -29,6 +29,7 @@ fn main() {
             size: 1,
             runtime_tdp_s: 220.0,
             runtime_estimate_s: 280.0,
+            submit_s: 0.0,
         },
         JobSpec {
             id: 1,
@@ -36,6 +37,7 @@ fn main() {
             size: 1,
             runtime_tdp_s: 350.0,
             runtime_estimate_s: 450.0,
+            submit_s: 0.0,
         },
     ];
 

@@ -179,6 +179,7 @@ fn acceptance_run() -> SimResult {
             size: 1,
             runtime_tdp_s: 10_000.0,
             runtime_estimate_s: 12_000.0,
+            submit_s: 0.0,
         })
         .collect();
     ProtoCluster::new(config)
@@ -280,6 +281,7 @@ fn two_workers_dying_same_tick_reallocate_budget_once() {
             size: 1,
             runtime_tdp_s: 10_000.0,
             runtime_estimate_s: 12_000.0,
+            submit_s: 0.0,
         })
         .collect();
     let result = ProtoCluster::new(config)
@@ -350,6 +352,7 @@ fn two_workers_of_one_job_dying_same_tick_kill_it_once() {
         size: 2,
         runtime_tdp_s: 10_000.0,
         runtime_estimate_s: 12_000.0,
+        submit_s: 0.0,
     }];
     jobs.extend((1..7).map(|id| JobSpec {
         id,
@@ -357,6 +360,7 @@ fn two_workers_of_one_job_dying_same_tick_kill_it_once() {
         size: 1,
         runtime_tdp_s: 10_000.0,
         runtime_estimate_s: 12_000.0,
+        submit_s: 0.0,
     }));
     let result = ProtoCluster::new(config)
         .run(jobs, &mut FairPolicy::new())
