@@ -18,16 +18,16 @@
 //!
 //! See DESIGN.md §8 for the worker model and the determinism argument.
 
-mod parallel;
-
-pub use parallel::parallel_map;
+pub use perq_sim::{parallel_for_mut, parallel_map};
 
 use perq_core::{
-    baselines, train_node_model, train_node_model_with, NodeModel, PerqConfig, PerqPolicy,
+    baselines, train_node_model, train_node_model_with, CouplingAuthority, NodeModel, PerqConfig,
+    PerqPolicy,
 };
 use perq_sim::{
-    Cluster, ClusterConfig, FairPolicy, FaultPlan, FaultRates, JobSpec, PowerPolicy, SimEngine,
-    SimResult, SwfImportSummary, SystemModel, TraceGenerator, TraceSource,
+    BudgetAuthority, Cluster, ClusterConfig, FairPolicy, FaultPlan, FaultRates, HierSim,
+    HierTopology, JobSpec, PowerPolicy, ProportionalAuthority, SimEngine, SimResult,
+    SwfImportSummary, SystemModel, TenantSpec, TraceGenerator, TraceSource,
 };
 use perq_telemetry::{FieldValue, Recorder};
 use perq_trace::{parse_swf_report, ParseMode, SwfTrace};
@@ -138,8 +138,10 @@ impl PolicySpec {
     }
 
     /// Instantiates the policy. `models` must hold an entry for this
-    /// policy's [`ModelSpec`] (the engine pre-trains them).
-    fn build(&self, models: &BTreeMap<String, NodeModel>) -> Box<dyn PowerPolicy> {
+    /// policy's [`ModelSpec`] (the engine pre-trains them). `Send`
+    /// because hierarchical scenarios run one instance per enclave on
+    /// the enclave worker pool.
+    fn build(&self, models: &BTreeMap<String, NodeModel>) -> Box<dyn PowerPolicy + Send> {
         match self {
             PolicySpec::Fop => Box::new(FairPolicy::new()),
             PolicySpec::Sjs => Box::new(baselines::sjs()),
@@ -262,6 +264,93 @@ impl FaultSpec {
     }
 }
 
+/// Which coordinator divides the budget in a hierarchical scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum AuthoritySpec {
+    /// The coupling-QP coordinator from `perq-core` (the default).
+    #[default]
+    CouplingQp,
+    /// The closed-form weighted water-fill.
+    Proportional,
+}
+
+impl AuthoritySpec {
+    /// Instantiates the coordinator.
+    pub fn build(&self) -> Box<dyn BudgetAuthority> {
+        match self {
+            AuthoritySpec::CouplingQp => Box::new(CouplingAuthority::new()),
+            AuthoritySpec::Proportional => Box::new(ProportionalAuthority),
+        }
+    }
+}
+
+fn default_coordination_intervals() -> usize {
+    6
+}
+
+/// How a scenario's machine is organised: one flat controller (the
+/// paper's setup, and the default so older scenario files keep their
+/// meaning), or a coordinator over independent per-enclave controllers
+/// (`perq_sim::HierSim`).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum TopologySpec {
+    /// One cluster, one controller.
+    #[default]
+    Flat,
+    /// `count` enclaves under a budget coordinator.
+    Enclaves {
+        /// Number of enclaves (1 degenerates to the flat controller,
+        /// byte-identically).
+        count: usize,
+        /// Tenant fairness weights, assigned to enclaves round-robin;
+        /// empty means one weight-1 tenant.
+        #[serde(default)]
+        tenant_weights: Vec<f64>,
+        /// Coordination epoch length in control intervals.
+        #[serde(default = "default_coordination_intervals")]
+        coordination_intervals: usize,
+        /// The coordinator.
+        #[serde(default)]
+        authority: AuthoritySpec,
+    },
+}
+
+impl TopologySpec {
+    /// An `Enclaves` spec with the default tenant set, coordination
+    /// epoch, and authority — the CLI's `topology=enclaves:N` form.
+    pub fn enclaves(count: usize) -> Self {
+        TopologySpec::Enclaves {
+            count,
+            tenant_weights: Vec::new(),
+            coordination_intervals: default_coordination_intervals(),
+            authority: AuthoritySpec::default(),
+        }
+    }
+
+    /// The [`HierTopology`] this spec induces, when hierarchical.
+    pub fn hier_topology(&self) -> Option<HierTopology> {
+        match self {
+            TopologySpec::Flat => None,
+            TopologySpec::Enclaves {
+                count,
+                tenant_weights,
+                coordination_intervals,
+                ..
+            } => Some(HierTopology {
+                enclaves: *count,
+                tenants: tenant_weights
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w)| TenantSpec::weighted(i, w))
+                    .collect(),
+                coordination_intervals: *coordination_intervals,
+            }),
+        }
+    }
+}
+
 /// One cell of a campaign grid: everything needed to reproduce a single
 /// simulation, as data. The power budget is encoded by `f` (the budget
 /// is `wp_nodes · TDP` and the machine has `f · wp_nodes` nodes).
@@ -294,6 +383,10 @@ pub struct Scenario {
     /// so older scenario files keep their meaning.
     #[serde(default)]
     pub engine: SimEngine,
+    /// Flat controller or coordinator-over-enclaves. Defaults to flat
+    /// (the paper's setup; older scenario files deserialize to it).
+    #[serde(default)]
+    pub topology: TopologySpec,
 }
 
 impl Scenario {
@@ -319,6 +412,7 @@ impl Scenario {
             trace_jobs: Vec::new(),
             workload: WorkloadSpec::default(),
             engine: SimEngine::default(),
+            topology: TopologySpec::default(),
         }
     }
 
@@ -334,6 +428,12 @@ impl Scenario {
     /// Selects the simulator core for this scenario.
     pub fn with_engine(mut self, engine: SimEngine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Selects the machine organisation (builder style).
+    pub fn with_topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = topology;
         self
     }
 
@@ -420,11 +520,44 @@ impl Scenario {
         models: &BTreeMap<String, NodeModel>,
         recorder: Recorder,
     ) -> Result<SimResult, CampaignError> {
+        self.try_run_with(models, recorder, 1)
+    }
+
+    /// [`Scenario::try_run`] with an explicit enclave worker-thread
+    /// count for hierarchical scenarios (ignored for flat ones; the
+    /// run is byte-identical at any count either way).
+    pub fn try_run_with(
+        &self,
+        models: &BTreeMap<String, NodeModel>,
+        recorder: Recorder,
+        enclave_threads: usize,
+    ) -> Result<SimResult, CampaignError> {
         let config = self.cluster_config();
         let steps = (config.duration_s / config.interval_s).ceil() as usize;
         let (jobs, import) = self.jobs()?;
         if let Some(summary) = import {
             summary.record_into(&recorder);
+        }
+        if let Some(topology) = self.topology.hier_topology() {
+            let authority = match &self.topology {
+                TopologySpec::Enclaves { authority, .. } => authority.build(),
+                TopologySpec::Flat => unreachable!("hier_topology returned Some"),
+            };
+            let policies: Vec<Box<dyn PowerPolicy + Send>> = (0..topology.enclaves)
+                .map(|_| self.policy.build(models))
+                .collect();
+            let mut sim = HierSim::new(config, jobs, self.seed, topology, policies)
+                .with_engine(self.engine)
+                .with_threads(enclave_threads)
+                .with_recorder(recorder)
+                .with_authority(authority);
+            if let Some(faults) = &self.faults {
+                // The flat fault plan lands on enclave 0 — on a
+                // 1-enclave topology that is exactly the flat plan,
+                // preserving the differential contract.
+                sim = sim.with_fault_plan(faults.materialise(steps));
+            }
+            return Ok(sim.run().combined());
         }
         let mut policy = self.policy.build(models);
         let mut cluster = Cluster::new(config, jobs, self.seed).with_recorder(recorder);
@@ -501,6 +634,12 @@ pub struct CampaignOptions {
     /// `0` (the default) skips the preflight.
     #[serde(default)]
     pub parity_preflight_steps: usize,
+    /// Worker threads for the enclave fan-out *inside* each
+    /// hierarchical scenario (`0`/`1` = serial). Composes with
+    /// `threads`: a campaign can parallelise across scenarios, within
+    /// them, or both — every combination is byte-identical.
+    #[serde(default)]
+    pub enclave_threads: usize,
 }
 
 impl Default for CampaignOptions {
@@ -508,6 +647,7 @@ impl Default for CampaignOptions {
         CampaignOptions {
             threads: 1,
             parity_preflight_steps: 0,
+            enclave_threads: 1,
         }
     }
 }
@@ -566,7 +706,9 @@ pub fn try_run_campaign(
         } else {
             Recorder::noop()
         };
-        let result = scenario.run(&models, worker.clone());
+        let result = scenario
+            .try_run_with(&models, worker.clone(), opts.enclave_threads)
+            .unwrap_or_else(|e| panic!("{e}"));
         (worker, result)
     });
 
@@ -771,6 +913,7 @@ mod tests {
         let opts = CampaignOptions {
             threads: 2,
             parity_preflight_steps: 10,
+            ..Default::default()
         };
         let out = try_run_campaign(&[scenario], &opts, &Recorder::noop())
             .expect("preflight must pass for equivalent engines");

@@ -21,7 +21,7 @@
 use perq_core::{baselines, train_node_model, PerqConfig, PerqPolicy};
 use perq_sim::{
     compare_fairness, fault_summary, Cluster, ClusterConfig, FairPolicy, FaultPlan, FaultRates,
-    PowerPolicy, SimEngine, SimResult, SystemModel, TraceGenerator,
+    JobSpec, PowerPolicy, SimEngine, SimResult, SystemModel, TraceGenerator,
 };
 use perq_telemetry::Recorder;
 use std::collections::HashMap;
@@ -37,11 +37,25 @@ USAGE:
                    [engine=step|event] (simulator core; both produce identical
                    results — event skips dead time on sparse workloads)
                    [faults=SEED] (seeded fault injection: node crashes, telemetry
-                   dropouts, job kills — deterministic per seed)
+                   dropouts, job kills — deterministic per seed; in hierarchical
+                   runs the plan lands on enclave 0)
+                   [topology=flat|enclaves:N] (flat: the paper's single
+                   controller; enclaves:N: N independent controllers under a
+                   budget coordinator — N=1 reproduces flat byte-identically)
+                   [tenants=1,2,4] (tenant fairness weights, assigned to
+                   enclaves round-robin; default one weight-1 tenant)
+                   [coordination=6] (coordinator epoch, in control intervals)
+                   [authority=qp|proportional] (inter-enclave budget split:
+                   the coupling-QP coordinator or the weighted water-fill)
+                   [enclave-threads=1] (worker threads for enclave epochs;
+                   exports are byte-identical at any count)
                    [metrics-out=PATH] [metrics-fmt=prom|jsonl] (telemetry export:
                    solver, controller, and simulator metrics for the policy run)
                    [engine-metrics-out=PATH] (engine diagnostics — events processed,
                    intervals skipped, queue depth — as a Prometheus exposition)
+                   [coordinator-metrics-out=PATH] (hierarchical runs: grant
+                   rounds and coordinator solve latency as a Prometheus
+                   exposition — wall-clock, so kept out of metrics-out)
     perq train     [seed=7]
     perq prototype [wp=8] [f=2.0] [policy=perq|fop|sjs|ljs|srn] [jobs=200] [intervals=600]
                    [crash=NODE@STEP] (kill worker NODE at control step STEP)
@@ -49,6 +63,12 @@ USAGE:
     perq campaign  [threads=1] [scenarios=FILE.json] [json=out.json]
                    [system=mira|trinity|tardis] [policy=perq|fop|sjs|ljs|srn]
                    [seeds=4] [hours=0.5] [f=2.0] [engine=step|event]
+                   [topology=flat|enclaves:N] [tenants=1,2,4] [coordination=6]
+                   [authority=qp|proportional] (hierarchical scenarios — the
+                   same keys as simulate, applied to every generated cell;
+                   scenario files carry their own \"topology\" field)
+                   [enclave-threads=1] (threads per hierarchical scenario,
+                   multiplicative with threads=; byte-identical at any count)
                    [parity-steps=N] (run each event-engine scenario's first N
                    intervals under both cores and refuse to start on divergence)
                    [metrics-out=PATH] [metrics-fmt=prom|jsonl]
@@ -81,6 +101,8 @@ USAGE:
 
 Examples:
     perq simulate system=trinity policy=perq f=1.8 hours=8
+    perq simulate system=mira topology=enclaves:4 tenants=1,2 authority=qp hours=1
+    perq campaign threads=4 topology=enclaves:8 enclave-threads=2 seeds=8 hours=0.5
     perq trace replay file=year.swf system=mira engine=event arrivals=true hours=8760
     perq campaign threads=8 system=tardis policy=fop seeds=16 hours=1
     perq campaign threads=4 scenarios=grid.json metrics-out=campaign.prom metrics-fmt=prom
@@ -120,7 +142,7 @@ fn system(map: &HashMap<String, String>) -> SystemModel {
     }
 }
 
-fn policy(map: &HashMap<String, String>) -> Box<dyn PowerPolicy> {
+fn policy(map: &HashMap<String, String>) -> Box<dyn PowerPolicy + Send> {
     match map.get("policy").map(String::as_str) {
         Some("fop") => Box::new(FairPolicy::new()),
         Some("sjs") => Box::new(baselines::sjs()),
@@ -142,6 +164,62 @@ fn engine(map: &HashMap<String, String>) -> SimEngine {
             SimEngine::default()
         }),
     }
+}
+
+/// Parses `topology=flat|enclaves:N` plus its refinement keys
+/// (`tenants=`, `coordination=`, `authority=`) into a campaign
+/// [`perq_campaign::TopologySpec`]. The refinement keys are ignored
+/// for flat runs, matching the engine's behaviour.
+fn topology(map: &HashMap<String, String>) -> Result<perq_campaign::TopologySpec, ExitCode> {
+    use perq_campaign::{AuthoritySpec, TopologySpec};
+    let count = match map.get("topology").map(String::as_str) {
+        None | Some("flat") => return Ok(TopologySpec::Flat),
+        Some(spec) => match spec
+            .strip_prefix("enclaves:")
+            .and_then(|n| n.parse::<usize>().ok())
+        {
+            Some(n) if n >= 1 => n,
+            _ => {
+                eprintln!("bad topology '{spec}' (expected flat|enclaves:N with N >= 1)");
+                return Err(ExitCode::from(2));
+            }
+        },
+    };
+    let tenant_weights = match map.get("tenants") {
+        None => Vec::new(),
+        Some(spec) => {
+            let weights: Option<Vec<f64>> = spec
+                .split(',')
+                .map(|w| w.parse::<f64>().ok().filter(|w| *w > 0.0 && w.is_finite()))
+                .collect();
+            match weights {
+                Some(w) if !w.is_empty() => w,
+                _ => {
+                    eprintln!("bad tenants '{spec}' (expected comma-separated positive weights)");
+                    return Err(ExitCode::from(2));
+                }
+            }
+        }
+    };
+    let coordination_intervals: usize = get(map, "coordination", 6);
+    if coordination_intervals == 0 {
+        eprintln!("bad coordination '0' (expected a positive interval count)");
+        return Err(ExitCode::from(2));
+    }
+    let authority = match map.get("authority").map(String::as_str) {
+        None | Some("qp") => AuthoritySpec::CouplingQp,
+        Some("proportional") => AuthoritySpec::Proportional,
+        Some(other) => {
+            eprintln!("unknown authority '{other}' (expected qp|proportional)");
+            return Err(ExitCode::from(2));
+        }
+    };
+    Ok(TopologySpec::Enclaves {
+        count,
+        tenant_weights,
+        coordination_intervals,
+        authority,
+    })
 }
 
 /// Writes the engine-diagnostics recorder to `engine-metrics-out=` as a
@@ -230,6 +308,10 @@ fn cmd_simulate(map: HashMap<String, String>) -> ExitCode {
     let interval: f64 = get(&map, "interval", 10.0);
 
     let engine = engine(&map);
+    let topo = match topology(&map) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
 
     let mut config = ClusterConfig::for_system(&system, f, hours * 3600.0);
     config.interval_s = interval;
@@ -254,6 +336,9 @@ fn cmd_simulate(map: HashMap<String, String>) -> ExitCode {
         );
         plan
     });
+    if topo.hier_topology().is_some() {
+        return simulate_hier(&map, config, jobs, seed, &topo, engine, fault_plan);
+    }
     let with_plan = |mut c: Cluster| -> Cluster {
         if let Some(plan) = &fault_plan {
             c = c.with_fault_plan(plan.clone());
@@ -294,6 +379,87 @@ fn cmd_simulate(map: HashMap<String, String>) -> ExitCode {
         return code;
     }
 
+    if let Some(path) = map.get("json") {
+        match serde_json::to_string_pretty(&result) {
+            Ok(body) => {
+                if let Err(e) = std::fs::write(path, body) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("full result written to {path}");
+            }
+            Err(e) => {
+                eprintln!("failed to serialize result: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The hierarchical arm of `perq simulate`: `N` enclave controllers
+/// under a budget coordinator instead of one flat policy loop. The FOP
+/// fairness reference is skipped — it is a flat-controller notion; use
+/// `perq campaign` with a topology for cross-policy comparisons.
+fn simulate_hier(
+    map: &HashMap<String, String>,
+    config: ClusterConfig,
+    jobs: Vec<JobSpec>,
+    seed: u64,
+    topo: &perq_campaign::TopologySpec,
+    engine: SimEngine,
+    fault_plan: Option<FaultPlan>,
+) -> ExitCode {
+    use perq_sim::HierSim;
+    let hier = topo.hier_topology().expect("hierarchical spec");
+    let authority = match topo {
+        perq_campaign::TopologySpec::Enclaves { authority, .. } => authority.build(),
+        perq_campaign::TopologySpec::Flat => unreachable!("flat runs stay in cmd_simulate"),
+    };
+    println!(
+        "topology          : {} enclave(s), {} tenant(s), {} coordinator, epoch {} interval(s)",
+        hier.enclaves,
+        hier.tenants.len().max(1),
+        authority.name(),
+        hier.coordination_intervals
+    );
+
+    let recorder = metrics_recorder(map);
+    let coord_recorder = if map.contains_key("coordinator-metrics-out") {
+        Recorder::manual()
+    } else {
+        Recorder::noop()
+    };
+    let policies: Vec<Box<dyn PowerPolicy + Send>> =
+        (0..hier.enclaves).map(|_| policy(map)).collect();
+    let mut sim = HierSim::new(config, jobs, seed, hier, policies)
+        .with_engine(engine)
+        .with_threads(get(map, "enclave-threads", 1))
+        .with_recorder(recorder.clone())
+        .with_coordinator_recorder(coord_recorder.clone())
+        .with_authority(authority);
+    if let Some(plan) = fault_plan {
+        sim = sim.with_fault_plan(plan);
+    }
+    let hier_result = sim.run();
+    let rounds = hier_result.rounds.len();
+    let mean_slack_w = hier_result.rounds.iter().map(|r| r.slack_w).sum::<f64>()
+        / rounds.max(1) as f64;
+    let result = hier_result.combined();
+    summarize(&result, None);
+    if rounds > 0 {
+        println!("coordination      : {rounds} grant round(s), mean slack {mean_slack_w:.0} W");
+    }
+    if let Err(code) = write_metrics(map, &recorder) {
+        return code;
+    }
+    if let Some(path) = map.get("coordinator-metrics-out") {
+        if let Err(e) = std::fs::write(path, coord_recorder.export_prometheus()) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("coordinator metrics written to {path}");
+    }
     if let Some(path) = map.get("json") {
         match serde_json::to_string_pretty(&result) {
             Ok(body) => {
@@ -418,11 +584,16 @@ fn cmd_campaign(map: HashMap<String, String>) -> ExitCode {
             }
         };
         let engine = engine(&map);
+        let topo = match topology(&map) {
+            Ok(t) => t,
+            Err(code) => return code,
+        };
         let mut grid = fig8_style_grid(system(&map), hours * 3600.0, 0..seeds);
         for s in grid.iter_mut() {
             s.f = f;
             s.policy = policy.clone();
             s.engine = engine;
+            s.topology = topo.clone();
         }
         grid
     };
@@ -440,6 +611,7 @@ fn cmd_campaign(map: HashMap<String, String>) -> ExitCode {
     let opts = CampaignOptions {
         threads,
         parity_preflight_steps: get(&map, "parity-steps", 0),
+        enclave_threads: get(&map, "enclave-threads", 1),
     };
     let start = std::time::Instant::now();
     let outcomes = match try_run_campaign(&scenarios, &opts, &recorder) {

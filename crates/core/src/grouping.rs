@@ -266,14 +266,44 @@ mod tests {
 
     #[test]
     fn grouped_matches_exact_when_few_jobs() {
+        // Regression pinning (was seed debt): the original assertion
+        // demanded 1e-12 agreement between `decide` and
+        // `decide_grouped` *on the same controller*. With `n <=
+        // max_groups` the grouped path literally delegates to
+        // `decide`, but the controller's cross-decision solver scratch
+        // (the `LmaxCache` behind the `scratch` mutex) means the
+        // second call does not replay the first bit-for-bit — it only
+        // agrees to solver tolerance. The exact-delegation identity
+        // holds on a *fresh* controller, which is what we pin exactly;
+        // the same-controller comparison is held to solver tolerance.
         let (model, _) = train_node_model(5);
         let ctrl = MpcController::new(&model, MpcSettings::default());
         let jobs = make_jobs(&ctrl, &model, 10, 3);
         let inp = input(&jobs);
+
+        // Same controller: agreement at solver tolerance.
         let exact = ctrl.decide(&inp).expect("jobs");
         let grouped = ctrl.decide_grouped(&inp, 32).expect("jobs");
         for (a, b) in exact.caps_frac.iter().zip(grouped.caps_frac.iter()) {
-            assert!((a - b).abs() < 1e-12);
+            assert!((a - b).abs() < 1e-6, "solver-tolerance drift: {a} vs {b}");
+        }
+
+        // Fresh controllers: the delegation is exact, to the bit.
+        let exact_fresh = MpcController::new(&model, MpcSettings::default())
+            .decide(&inp)
+            .expect("jobs");
+        let grouped_fresh = MpcController::new(&model, MpcSettings::default())
+            .decide_grouped(&inp, 32)
+            .expect("jobs");
+        for (a, b) in exact_fresh
+            .caps_frac
+            .iter()
+            .zip(grouped_fresh.caps_frac.iter())
+        {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "fresh-controller delegation must be exact: {a} vs {b}"
+            );
         }
     }
 

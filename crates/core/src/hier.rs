@@ -1,0 +1,365 @@
+//! The coupling-QP budget coordinator (DESIGN.md §11).
+//!
+//! The top level of the hierarchical allocation solves, every
+//! coordination epoch, a QP over one variable per enclave:
+//!
+//! ```text
+//!   minimize   Σ_e (1/2)(x_e − t_e)²  +  (w_sys/2)(Σ_e x_e − d)²
+//!   subject to floor_e ≤ x_e ≤ ceil_e,   Σ_e x_e ≤ B
+//! ```
+//!
+//! where `t_e` is enclave `e`'s weighted fair-share target and `d =
+//! min(B, Σ ceil)` is the usable demand. The per-enclave tracking
+//! terms pull each grant to its fairness target; the rank-1 system
+//! term pulls the *total* to the usable demand, which is what moves
+//! budget from idle enclaves to busy ones. The Hessian is
+//! `I + w_sys·𝟙𝟙ᵀ` — exactly the block-diagonal-plus-low-rank shape
+//! [`StructuredQp`] factors, with block size 1 — so the coordinator
+//! reuses the MPC's matrix-free solver stack (projected gradient,
+//! workspace reuse, `λ_max` cache, warm starts from the previous
+//! epoch's grants); `BENCH_hier.json` has the measured per-round solve
+//! cost vs enclave count.
+//!
+//! Tenant weights enter **only** through the targets `t_e` and the
+//! slack-recycling shares — never as tracking stiffness. This is
+//! deliberate: if the weight also scaled the quadratic penalty (the
+//! superficially natural `Σ (w_e/2)(x_e − t_e)²`), a heavier weight
+//! would pin its enclave *harder* to a clamped target, and whenever
+//! the water-fill level sits above that target, raising a tenant's
+//! weight could *lower* its grant — breaking the fairness
+//! monotonicity contract tested in `tests/tenant_weights.rs`. With
+//! uniform stiffness the interior optimum is a common shift
+//! `x_e = t_e + δ`, and raising one tenant's weight moves its targets
+//! weakly up and everyone else's weakly down, which the shared δ can
+//! never invert.
+//!
+//! At the unconstrained optimum the slack obeys
+//! `|Σx − d| = |Σt − d| / (1 + n·w_sys)`, so the tracking terms can
+//! hold back a sliver of the budget whenever the clamped targets
+//! under-sell the demand (e.g. one enclave pinned at a tiny ceiling).
+//! A final deterministic *slack-recycling* water-fill therefore pours
+//! any residual `d − Σx` into enclaves with ceiling headroom, in share
+//! proportion — so under demand pressure (`Σ ceil ≥ B`) the budget is
+//! fully placed, and the QP governs only how the base split reflects
+//! the tenant weights.
+//!
+//! Failure containment: if the QP is ever rejected or the solver
+//! errors, the coordinator falls back to the closed-form
+//! [`ProportionalAuthority`] water-fill for that epoch — the grants
+//! stay feasible, only the coupling refinement is lost.
+
+use perq_qp::{Budget, Coupling, LmaxCache, ProjGradSettings, ProjGradSolver, StructuredQp, Workspace};
+use perq_sim::{BudgetAuthority, EnclaveDemand, GrantContext, ProportionalAuthority};
+
+/// Default ratio of the system-tracking weight `w_sys` to the (unit)
+/// per-enclave tracking stiffness. Higher values trade fairness-target
+/// tracking for fuller budget utilization; 8 keeps the worst-case
+/// slack under 2% of the target gap at 4+ enclaves.
+pub const DEFAULT_SYSTEM_WEIGHT_RATIO: f64 = 8.0;
+
+/// [`BudgetAuthority`] that divides the global budget by solving the
+/// coupling QP above. Deterministic (fixed iteration schedule, no
+/// randomness), warm-started across epochs, and conserving: grants are
+/// clamped to `[floor, ceil]` and scaled so they never exceed the
+/// budget.
+pub struct CouplingAuthority {
+    solver: ProjGradSolver,
+    workspace: Workspace,
+    lmax: LmaxCache,
+    /// Previous epoch's grants, warm-starting the next solve (cleared
+    /// whenever the enclave count changes).
+    last_grants: Vec<f64>,
+    /// `w_sys` relative to the unit per-enclave tracking stiffness.
+    system_weight_ratio: f64,
+    fallback: ProportionalAuthority,
+}
+
+impl CouplingAuthority {
+    /// An authority with the default solver settings and system-weight
+    /// ratio.
+    pub fn new() -> Self {
+        CouplingAuthority {
+            solver: ProjGradSolver::new(ProjGradSettings::default()),
+            workspace: Workspace::default(),
+            lmax: LmaxCache::default(),
+            last_grants: Vec::new(),
+            system_weight_ratio: DEFAULT_SYSTEM_WEIGHT_RATIO,
+            fallback: ProportionalAuthority,
+        }
+    }
+
+    /// Overrides the system-tracking weight `w_sys` (builder style).
+    /// Must be positive.
+    pub fn with_system_weight_ratio(mut self, ratio: f64) -> Self {
+        assert!(ratio.is_finite() && ratio > 0.0, "ratio must be positive");
+        self.system_weight_ratio = ratio;
+        self
+    }
+
+    /// Solves the coupling QP; `None` when the problem could not be
+    /// built or the solver failed (caller falls back).
+    fn solve(&mut self, ctx: &GrantContext, demands: &[EnclaveDemand]) -> Option<Vec<f64>> {
+        let n = demands.len();
+        let budget = ctx.budget_w;
+        let lo: Vec<f64> = demands.iter().map(|d| d.floor_w).collect();
+        let hi: Vec<f64> = demands
+            .iter()
+            .map(|d| d.ceil_w.max(d.floor_w))
+            .collect();
+        let weights: Vec<f64> = demands.iter().map(|d| d.weight.max(1e-9)).collect();
+        let shares: Vec<f64> = demands
+            .iter()
+            .zip(&weights)
+            .map(|(d, &w)| w * d.wp_nodes.max(1) as f64)
+            .collect();
+        let total_share: f64 = shares.iter().sum();
+        if total_share <= 0.0 {
+            return None;
+        }
+        let usable: f64 = budget.min(hi.iter().sum());
+        let w_sys = self.system_weight_ratio;
+        let targets: Vec<f64> = shares
+            .iter()
+            .zip(lo.iter().zip(&hi))
+            .map(|(&s, (&l, &h))| (budget * s / total_share).clamp(l, h))
+            .collect();
+        // Uniform tracking stiffness: weights shape the targets and the
+        // recycling shares only (see the module doc for why stiffness
+        // must not depend on the tenant weight).
+        let c: Vec<f64> = targets.iter().map(|&t| -(t + w_sys * usable)).collect();
+        let qp = StructuredQp::new(
+            1,
+            vec![1.0; n],
+            vec![Coupling {
+                weight: w_sys,
+                s: vec![1.0; n],
+            }],
+            c,
+            lo.clone(),
+            hi.clone(),
+            vec![Budget {
+                coeffs: vec![1.0; n],
+                limit: budget,
+            }],
+        )
+        .ok()?;
+        if self.last_grants.len() != n {
+            self.last_grants.clear();
+        }
+        let x0 = if self.last_grants.is_empty() {
+            None
+        } else {
+            Some(self.last_grants.as_slice())
+        };
+        let solution = self
+            .solver
+            .solve_with(&qp, x0, &mut self.workspace, Some(&mut self.lmax))
+            .ok()?;
+        // Re-clamp against numerical drift so the HierSim conservation
+        // assertion holds exactly: inside the box, then scaled onto the
+        // budget if the projection left a hair of overshoot.
+        let mut grants: Vec<f64> = solution
+            .x
+            .iter()
+            .zip(lo.iter().zip(&hi))
+            .map(|(&x, (&l, &h))| x.clamp(l, h))
+            .collect();
+        let total: f64 = grants.iter().sum();
+        if total > budget && total > 0.0 {
+            let scale = budget / total;
+            for g in &mut grants {
+                *g *= scale;
+            }
+        } else {
+            recycle_slack(&mut grants, usable, &hi, &shares);
+        }
+        self.last_grants = grants.clone();
+        Some(grants)
+    }
+}
+
+/// Pours the residual `usable − Σgrants` into enclaves with ceiling
+/// headroom, in share proportion (the same water-filling loop as the
+/// proportional authority): each round either saturates an enclave or
+/// distributes everything, so it terminates in at most `n` rounds and
+/// is a pure function of its inputs.
+fn recycle_slack(grants: &mut [f64], usable: f64, hi: &[f64], shares: &[f64]) {
+    let mut remaining = usable - grants.iter().sum::<f64>();
+    let mut active: Vec<usize> = (0..grants.len())
+        .filter(|&e| grants[e] < hi[e] - 1e-12)
+        .collect();
+    while remaining > 1e-9 && !active.is_empty() {
+        let total_share: f64 = active.iter().map(|&e| shares[e]).sum();
+        if total_share <= 0.0 {
+            break;
+        }
+        let mut spent = 0.0;
+        let mut still_active = Vec::with_capacity(active.len());
+        for &e in &active {
+            let pour = remaining * shares[e] / total_share;
+            let add = pour.min((hi[e] - grants[e]).max(0.0));
+            grants[e] += add;
+            spent += add;
+            if grants[e] < hi[e] - 1e-12 {
+                still_active.push(e);
+            }
+        }
+        active = still_active;
+        if spent <= 1e-12 {
+            break;
+        }
+        remaining -= spent;
+    }
+}
+
+impl Default for CouplingAuthority {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BudgetAuthority for CouplingAuthority {
+    fn name(&self) -> &'static str {
+        "coupling-qp"
+    }
+
+    fn grant(&mut self, ctx: &GrantContext, demands: &[EnclaveDemand]) -> Vec<f64> {
+        let n = demands.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![ctx.budget_w];
+        }
+        // Infeasible epoch (Σ floor exceeds the budget): the QP's box
+        // and budget constraints contradict; hand straight to the
+        // water-fill, whose proportional floor scaling is the defined
+        // behaviour for this corner.
+        let total_floor: f64 = demands.iter().map(|d| d.floor_w).sum();
+        if total_floor > ctx.budget_w {
+            return self.fallback.grant(ctx, demands);
+        }
+        match self.solve(ctx, demands) {
+            Some(grants) => grants,
+            None => self.fallback.grant(ctx, demands),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(enclave: usize, weight: f64, wp: usize, floor: f64, ceil: f64) -> EnclaveDemand {
+        EnclaveDemand {
+            enclave,
+            tenant: enclave,
+            weight,
+            wp_nodes: wp,
+            live_nodes: wp,
+            busy_nodes: wp / 2,
+            pending_jobs: 2,
+            floor_w: floor,
+            ceil_w: ceil,
+        }
+    }
+
+    fn ctx(budget: f64) -> GrantContext {
+        GrantContext {
+            time_s: 0.0,
+            budget_w: budget,
+            tdp_w: 290.0,
+            cap_min_w: 90.0,
+            idle_w: 35.0,
+        }
+    }
+
+    #[test]
+    fn saturated_demand_uses_whole_budget() {
+        let mut auth = CouplingAuthority::new();
+        let demands: Vec<EnclaveDemand> = (0..4)
+            .map(|e| demand(e, 1.0, 16, 800.0, 4_640.0))
+            .collect();
+        let grants = auth.grant(&ctx(9_000.0), &demands);
+        let total: f64 = grants.iter().sum();
+        assert!(total <= 9_000.0 + 1e-6);
+        assert!(
+            total >= 9_000.0 * 0.98,
+            "coordinator left {} W unplaced under saturation",
+            9_000.0 - total
+        );
+        for (g, d) in grants.iter().zip(&demands) {
+            assert!(*g >= d.floor_w - 1e-6 && *g <= d.ceil_w + 1e-6);
+        }
+    }
+
+    #[test]
+    fn higher_weight_wins_budget() {
+        let mut auth = CouplingAuthority::new();
+        let demands = vec![
+            demand(0, 1.0, 16, 800.0, 4_640.0),
+            demand(1, 3.0, 16, 800.0, 4_640.0),
+        ];
+        let grants = auth.grant(&ctx(6_000.0), &demands);
+        assert!(
+            grants[1] > grants[0] + 100.0,
+            "weight 3 vs 1 should separate clearly: {grants:?}"
+        );
+    }
+
+    #[test]
+    fn idle_enclave_releases_budget_to_busy_one() {
+        let mut auth = CouplingAuthority::new();
+        // Enclave 0 is idle: its ceiling is its idle draw. Everything
+        // beyond it must flow to enclave 1.
+        let demands = vec![
+            demand(0, 1.0, 16, 560.0, 560.0),
+            demand(1, 1.0, 16, 800.0, 9_000.0),
+        ];
+        let grants = auth.grant(&ctx(9_280.0), &demands);
+        assert!((grants[0] - 560.0).abs() < 1e-6);
+        assert!(grants[1] >= 9_280.0 - 560.0 - 50.0);
+    }
+
+    #[test]
+    fn matches_water_fill_on_single_and_empty_inputs() {
+        let mut auth = CouplingAuthority::new();
+        assert!(auth.grant(&ctx(1_000.0), &[]).is_empty());
+        let one = auth.grant(&ctx(1_000.0), &[demand(0, 1.0, 8, 280.0, 1_000.0)]);
+        assert_eq!(one, vec![1_000.0]);
+    }
+
+    #[test]
+    fn infeasible_floors_fall_back_to_scaled_water_fill() {
+        let mut auth = CouplingAuthority::new();
+        let demands = vec![
+            demand(0, 1.0, 16, 800.0, 4_000.0),
+            demand(1, 1.0, 16, 700.0, 4_000.0),
+        ];
+        let grants = auth.grant(&ctx(1_000.0), &demands);
+        let total: f64 = grants.iter().sum();
+        assert!(total <= 1_000.0 + 1e-6);
+        // Proportional floor scaling: 1000 · 800/1500, 1000 · 700/1500.
+        assert!((grants[0] - 1_000.0 * 800.0 / 1_500.0).abs() < 1e-6);
+        assert!((grants[1] - 1_000.0 * 700.0 / 1_500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn repeated_epochs_are_deterministic_with_warm_start() {
+        let run = || {
+            let mut auth = CouplingAuthority::new();
+            let mut all = Vec::new();
+            for epoch in 0..5 {
+                let busy = 4 + epoch;
+                let demands = vec![
+                    demand(0, 1.0, 16, 560.0 + 90.0 * busy as f64, 4_640.0),
+                    demand(1, 2.0, 16, 560.0, 4_640.0),
+                    demand(2, 1.0, 8, 280.0, 2_320.0),
+                ];
+                all.push(auth.grant(&ctx(8_000.0), &demands));
+            }
+            all
+        };
+        assert_eq!(run(), run(), "warm-started solves must replay exactly");
+    }
+}

@@ -35,6 +35,7 @@
 
 pub mod baselines;
 pub mod grouping;
+mod hier;
 mod model;
 mod mpc;
 pub mod mpc_assembly;
@@ -42,6 +43,7 @@ mod perq;
 mod targets;
 
 pub use grouping::group_jobs;
+pub use hier::{CouplingAuthority, DEFAULT_SYSTEM_WEIGHT_RATIO};
 pub use model::{train_node_model, train_node_model_with, JobAdapter, NodeModel, TrainingReport};
 pub use mpc::{MpcController, MpcDecision, MpcInput, MpcJobState, MpcSettings};
 pub use perq::{PerqConfig, PerqPolicy};

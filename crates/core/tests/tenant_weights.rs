@@ -1,0 +1,192 @@
+//! Tenant-weight properties of the inter-enclave coordinators, under
+//! random weight vectors and demand mixes:
+//!
+//! - **Conservation**: grants never exceed the global budget, respect
+//!   every enclave's floor and ceiling, and — when demand saturates the
+//!   budget — place essentially all of it (the slack-recycling pass's
+//!   contract).
+//! - **Fairness monotonicity**: raising one tenant's weight (everything
+//!   else fixed) never lowers that tenant's aggregate steady-state
+//!   grant.
+//!
+//! Both hold for the coupling-QP coordinator and the proportional
+//! water-fill, so the properties are run against each.
+
+use perq_core::CouplingAuthority;
+use perq_sim::{BudgetAuthority, EnclaveDemand, GrantContext, ProportionalAuthority};
+use proptest::prelude::*;
+
+const TDP_W: f64 = 290.0;
+const CAP_MIN_W: f64 = 80.0;
+const IDLE_W: f64 = 45.0;
+
+/// A saturated enclave: every node busy, work queued, so the floor is
+/// `live · cap_min` and the ceiling `live · tdp`.
+fn saturated(enclave: usize, tenant: usize, weight: f64, live_nodes: usize) -> EnclaveDemand {
+    EnclaveDemand {
+        enclave,
+        tenant,
+        weight,
+        wp_nodes: live_nodes.div_ceil(2),
+        live_nodes,
+        busy_nodes: live_nodes,
+        pending_jobs: 4,
+        floor_w: live_nodes as f64 * CAP_MIN_W,
+        ceil_w: live_nodes as f64 * TDP_W,
+    }
+}
+
+fn context(budget_w: f64) -> GrantContext {
+    GrantContext {
+        time_s: 0.0,
+        budget_w,
+        tdp_w: TDP_W,
+        cap_min_w: CAP_MIN_W,
+        idle_w: IDLE_W,
+    }
+}
+
+/// Assigns tenants to enclaves round-robin and builds saturated
+/// demands; `weights[t]` is tenant `t`'s fairness weight.
+fn demands_for(weights: &[f64], sizes: &[usize]) -> Vec<EnclaveDemand> {
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(e, &live)| {
+            let tenant = e % weights.len();
+            saturated(e, tenant, weights[tenant], live)
+        })
+        .collect()
+}
+
+/// Steady-state grants: repeat the round until the warm-started answer
+/// stops moving (three rounds is plenty for identical inputs).
+fn steady_grants(
+    authority: &mut dyn BudgetAuthority,
+    ctx: &GrantContext,
+    demands: &[EnclaveDemand],
+) -> Vec<f64> {
+    let mut grants = Vec::new();
+    for _ in 0..3 {
+        grants = authority.grant(ctx, demands);
+    }
+    grants
+}
+
+fn tenant_total(demands: &[EnclaveDemand], grants: &[f64], tenant: usize) -> f64 {
+    demands
+        .iter()
+        .zip(grants.iter())
+        .filter(|(d, _)| d.tenant == tenant)
+        .map(|(_, &g)| g)
+        .sum()
+}
+
+fn authorities() -> Vec<(&'static str, Box<dyn BudgetAuthority>)> {
+    vec![
+        ("coupling-qp", Box::new(CouplingAuthority::new())),
+        ("proportional", Box::new(ProportionalAuthority)),
+    ]
+}
+
+fn check_conservation(weights: &[f64], sizes: &[usize], budget_frac: f64) {
+    let demands = demands_for(weights, sizes);
+    let floor: f64 = demands.iter().map(|d| d.floor_w).sum();
+    let ceil: f64 = demands.iter().map(|d| d.ceil_w).sum();
+    // A budget between the aggregate floor and ceiling: feasible, and
+    // saturated demand can absorb all of it.
+    let budget = floor + budget_frac * (ceil - floor);
+    let ctx = context(budget);
+    for (name, mut authority) in authorities() {
+        let grants = steady_grants(authority.as_mut(), &ctx, &demands);
+        assert_eq!(grants.len(), demands.len());
+        let total: f64 = grants.iter().sum();
+        assert!(
+            total <= budget * (1.0 + 1e-9) + 1e-6,
+            "{name}: granted {total} over budget {budget}"
+        );
+        for (d, &g) in demands.iter().zip(grants.iter()) {
+            assert!(
+                g >= d.floor_w - 1e-6 && g <= d.ceil_w + 1e-6,
+                "{name}: enclave {} grant {g} outside [{}, {}]",
+                d.enclave,
+                d.floor_w,
+                d.ceil_w
+            );
+        }
+        // Saturated demand pressure: the budget must be fully placed
+        // (the QP's unconstrained slack is recycled by water-fill).
+        let usable = budget.min(ceil);
+        assert!(
+            usable - total <= 1e-6 * usable,
+            "{name}: left {:.3} W of {usable:.1} W unplaced",
+            usable - total
+        );
+    }
+}
+
+fn check_monotonicity(weights: &[f64], sizes: &[usize], tenant: usize, raise: f64) {
+    let tenant = tenant % weights.len();
+    let demands = demands_for(weights, sizes);
+    let mut raised_weights = weights.to_vec();
+    raised_weights[tenant] *= raise;
+    let raised = demands_for(&raised_weights, sizes);
+
+    let floor: f64 = demands.iter().map(|d| d.floor_w).sum();
+    let ceil: f64 = demands.iter().map(|d| d.ceil_w).sum();
+    let budget = floor + 0.6 * (ceil - floor);
+    let ctx = context(budget);
+
+    for (name, mut authority) in authorities() {
+        let before = steady_grants(authority.as_mut(), &ctx, &demands);
+        let after = steady_grants(authority.as_mut(), &ctx, &raised);
+        let before_total = tenant_total(&demands, &before, tenant);
+        let after_total = tenant_total(&raised, &after, tenant);
+        assert!(
+            after_total >= before_total - 1e-6 * budget,
+            "{name}: raising tenant {tenant}'s weight by {raise}x lowered its grant \
+             from {before_total:.3} W to {after_total:.3} W"
+        );
+    }
+}
+
+#[test]
+fn equal_weights_split_equal_enclaves_evenly() {
+    let demands = demands_for(&[1.0], &[4, 4, 4, 4]);
+    let floor: f64 = demands.iter().map(|d| d.floor_w).sum();
+    let ceil: f64 = demands.iter().map(|d| d.ceil_w).sum();
+    let budget = (floor + ceil) / 2.0;
+    let ctx = context(budget);
+    for (name, mut authority) in authorities() {
+        let grants = steady_grants(authority.as_mut(), &ctx, &demands);
+        for &g in &grants {
+            assert!(
+                (g - budget / 4.0).abs() <= 1e-6 * budget,
+                "{name}: symmetric demand split unevenly: {grants:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn grants_conserve_the_budget(
+        weights in prop::collection::vec(0.1f64..8.0, 1..5),
+        sizes in prop::collection::vec(2usize..12, 2..10),
+        budget_frac in 0.1f64..0.95,
+    ) {
+        check_conservation(&weights, &sizes, budget_frac);
+    }
+
+    #[test]
+    fn raising_a_tenant_weight_never_lowers_its_grant(
+        weights in prop::collection::vec(0.2f64..4.0, 1..5),
+        sizes in prop::collection::vec(2usize..12, 2..10),
+        tenant in 0usize..5,
+        raise in 1.0f64..6.0,
+    ) {
+        check_monotonicity(&weights, &sizes, tenant, raise);
+    }
+}

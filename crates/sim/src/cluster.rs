@@ -263,6 +263,12 @@ pub struct Cluster {
     /// depend on the engine and on wall time, while `recorder` exports
     /// must stay byte-identical across engines.
     engine_recorder: Recorder,
+    /// Budget in force instead of `config.budget_w()`, when a
+    /// higher-level coordinator granted this cluster a share of a
+    /// larger system's budget (hierarchical allocation, `hier.rs`).
+    /// `None` — the flat default — leaves every budget computation on
+    /// the exact `config.budget_w()` float, so flat runs are untouched.
+    budget_override_w: Option<f64>,
     /// A previous run's interval log handed back for reuse. Year-long
     /// runs allocate a ~150 MB log; recycling it across repeated
     /// replays (benchmark medians, back-to-back what-if runs) skips
@@ -358,6 +364,7 @@ impl Cluster {
             recovery_latency_s: Vec::new(),
             recorder: Recorder::noop(),
             engine_recorder: Recorder::noop(),
+            budget_override_w: None,
             recycled_intervals: None,
             #[cfg(any(test, feature = "rescan-oracle"))]
             rescan_oracle: false,
@@ -416,6 +423,38 @@ impl Cluster {
     /// Nodes currently offline due to injected crashes.
     pub fn offline_nodes(&self) -> usize {
         self.offline_nodes
+    }
+
+    /// Overrides the power budget in force (hierarchical allocation: a
+    /// coordinator grants this cluster a share of a larger system's
+    /// budget, re-granted every coordination epoch). `None` restores
+    /// the flat `config.budget_w()`. The override must at least cover
+    /// the whole machine idling — the same invariant
+    /// `ClusterConfig::validate` enforces on the flat budget.
+    pub fn set_budget_override(&mut self, budget_w: Option<f64>) {
+        if let Some(b) = budget_w {
+            let live = self.config.nodes - self.offline_nodes;
+            assert!(
+                b.is_finite() && b >= live as f64 * self.config.idle_w,
+                "budget override {b} W cannot even idle {live} live nodes at {} W",
+                self.config.idle_w
+            );
+        }
+        self.budget_override_w = budget_w;
+    }
+
+    /// The budget override in force, if any.
+    pub fn budget_override_w(&self) -> Option<f64> {
+        self.budget_override_w
+    }
+
+    /// The power budget every per-interval computation uses: the
+    /// coordinator-granted override when one is set, the flat
+    /// `config.budget_w()` otherwise (the exact same float expression
+    /// as before the hierarchy existed, so flat runs are bit-identical).
+    pub(crate) fn effective_budget_w(&self) -> f64 {
+        self.budget_override_w
+            .unwrap_or_else(|| self.config.budget_w())
     }
 
     /// Schedules via the pre-overhaul full-rescan + sort path instead of
@@ -727,7 +766,7 @@ impl Cluster {
             self.recorder.counter_add("perq_sim_steps_total", skipped);
             self.recorder.gauge_set("perq_sim_power_w", idle_power);
             self.recorder
-                .gauge_set("perq_sim_budget_w", self.config.budget_w());
+                .gauge_set("perq_sim_budget_w", self.effective_budget_w());
             self.recorder
                 .gauge_set("perq_sim_committed_power_w", idle_power);
             self.recorder
@@ -785,7 +824,7 @@ impl Cluster {
         //    (the paper's reclamation step, applied to capacity loss).
         let busy = self.busy_nodes;
         let idle = live_nodes.saturating_sub(busy);
-        let busy_budget = self.config.budget_w() - idle as f64 * self.config.idle_w;
+        let busy_budget = self.effective_budget_w() - idle as f64 * self.config.idle_w;
         self.scratch.views.clear();
         for j in &self.running {
             self.scratch.views.push(JobView {
@@ -945,7 +984,7 @@ impl Cluster {
         // during which the old (higher) cap is still enforced — a
         // physical artifact bounded by (delay/interval)·ΔP per node, not
         // a policy error.
-        let violation = total_power > self.config.budget_w() * 1.0005;
+        let violation = total_power > self.effective_budget_w() * 1.0005;
         let log = IntervalLog {
             t_s: self.time_s,
             busy_nodes: busy,
@@ -958,7 +997,7 @@ impl Cluster {
             self.recorder.counter_inc("perq_sim_steps_total");
             self.recorder.gauge_set("perq_sim_power_w", total_power);
             self.recorder
-                .gauge_set("perq_sim_budget_w", self.config.budget_w());
+                .gauge_set("perq_sim_budget_w", self.effective_budget_w());
             self.recorder
                 .gauge_set("perq_sim_committed_power_w", log.committed_power_w);
             self.recorder

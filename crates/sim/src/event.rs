@@ -147,7 +147,7 @@ impl EventQueue {
 /// two steps before the nominal one, so clock accumulation error can
 /// never make the hint *late* (a premature hint is re-armed on pop; a
 /// late one would silently delay the release).
-fn arrival_hint_step(submit_s: f64, interval_s: f64) -> usize {
+pub(crate) fn arrival_hint_step(submit_s: f64, interval_s: f64) -> usize {
     ((submit_s / interval_s).floor() as usize).saturating_sub(2)
 }
 

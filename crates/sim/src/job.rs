@@ -18,8 +18,7 @@ pub struct JobSpec {
     /// reproduces the paper's saturated queue (every job ready at
     /// `t = 0`); SWF replays with arrivals enabled carry the logged
     /// submit times, rebased so the first job arrives at `t = 0`. Only
-    /// honoured when [`ClusterConfig::honor_arrivals`] is set
-    /// (`crate::ClusterConfig`).
+    /// honoured when [`crate::ClusterConfig::honor_arrivals`] is set.
     #[serde(default)]
     pub submit_s: f64,
 }

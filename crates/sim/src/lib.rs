@@ -54,8 +54,10 @@
 mod cluster;
 mod event;
 mod fault;
+mod hier;
 mod job;
 mod metrics;
+mod parallel;
 mod policy;
 mod scheduler;
 mod swf;
@@ -64,10 +66,16 @@ mod trace;
 pub use cluster::{Cluster, ClusterConfig, IntervalLog, SimResult};
 pub use event::SimEngine;
 pub use fault::{AppliedFault, FaultEvent, FaultKind, FaultPlan, FaultRates};
+pub use hier::{
+    assign_jobs_to_enclaves, enclave_outage_plan, partition_config, BudgetAuthority,
+    EnclaveDemand, GrantContext, GrantRound, HierResult, HierSim, HierTopology,
+    ProportionalAuthority, TenantSpec,
+};
 pub use job::{JobOutcome, JobRecord, JobSpec, JobTrace, TracePoint};
 pub use metrics::{
     compare_fairness, fault_summary, runtime_cdf, throughput, FairnessReport, FaultSummary,
 };
+pub use parallel::{parallel_for_mut, parallel_map};
 pub use policy::{FairPolicy, JobView, PolicyContext, PowerAssignment, PowerPolicy};
 pub use scheduler::{RunningFootprint, ScheduleScratch, Scheduler};
 pub use swf::{swf_from_jobs, SwfImportSummary, TraceSource};

@@ -1,0 +1,233 @@
+//! Order-preserving fan-out primitives.
+//!
+//! [`parallel_map`] is the concurrency primitive the campaign engine
+//! (scenario grids) and the hierarchical simulator (enclave epochs)
+//! share: every item is shared-nothing (its own RNGs, its own
+//! recorder), workers pull items off an atomic queue, and results land
+//! in a slot vector indexed by item — so the output order is *item*
+//! order, never completion order. Everything downstream (telemetry
+//! merges, result aggregation) folds in that fixed order, which is
+//! what makes exports byte-identical across thread counts.
+//!
+//! [`parallel_for_mut`] is the in-place variant the hierarchical
+//! epoch loop uses: each enclave runtime is advanced through `&mut`
+//! access to its own slot, with the same ownership discipline (one
+//! worker per item, no shared state) and therefore the same
+//! determinism argument.
+
+/// Applies `f(index, item)` to every item using up to `threads` worker
+/// threads and returns the results in item order.
+///
+/// `threads <= 1` (or a single item) runs strictly serially on the
+/// caller thread. With the `parallel` feature the fan-out runs on a
+/// dedicated rayon pool of exactly `threads` threads; without it, a
+/// `std::thread::scope` pool with an atomic work index provides the
+/// same semantics, so the engine is parallel even in minimal builds.
+///
+/// `f` must be deterministic per item for campaign replays to be exact;
+/// the engine guarantees the rest (fixed fold order, no shared state).
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    #[cfg(feature = "parallel")]
+    {
+        rayon_map(items, threads, f)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        scoped_map(items, threads, f)
+    }
+}
+
+/// Applies `f(index, item)` to every item **in place** using up to
+/// `threads` worker threads.
+///
+/// Each worker claims a distinct index off an atomic queue and mutates
+/// only that slot, so the items never alias; the per-item mutation must
+/// be deterministic for the whole pass to be (the hierarchical epoch
+/// loop's requirement). `threads <= 1` or a single item runs serially
+/// on the caller thread.
+pub fn parallel_for_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    #[cfg(feature = "parallel")]
+    {
+        rayon_for_mut(items, threads, f)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        scoped_for_mut(items, threads, f)
+    }
+}
+
+#[cfg(feature = "parallel")]
+fn rayon_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    use rayon::prelude::*;
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("rayon pool construction");
+    // par_iter preserves index order in collect regardless of which
+    // worker finishes first.
+    pool.install(|| items.par_iter().enumerate().map(|(i, t)| f(i, t)).collect())
+}
+
+#[cfg(feature = "parallel")]
+fn rayon_for_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    use rayon::prelude::*;
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("rayon pool construction");
+    pool.install(|| {
+        items
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(i, t)| f(i, t))
+    });
+}
+
+#[cfg(not(feature = "parallel"))]
+fn scoped_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    let workers = threads.min(items.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock().expect("slot lock") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every index was claimed exactly once")
+        })
+        .collect()
+}
+
+#[cfg(not(feature = "parallel"))]
+fn scoped_for_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let next = AtomicUsize::new(0);
+    // Wrapping each `&mut` slot in its own Mutex keeps the claim-once
+    // discipline checkable by the compiler: a worker that claimed index
+    // `i` is the only one to ever lock slot `i` (the atomic queue hands
+    // out each index exactly once), so the locks are uncontended.
+    let slots: Vec<Mutex<&mut T>> = items.iter_mut().map(Mutex::new).collect();
+    let workers = threads.min(slots.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let mut slot = slots[i].lock().expect("slot lock");
+                f(i, &mut slot);
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn maps_in_item_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial: Vec<u64> = parallel_map(&items, 1, |i, &x| x * 3 + i as u64);
+        for threads in [2, 4, 8, 64] {
+            let par = parallel_map(&items, threads, |i, &x| x * 3 + i as u64);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_singleton_inputs() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map(&empty, 8, |_, &x: &u64| x).is_empty());
+        assert_eq!(parallel_map(&[5u64], 8, |i, &x| x + i as u64), vec![5]);
+    }
+
+    #[test]
+    fn every_item_is_visited_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        let calls = AtomicU64::new(0);
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, 8, |_, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn for_mut_mutates_every_slot_at_any_thread_count() {
+        let base: Vec<u64> = (0..53).collect();
+        let mut serial = base.clone();
+        parallel_for_mut(&mut serial, 1, |i, x| *x = *x * 7 + i as u64);
+        for threads in [2, 4, 8, 64] {
+            let mut par = base.clone();
+            parallel_for_mut(&mut par, threads, |i, x| *x = *x * 7 + i as u64);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn for_mut_handles_empty_and_singleton() {
+        let mut empty: Vec<u64> = Vec::new();
+        parallel_for_mut(&mut empty, 8, |_, _x| unreachable!());
+        let mut one = vec![9u64];
+        parallel_for_mut(&mut one, 8, |i, x| *x += i as u64);
+        assert_eq!(one, vec![9]);
+    }
+}
