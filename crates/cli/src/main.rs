@@ -11,8 +11,13 @@
 //!   parallel campaign engine (`perq-campaign`).
 //! - `perq trace` — inspect, validate, convert, and replay SWF workload
 //!   logs (`perq-trace`).
+//! - `perq serve` — the non-blocking TCP control plane (`perq-serve`):
+//!   epoll loop, batched decide ticks, live `/metrics`, hot reload.
+//! - `perq swarm` — connect a swarm of protocol workers to a running
+//!   `perq serve` (or `perq prototype`) controller.
 //! - `perq stress` — the report-collection stress test.
-//! - `perq metrics-validate` — CI smoke check on a Prometheus export.
+//! - `perq metrics-validate` — CI smoke check on a Prometheus export,
+//!   from a file or scraped live from a `/metrics` URL.
 //!
 //! Run `perq help` (or any subcommand with `--help`-style ignorance) for
 //! usage. The CLI keeps zero non-workspace dependencies: argument parsing
@@ -94,9 +99,21 @@ USAGE:
                    engine, idle gaps between arrivals are skipped)
                    [metrics-out=PATH] [metrics-fmt=prom|jsonl]
                    (replay the log through the simulator with seeded power profiles)
+    perq serve     [listen=127.0.0.1:7070] [http=127.0.0.1:7071|off]
+                   [policy=fop|perq] [wp=8] [tick-ms=50] [decide-budget-ms=20]
+                   [interval=1.0] [heartbeat=3] [ticks=N]
+                   [metrics-out=PATH] [metrics-fmt=prom|jsonl] [engine-metrics-out=PATH]
+                   (non-blocking control plane: workers connect on listen=,
+                   Prometheus text is served on http=/metrics, and budget /
+                   policy hot-reload on POST /admin/budget, /admin/policy;
+                   ticks=N bounds the run — otherwise it serves forever)
+    perq swarm     [addr=127.0.0.1:7070] [nodes=64] [interval=1.0] [seed=42]
+                   (connect NODES protocol workers to a running controller and
+                   run them until it shuts them down)
     perq stress    [clients=100000] [connections=4]
-    perq metrics-validate file=PATH [require=name1,name2,...]
-                   (parse a Prometheus exposition and check required metrics — CI smoke)
+    perq metrics-validate file=PATH | url=http://HOST:PORT/metrics [require=name1,name2,...]
+                   (parse a Prometheus exposition and check required metrics — CI smoke;
+                   url= scrapes a live /metrics endpoint over raw TCP first)
     perq help
 
 Examples:
@@ -111,6 +128,9 @@ Examples:
     perq trace inspect file=log.swf calib=mira
     perq trace replay file=log.swf system=tardis policy=perq f=2.0 hours=1
     perq metrics-validate file=metrics.prom require=perq_sim_steps_total,perq_qp_solves_total
+    perq serve policy=fop wp=8 ticks=200 &   # then, from another shell:
+    perq swarm nodes=64
+    perq metrics-validate url=http://127.0.0.1:7071/metrics require=perq_serve_ticks_total
 "
     );
     ExitCode::from(2)
@@ -443,8 +463,8 @@ fn simulate_hier(
     }
     let hier_result = sim.run();
     let rounds = hier_result.rounds.len();
-    let mean_slack_w = hier_result.rounds.iter().map(|r| r.slack_w).sum::<f64>()
-        / rounds.max(1) as f64;
+    let mean_slack_w =
+        hier_result.rounds.iter().map(|r| r.slack_w).sum::<f64>() / rounds.max(1) as f64;
     let result = hier_result.combined();
     summarize(&result, None);
     if rounds > 0 {
@@ -659,18 +679,65 @@ fn cmd_campaign(map: HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Scrapes `http://host:port/path` with a raw-TCP `GET` (no HTTP client
+/// dependency — `perq serve` answers with `Connection: close`, so the
+/// response is simply read to EOF) and returns the body.
+fn scrape(url: &str) -> Result<String, String> {
+    use std::io::{Read, Write};
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("unsupported url '{url}' (expected http://HOST:PORT/PATH)"))?;
+    let (host, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, "/metrics"),
+    };
+    let mut stream =
+        std::net::TcpStream::connect(host).map_err(|e| format!("connect {host}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .ok();
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| format!("send request: {e}"))?;
+    let mut resp = Vec::new();
+    stream
+        .read_to_end(&mut resp)
+        .map_err(|e| format!("read response: {e}"))?;
+    let text = String::from_utf8_lossy(&resp);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "malformed HTTP response (no header terminator)".to_string())?;
+    let status = head.lines().next().unwrap_or_default();
+    if !status.contains(" 200 ") {
+        return Err(format!("non-200 response: {status}"));
+    }
+    Ok(body.to_string())
+}
+
 fn cmd_metrics_validate(map: HashMap<String, String>) -> ExitCode {
-    let Some(path) = map.get("file") else {
-        eprintln!("metrics-validate needs file=PATH");
+    let (source, body) = if let Some(url) = map.get("url") {
+        match scrape(url) {
+            Ok(body) => (url.clone(), body),
+            Err(e) => {
+                eprintln!("failed to scrape {url}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if let Some(path) = map.get("file") {
+        match std::fs::read_to_string(path) {
+            Ok(body) => (path.clone(), body),
+            Err(e) => {
+                eprintln!("failed to read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        eprintln!("metrics-validate needs file=PATH or url=http://HOST:PORT/metrics");
         return ExitCode::from(2);
     };
-    let body = match std::fs::read_to_string(path) {
-        Ok(body) => body,
-        Err(e) => {
-            eprintln!("failed to read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let path = &source;
     let required: Vec<&str> = map
         .get("require")
         .map(|r| r.split(',').filter(|s| !s.is_empty()).collect())
@@ -977,6 +1044,91 @@ fn cmd_stress(map: HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_serve(map: HashMap<String, String>) -> ExitCode {
+    let mut cfg = perq_serve::ServeConfig::default();
+    cfg.wp_nodes = get(&map, "wp", cfg.wp_nodes);
+    cfg.interval_s = get(&map, "interval", cfg.interval_s);
+    cfg.tick = std::time::Duration::from_millis(get(&map, "tick-ms", 50u64));
+    cfg.decide_budget = std::time::Duration::from_millis(get(&map, "decide-budget-ms", 20u64));
+    cfg.heartbeat_ticks = get(&map, "heartbeat", cfg.heartbeat_ticks);
+    cfg.max_ticks = map.get("ticks").and_then(|v| v.parse().ok());
+
+    let policy_name = map.get("policy").map(String::as_str).unwrap_or("fop");
+    let Some(policy) = perq_serve::make_policy(policy_name) else {
+        eprintln!("unknown serve policy '{policy_name}' (expected fop|perq)");
+        return ExitCode::from(2);
+    };
+    let listen = map
+        .get("listen")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7070".to_string());
+    let http = map
+        .get("http")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7071".to_string());
+    let http_addr = (http != "off").then_some(http.as_str());
+
+    // Deterministic (logical-time) metrics go to the manual recorder that
+    // /metrics serves; wall-clock loop latencies go to the engine one.
+    let rec = Recorder::manual();
+    let engine = Recorder::with_clock(Box::new(perq_telemetry::WallClock::new()));
+    println!(
+        "serving on {listen} (http {http}): policy {policy_name}, budget {:.0} W{}",
+        cfg.wp_nodes as f64 * 290.0,
+        match cfg.max_ticks {
+            Some(t) => format!(", {t} ticks"),
+            None => String::new(),
+        }
+    );
+    match perq_serve::serve_tcp(cfg, policy, &listen, http_addr, rec.clone(), engine.clone()) {
+        Ok(summary) => {
+            println!(
+                "served {} ticks: {} live node(s), {} write-off(s)",
+                summary.ticks, summary.live_nodes, summary.writeoffs
+            );
+            if let Err(code) = write_metrics(&map, &rec) {
+                return code;
+            }
+            if let Err(code) = write_engine_metrics(&map, &engine) {
+                return code;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_swarm(map: HashMap<String, String>) -> ExitCode {
+    let addr = map
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7070".to_string());
+    let nodes: u32 = get(&map, "nodes", 64);
+    let interval: f64 = get(&map, "interval", 1.0);
+    let seed: u64 = get(&map, "seed", 42);
+    println!("connecting {nodes} worker(s) to {addr} (interval {interval}s, seed {seed})");
+    let outcomes = perq_serve::run_tcp_swarm(&addr, nodes, interval, seed);
+    let mut failed = 0usize;
+    for (node_id, outcome) in outcomes.iter().enumerate() {
+        if let Err(e) = outcome {
+            eprintln!("worker {node_id}: {e}");
+            failed += 1;
+        }
+    }
+    println!(
+        "{} worker(s) finished cleanly, {failed} failed",
+        outcomes.len() - failed
+    );
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -989,6 +1141,8 @@ fn main() -> ExitCode {
         "prototype" => cmd_prototype(map),
         "campaign" => cmd_campaign(map),
         "trace" => cmd_trace(&args[1..]),
+        "serve" => cmd_serve(map),
+        "swarm" => cmd_swarm(map),
         "stress" => cmd_stress(map),
         "metrics-validate" => cmd_metrics_validate(map),
         _ => usage(),

@@ -161,6 +161,15 @@ impl MpcController {
         &self.settings
     }
 
+    /// Arms (or clears) a wall-clock deadline for subsequent decisions:
+    /// the QP solver switches to anytime mode and returns its best
+    /// iterate when the deadline passes instead of running to
+    /// convergence. A batched control loop sets `tick_start + budget`
+    /// once per tick so one hard QP cannot stall the cap fan-out.
+    pub fn set_decide_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.solver.set_deadline(deadline);
+    }
+
     /// The assembly view of this controller's parameters.
     fn params(&self) -> AssemblyParams<'_> {
         AssemblyParams {
@@ -356,6 +365,35 @@ mod tests {
             wt_sys: 0.0,
             ..MpcSettings::default()
         }
+    }
+
+    #[test]
+    fn past_decide_deadline_still_yields_feasible_caps() {
+        let m = model();
+        let mut ctrl = MpcController::new(&m, job_only_settings());
+        let job = job_at(&ctrl, &m, 10, 0.5, 0.95, 1.0);
+        let input = MpcInput {
+            jobs: std::slice::from_ref(&job),
+            system_target: 0.0,
+            budget_nodes: 10.0,
+            cap_min_frac: 90.0 / 290.0,
+            wp_nodes: 10.0,
+        };
+        ctrl.set_decide_deadline(Some(
+            std::time::Instant::now() - std::time::Duration::from_secs(1),
+        ));
+        let d = ctrl.decide(&input).unwrap();
+        // Anytime mode: the decision is the projected warm start — a
+        // feasible, sane cap vector — produced without iterating.
+        assert_eq!(d.qp_iterations, 0);
+        for &cap in &d.caps_frac {
+            assert!((0.0..=1.0).contains(&cap), "infeasible cap {cap}");
+        }
+        // Disarming restores full convergence on the same controller.
+        ctrl.set_decide_deadline(None);
+        let d2 = ctrl.decide(&input).unwrap();
+        assert!(d2.converged);
+        assert!(d2.qp_iterations > 0);
     }
 
     #[test]

@@ -149,6 +149,10 @@ impl PowerPolicy for PerqPolicy {
         self.recorder = recorder;
     }
 
+    fn set_decide_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.controller.set_decide_deadline(deadline);
+    }
+
     fn assign(&mut self, ctx: &PolicyContext<'_>) -> Vec<PowerAssignment> {
         if ctx.jobs.is_empty() {
             return Vec::new();

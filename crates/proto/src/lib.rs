@@ -30,6 +30,7 @@
 //! measurement.
 
 mod cluster;
+pub mod codec;
 mod error;
 mod messages;
 pub mod stress;
@@ -37,6 +38,7 @@ mod transport;
 mod worker;
 
 pub use cluster::{ProtoCluster, ProtoConfig};
+pub use codec::{FrameDecoder, FrameEncoder, MAX_FRAME};
 pub use error::ProtoError;
 pub use messages::{Command, Report};
 pub use transport::{

@@ -1,4 +1,4 @@
-use bytes::{Buf, BufMut, BytesMut};
+use crate::codec::{FrameDecoder, FrameEncoder};
 use perq_telemetry::Recorder;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -6,11 +6,7 @@ use serde::de::DeserializeOwned;
 use serde::Serialize;
 use std::fmt;
 use std::io::{Read, Write};
-use std::time::Duration;
-
-/// Maximum frame payload accepted (defence against corrupted length
-/// prefixes).
-const MAX_FRAME: u32 = 16 * 1024 * 1024;
+use std::time::{Duration, Instant};
 
 /// Errors from the framed transport.
 #[derive(Debug)]
@@ -50,38 +46,55 @@ impl From<serde_json::Error> for FrameError {
 /// Writes one length-prefixed JSON frame.
 ///
 /// Wire format: 4-byte big-endian payload length followed by the JSON
-/// payload. The `bytes` crate assembles the frame so it is flushed with a
-/// single `write_all` (one TCP segment for typical report sizes).
+/// payload (see [`crate::codec`] for the sans-io implementation this
+/// delegates to). The frame is assembled contiguously so it is flushed
+/// with a single `write_all` (one TCP segment for typical report
+/// sizes) — the property [`FaultyTransport`] relies on.
 pub fn write_frame<T: Serialize, W: Write>(writer: &mut W, value: &T) -> Result<(), FrameError> {
-    let payload = serde_json::to_vec(value)?;
-    if payload.len() as u64 > MAX_FRAME as u64 {
-        return Err(FrameError::Oversized(payload.len() as u32));
-    }
-    let mut buf = BytesMut::with_capacity(4 + payload.len());
-    buf.put_u32(payload.len() as u32);
-    buf.put_slice(&payload);
+    let buf = FrameEncoder::new().encode(value)?;
     writer.write_all(&buf)?;
     writer.flush()?;
     Ok(())
 }
 
 /// Reads one length-prefixed JSON frame.
+///
+/// Implemented on the incremental [`FrameDecoder`]: the reader is asked
+/// for exactly the bytes the current frame still needs
+/// ([`FrameDecoder::want`]), so no byte belonging to a later frame is
+/// ever consumed — byte-for-byte the same stream behaviour as the
+/// historical `read_exact` implementation.
 pub fn read_frame<T: DeserializeOwned, R: Read>(reader: &mut R) -> Result<T, FrameError> {
-    let mut len_buf = [0u8; 4];
-    reader.read_exact(&mut len_buf)?;
-    let len = (&len_buf[..]).get_u32();
-    if len > MAX_FRAME {
-        return Err(FrameError::Oversized(len));
+    let mut dec = FrameDecoder::new();
+    let mut scratch = [0u8; 4096];
+    loop {
+        if let Some(frame) = dec.next_frame()? {
+            return Ok(frame);
+        }
+        let want = dec.want();
+        debug_assert!(want > 0, "decoder must make progress");
+        let mut remaining = want;
+        while remaining > 0 {
+            let n = remaining.min(scratch.len());
+            reader.read_exact(&mut scratch[..n])?;
+            dec.feed(&scratch[..n]);
+            remaining -= n;
+        }
     }
-    let mut payload = vec![0u8; len as usize];
-    reader.read_exact(&mut payload)?;
-    Ok(serde_json::from_slice(&payload)?)
 }
 
 /// Bounded retry with exponential backoff for transient transport errors
 /// (read timeouts on a heartbeat-limited socket, interrupted syscalls).
 /// Permanent errors — disconnects, codec failures, oversized frames — are
 /// never retried: the peer is gone or the stream is poisoned.
+///
+/// Two independent bounds apply: `max_attempts` caps how many times the
+/// operation is tried, and `max_elapsed` caps the *total wall-clock
+/// time* spent across attempts, including time lost inside the failed
+/// attempts themselves. The elapsed bound is what keeps a slow-but-not-
+/// dead peer from stalling a control tick: with a 5 s per-attempt
+/// heartbeat timeout, an attempt bound of 4 alone still admits a ~20 s
+/// stall — twice the paper's decide interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetryPolicy {
     /// Total attempts, including the first (1 = no retry).
@@ -92,6 +105,11 @@ pub struct RetryPolicy {
     pub multiplier: f64,
     /// Upper bound on any single delay.
     pub max_delay: Duration,
+    /// Total-elapsed deadline across all attempts: once this much wall
+    /// time has passed since the operation started, no further retry is
+    /// scheduled (the in-flight attempt still completes). The deadline
+    /// also refuses retries whose backoff sleep would overshoot it.
+    pub max_elapsed: Duration,
 }
 
 impl Default for RetryPolicy {
@@ -101,6 +119,11 @@ impl Default for RetryPolicy {
             base_delay: Duration::from_millis(10),
             multiplier: 2.0,
             max_delay: Duration::from_millis(200),
+            // Generous: four attempts against a 5 s heartbeat timeout fit
+            // comfortably, so the deadline only cuts off pathological
+            // stalls. Latency-sensitive callers (the serve decide loop)
+            // configure a budget matched to their tick.
+            max_elapsed: Duration::from_secs(30),
         }
     }
 }
@@ -113,6 +136,7 @@ impl RetryPolicy {
             base_delay: Duration::ZERO,
             multiplier: 1.0,
             max_delay: Duration::ZERO,
+            max_elapsed: Duration::MAX,
         }
     }
 
@@ -121,6 +145,16 @@ impl RetryPolicy {
     pub fn delay(&self, attempt: u32) -> Duration {
         let factor = self.multiplier.max(1.0).powi(attempt.min(30) as i32);
         self.base_delay.mul_f64(factor).min(self.max_delay)
+    }
+
+    /// Whether a retry attempt may still be scheduled `elapsed` into the
+    /// operation: the attempt budget has room *and* the elapsed budget —
+    /// including the backoff sleep about to be paid — is not exhausted.
+    pub fn may_retry(&self, attempt: u32, elapsed: Duration) -> bool {
+        attempt + 1 < self.max_attempts.max(1)
+            && elapsed
+                .checked_add(self.delay(attempt))
+                .is_some_and(|total| total <= self.max_elapsed)
     }
 }
 
@@ -161,6 +195,7 @@ pub fn read_frame_retry_with<T: DeserializeOwned, R: Read>(
     retry: &RetryPolicy,
     rec: &Recorder,
 ) -> Result<T, FrameError> {
+    let start = Instant::now();
     let mut attempt = 0u32;
     loop {
         match read_frame(reader) {
@@ -168,7 +203,7 @@ pub fn read_frame_retry_with<T: DeserializeOwned, R: Read>(
                 rec.counter_inc("perq_proto_frames_recv_total");
                 return Ok(value);
             }
-            Err(e) if is_transient(&e) && attempt + 1 < retry.max_attempts.max(1) => {
+            Err(e) if is_transient(&e) && retry.may_retry(attempt, start.elapsed()) => {
                 rec.counter_inc("perq_proto_retries_total");
                 std::thread::sleep(retry.delay(attempt));
                 attempt += 1;
@@ -177,6 +212,11 @@ pub fn read_frame_retry_with<T: DeserializeOwned, R: Read>(
                 rec.counter_inc("perq_proto_recv_errors_total");
                 if is_transient(&e) {
                     rec.counter_inc("perq_proto_heartbeat_timeouts_total");
+                    if attempt + 1 < retry.max_attempts.max(1) {
+                        // Attempts remained; the elapsed deadline is
+                        // what stopped the retry.
+                        rec.counter_inc("perq_proto_retry_deadline_total");
+                    }
                 }
                 return Err(e);
             }
@@ -203,6 +243,7 @@ pub fn write_frame_retry_with<T: Serialize, W: Write>(
     retry: &RetryPolicy,
     rec: &Recorder,
 ) -> Result<(), FrameError> {
+    let start = Instant::now();
     let mut attempt = 0u32;
     loop {
         match write_frame(writer, value) {
@@ -210,7 +251,7 @@ pub fn write_frame_retry_with<T: Serialize, W: Write>(
                 rec.counter_inc("perq_proto_frames_sent_total");
                 return Ok(());
             }
-            Err(e) if is_transient(&e) && attempt + 1 < retry.max_attempts.max(1) => {
+            Err(e) if is_transient(&e) && retry.may_retry(attempt, start.elapsed()) => {
                 rec.counter_inc("perq_proto_retries_total");
                 std::thread::sleep(retry.delay(attempt));
                 attempt += 1;
@@ -423,6 +464,7 @@ mod tests {
             base_delay: Duration::from_micros(10),
             multiplier: 2.0,
             max_delay: Duration::from_micros(100),
+            max_elapsed: Duration::from_secs(30),
         }
     }
 
@@ -437,7 +479,9 @@ mod tests {
         };
         let cmd: Command = read_frame_retry(&mut flaky, &fast_retry(4)).unwrap();
         assert_eq!(cmd, Command::Tick);
-        assert_eq!(flaky.attempts, 3, "two failures + one success");
+        // Two failed attempts, then the successful attempt reads the
+        // header and the payload with one call each.
+        assert_eq!(flaky.attempts, 4, "two failures + one success");
     }
 
     #[test]
@@ -500,6 +544,110 @@ mod tests {
         let res: Result<Command, _> = read_frame_retry(&mut flaky, &fast_retry(5));
         assert!(matches!(res, Err(FrameError::Io(_))));
         assert_eq!(flaky.attempts, 1);
+    }
+
+    /// A reader standing in for a slow-but-not-dead peer: every read
+    /// attempt stalls for a fixed delay, then times out.
+    struct SlowPeer {
+        stall: Duration,
+        attempts: u32,
+    }
+
+    impl Read for SlowPeer {
+        fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+            self.attempts += 1;
+            std::thread::sleep(self.stall);
+            Err(std::io::Error::new(std::io::ErrorKind::TimedOut, "slow"))
+        }
+    }
+
+    #[test]
+    fn elapsed_deadline_stops_retrying_a_slow_peer() {
+        // Regression: RetryPolicy used to bound attempts only, so a peer
+        // stalling each attempt could hold the control loop for
+        // max_attempts × stall — past the decide interval. With a
+        // total-elapsed deadline the loop gives up after the deadline
+        // regardless of how many attempts remain.
+        let mut peer = SlowPeer {
+            stall: Duration::from_millis(30),
+            attempts: 0,
+        };
+        let retry = RetryPolicy {
+            max_attempts: 1000,
+            base_delay: Duration::from_micros(10),
+            multiplier: 1.0,
+            max_delay: Duration::from_micros(10),
+            max_elapsed: Duration::from_millis(50),
+        };
+        let t0 = Instant::now();
+        let res: Result<Command, _> = read_frame_retry(&mut peer, &retry);
+        let elapsed = t0.elapsed();
+        assert!(matches!(res, Err(FrameError::Io(_))), "got {res:?}");
+        // 50 ms deadline, 30 ms stalls: attempt 1 (30 ms) retries,
+        // attempt 2 crosses the deadline, so at most one more attempt
+        // may start. Allow slack for scheduler noise, but nothing close
+        // to the 30 s an attempt-only bound would permit.
+        assert!(
+            peer.attempts <= 3,
+            "deadline must bound attempts, made {}",
+            peer.attempts
+        );
+        assert!(
+            elapsed < Duration::from_secs(1),
+            "stalled {elapsed:?}, deadline is 50 ms"
+        );
+    }
+
+    #[test]
+    fn deadline_regression_with_delaying_faulty_transport() {
+        // The write leg of the same regression, through the fault
+        // harness's delay injection: each write stalls 20 ms and then
+        // fails as transient, so only the elapsed deadline keeps the
+        // total bounded.
+        struct TimedOutSink;
+        impl Write for TimedOutSink {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(std::io::ErrorKind::TimedOut, "full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut faulty =
+            FaultyTransport::new(TimedOutSink, 3).with_delay(Duration::from_millis(20));
+        let retry = RetryPolicy {
+            max_attempts: 1000,
+            base_delay: Duration::from_micros(10),
+            multiplier: 1.0,
+            max_delay: Duration::from_micros(10),
+            max_elapsed: Duration::from_millis(45),
+        };
+        let t0 = Instant::now();
+        let res = write_frame_retry(&mut faulty, &Command::Tick, &retry);
+        assert!(matches!(res, Err(FrameError::Io(_))), "got {res:?}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "a delaying transport must not stall past the deadline"
+        );
+    }
+
+    #[test]
+    fn may_retry_honours_both_budgets() {
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(10),
+            multiplier: 1.0,
+            max_delay: Duration::from_millis(10),
+            max_elapsed: Duration::from_millis(100),
+        };
+        assert!(retry.may_retry(0, Duration::ZERO));
+        assert!(retry.may_retry(1, Duration::from_millis(80)));
+        assert!(!retry.may_retry(2, Duration::ZERO), "attempt budget");
+        assert!(
+            !retry.may_retry(0, Duration::from_millis(95)),
+            "sleep would overshoot the deadline"
+        );
+        assert!(!retry.may_retry(0, Duration::from_millis(200)), "elapsed");
     }
 
     #[test]

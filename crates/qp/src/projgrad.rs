@@ -3,6 +3,12 @@ use crate::projection::{project_box_budgets_scratch, ProjectionScratch};
 use crate::Result;
 use perq_linalg::vecops;
 use perq_telemetry::Recorder;
+use std::time::Instant;
+
+/// How many FISTA iterations run between deadline checks. `Instant::now`
+/// costs a vdso call — cheap, but not free next to an O(jobs)
+/// Hessian-vector product at small job counts.
+const DEADLINE_STRIDE: usize = 16;
 
 /// Tuning knobs for the accelerated projected-gradient solver.
 #[derive(Debug, Clone)]
@@ -92,6 +98,11 @@ pub struct ProjGradSolver {
     /// Solver settings.
     pub settings: ProjGradSettings,
     recorder: Recorder,
+    /// Anytime-mode deadline: when set, the FISTA loop stops at the
+    /// first stride boundary past this instant and returns its best
+    /// iterate so far (monotone by the restart discipline), instead of
+    /// running to `max_iters` or tolerance.
+    deadline: Option<Instant>,
 }
 
 impl ProjGradSolver {
@@ -100,7 +111,22 @@ impl ProjGradSolver {
         ProjGradSolver {
             settings,
             recorder: Recorder::noop(),
+            deadline: None,
         }
+    }
+
+    /// Arms (or clears) the anytime deadline for subsequent solves.
+    ///
+    /// The deadline is a wall-clock instant, not a duration: the caller
+    /// owning the control tick computes `tick_start + decide_budget`
+    /// once and every solve in that tick shares the remaining time.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// The currently armed anytime deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
     }
 
     /// Attaches a telemetry recorder (builder form). Every solve then
@@ -166,8 +192,21 @@ impl ProjGradSolver {
         let mut residual = f64::INFINITY;
         let mut iterations = 0;
         let mut restarts = 0u64;
+        let mut deadline_hit = false;
 
         for k in 0..self.settings.max_iters {
+            // Anytime mode: past the deadline, stop and return the best
+            // iterate found so far. Checked on a stride so the common
+            // (no-deadline or fast-converging) path pays nothing per
+            // iteration beyond a branch.
+            if k % DEADLINE_STRIDE == 0 {
+                if let Some(dl) = self.deadline {
+                    if Instant::now() >= dl {
+                        deadline_hit = true;
+                        break;
+                    }
+                }
+            }
             iterations = k + 1;
             // Gradient step from the extrapolated point, then project.
             qp.gradient_into(&ws.y, &mut ws.grad);
@@ -212,6 +251,9 @@ impl ProjGradSolver {
             self.recorder.counter_inc("perq_qp_solves_total");
             if converged {
                 self.recorder.counter_inc("perq_qp_converged_total");
+            }
+            if deadline_hit {
+                self.recorder.counter_inc("perq_qp_deadline_hits_total");
             }
             self.recorder
                 .counter_add("perq_qp_restarts_total", restarts);
@@ -343,6 +385,49 @@ mod tests {
 
     fn solve(qp: &BoxBudgetQp) -> QpSolution {
         ProjGradSolver::default().solve(qp, None).unwrap()
+    }
+
+    #[test]
+    fn past_deadline_returns_a_feasible_iterate_immediately() {
+        let qp = BoxBudgetQp {
+            q: Matrix::diag(&[2.0, 4.0]),
+            c: vec![-2.0, -8.0],
+            lo: vec![0.0; 2],
+            hi: vec![1.0; 2],
+            budgets: vec![Budget {
+                coeffs: vec![1.0, 1.0],
+                limit: 1.5,
+            }],
+        };
+        let mut solver = ProjGradSolver::default();
+        solver.set_deadline(Some(Instant::now() - std::time::Duration::from_secs(1)));
+        // Warm start far outside the feasible set: anytime mode must
+        // still hand back a projected (feasible) point.
+        let s = solver.solve(&qp, Some(&[50.0, 50.0])).unwrap();
+        assert_eq!(s.iterations, 0, "no iteration budget past the deadline");
+        assert!(!s.converged);
+        for &xi in &s.x {
+            assert!((0.0..=1.0).contains(&xi), "box violated: {:?}", s.x);
+        }
+        assert!(s.x.iter().sum::<f64>() <= 1.5 + 1e-9, "budget violated");
+    }
+
+    #[test]
+    fn future_deadline_does_not_perturb_convergence() {
+        let qp = BoxBudgetQp {
+            q: Matrix::diag(&[2.0, 4.0]),
+            c: vec![-2.0, -8.0],
+            lo: vec![-10.0; 2],
+            hi: vec![10.0; 2],
+            budgets: vec![],
+        };
+        let mut solver = ProjGradSolver::default();
+        solver.set_deadline(Some(Instant::now() + std::time::Duration::from_secs(3600)));
+        let s = solver.solve(&qp, None).unwrap();
+        let reference = solve(&qp);
+        assert!(s.converged);
+        assert_eq!(s.iterations, reference.iterations);
+        assert_eq!(s.x, reference.x);
     }
 
     #[test]

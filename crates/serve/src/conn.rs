@@ -1,0 +1,281 @@
+//! Per-connection state machines: incremental frame decode and bounded
+//! outbound queues with class-aware backpressure.
+
+use perq_proto::{FrameDecoder, FrameEncoder};
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+
+/// What losing a queued frame would mean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameClass {
+    /// Must reach the worker (`Tick`, `Launch`, `Shutdown`). Never
+    /// dropped: if the queue cannot take one, the connection is written
+    /// off instead.
+    Decision,
+    /// Latest-value telemetry (`SetCap`): an unsent frame with the same
+    /// key is replaced in place, so a slow consumer sees the freshest
+    /// value instead of a backlog.
+    Coalesce {
+        /// Replacement key (the node id).
+        key: u32,
+    },
+}
+
+/// Connection-level failure that warrants a write-off.
+#[derive(Debug)]
+pub enum ConnError {
+    /// Transport failed or the peer hung up.
+    Io(io::Error),
+    /// The byte stream is no longer a valid frame sequence (corruption).
+    Frame(perq_proto::FrameError),
+    /// A decision frame could not be queued within the outbound bound.
+    Overflow,
+}
+
+impl std::fmt::Display for ConnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnError::Io(e) => write!(f, "transport: {e}"),
+            ConnError::Frame(e) => write!(f, "framing: {e}"),
+            ConnError::Overflow => write!(f, "decision-frame overflow"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Outbound {
+    bytes: Vec<u8>,
+    class: FrameClass,
+    sent: usize,
+}
+
+/// One worker connection owned by the event loop.
+#[derive(Debug)]
+pub struct WorkerConn<Io> {
+    /// The non-blocking transport.
+    pub io: Io,
+    /// Poller token.
+    pub token: usize,
+    /// Node id learned from the registration report.
+    pub node_id: Option<u32>,
+    /// Server tick at which the connection was adopted (drives the
+    /// registration deadline for peers whose first report never arrives).
+    pub attached_tick: u64,
+    decoder: FrameDecoder,
+    encoder: FrameEncoder,
+    outq: VecDeque<Outbound>,
+    queued_bytes: usize,
+    max_queued_bytes: usize,
+    /// Whether write interest is currently armed with the poller.
+    pub want_write: bool,
+    /// Frames replaced in place instead of queued (backpressure signal).
+    pub coalesced: u64,
+}
+
+impl<Io: Read + Write> WorkerConn<Io> {
+    /// Wraps a transport with an outbound bound of `max_queued_bytes`.
+    pub fn new(io: Io, token: usize, max_queued_bytes: usize) -> Self {
+        WorkerConn {
+            io,
+            token,
+            node_id: None,
+            attached_tick: 0,
+            decoder: FrameDecoder::new(),
+            encoder: FrameEncoder::new(),
+            outq: VecDeque::new(),
+            queued_bytes: 0,
+            max_queued_bytes,
+            want_write: false,
+            coalesced: 0,
+        }
+    }
+
+    /// Reads everything currently available and returns the complete
+    /// frame payloads. `Ok` with an empty vec means "nothing yet";
+    /// errors (including clean EOF, reported as `UnexpectedEof`) mean the
+    /// connection is dead.
+    pub fn read_ready(&mut self, scratch: &mut [u8]) -> Result<Vec<Vec<u8>>, ConnError> {
+        let mut frames = Vec::new();
+        loop {
+            match self.io.read(scratch) {
+                Ok(0) => {
+                    // Drain frames completed by earlier iterations before
+                    // surfacing the EOF; the caller writes us off either way.
+                    return Err(ConnError::Io(io::ErrorKind::UnexpectedEof.into()));
+                }
+                Ok(n) => {
+                    self.decoder.feed(&scratch[..n]);
+                    loop {
+                        match self.decoder.next_payload() {
+                            Ok(Some(p)) => frames.push(p),
+                            Ok(None) => break,
+                            Err(e) => return Err(ConnError::Frame(e)),
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(frames),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ConnError::Io(e)),
+            }
+        }
+    }
+
+    /// Encodes and queues a frame, then opportunistically flushes.
+    ///
+    /// Returns `Ok(true)` if the queue fully drained (no write interest
+    /// needed). [`ConnError::Overflow`] is only possible for
+    /// [`FrameClass::Decision`]; an unqueueable coalescible frame is
+    /// silently superseded by whatever is already queued.
+    pub fn push<T: Serialize>(&mut self, value: &T, class: FrameClass) -> Result<bool, ConnError> {
+        let bytes = self.encoder.encode(value).map_err(ConnError::Frame)?;
+        if let FrameClass::Coalesce { key } = class {
+            // Replace an unsent frame with the same key in place.
+            if let Some(slot) = self.outq.iter_mut().find(|o| {
+                o.sent == 0 && matches!(o.class, FrameClass::Coalesce { key: k } if k == key)
+            }) {
+                self.queued_bytes = self.queued_bytes - slot.bytes.len() + bytes.len();
+                slot.bytes = bytes;
+                self.coalesced += 1;
+                return self.flush().map_err(ConnError::Io);
+            }
+        }
+        if self.queued_bytes + bytes.len() > self.max_queued_bytes {
+            return match class {
+                FrameClass::Decision => Err(ConnError::Overflow),
+                FrameClass::Coalesce { .. } => {
+                    // The bound is full of fresher-or-equal traffic; the
+                    // next tick re-sends the current value anyway.
+                    self.coalesced += 1;
+                    Ok(self.outq.is_empty())
+                }
+            };
+        }
+        self.queued_bytes += bytes.len();
+        self.outq.push_back(Outbound {
+            bytes,
+            class,
+            sent: 0,
+        });
+        self.flush().map_err(ConnError::Io)
+    }
+
+    /// Writes queued frames until the transport blocks. `Ok(true)` when
+    /// the queue is empty afterwards.
+    pub fn flush(&mut self) -> io::Result<bool> {
+        while let Some(front) = self.outq.front_mut() {
+            match self.io.write(&front.bytes[front.sent..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    front.sent += n;
+                    self.queued_bytes -= n;
+                    if front.sent == front.bytes.len() {
+                        self.outq.pop_front();
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Whether frames are waiting to be written.
+    pub fn has_backlog(&self) -> bool {
+        !self.outq.is_empty()
+    }
+
+    /// Bytes currently queued outbound.
+    pub fn queued_bytes(&self) -> usize {
+        self.queued_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::mem_pair;
+    use perq_proto::Command;
+
+    fn decode_all(bytes: &[u8]) -> Vec<Command> {
+        let mut dec = FrameDecoder::new();
+        dec.feed(bytes);
+        let mut out = Vec::new();
+        while let Some(p) = dec.next_payload().unwrap() {
+            out.push(serde_json::from_slice(&p).unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn coalesce_replaces_unsent_setcap_in_place() {
+        // Pipe too small for anything to leave the queue.
+        let (srv, mut peer) = mem_pair(1);
+        // Fill the single-byte pipe so pushes stay queued.
+        let mut conn = WorkerConn::new(srv, 1, 4096);
+        conn.push(&Command::Tick, FrameClass::Decision).unwrap();
+        assert!(conn.has_backlog());
+        conn.push(
+            &Command::SetCap { cap_w: 100.0 },
+            FrameClass::Coalesce { key: 3 },
+        )
+        .unwrap();
+        conn.push(
+            &Command::SetCap { cap_w: 150.0 },
+            FrameClass::Coalesce { key: 3 },
+        )
+        .unwrap();
+        assert_eq!(conn.coalesced, 1);
+
+        // Drain: widen the pipe by reading on the peer side as we flush.
+        let mut received = Vec::new();
+        let mut buf = [0u8; 64];
+        loop {
+            let drained = conn.flush().unwrap();
+            match peer.read(&mut buf) {
+                Ok(n) => received.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) => panic!("{e}"),
+            }
+            if drained && peer.pending_read() == 0 {
+                break;
+            }
+        }
+        let cmds = decode_all(&received);
+        assert_eq!(cmds.len(), 2, "second SetCap replaced the first");
+        assert_eq!(cmds[0], Command::Tick);
+        assert_eq!(cmds[1], Command::SetCap { cap_w: 150.0 });
+    }
+
+    #[test]
+    fn decision_overflow_is_an_error_but_coalesce_is_not() {
+        let (srv, _peer) = mem_pair(1);
+        let mut conn = WorkerConn::new(srv, 1, 12); // room for ~1 small frame
+        conn.push(&Command::Tick, FrameClass::Decision).unwrap();
+        let err = conn.push(&Command::Shutdown, FrameClass::Decision);
+        assert!(matches!(err, Err(ConnError::Overflow)));
+        // A coalescible frame over the bound is superseded, not fatal.
+        conn.push(
+            &Command::SetCap { cap_w: 90.0 },
+            FrameClass::Coalesce { key: 1 },
+        )
+        .unwrap();
+        assert_eq!(conn.coalesced, 1);
+    }
+
+    #[test]
+    fn read_ready_surfaces_eof_and_frames() {
+        let (srv, mut peer) = mem_pair(4096);
+        let mut conn = WorkerConn::new(srv, 1, 4096);
+        let enc = FrameEncoder::new();
+        peer.write_all(&enc.encode(&Command::Tick).unwrap())
+            .unwrap();
+        let mut scratch = [0u8; 512];
+        let frames = conn.read_ready(&mut scratch).unwrap();
+        assert_eq!(frames.len(), 1);
+        peer.close();
+        let err = conn.read_ready(&mut scratch).unwrap_err();
+        assert!(matches!(err, ConnError::Io(_)));
+    }
+}

@@ -1,0 +1,158 @@
+//! Hand-rolled, sans-io HTTP/1.1 request parsing and response building —
+//! just enough for a metrics scrape and admin POSTs, with zero
+//! dependencies. One request per connection (`Connection: close`).
+
+/// Maximum accepted header block, bytes.
+pub const MAX_HEADER_BYTES: usize = 8 * 1024;
+/// Maximum accepted request body, bytes.
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Uppercase method ("GET", "POST", ...).
+    pub method: String,
+    /// Request target as sent (path + optional query).
+    pub path: String,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+/// The stream is not parseable HTTP: answer 400 and close.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BadRequest;
+
+impl std::fmt::Display for BadRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed HTTP request")
+    }
+}
+
+impl std::error::Error for BadRequest {}
+
+/// Incremental request parser. Feed bytes as they arrive; a complete
+/// request pops out once, further bytes are ignored.
+#[derive(Debug, Default)]
+pub struct HttpParser {
+    buf: Vec<u8>,
+}
+
+impl HttpParser {
+    /// Creates an empty parser.
+    pub fn new() -> Self {
+        HttpParser::default()
+    }
+
+    /// Appends newly read bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Tries to extract a complete request. `Ok(None)` means "need more
+    /// bytes"; `Err` means the stream is not parseable HTTP (answer 400
+    /// and close).
+    pub fn take_request(&mut self) -> Result<Option<HttpRequest>, BadRequest> {
+        let header_end = match find_subslice(&self.buf, b"\r\n\r\n") {
+            Some(i) => i,
+            None => {
+                if self.buf.len() > MAX_HEADER_BYTES {
+                    return Err(BadRequest);
+                }
+                return Ok(None);
+            }
+        };
+        let head = std::str::from_utf8(&self.buf[..header_end]).map_err(|_| BadRequest)?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().ok_or(BadRequest)?;
+        let mut parts = request_line.split_ascii_whitespace();
+        let method = parts.next().ok_or(BadRequest)?.to_ascii_uppercase();
+        let path = parts.next().ok_or(BadRequest)?.to_string();
+        let version = parts.next().ok_or(BadRequest)?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(BadRequest);
+        }
+        let mut content_length = 0usize;
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| BadRequest)?;
+                }
+            }
+        }
+        if content_length > MAX_BODY_BYTES {
+            return Err(BadRequest);
+        }
+        let body_start = header_end + 4;
+        if self.buf.len() < body_start + content_length {
+            return Ok(None);
+        }
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        self.buf.clear();
+        Ok(Some(HttpRequest { method, path, body }))
+    }
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Builds a complete `Connection: close` response.
+pub fn response(status: u16, reason: &str, content_type: &str, body: &[u8]) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Shorthand for a `text/plain` response.
+pub fn text_response(status: u16, reason: &str, body: &str) -> Vec<u8> {
+    response(status, reason, "text/plain; charset=utf-8", body.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_get_split_across_feeds() {
+        let mut p = HttpParser::new();
+        p.feed(b"GET /metrics HT");
+        assert_eq!(p.take_request().unwrap(), None);
+        p.feed(b"TP/1.1\r\nHost: x\r\n\r\n");
+        let req = p.take_request().unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let mut p = HttpParser::new();
+        p.feed(b"POST /admin/budget HTTP/1.1\r\nContent-Length: 11\r\n\r\nwatts=");
+        assert_eq!(p.take_request().unwrap(), None);
+        p.feed(b"290.5");
+        let req = p.take_request().unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"watts=290.5");
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        let mut p = HttpParser::new();
+        p.feed(b"\x00\x01\x02garbage\r\n\r\n");
+        assert!(p.take_request().is_err());
+    }
+
+    #[test]
+    fn response_has_content_length_and_close() {
+        let bytes = text_response(200, "OK", "ok\n");
+        let s = String::from_utf8(bytes).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("Content-Length: 3\r\n"));
+        assert!(s.contains("Connection: close\r\n"));
+        assert!(s.ends_with("\r\n\r\nok\n"));
+    }
+}

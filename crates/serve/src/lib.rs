@@ -1,0 +1,62 @@
+//! perq-serve: a non-blocking control-plane service for power-capped
+//! clusters.
+//!
+//! `perq-proto`'s [`perq_proto::ProtoCluster`] drives its workers with
+//! blocking reads — one outstanding socket at a time, which is fine for a
+//! 16-node Tardis replica but collapses long before the 100,000-client
+//! report-collection stress the paper measures (§3). This crate is the
+//! production-shaped controller: a single-threaded, readiness-driven
+//! event loop that owns every worker socket as a non-blocking
+//! per-connection state machine and decides on a *fixed tick* instead of
+//! per-message:
+//!
+//! - **Poller abstraction** ([`poller`]): readiness notification behind a
+//!   small trait. On Linux the backend is `epoll(7)` through a thin
+//!   hand-rolled FFI shim ([`sys`], no libc crate); tests and benches use
+//!   a deterministic in-memory backend ([`mem`]) whose duplex pipes
+//!   return `WouldBlock` exactly like real sockets.
+//! - **Connection state machines** ([`conn`]): incremental frame decode
+//!   on `perq-proto`'s sans-io [`perq_proto::FrameDecoder`], bounded
+//!   outbound queues with backpressure. Coalescible frames (`SetCap`)
+//!   are replaced in place when unsent; decision frames (`Tick`,
+//!   `Shutdown`) are never dropped — if one cannot be queued the
+//!   connection is written off.
+//! - **Batched decide ticks** ([`server`]): power readings arriving
+//!   during an interval are batched (latest per node wins); on the tick
+//!   the policy runs *once* under a wall-clock deadline
+//!   ([`perq_sim::PowerPolicy::set_decide_deadline`]) and per-node caps
+//!   fan out. Dead workers leave the live set, so the budget reallocates
+//!   to survivors with no special-case code.
+//! - **Live observability** ([`http`]): a hand-rolled HTTP/1.1 responder
+//!   on the same loop serves Prometheus text on `GET /metrics` and
+//!   accepts budget / policy hot-reload on `POST /admin/budget` and
+//!   `POST /admin/policy` without missing a tick.
+//! - **Swarm workers** ([`swarm`]): sans-io wrapper around
+//!   [`perq_proto::NodeWorker`] for deterministic in-memory swarms, plus
+//!   a TCP runner used by the `perq swarm` CLI.
+//!
+//! Determinism discipline: the main [`perq_telemetry::Recorder`] is
+//! driven by logical time (`tick × interval_s`) and carries only
+//! poll-order-insensitive metrics, so an in-memory run exports
+//! byte-identical telemetry regardless of poll batch size; wall-clock
+//! latencies (tick/decide duration) go to a separate engine recorder.
+
+pub mod conn;
+pub mod http;
+pub mod mem;
+pub mod poller;
+pub mod rt;
+pub mod server;
+pub mod swarm;
+#[cfg(target_os = "linux")]
+pub mod sys;
+
+pub use conn::{ConnError, FrameClass, WorkerConn};
+pub use http::{response, BadRequest, HttpParser, HttpRequest};
+pub use mem::{mem_pair, MemIo, MemPoller};
+#[cfg(target_os = "linux")]
+pub use poller::EpollPoller;
+pub use poller::{PollEvent, Poller};
+pub use rt::{serve_tcp, ServeSummary};
+pub use server::{make_policy, PumpOutcome, ServeConfig, Server};
+pub use swarm::{run_tcp_swarm, SwarmStatus, SwarmWorker};

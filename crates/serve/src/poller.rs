@@ -1,0 +1,128 @@
+//! Readiness notification behind a backend-agnostic trait.
+//!
+//! The server core is generic over [`Poller`], so the same tick loop runs
+//! on real sockets (epoll, [`EpollPoller`]) and on deterministic
+//! in-memory pipes ([`crate::mem::MemPoller`]) without a single `cfg` in
+//! the control logic.
+
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// One readiness notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollEvent {
+    /// Token the I/O source was registered with.
+    pub token: usize,
+    /// The source can be read without blocking.
+    pub readable: bool,
+    /// The source can be written without blocking.
+    pub writable: bool,
+    /// The peer hung up or the source errored; the connection is dead.
+    pub hangup: bool,
+}
+
+/// Readiness-notification backend for the event loop.
+pub trait Poller {
+    /// The connection type this backend multiplexes.
+    type Io: Read + Write;
+
+    /// Starts watching `io` for readability (and hangup) under `token`.
+    fn register(&mut self, io: &Self::Io, token: usize) -> io::Result<()>;
+
+    /// Adds or removes write-readiness interest for a registered source.
+    fn set_write_interest(&mut self, io: &Self::Io, token: usize, on: bool) -> io::Result<()>;
+
+    /// Stops watching a registered source.
+    fn deregister(&mut self, io: &Self::Io, token: usize) -> io::Result<()>;
+
+    /// Waits up to `timeout` (`None` = block) and appends ready events to
+    /// `out`. `out` is cleared first.
+    fn poll(&mut self, out: &mut Vec<PollEvent>, timeout: Option<Duration>) -> io::Result<()>;
+}
+
+/// `epoll(7)`-backed poller over non-blocking [`std::net::TcpStream`]s.
+#[cfg(target_os = "linux")]
+pub struct EpollPoller {
+    epoll: crate::sys::Epoll,
+    buf: Vec<crate::sys::EpollEvent>,
+}
+
+#[cfg(target_os = "linux")]
+impl EpollPoller {
+    /// Creates the poller.
+    pub fn new() -> io::Result<Self> {
+        Ok(EpollPoller {
+            epoll: crate::sys::Epoll::new()?,
+            buf: vec![crate::sys::EpollEvent { events: 0, data: 0 }; 1024],
+        })
+    }
+
+    /// Watches a listening socket for incoming connections under `token`.
+    /// Listener tokens surface as `readable` events; the runtime accepts
+    /// and attaches the new streams itself.
+    pub fn add_listener(
+        &mut self,
+        listener: &std::net::TcpListener,
+        token: usize,
+    ) -> io::Result<()> {
+        use std::os::unix::io::AsRawFd;
+        self.epoll
+            .add(listener.as_raw_fd(), crate::sys::EPOLLIN, token as u64)
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Poller for EpollPoller {
+    type Io = std::net::TcpStream;
+
+    fn register(&mut self, io: &Self::Io, token: usize) -> io::Result<()> {
+        use std::os::unix::io::AsRawFd;
+        self.epoll.add(
+            io.as_raw_fd(),
+            crate::sys::EPOLLIN | crate::sys::EPOLLRDHUP,
+            token as u64,
+        )
+    }
+
+    fn set_write_interest(&mut self, io: &Self::Io, token: usize, on: bool) -> io::Result<()> {
+        use std::os::unix::io::AsRawFd;
+        let mut interest = crate::sys::EPOLLIN | crate::sys::EPOLLRDHUP;
+        if on {
+            interest |= crate::sys::EPOLLOUT;
+        }
+        self.epoll.modify(io.as_raw_fd(), interest, token as u64)
+    }
+
+    fn deregister(&mut self, io: &Self::Io, _token: usize) -> io::Result<()> {
+        use std::os::unix::io::AsRawFd;
+        self.epoll.delete(io.as_raw_fd())
+    }
+
+    fn poll(&mut self, out: &mut Vec<PollEvent>, timeout: Option<Duration>) -> io::Result<()> {
+        out.clear();
+        let timeout_ms = match timeout {
+            None => -1,
+            // Round up so a 0 < t < 1 ms timeout does not spin.
+            Some(t) => {
+                let mut ms = t.as_millis();
+                if t.subsec_nanos() % 1_000_000 != 0 {
+                    ms += 1;
+                }
+                ms.min(i32::MAX as u128) as i32
+            }
+        };
+        let n = self.epoll.wait(&mut self.buf, timeout_ms)?;
+        for ev in &self.buf[..n] {
+            let bits = { ev.events };
+            out.push(PollEvent {
+                token: { ev.data } as usize,
+                readable: bits & crate::sys::EPOLLIN != 0,
+                writable: bits & crate::sys::EPOLLOUT != 0,
+                hangup: bits
+                    & (crate::sys::EPOLLERR | crate::sys::EPOLLHUP | crate::sys::EPOLLRDHUP)
+                    != 0,
+            });
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,156 @@
+//! TCP runtime: epoll loop with wall-clock tick scheduling.
+
+#![cfg_attr(not(target_os = "linux"), allow(unused))]
+
+use crate::server::{ServeConfig, Server};
+use perq_telemetry::Recorder;
+use std::io;
+use std::time::{Duration, Instant};
+
+/// What a bounded `serve_tcp` run saw.
+#[derive(Debug)]
+pub struct ServeSummary {
+    /// Decide ticks executed.
+    pub ticks: u64,
+    /// Workers still live at shutdown.
+    pub live_nodes: usize,
+    /// Workers written off during the run.
+    pub writeoffs: u64,
+    /// Final deterministic telemetry export (Prometheus text).
+    pub metrics: String,
+    /// Final wall-clock engine telemetry export (Prometheus text).
+    pub engine_metrics: String,
+}
+
+const WORKER_LISTENER_TOKEN: usize = 0;
+const HTTP_LISTENER_TOKEN: usize = 1;
+
+/// Runs the serve loop over real sockets until `cfg.max_ticks` elapses
+/// (forever when `None`). Binds a worker listener on `worker_addr` and,
+/// if given, an HTTP listener on `http_addr`.
+///
+/// Ticks fire on a fixed wall-clock cadence; between ticks the loop
+/// sleeps in `epoll_wait`, so worker traffic and metric scrapes are
+/// serviced with no busy-waiting. Linux-only (the epoll backend).
+#[cfg(target_os = "linux")]
+pub fn serve_tcp(
+    cfg: ServeConfig,
+    policy: Box<dyn perq_sim::PowerPolicy>,
+    worker_addr: &str,
+    http_addr: Option<&str>,
+    rec: Recorder,
+    engine: Recorder,
+) -> io::Result<ServeSummary> {
+    use crate::poller::EpollPoller;
+    use std::net::TcpListener;
+
+    let workers = TcpListener::bind(worker_addr)?;
+    workers.set_nonblocking(true)?;
+    let http = match http_addr {
+        Some(addr) => {
+            let l = TcpListener::bind(addr)?;
+            l.set_nonblocking(true)?;
+            Some(l)
+        }
+        None => None,
+    };
+
+    let mut poller = EpollPoller::new()?;
+    poller.add_listener(&workers, WORKER_LISTENER_TOKEN)?;
+    if let Some(l) = &http {
+        poller.add_listener(l, HTTP_LISTENER_TOKEN)?;
+    }
+
+    let tick_period = cfg.tick;
+    let max_ticks = cfg.max_ticks;
+    let mut server = Server::with_recorders(poller, cfg, policy, rec, engine);
+
+    let start = Instant::now();
+    let mut next_tick = start + tick_period;
+    loop {
+        let timeout = next_tick.saturating_duration_since(Instant::now());
+        let outcome = server.pump(Some(timeout))?;
+        for ev in outcome.unclaimed {
+            match ev.token {
+                WORKER_LISTENER_TOKEN => accept_all(&workers, &mut server, false)?,
+                HTTP_LISTENER_TOKEN => {
+                    if let Some(l) = &http {
+                        accept_all(l, &mut server, true)?;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if Instant::now() >= next_tick {
+            server.tick();
+            next_tick += tick_period;
+            // If the loop fell behind, tick back-to-back rather than
+            // skipping decide instances.
+            if let Some(max) = max_ticks {
+                if server.ticks() >= max {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Graceful shutdown: queue Shutdown everywhere and give the sockets a
+    // short drain window.
+    server.shutdown();
+    let drain_deadline = Instant::now() + Duration::from_secs(2);
+    while server.has_backlog() && Instant::now() < drain_deadline {
+        server.pump(Some(Duration::from_millis(20)))?;
+    }
+
+    Ok(ServeSummary {
+        ticks: server.ticks(),
+        live_nodes: server.live_nodes(),
+        writeoffs: server
+            .recorder()
+            .counter_value("perq_serve_writeoffs_total"),
+        metrics: server.recorder().export_prometheus(),
+        engine_metrics: server.engine_recorder().export_prometheus(),
+    })
+}
+
+#[cfg(target_os = "linux")]
+fn accept_all(
+    listener: &std::net::TcpListener,
+    server: &mut Server<crate::poller::EpollPoller>,
+    http: bool,
+) -> io::Result<()> {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(true)?;
+                stream.set_nodelay(true).ok();
+                let attached = if http {
+                    server.attach_http(stream)
+                } else {
+                    server.attach_worker(stream)
+                };
+                // A failed attach only loses that one connection.
+                let _ = attached;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Stub for non-Linux hosts: the TCP runtime needs the epoll backend.
+#[cfg(not(target_os = "linux"))]
+pub fn serve_tcp(
+    _cfg: ServeConfig,
+    _policy: Box<dyn perq_sim::PowerPolicy>,
+    _worker_addr: &str,
+    _http_addr: Option<&str>,
+    _rec: Recorder,
+    _engine: Recorder,
+) -> io::Result<ServeSummary> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "perq-serve TCP runtime requires Linux (epoll)",
+    ))
+}

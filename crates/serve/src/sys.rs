@@ -1,0 +1,161 @@
+//! Thin `epoll(7)` FFI shim.
+//!
+//! The event loop needs exactly four syscalls — `epoll_create1`,
+//! `epoll_ctl`, `epoll_wait`, `close` — so they are declared directly
+//! instead of pulling in the libc crate. Linux-only by construction
+//! (`cfg(target_os = "linux")` at the module declaration); every other
+//! platform uses the in-memory poller.
+
+use std::io;
+
+/// Readable readiness.
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, never requested).
+pub const EPOLLERR: u32 = 0x008;
+/// Peer hangup.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+/// Mirror of `struct epoll_event`. The kernel ABI packs this struct on
+/// x86-64 (12 bytes); other architectures use natural alignment.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Requested / reported readiness mask.
+    pub events: u32,
+    /// Caller-owned cookie; we store the connection token.
+    pub data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+/// Owned epoll instance. Closes the descriptor on drop.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: i32,
+}
+
+impl Epoll {
+    /// Creates a close-on-exec epoll instance.
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: epoll_create1 has no pointer arguments.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: i32, interest: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interest,
+            data: token,
+        };
+        let evp = if op == EPOLL_CTL_DEL {
+            std::ptr::null_mut()
+        } else {
+            &mut ev as *mut EpollEvent
+        };
+        // SAFETY: `ev` outlives the call; DEL ignores the event pointer.
+        let rc = unsafe { epoll_ctl(self.fd, op, fd, evp) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` with the given interest mask.
+    pub fn add(&self, fd: i32, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+    }
+
+    /// Changes the interest mask of a registered `fd`.
+    pub fn modify(&self, fd: i32, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+    }
+
+    /// Removes `fd` from the interest set.
+    pub fn delete(&self, fd: i32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Waits for readiness, filling `events`; `timeout_ms < 0` blocks.
+    /// Returns the number of ready entries. `EINTR` is retried.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            // SAFETY: `events` is a valid mutable slice for the whole call.
+            let n = unsafe {
+                epoll_wait(
+                    self.fd,
+                    events.as_mut_ptr(),
+                    events.len().min(i32::MAX as usize) as i32,
+                    timeout_ms,
+                )
+            };
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: fd is owned by this instance and closed exactly once.
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn epoll_reports_readability_on_a_real_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let ep = Epoll::new().unwrap();
+        ep.add(server.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 7).unwrap();
+
+        let mut evs = [EpollEvent { events: 0, data: 0 }; 8];
+        // Nothing pending yet.
+        assert_eq!(ep.wait(&mut evs, 0).unwrap(), 0);
+
+        client.write_all(b"hello").unwrap();
+        let n = ep.wait(&mut evs, 1000).unwrap();
+        assert_eq!(n, 1);
+        let ev = evs[0];
+        assert_eq!({ ev.data }, 7);
+        assert_ne!({ ev.events } & EPOLLIN, 0);
+
+        ep.delete(server.as_raw_fd()).unwrap();
+        assert_eq!(ep.wait(&mut evs, 0).unwrap(), 0);
+    }
+}

@@ -114,6 +114,14 @@ pub trait PowerPolicy {
     /// metrics (solver iterations, gate rejections, ...). Default: the
     /// policy records nothing.
     fn set_recorder(&mut self, _recorder: perq_telemetry::Recorder) {}
+
+    /// Arms (or clears) a wall-clock deadline for subsequent
+    /// [`PowerPolicy::assign`] calls. Control loops that batch readings
+    /// and decide on a fixed tick (`perq-serve`) set `tick_start +
+    /// budget` each tick; an iterative policy then degrades gracefully
+    /// to its best solution so far instead of overrunning the tick.
+    /// Default: ignored — closed-form policies always finish instantly.
+    fn set_decide_deadline(&mut self, _deadline: Option<std::time::Instant>) {}
 }
 
 /// The fairness-oriented policy (FOP): every busy node gets an equal share

@@ -24,6 +24,7 @@
 //! | evaluation | [`sim`] | cluster simulator, FCFS+EASY scheduling, Mira/Trinity traces |
 //! | **contribution** | [`core`] | PERQ target generator + MPC controller + baseline policies |
 //! | prototype | [`proto`] | TCP-connected miniature cluster (Tardis) |
+//! | service | [`serve`] | non-blocking control-plane: epoll event loop, batched decide ticks, /metrics, hot reload |
 //!
 //! ## Quickstart
 //!
@@ -54,6 +55,7 @@ pub use perq_linalg as linalg;
 pub use perq_proto as proto;
 pub use perq_qp as qp;
 pub use perq_rapl as rapl;
+pub use perq_serve as serve;
 pub use perq_sim as sim;
 pub use perq_sysid as sysid;
 pub use perq_telemetry as telemetry;
