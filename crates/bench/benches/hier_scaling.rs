@@ -16,12 +16,12 @@
 
 use criterion::{criterion_group, Criterion};
 use perq_core::CouplingAuthority;
+use perq_bench::timing::wall_s;
 use perq_sim::{
     parallel_for_mut, BudgetAuthority, ClusterConfig, EnclaveDemand, FairPolicy, GrantContext,
     HierResult, HierSim, HierTopology, JobSpec, PowerPolicy, SimEngine, SystemModel,
     TraceGenerator,
 };
-use std::time::Instant;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -70,11 +70,7 @@ fn bench_hier(c: &mut Criterion) {
 
 criterion_group!(benches, bench_hier);
 
-fn wall_s<F: FnMut()>(mut f: F) -> f64 {
-    let t0 = Instant::now();
-    f();
-    t0.elapsed().as_secs_f64()
-}
+
 
 /// The 64-enclave epoch loop timed at each enclave thread count, with
 /// the determinism cross-check. Returns JSON rows.

@@ -18,6 +18,7 @@
 //!   50 ms decide interval.
 
 use criterion::{criterion_group, Criterion};
+use perq_bench::timing::percentile;
 use perq_serve::{
     make_policy, mem_pair, MemIo, MemPoller, ServeConfig, Server, SwarmStatus, SwarmWorker,
 };
@@ -90,11 +91,7 @@ fn round(rig: &mut Rig) -> (f64, u64) {
     (server_s, frames)
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    assert!(!sorted.is_empty());
-    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[idx]
-}
+
 
 fn bench_serve(c: &mut Criterion) {
     let mut group = c.benchmark_group("serve_scaling");

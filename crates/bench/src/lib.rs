@@ -69,6 +69,44 @@ impl PolicyKind {
     }
 }
 
+/// Wall-clock measurement helpers shared by the scaling benches'
+/// snapshot modes (`qp_scaling`, `hier_scaling`, `serve_scaling`), so
+/// every committed `BENCH_*.json` row is produced by the same
+/// assemble+solve timing loop instead of three divergent copies.
+pub mod timing {
+    use std::time::Instant;
+
+    /// Wall time of one call, in seconds.
+    pub fn wall_s<F: FnMut()>(mut f: F) -> f64 {
+        let t0 = Instant::now();
+        f();
+        t0.elapsed().as_secs_f64()
+    }
+
+    /// `reps` wall-time samples of `f` in milliseconds, sorted ascending
+    /// (ready for [`percentile`]).
+    pub fn sample_ms<F: FnMut()>(reps: usize, mut f: F) -> Vec<f64> {
+        assert!(reps > 0, "need at least one rep");
+        let mut samples: Vec<f64> = (0..reps).map(|_| wall_s(&mut f) * 1e3).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        samples
+    }
+
+    /// Median-of-`reps` wall time of `f`, in milliseconds.
+    pub fn time_ms<F: FnMut()>(reps: usize, f: F) -> f64 {
+        let samples = sample_ms(reps, f);
+        samples[samples.len() / 2]
+    }
+
+    /// Nearest-rank percentile (`p` in 0..=100) of an ascending-sorted
+    /// sample set.
+    pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+        assert!(!sorted.is_empty());
+        let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx]
+    }
+}
+
 /// One row of a Fig. 6/7-style table.
 #[derive(Debug, Clone)]
 pub struct PolicyRow {

@@ -39,6 +39,10 @@ fn usage() -> ExitCode {
 USAGE:
     perq simulate  [system=mira|trinity|tardis] [policy=perq|fop|sjs|ljs|srn] [f=2.0]
                    [hours=4] [seed=42] [interval=10] [json=out.json]
+                   [precision=f64|f32|mixed] (PERQ QP solver profile: f64 is
+                   the bit-reproducible reference; f32 iterates in single
+                   precision over SoA SIMD lanes; mixed is f32 with an f64
+                   residual check and automatic f64 fallback)
                    [engine=step|event] (simulator core; both produce identical
                    results — event skips dead time on sparse workloads)
                    [faults=SEED] (seeded fault injection: node crashes, telemetry
@@ -100,7 +104,8 @@ USAGE:
                    [metrics-out=PATH] [metrics-fmt=prom|jsonl]
                    (replay the log through the simulator with seeded power profiles)
     perq serve     [listen=127.0.0.1:7070] [http=127.0.0.1:7071|off]
-                   [policy=fop|perq] [wp=8] [tick-ms=50] [decide-budget-ms=20]
+                   [policy=fop|perq] [precision=f64|f32|mixed]
+                   [wp=8] [tick-ms=50] [decide-budget-ms=20]
                    [interval=1.0] [heartbeat=3] [ticks=N]
                    [metrics-out=PATH] [metrics-fmt=prom|jsonl] [engine-metrics-out=PATH]
                    (non-blocking control plane: workers connect on listen=,
@@ -118,6 +123,7 @@ USAGE:
 
 Examples:
     perq simulate system=trinity policy=perq f=1.8 hours=8
+    perq simulate system=mira policy=perq precision=mixed hours=1
     perq simulate system=mira topology=enclaves:4 tenants=1,2 authority=qp hours=1
     perq campaign threads=4 topology=enclaves:8 enclave-threads=2 seeds=8 hours=0.5
     perq trace replay file=year.swf system=mira engine=event arrivals=true hours=8760
@@ -162,16 +168,35 @@ fn system(map: &HashMap<String, String>) -> SystemModel {
     }
 }
 
+/// Parses `precision=f64|f32|mixed` (default: the bit-reproducible
+/// `f64`/AoS reference profile). `f32` and `mixed` iterate the decision
+/// QP in single precision over SoA lanes; `mixed` additionally verifies
+/// every answer against an f64 residual check and polishes in f64 when
+/// the check fails.
+fn solver_profile(map: &HashMap<String, String>) -> perq_core::SolverProfile {
+    match map.get("precision") {
+        None => perq_core::SolverProfile::default(),
+        Some(spec) => spec.parse().unwrap_or_else(|err| {
+            eprintln!("{err}, using f64");
+            perq_core::SolverProfile::default()
+        }),
+    }
+}
+
 fn policy(map: &HashMap<String, String>) -> Box<dyn PowerPolicy + Send> {
+    let perq_config = || PerqConfig {
+        solver_profile: solver_profile(map),
+        ..PerqConfig::default()
+    };
     match map.get("policy").map(String::as_str) {
         Some("fop") => Box::new(FairPolicy::new()),
         Some("sjs") => Box::new(baselines::sjs()),
         Some("ljs") => Box::new(baselines::ljs()),
         Some("srn") => Box::new(baselines::srn()),
-        Some("perq") | None => Box::new(PerqPolicy::new(PerqConfig::default())),
+        Some("perq") | None => Box::new(PerqPolicy::new(perq_config())),
         Some(other) => {
             eprintln!("unknown policy '{other}', using perq");
-            Box::new(PerqPolicy::new(PerqConfig::default()))
+            Box::new(PerqPolicy::new(perq_config()))
         }
     }
 }
@@ -1054,7 +1079,8 @@ fn cmd_serve(map: HashMap<String, String>) -> ExitCode {
     cfg.max_ticks = map.get("ticks").and_then(|v| v.parse().ok());
 
     let policy_name = map.get("policy").map(String::as_str).unwrap_or("fop");
-    let Some(policy) = perq_serve::make_policy(policy_name) else {
+    let profile = solver_profile(&map);
+    let Some(policy) = perq_serve::make_policy_with_profile(policy_name, profile) else {
         eprintln!("unknown serve policy '{policy_name}' (expected fop|perq)");
         return ExitCode::from(2);
     };

@@ -48,7 +48,10 @@
 //! [`ProportionalAuthority`] water-fill for that epoch — the grants
 //! stay feasible, only the coupling refinement is lost.
 
-use perq_qp::{Budget, Coupling, LmaxCache, ProjGradSettings, ProjGradSolver, StructuredQp, Workspace};
+use perq_qp::{
+    solve_profiled, Budget, Coupling, ProfiledQpState, ProjGradSettings, ProjGradSolver,
+    SolverProfile, StructuredQp,
+};
 use perq_sim::{BudgetAuthority, EnclaveDemand, GrantContext, ProportionalAuthority};
 
 /// Default ratio of the system-tracking weight `w_sys` to the (unit)
@@ -64,8 +67,8 @@ pub const DEFAULT_SYSTEM_WEIGHT_RATIO: f64 = 8.0;
 /// budget.
 pub struct CouplingAuthority {
     solver: ProjGradSolver,
-    workspace: Workspace,
-    lmax: LmaxCache,
+    profile: SolverProfile,
+    state: ProfiledQpState,
     /// Previous epoch's grants, warm-starting the next solve (cleared
     /// whenever the enclave count changes).
     last_grants: Vec<f64>,
@@ -80,8 +83,8 @@ impl CouplingAuthority {
     pub fn new() -> Self {
         CouplingAuthority {
             solver: ProjGradSolver::new(ProjGradSettings::default()),
-            workspace: Workspace::default(),
-            lmax: LmaxCache::default(),
+            profile: SolverProfile::default(),
+            state: ProfiledQpState::default(),
             last_grants: Vec::new(),
             system_weight_ratio: DEFAULT_SYSTEM_WEIGHT_RATIO,
             fallback: ProportionalAuthority,
@@ -94,6 +97,21 @@ impl CouplingAuthority {
         assert!(ratio.is_finite() && ratio > 0.0, "ratio must be positive");
         self.system_weight_ratio = ratio;
         self
+    }
+
+    /// Selects the coupling solve's precision/layout profile (builder
+    /// style). The coordinator QP is tiny (one variable per enclave), so
+    /// this matters for symmetry with the leaf controllers more than for
+    /// speed; the default `f64_aos` keeps grants bit-identical to the
+    /// pre-profile authority.
+    pub fn with_profile(mut self, profile: SolverProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// The active solver precision/layout profile.
+    pub fn solver_profile(&self) -> SolverProfile {
+        self.profile
     }
 
     /// Solves the coupling QP; `None` when the problem could not be
@@ -151,10 +169,9 @@ impl CouplingAuthority {
         } else {
             Some(self.last_grants.as_slice())
         };
-        let solution = self
-            .solver
-            .solve_with(&qp, x0, &mut self.workspace, Some(&mut self.lmax))
-            .ok()?;
+        let solution = solve_profiled(&self.solver, &qp, x0, self.profile, &mut self.state)
+            .ok()?
+            .solution;
         // Re-clamp against numerical drift so the HierSim conservation
         // assertion holds exactly: inside the box, then scaled onto the
         // budget if the projection left a hair of overshoot.

@@ -48,3 +48,8 @@ pub use model::{train_node_model, train_node_model_with, JobAdapter, NodeModel, 
 pub use mpc::{MpcController, MpcDecision, MpcInput, MpcJobState, MpcSettings};
 pub use perq::{PerqConfig, PerqPolicy};
 pub use targets::{TargetGenerator, Targets};
+
+// Solver precision/layout selection, re-exported so policy consumers
+// (campaign specs, the CLI, perq-serve) can name profiles without a
+// direct perq-qp dependency.
+pub use perq_qp::{Layout, Precision, SolverProfile};

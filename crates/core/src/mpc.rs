@@ -1,6 +1,9 @@
 use crate::model::NodeModel;
 use crate::mpc_assembly::{assemble_dense_qp, assemble_structured_qp, AssemblyParams};
-use perq_qp::{BoxBudgetQp, LmaxCache, ProjGradSettings, ProjGradSolver, StructuredQp, Workspace};
+use perq_qp::{
+    solve_profiled, BoxBudgetQp, ProfiledQpState, ProjGradSettings, ProjGradSolver, SolverProfile,
+    StructuredQp,
+};
 use perq_telemetry::Recorder;
 use std::sync::Mutex;
 
@@ -62,15 +65,14 @@ pub struct MpcDecision {
     pub converged: bool,
 }
 
-/// Per-controller solver state reused across decisions: the FISTA
-/// workspace (so repeated decisions allocate almost nothing) and the
-/// Lipschitz cache (the previous Hessian's dominant eigenvector seeds the
-/// next power iteration — consecutive decisions see nearly the same
+/// Per-controller solver state reused across decisions: per-precision
+/// FISTA workspaces (so repeated decisions allocate almost nothing) and
+/// Lipschitz caches (the previous Hessian's dominant eigenvector seeds
+/// the next power iteration — consecutive decisions see nearly the same
 /// spectrum, so the re-estimate converges in a couple of products).
 #[derive(Debug, Default)]
 struct ControllerScratch {
-    ws: Workspace,
-    lmax: LmaxCache,
+    state: ProfiledQpState,
 }
 
 /// The PERQ model-predictive controller (§2.4.3).
@@ -104,6 +106,7 @@ pub struct MpcController {
     /// Identified input offset `u₀` of the node model.
     input_offset: f64,
     solver: ProjGradSolver,
+    profile: SolverProfile,
     recorder: Recorder,
     /// Interior-mutable so [`MpcController::decide`] keeps its `&self`
     /// signature while reusing buffers and the spectral cache.
@@ -120,6 +123,7 @@ impl Clone for MpcController {
             feedthrough: self.feedthrough,
             input_offset: self.input_offset,
             solver: self.solver.clone(),
+            profile: self.profile,
             recorder: self.recorder.clone(),
             scratch: Mutex::new(ControllerScratch::default()),
         }
@@ -142,9 +146,23 @@ impl MpcController {
             feedthrough: model.ss.feedthrough(),
             input_offset: model.ss.input_offset(),
             solver,
+            profile: SolverProfile::default(),
             recorder: Recorder::noop(),
             scratch: Mutex::new(ControllerScratch::default()),
         }
+    }
+
+    /// Selects the solver precision/layout profile for subsequent
+    /// decisions. The default (`f64_aos`) reproduces the pre-profile
+    /// behaviour bit for bit; `f32`/`mixed` profiles trade reference
+    /// precision for decide latency and are strictly opt-in.
+    pub fn set_solver_profile(&mut self, profile: SolverProfile) {
+        self.profile = profile;
+    }
+
+    /// The active solver precision/layout profile.
+    pub fn solver_profile(&self) -> SolverProfile {
+        self.profile
     }
 
     /// Attaches a telemetry recorder. Decisions then report
@@ -245,11 +263,15 @@ impl MpcController {
             _ => &assembled_warm[..],
         };
         let mut scratch = self.scratch.lock().expect("controller scratch poisoned");
-        let ControllerScratch { ws, lmax } = &mut *scratch;
-        let sol = self
-            .solver
-            .solve_with(&qp, Some(warm), ws, Some(lmax))
-            .expect("MPC QP is validated feasible");
+        let profiled = solve_profiled(
+            &self.solver,
+            &qp,
+            Some(warm),
+            self.profile,
+            &mut scratch.state,
+        )
+        .expect("MPC QP is validated feasible");
+        let sol = profiled.solution;
         if self.recorder.enabled() {
             self.recorder.counter_inc("perq_core_decides_total");
             self.recorder
@@ -258,6 +280,16 @@ impl MpcController {
                 .gauge_set("perq_core_horizon", self.settings.horizon as f64);
             self.recorder
                 .observe("perq_core_qp_iterations", sol.iterations as f64);
+            self.recorder
+                .counter_add(self.profile.iterations_metric(), sol.iterations as u64);
+            if self.profile.precision == perq_qp::Precision::Mixed {
+                // Register the series even for clean decisions, so
+                // "0 fallbacks" is an export, not an absence.
+                self.recorder.counter_add(
+                    "perq_qp_precision_fallbacks_total",
+                    u64::from(profiled.fell_back),
+                );
+            }
         }
         Some(self.extract_decision(input, &sol))
     }
@@ -719,7 +751,7 @@ mod tests {
             wp_nodes: 10.0,
         };
         let first = ctrl.decide(&input).unwrap();
-        assert!(ctrl.scratch.lock().unwrap().lmax.lmax().is_some());
+        assert!(ctrl.scratch.lock().unwrap().state.f64_lmax().is_some());
         let second = ctrl.decide(&input).unwrap();
         for (a, b) in first.caps_frac.iter().zip(second.caps_frac.iter()) {
             assert!((a - b).abs() < 1e-7, "decisions drifted: {a} vs {b}");

@@ -29,6 +29,11 @@ pub struct PerqConfig {
     pub group_threshold: usize,
     /// Maximum pseudo-job groups for grouped decisions.
     pub max_groups: usize,
+    /// QP solver precision/layout profile. `f64_aos` (the default)
+    /// reproduces the reference decide path bit for bit; `f32_soa` and
+    /// `mixed_soa` trade precision for decide latency (see
+    /// [`perq_qp::SolverProfile`]).
+    pub solver_profile: perq_qp::SolverProfile,
 }
 
 impl Default for PerqConfig {
@@ -40,6 +45,7 @@ impl Default for PerqConfig {
             dither_frac: 0.025,
             group_threshold: 150,
             max_groups: 64,
+            solver_profile: perq_qp::SolverProfile::default(),
         }
     }
 }
@@ -81,7 +87,8 @@ impl PerqPolicy {
     /// Creates the policy with a pre-identified node model (so sweeps
     /// don't re-train per run).
     pub fn with_model(model: NodeModel, config: PerqConfig) -> Self {
-        let controller = MpcController::new(&model, config.mpc.clone());
+        let mut controller = MpcController::new(&model, config.mpc.clone());
+        controller.set_solver_profile(config.solver_profile);
         PerqPolicy {
             model,
             controller,
@@ -151,6 +158,10 @@ impl PowerPolicy for PerqPolicy {
 
     fn set_decide_deadline(&mut self, deadline: Option<std::time::Instant>) {
         self.controller.set_decide_deadline(deadline);
+    }
+
+    fn solver_profile_label(&self) -> &'static str {
+        self.controller.solver_profile().label()
     }
 
     fn assign(&mut self, ctx: &PolicyContext<'_>) -> Vec<PowerAssignment> {

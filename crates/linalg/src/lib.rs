@@ -14,8 +14,9 @@
 //! - [`Qr`]: Householder QR for least-squares problems, the workhorse of
 //!   ARX system identification.
 //! - [`lstsq`]: convenience least-squares driver.
-//! - [`vecops`]: free functions over `&[f64]` slices (dot products, norms,
-//!   scaled additions) used by the iterative QP solvers.
+//! - [`vecops`]: free functions over scalar slices (dot products, norms,
+//!   scaled additions) used by the iterative QP solvers — generic over
+//!   [`Scalar`] (`f64`/`f32`) for the precision-profiled solve paths.
 //!
 //! # Example
 //!
@@ -35,6 +36,7 @@ mod error;
 mod lu;
 mod matrix;
 mod qr;
+pub mod scalar;
 pub mod vecops;
 
 pub use chol::Cholesky;
@@ -42,6 +44,7 @@ pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Matrix;
 pub use qr::{lstsq, Qr};
+pub use scalar::Scalar;
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,31 +1,38 @@
-//! Free functions over `&[f64]` slices.
+//! Free functions over scalar slices.
 //!
 //! The iterative QP solvers (projected gradient, ADMM) spend their time in
 //! these primitives; they are written as simple tight loops the compiler
-//! auto-vectorizes.
+//! auto-vectorizes. All functions are generic over [`crate::Scalar`]
+//! (`f64`/`f32`); at `S = f64` they perform exactly the operations — in
+//! exactly the order — of the original `f64`-only implementations, so
+//! existing callers see bit-identical results.
+
+use crate::scalar::Scalar;
 
 /// Dot product `xᵀ y`. Panics in debug builds on length mismatch.
 #[inline]
-pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+pub fn dot<S: Scalar>(x: &[S], y: &[S]) -> S {
     debug_assert_eq!(x.len(), y.len());
-    x.iter().zip(y.iter()).map(|(&a, &b)| a * b).sum()
+    x.iter()
+        .zip(y.iter())
+        .fold(S::ZERO, |acc, (&a, &b)| acc + a * b)
 }
 
 /// Euclidean norm `‖x‖₂`.
 #[inline]
-pub fn norm2(x: &[f64]) -> f64 {
+pub fn norm2<S: Scalar>(x: &[S]) -> S {
     dot(x, x).sqrt()
 }
 
 /// Infinity norm `‖x‖∞`.
 #[inline]
-pub fn norm_inf(x: &[f64]) -> f64 {
-    x.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+pub fn norm_inf<S: Scalar>(x: &[S]) -> S {
+    x.iter().fold(S::ZERO, |m, &v| m.max(v.abs()))
 }
 
 /// In-place `y += a * x`.
 #[inline]
-pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+pub fn axpy<S: Scalar>(a: S, x: &[S], y: &mut [S]) {
     debug_assert_eq!(x.len(), y.len());
     for (yi, &xi) in y.iter_mut().zip(x.iter()) {
         *yi += a * xi;
@@ -34,50 +41,50 @@ pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
 
 /// Elementwise difference `x − y` into a new vector.
 #[inline]
-pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+pub fn sub<S: Scalar>(x: &[S], y: &[S]) -> Vec<S> {
     debug_assert_eq!(x.len(), y.len());
     x.iter().zip(y.iter()).map(|(&a, &b)| a - b).collect()
 }
 
 /// Elementwise sum `x + y` into a new vector.
 #[inline]
-pub fn add(x: &[f64], y: &[f64]) -> Vec<f64> {
+pub fn add<S: Scalar>(x: &[S], y: &[S]) -> Vec<S> {
     debug_assert_eq!(x.len(), y.len());
     x.iter().zip(y.iter()).map(|(&a, &b)| a + b).collect()
 }
 
 /// Scales a vector by `a` into a new vector.
 #[inline]
-pub fn scale(a: f64, x: &[f64]) -> Vec<f64> {
+pub fn scale<S: Scalar>(a: S, x: &[S]) -> Vec<S> {
     x.iter().map(|&v| a * v).collect()
 }
 
 /// Clamps every component into `[lo[i], hi[i]]`.
 #[inline]
-pub fn clamp_box(x: &mut [f64], lo: &[f64], hi: &[f64]) {
+pub fn clamp_box<S: Scalar>(x: &mut [S], lo: &[S], hi: &[S]) {
     debug_assert_eq!(x.len(), lo.len());
     debug_assert_eq!(x.len(), hi.len());
     for ((xi, &l), &h) in x.iter_mut().zip(lo.iter()).zip(hi.iter()) {
-        *xi = xi.max(l).min(h);
+        *xi = (*xi).max(l).min(h);
     }
 }
 
 /// Maximum absolute componentwise difference between two vectors.
 #[inline]
-pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
+pub fn max_abs_diff<S: Scalar>(x: &[S], y: &[S]) -> S {
     debug_assert_eq!(x.len(), y.len());
     x.iter()
         .zip(y.iter())
-        .fold(0.0_f64, |m, (&a, &b)| m.max((a - b).abs()))
+        .fold(S::ZERO, |m, (&a, &b)| m.max((a - b).abs()))
 }
 
 /// Arithmetic mean; 0.0 for an empty slice.
 #[inline]
-pub fn mean(x: &[f64]) -> f64 {
+pub fn mean<S: Scalar>(x: &[S]) -> S {
     if x.is_empty() {
-        0.0
+        S::ZERO
     } else {
-        x.iter().sum::<f64>() / x.len() as f64
+        x.iter().fold(S::ZERO, |acc, &v| acc + v) / S::from_f64(x.len() as f64)
     }
 }
 
@@ -109,7 +116,7 @@ mod tests {
 
     #[test]
     fn mean_handles_empty() {
-        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean::<f64>(&[]), 0.0);
         assert_eq!(mean(&[2.0, 4.0]), 3.0);
     }
 
@@ -119,5 +126,15 @@ mod tests {
         assert_eq!(sub(&[1.0, 2.0], &[3.0, 4.0]), vec![-2.0, -2.0]);
         assert_eq!(scale(2.0, &[1.0, -1.0]), vec![2.0, -2.0]);
         assert_eq!(max_abs_diff(&[1.0, 5.0], &[2.0, 5.0]), 1.0);
+    }
+
+    #[test]
+    fn f32_instantiation_matches_f64_semantics() {
+        let x = [3.0_f32, 4.0];
+        assert_eq!(dot(&x, &x), 25.0_f32);
+        assert_eq!(norm2(&x), 5.0_f32);
+        let mut y = vec![1.0_f32, 1.0];
+        axpy(2.0_f32, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0_f32, -1.0]);
     }
 }

@@ -32,6 +32,17 @@
 //! With the `parallel` cargo feature the structured operator's
 //! block-diagonal matrix-vector product fans out across jobs with rayon.
 //!
+//! The projected-gradient path is generic over the iterate scalar
+//! ([`perq_linalg::Scalar`], `f64` or `f32`). [`SoaQp`] transposes a
+//! [`StructuredQp`] into structure-of-arrays lanes whose matvec, gradient
+//! step, and budget projection are straight-line chunked loops — the
+//! autovectorizer's favourite diet, with explicit 4/8-wide kernels behind
+//! the `simd` cargo feature (identical results; the feature only changes
+//! code generation). [`SolverProfile`] names a precision × layout choice
+//! and [`solve_profiled`] runs it, including the `mixed` mode that
+//! iterates in `f32` and accepts only after an `f64` KKT residual check
+//! (falling back to an `f64` polish otherwise).
+//!
 //! All solvers report convergence diagnostics in [`QpSolution`], and the
 //! test suite checks their answers against each other and against the KKT
 //! optimality conditions.
@@ -59,18 +70,25 @@ mod admm;
 mod error;
 mod kkt;
 mod problem;
+mod profile;
 mod projection;
 mod projgrad;
+mod soa;
 mod structured;
 
 pub use admm::{AdmmSettings, AdmmSolver, InequalityQp};
 pub use error::QpError;
 pub use kkt::solve_equality_qp;
 pub use problem::{BoxBudgetQp, Budget, QpOperator, QpSolution};
+pub use profile::{
+    f64_kkt_residual, solve_profiled, Layout, Precision, ProfiledQpState, ProfiledSolution,
+    SolverProfile, MIXED_ACCEPT_FACTOR,
+};
 pub use projection::{
     project_box_budget, project_box_budgets, project_box_budgets_scratch, ProjectionScratch,
 };
 pub use projgrad::{estimate_lmax, LmaxCache, ProjGradSettings, ProjGradSolver, Workspace};
+pub use soa::SoaQp;
 pub use structured::{Coupling, StructuredQp};
 
 /// Result alias used throughout the crate.

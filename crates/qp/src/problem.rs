@@ -1,30 +1,48 @@
+use crate::projection::ProjectionScratch;
 use crate::{QpError, Result};
-use perq_linalg::{vecops, Matrix};
+use perq_linalg::{vecops, Matrix, Scalar};
 
 /// One coupling budget constraint `coeffsᵀ x ≤ limit` with `coeffs ≥ 0`.
 ///
 /// In PERQ this encodes the system power budget at one prediction-horizon
 /// step: the weighted sum of job power-caps (weights = node counts) must
 /// stay below the worst-case-provisioned budget.
+///
+/// Generic over the solver [`Scalar`] so the f32 SoA profile can carry its
+/// constraint set natively; the default `S = f64` keeps every existing
+/// call site unchanged.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Budget {
+pub struct Budget<S: Scalar = f64> {
     /// Non-negative coefficients, one per decision variable. Zero entries
     /// exclude a variable from this budget (e.g. caps belonging to a
     /// different horizon step).
-    pub coeffs: Vec<f64>,
+    pub coeffs: Vec<S>,
     /// Right-hand side of the constraint.
-    pub limit: f64,
+    pub limit: S,
 }
 
-impl Budget {
+impl<S: Scalar> Budget<S> {
     /// Evaluates `coeffsᵀ x`.
-    pub fn usage(&self, x: &[f64]) -> f64 {
+    pub fn usage(&self, x: &[S]) -> S {
         vecops::dot(&self.coeffs, x)
     }
 
     /// Returns `true` if `x` satisfies the budget to within `tol`.
-    pub fn satisfied(&self, x: &[f64], tol: f64) -> bool {
+    pub fn satisfied(&self, x: &[S], tol: S) -> bool {
         self.usage(x) <= self.limit + tol
+    }
+
+    /// Converts the budget to another scalar precision (rounding on
+    /// narrowing).
+    pub fn cast<T: Scalar>(&self) -> Budget<T> {
+        Budget {
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|&a| T::from_f64(a.to_f64()))
+                .collect(),
+            limit: T::from_f64(self.limit.to_f64()),
+        }
     }
 }
 
@@ -38,31 +56,64 @@ impl Budget {
 /// factorisation PERQ's MPC actually produces (O(n)). Generalising
 /// [`crate::ProjGradSolver`] over this trait is what turns the
 /// per-decision cost from O(jobs²) into O(jobs).
-pub trait QpOperator {
+///
+/// The trait is generic over the solver [`Scalar`]: the default `S = f64`
+/// is the reference precision, while `S = f32` powers the reduced-precision
+/// SoA profile ([`crate::SoaQp`]).
+pub trait QpOperator<S: Scalar = f64> {
     /// Number of decision variables.
     fn dim(&self) -> usize;
 
     /// Component-wise lower bounds.
-    fn lo(&self) -> &[f64];
+    fn lo(&self) -> &[S];
 
     /// Component-wise upper bounds.
-    fn hi(&self) -> &[f64];
+    fn hi(&self) -> &[S];
 
     /// Coupling budget constraints (may be empty).
-    fn budgets(&self) -> &[Budget];
+    fn budgets(&self) -> &[Budget<S>];
 
     /// Validates dimensions and feasibility of the constraint set.
     fn validate(&self) -> Result<()>;
 
     /// Evaluates the objective `½ xᵀQx + cᵀx`.
-    fn objective(&self, x: &[f64]) -> f64;
+    fn objective(&self, x: &[S]) -> S;
+
+    /// Evaluates the objective in `f64` regardless of the iterate's
+    /// scalar type.
+    ///
+    /// The solver's adaptive-restart discipline compares successive
+    /// objective values whose difference is far below one `f32` ulp of
+    /// the objective's magnitude; comparing rounded `f32` values there
+    /// turns the restart test into a coin flip and stalls the iteration.
+    /// Reduced-precision operators should override this with a
+    /// full-`f64` accumulation. The default is exact for `f64`
+    /// operators, where it is a no-op conversion.
+    fn objective_f64(&self, x: &[S]) -> f64 {
+        self.objective(x).to_f64()
+    }
 
     /// Writes the gradient `Qx + c` into `out`.
-    fn gradient_into(&self, x: &[f64], out: &mut [f64]);
+    fn gradient_into(&self, x: &[S], out: &mut [S]);
+
+    /// Writes the explicit gradient step `y − step·∇f(y)` into `out`.
+    ///
+    /// The default evaluates the gradient into `out` and then applies the
+    /// step in place — element-wise the same `yᵢ − step·gᵢ` the solver
+    /// would compute itself. Layout-aware operators override it to fuse
+    /// the step into the gradient pass and save one sweep over the
+    /// iterate. Only the reduced-precision solver path calls this; the
+    /// `f64` reference path keeps its own two-step loop verbatim.
+    fn gradient_step_into(&self, y: &[S], step: S, out: &mut [S]) {
+        self.gradient_into(y, out);
+        for (o, &yi) in out.iter_mut().zip(y.iter()) {
+            *o = yi - step * *o;
+        }
+    }
 
     /// Writes the Hessian-vector product `Qx` into `out` (used by the
     /// power iteration that estimates the Lipschitz constant).
-    fn hess_matvec_into(&self, x: &[f64], out: &mut [f64]);
+    fn hess_matvec_into(&self, x: &[S], out: &mut [S]);
 
     /// A cheap guaranteed upper bound on `λ_max(Q)`, when the problem's
     /// structure admits one. Solvers use it in place of (or as a clamp
@@ -70,15 +121,30 @@ pub trait QpOperator {
     fn lmax_upper_bound(&self) -> Option<f64> {
         None
     }
+
+    /// Euclidean projection of `x` onto the feasible set, in place.
+    ///
+    /// The default delegates to the generic box∩budget projection;
+    /// layout-aware operators ([`crate::SoaQp`]) override it with a
+    /// projection specialised to their storage order.
+    fn project(&self, x: &mut [S], scratch: &mut ProjectionScratch<S>) {
+        crate::projection::project_box_budgets_scratch(
+            x,
+            self.lo(),
+            self.hi(),
+            self.budgets(),
+            scratch,
+        );
+    }
 }
 
 /// Validates a box-and-budget constraint set of dimension `n` (shared by
 /// every [`QpOperator`] implementation).
-pub(crate) fn validate_constraints(
+pub(crate) fn validate_constraints<S: Scalar>(
     n: usize,
-    lo: &[f64],
-    hi: &[f64],
-    budgets: &[Budget],
+    lo: &[S],
+    hi: &[S],
+    budgets: &[Budget<S>],
 ) -> Result<()> {
     if lo.len() != n || hi.len() != n {
         return Err(QpError::BadProblem(format!(
@@ -105,17 +171,18 @@ pub(crate) fn validate_constraints(
                 b.coeffs.len()
             )));
         }
-        if b.coeffs.iter().any(|&a| a < 0.0) {
+        if b.coeffs.iter().any(|&a| a < S::ZERO) {
             return Err(QpError::BadProblem(format!(
                 "budget {k} has negative coefficients"
             )));
         }
         // Feasibility against the box: the least possible usage is at lo.
         let min_usage = vecops::dot(&b.coeffs, lo);
-        if min_usage > b.limit + 1e-9 {
+        if min_usage.to_f64() > b.limit.to_f64() + 1e-9 {
             return Err(QpError::Infeasible(format!(
-                "budget {k}: minimum usage {min_usage:.3} exceeds limit {:.3}",
-                b.limit
+                "budget {k}: minimum usage {:.3} exceeds limit {:.3}",
+                min_usage.to_f64(),
+                b.limit.to_f64()
             )));
         }
     }
@@ -231,10 +298,13 @@ impl QpOperator for BoxBudgetQp {
 }
 
 /// Solution and diagnostics returned by the QP solvers.
+///
+/// Diagnostics (`objective`, `residual`) are reported in `f64` regardless
+/// of the iterate precision so profiles can be compared directly.
 #[derive(Debug, Clone)]
-pub struct QpSolution {
+pub struct QpSolution<S: Scalar = f64> {
     /// The minimizer (or best iterate at termination).
-    pub x: Vec<f64>,
+    pub x: Vec<S>,
     /// Objective value at `x`.
     pub objective: f64,
     /// Iterations performed.
@@ -311,5 +381,17 @@ mod tests {
         assert!(qp.is_feasible(&[0.5, 0.5, 0.5], 1e-9));
         assert!(!qp.is_feasible(&[1.0, 1.0, 1.0], 1e-9)); // budget
         assert!(!qp.is_feasible(&[-0.1, 0.0, 0.0], 1e-9)); // box
+    }
+
+    #[test]
+    fn budget_casts_between_precisions() {
+        let b = Budget {
+            coeffs: vec![1.0, 2.0, 0.0],
+            limit: 1.5,
+        };
+        let b32: Budget<f32> = b.cast();
+        assert_eq!(b32.coeffs, vec![1.0_f32, 2.0, 0.0]);
+        assert_eq!(b32.limit, 1.5_f32);
+        assert!(b32.satisfied(&[0.5, 0.5, 9.0], 1e-6));
     }
 }

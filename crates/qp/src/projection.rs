@@ -1,4 +1,5 @@
 use crate::problem::Budget;
+use perq_linalg::Scalar;
 
 /// Reusable buffers for the projection routines.
 ///
@@ -7,10 +8,15 @@ use crate::problem::Budget;
 /// coordinates); callers that project once per solver iteration pass a
 /// scratch so that copy does not allocate every time.
 #[derive(Debug, Clone, Default)]
-pub struct ProjectionScratch {
-    base: Vec<f64>,
-    orig: Vec<f64>,
-    sub: Vec<f64>,
+pub struct ProjectionScratch<S: Scalar = f64> {
+    pub(crate) base: Vec<S>,
+    orig: Vec<S>,
+    sub: Vec<S>,
+    /// Per-budget multiplier from the previous projection through this
+    /// scratch; the SoA fast path seeds its Newton search from it
+    /// (solver iterates move slowly, so the previous λ is usually within
+    /// a step or two of the new root). Zero means cold.
+    pub(crate) lambda_warm: Vec<f64>,
 }
 
 /// Euclidean projection of `x` onto `{ lo ≤ z ≤ hi, aᵀz ≤ limit }` with
@@ -21,8 +27,9 @@ pub struct ProjectionScratch {
 /// constraint's multiplier: `λ = 0` if the clamped point already satisfies
 /// the budget, otherwise the unique root of the continuous, non-increasing
 /// function `g(λ) = aᵀ clamp(x − λa, lo, hi) − limit`. The root is found by
-/// bisection; `g` is piecewise linear so ~60 iterations give machine
-/// precision at O(n) per iteration.
+/// bisection; `g` is piecewise linear so [`Scalar::BISECT_ITERS`] halvings
+/// resolve the multiplier past the precision's round-off floor at O(n) per
+/// iteration.
 ///
 /// # Panics
 ///
@@ -30,19 +37,19 @@ pub struct ProjectionScratch {
 /// `aᵀ lo ≤ limit` must hold (checked by [`crate::BoxBudgetQp::validate`]);
 /// if it does not, the result is the box projection of the most-constrained
 /// point rather than a feasible point.
-pub fn project_box_budget(x: &mut [f64], lo: &[f64], hi: &[f64], budget: &Budget) {
+pub fn project_box_budget<S: Scalar>(x: &mut [S], lo: &[S], hi: &[S], budget: &Budget<S>) {
     let mut base = Vec::new();
     project_box_budget_in(x, lo, hi, budget, &mut base);
 }
 
 /// [`project_box_budget`] with a caller-provided copy buffer (grown on
 /// demand, never shrunk), so per-iteration callers do not allocate.
-fn project_box_budget_in(
-    x: &mut [f64],
-    lo: &[f64],
-    hi: &[f64],
-    budget: &Budget,
-    base: &mut Vec<f64>,
+fn project_box_budget_in<S: Scalar>(
+    x: &mut [S],
+    lo: &[S],
+    hi: &[S],
+    budget: &Budget<S>,
+    base: &mut Vec<S>,
 ) {
     debug_assert_eq!(x.len(), lo.len());
     debug_assert_eq!(x.len(), hi.len());
@@ -55,7 +62,7 @@ fn project_box_budget_in(
     // would stop responding to λ.
     base.clear();
     base.extend_from_slice(x);
-    if usage_at(base, a, 0.0, lo, hi) <= budget.limit {
+    if usage_at(base, a, S::ZERO, lo, hi) <= budget.limit {
         for i in 0..x.len() {
             x[i] = x[i].max(lo[i]).min(hi[i]);
         }
@@ -65,15 +72,16 @@ fn project_box_budget_in(
     // Bisection on λ over [0, λ_max]. At λ_max every component with a
     // positive coefficient has been pushed to its lower bound, so the usage
     // equals aᵀlo ≤ limit (feasibility precondition).
-    let mut lambda_max = 0.0_f64;
+    let mut lambda_max = S::ZERO;
     for i in 0..base.len() {
-        if a[i] > 0.0 {
+        if a[i] > S::ZERO {
             lambda_max = lambda_max.max((base[i] - lo[i]) / a[i]);
         }
     }
-    let (mut l, mut r) = (0.0_f64, lambda_max.max(f64::MIN_POSITIVE));
-    for _ in 0..80 {
-        let mid = 0.5 * (l + r);
+    let half = S::from_f64(0.5);
+    let (mut l, mut r) = (S::ZERO, lambda_max.max(S::MIN_POSITIVE));
+    for _ in 0..S::BISECT_ITERS {
+        let mid = half * (l + r);
         if usage_at(base, a, mid, lo, hi) > budget.limit {
             l = mid;
         } else {
@@ -88,10 +96,10 @@ fn project_box_budget_in(
 
 /// Usage `aᵀ clamp(base − λ a, lo, hi)`.
 #[inline]
-fn usage_at(base: &[f64], a: &[f64], lambda: f64, lo: &[f64], hi: &[f64]) -> f64 {
-    let mut s = 0.0;
+fn usage_at<S: Scalar>(base: &[S], a: &[S], lambda: S, lo: &[S], hi: &[S]) -> S {
+    let mut s = S::ZERO;
     for i in 0..base.len() {
-        if a[i] == 0.0 {
+        if a[i] == S::ZERO {
             continue;
         }
         let z = (base[i] - lambda * a[i]).max(lo[i]).min(hi[i]);
@@ -108,7 +116,7 @@ fn usage_at(base: &[f64], a: &[f64], lambda: f64, lo: &[f64], hi: &[f64]) -> f64
 /// For overlapping budgets this falls back to Dykstra's alternating
 /// projection algorithm, which converges to the exact projection onto the
 /// intersection of convex sets.
-pub fn project_box_budgets(x: &mut [f64], lo: &[f64], hi: &[f64], budgets: &[Budget]) {
+pub fn project_box_budgets<S: Scalar>(x: &mut [S], lo: &[S], hi: &[S], budgets: &[Budget<S>]) {
     let mut scratch = ProjectionScratch::default();
     project_box_budgets_scratch(x, lo, hi, budgets, &mut scratch);
 }
@@ -119,12 +127,12 @@ pub fn project_box_budgets(x: &mut [f64], lo: &[f64], hi: &[f64], budgets: &[Bud
 /// working copies through [`ProjectionScratch`] keeps the iteration loop
 /// allocation-free. (The rarely-taken Dykstra fallback for overlapping
 /// budgets still allocates its per-budget increments.)
-pub fn project_box_budgets_scratch(
-    x: &mut [f64],
-    lo: &[f64],
-    hi: &[f64],
-    budgets: &[Budget],
-    scratch: &mut ProjectionScratch,
+pub fn project_box_budgets_scratch<S: Scalar>(
+    x: &mut [S],
+    lo: &[S],
+    hi: &[S],
+    budgets: &[Budget<S>],
+    scratch: &mut ProjectionScratch<S>,
 ) {
     match budgets {
         [] => {
@@ -146,7 +154,7 @@ pub fn project_box_budgets_scratch(
                 scratch.sub.extend_from_slice(&scratch.orig);
                 project_box_budget_in(&mut scratch.sub, lo, hi, b, &mut scratch.base);
                 for (i, &a) in b.coeffs.iter().enumerate() {
-                    if a > 0.0 {
+                    if a > S::ZERO {
                         x[i] = scratch.sub[i];
                     }
                 }
@@ -157,12 +165,12 @@ pub fn project_box_budgets_scratch(
 }
 
 /// Returns `true` if no variable has a positive coefficient in two budgets.
-fn disjoint_supports(budgets: &[Budget]) -> bool {
+fn disjoint_supports<S: Scalar>(budgets: &[Budget<S>]) -> bool {
     let n = budgets[0].coeffs.len();
     let mut seen = vec![false; n];
     for b in budgets {
         for (i, &a) in b.coeffs.iter().enumerate() {
-            if a > 0.0 {
+            if a > S::ZERO {
                 if seen[i] {
                     return false;
                 }
@@ -174,15 +182,16 @@ fn disjoint_supports(budgets: &[Budget]) -> bool {
 }
 
 /// Dykstra's algorithm over the sets `{box ∩ budget_k}`.
-fn dykstra(x: &mut [f64], lo: &[f64], hi: &[f64], budgets: &[Budget]) {
+fn dykstra<S: Scalar>(x: &mut [S], lo: &[S], hi: &[S], budgets: &[Budget<S>]) {
     const SWEEPS: usize = 60;
     let n = x.len();
     let m = budgets.len();
-    let mut increments = vec![vec![0.0; n]; m];
+    let tol = S::from_f64(1e-12);
+    let mut increments = vec![vec![S::ZERO; n]; m];
     for _ in 0..SWEEPS {
-        let mut moved = 0.0_f64;
+        let mut moved = S::ZERO;
         for (k, b) in budgets.iter().enumerate() {
-            let mut y: Vec<f64> = (0..n).map(|i| x[i] + increments[k][i]).collect();
+            let mut y: Vec<S> = (0..n).map(|i| x[i] + increments[k][i]).collect();
             project_box_budget(&mut y, lo, hi, b);
             for i in 0..n {
                 let new_inc = x[i] + increments[k][i] - y[i];
@@ -191,7 +200,7 @@ fn dykstra(x: &mut [f64], lo: &[f64], hi: &[f64], budgets: &[Budget]) {
                 x[i] = y[i];
             }
         }
-        if moved < 1e-12 {
+        if moved < tol {
             break;
         }
     }
@@ -288,6 +297,19 @@ mod tests {
         project_box_budget(&mut x, &lo, &hi, &b);
         for (a, c) in x.iter().zip(once.iter()) {
             assert!((a - c).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn f32_projection_matches_f64_within_tolerance() {
+        let b64 = budget(vec![2.0, 1.0], 6.0);
+        let b32: Budget<f32> = b64.cast();
+        let mut x64 = vec![4.0, 4.0];
+        let mut x32 = vec![4.0_f32, 4.0];
+        project_box_budget(&mut x64, &[0.0; 2], &[10.0; 2], &b64);
+        project_box_budget(&mut x32, &[0.0_f32; 2], &[10.0_f32; 2], &b32);
+        for (a, c) in x64.iter().zip(x32.iter()) {
+            assert!((a - *c as f64).abs() < 1e-5, "{x64:?} vs {x32:?}");
         }
     }
 }

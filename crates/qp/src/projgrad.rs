@@ -1,7 +1,6 @@
 use crate::problem::{QpOperator, QpSolution};
-use crate::projection::{project_box_budgets_scratch, ProjectionScratch};
 use crate::Result;
-use perq_linalg::vecops;
+use perq_linalg::{vecops, Scalar};
 use perq_telemetry::Recorder;
 use std::time::Instant;
 
@@ -41,21 +40,24 @@ impl Default for ProjGradSettings {
 /// solve performs no per-iteration allocation and repeated solves with
 /// the same workspace perform no allocation at all beyond the returned
 /// solution vector.
+///
+/// Generic over the iterate [`Scalar`]; the default `S = f64` keeps every
+/// existing owner unchanged.
 #[derive(Debug, Clone, Default)]
-pub struct Workspace {
-    y: Vec<f64>,
-    grad: Vec<f64>,
-    x_next: Vec<f64>,
-    pow: Vec<f64>,
-    pow_next: Vec<f64>,
-    proj: ProjectionScratch,
+pub struct Workspace<S: Scalar = f64> {
+    y: Vec<S>,
+    grad: Vec<S>,
+    x_next: Vec<S>,
+    pow: Vec<S>,
+    pow_next: Vec<S>,
+    proj: crate::projection::ProjectionScratch<S>,
 }
 
-impl Workspace {
+impl<S: Scalar> Workspace<S> {
     fn resize(&mut self, n: usize) {
-        self.y.resize(n, 0.0);
-        self.grad.resize(n, 0.0);
-        self.x_next.resize(n, 0.0);
+        self.y.resize(n, S::ZERO);
+        self.grad.resize(n, S::ZERO);
+        self.x_next.resize(n, S::ZERO);
     }
 }
 
@@ -67,14 +69,14 @@ impl Workspace {
 /// couple of matrix-vector products instead of `power_iters`. The cached
 /// `λ_max` also rides along for diagnostics.
 #[derive(Debug, Clone, Default)]
-pub struct LmaxCache {
+pub struct LmaxCache<S: Scalar = f64> {
     /// Last Lipschitz estimate.
     lmax: Option<f64>,
     /// Last dominant-eigenvector estimate (empty until the first solve).
-    eigvec: Vec<f64>,
+    eigvec: Vec<S>,
 }
 
-impl LmaxCache {
+impl<S: Scalar> LmaxCache<S> {
     /// The last cached `λ_max` estimate, if any solve has populated it.
     pub fn lmax(&self) -> Option<f64> {
         self.lmax
@@ -82,7 +84,8 @@ impl LmaxCache {
 }
 
 /// Accelerated projected-gradient (FISTA) solver for any [`QpOperator`]
-/// (dense [`crate::BoxBudgetQp`] or matrix-free [`crate::StructuredQp`]).
+/// (dense [`crate::BoxBudgetQp`], matrix-free [`crate::StructuredQp`], or
+/// the SoA profile [`crate::SoaQp`] at either scalar precision).
 ///
 /// This is the solver PERQ's MPC controller runs every decision interval.
 /// The feasible set (box ∩ per-step power budgets) admits an exact O(n)
@@ -93,6 +96,10 @@ impl LmaxCache {
 /// Gradient-mapping monotonicity is enforced with an adaptive restart: if
 /// the objective increases, the momentum sequence is reset, restoring the
 /// plain projected-gradient descent guarantee.
+///
+/// The solver itself holds no scalar state: the iterate precision is the
+/// `S` of the operator/workspace it is handed, and at `S = f64` every
+/// operation is bit-identical to the pre-generic implementation.
 #[derive(Debug, Clone, Default)]
 pub struct ProjGradSolver {
     /// Solver settings.
@@ -147,8 +154,12 @@ impl ProjGradSolver {
     ///
     /// `x0` is projected onto the feasible set before use, so any previous
     /// solution is a valid warm start even after the constraint set moved.
-    pub fn solve<Q: QpOperator + ?Sized>(&self, qp: &Q, x0: Option<&[f64]>) -> Result<QpSolution> {
-        let mut ws = Workspace::default();
+    pub fn solve<S: Scalar, Q: QpOperator<S> + ?Sized>(
+        &self,
+        qp: &Q,
+        x0: Option<&[S]>,
+    ) -> Result<QpSolution<S>> {
+        let mut ws: Workspace<S> = Workspace::default();
         self.solve_with(qp, x0, &mut ws, None)
     }
 
@@ -161,34 +172,47 @@ impl ProjGradSolver {
     /// eigenvector (a few matrix-vector products once warm); without it,
     /// the operator's [`QpOperator::lmax_upper_bound`] is used when
     /// available and a cold power iteration otherwise.
-    pub fn solve_with<Q: QpOperator + ?Sized>(
+    pub fn solve_with<S: Scalar, Q: QpOperator<S> + ?Sized>(
         &self,
         qp: &Q,
-        x0: Option<&[f64]>,
-        ws: &mut Workspace,
-        lmax_cache: Option<&mut LmaxCache>,
-    ) -> Result<QpSolution> {
+        x0: Option<&[S]>,
+        ws: &mut Workspace<S>,
+        lmax_cache: Option<&mut LmaxCache<S>>,
+    ) -> Result<QpSolution<S>> {
         qp.validate()?;
         let n = qp.dim();
         ws.resize(n);
-        let (lo, hi, budgets) = (qp.lo(), qp.hi(), qp.budgets());
 
         let lipschitz = self.lipschitz(qp, ws, lmax_cache).max(1e-12);
-        let step = 1.0 / lipschitz;
+        let step = S::from_f64(1.0 / lipschitz);
 
-        let mut x: Vec<f64> = match x0 {
+        let mut x: Vec<S> = match x0 {
             Some(v) if v.len() == n => v.to_vec(),
-            _ => lo
-                .iter()
-                .zip(hi.iter())
-                .map(|(&l, &h)| 0.5 * (l + h))
-                .collect(),
+            _ => {
+                let half = S::from_f64(0.5);
+                qp.lo()
+                    .iter()
+                    .zip(qp.hi().iter())
+                    .map(|(&l, &h)| half * (l + h))
+                    .collect()
+            }
         };
-        project_box_budgets_scratch(&mut x, lo, hi, budgets, &mut ws.proj);
+        qp.project(&mut x, &mut ws.proj);
 
         ws.y.copy_from_slice(&x);
+        // Restart discipline is precision-gated (see
+        // [`Scalar::OBJECTIVE_RESTART`]): the reference `f64` path
+        // compares objective values in f64 — byte-identical to the
+        // pre-generic solver — while reduced-precision iterates use the
+        // gradient-mapping sign test, which fuses into the residual pass
+        // and costs no objective evaluation per iteration.
+        let ascent_eps = 1e-12_f64;
         let mut t = 1.0_f64;
-        let mut f_prev = qp.objective(&x);
+        let mut f_prev = if S::OBJECTIVE_RESTART {
+            qp.objective_f64(&x)
+        } else {
+            0.0
+        };
         let mut residual = f64::INFINITY;
         let mut iterations = 0;
         let mut restarts = 0u64;
@@ -208,34 +232,60 @@ impl ProjGradSolver {
                 }
             }
             iterations = k + 1;
-            // Gradient step from the extrapolated point, then project.
-            qp.gradient_into(&ws.y, &mut ws.grad);
-            for ((xn, &yi), &gi) in ws.x_next.iter_mut().zip(ws.y.iter()).zip(ws.grad.iter()) {
-                *xn = yi - step * gi;
-            }
-            project_box_budgets_scratch(&mut ws.x_next, lo, hi, budgets, &mut ws.proj);
+            if S::OBJECTIVE_RESTART {
+                // Gradient step from the extrapolated point, then project.
+                qp.gradient_into(&ws.y, &mut ws.grad);
+                for ((xn, &yi), &gi) in ws.x_next.iter_mut().zip(ws.y.iter()).zip(ws.grad.iter()) {
+                    *xn = yi - step * gi;
+                }
+                qp.project(&mut ws.x_next, &mut ws.proj);
 
-            // Fixed-point residual scaled back to gradient units.
-            residual = vecops::max_abs_diff(&ws.x_next, &ws.y) * lipschitz;
+                // Fixed-point residual scaled back to gradient units.
+                residual = vecops::max_abs_diff(&ws.x_next, &ws.y).to_f64() * lipschitz;
 
-            let f_next = qp.objective(&ws.x_next);
-            if f_next > f_prev + 1e-12 {
-                // Adaptive restart: drop momentum, retry from the best point.
-                restarts += 1;
-                t = 1.0;
-                ws.y.copy_from_slice(&x);
-                f_prev = qp.objective(&x);
-                continue;
-            }
+                let f_next = qp.objective_f64(&ws.x_next);
+                if f_next > f_prev + ascent_eps {
+                    // Adaptive restart: drop momentum, retry from the best
+                    // point.
+                    restarts += 1;
+                    t = 1.0;
+                    ws.y.copy_from_slice(&x);
+                    f_prev = qp.objective_f64(&x);
+                    continue;
+                }
 
-            let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt());
-            let beta = (t - 1.0) / t_next;
-            for ((yi, &xn), &xo) in ws.y.iter_mut().zip(ws.x_next.iter()).zip(x.iter()) {
-                *yi = xn + beta * (xn - xo);
+                let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt());
+                let beta = S::from_f64((t - 1.0) / t_next);
+                for ((yi, &xn), &xo) in ws.y.iter_mut().zip(ws.x_next.iter()).zip(x.iter()) {
+                    *yi = xn + beta * (xn - xo);
+                }
+                std::mem::swap(&mut x, &mut ws.x_next);
+                f_prev = f_next;
+                t = t_next;
+            } else {
+                // Reduced precision: fused gradient step, then one fused
+                // pass for the residual and the gradient-mapping restart
+                // test `(y − x₊)·(x₊ − x) > 0` (O'Donoghue-Candès).
+                qp.gradient_step_into(&ws.y, step, &mut ws.x_next);
+                qp.project(&mut ws.x_next, &mut ws.proj);
+
+                let (diff, ascent) = diff_and_restart_dot(&ws.x_next, &ws.y, &x);
+                residual = diff * lipschitz;
+                if ascent > 0.0 {
+                    restarts += 1;
+                    t = 1.0;
+                    ws.y.copy_from_slice(&x);
+                    continue;
+                }
+
+                let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt());
+                let beta = S::from_f64((t - 1.0) / t_next);
+                for ((yi, &xn), &xo) in ws.y.iter_mut().zip(ws.x_next.iter()).zip(x.iter()) {
+                    *yi = xn + beta * (xn - xo);
+                }
+                std::mem::swap(&mut x, &mut ws.x_next);
+                t = t_next;
             }
-            std::mem::swap(&mut x, &mut ws.x_next);
-            f_prev = f_next;
-            t = t_next;
 
             if residual < self.settings.tol * lipschitz.max(1.0) {
                 break;
@@ -244,8 +294,8 @@ impl ProjGradSolver {
 
         // Final safety projection (momentum extrapolation never leaves x
         // infeasible, but guard against accumulated round-off).
-        project_box_budgets_scratch(&mut x, lo, hi, budgets, &mut ws.proj);
-        let objective = qp.objective(&x);
+        qp.project(&mut x, &mut ws.proj);
+        let objective = qp.objective_f64(&x);
         let converged = residual < self.settings.tol * lipschitz.max(1.0);
         if self.recorder.enabled() {
             self.recorder.counter_inc("perq_qp_solves_total");
@@ -279,11 +329,11 @@ impl ProjGradSolver {
     ///   is always a valid — if looser — Lipschitz constant).
     /// - Without a cache: trust the certified bound when available, fall
     ///   back to a cold power iteration otherwise.
-    fn lipschitz<Q: QpOperator + ?Sized>(
+    fn lipschitz<S: Scalar, Q: QpOperator<S> + ?Sized>(
         &self,
         qp: &Q,
-        ws: &mut Workspace,
-        cache: Option<&mut LmaxCache>,
+        ws: &mut Workspace<S>,
+        cache: Option<&mut LmaxCache<S>>,
     ) -> f64 {
         let bound = qp.lmax_upper_bound();
         match cache {
@@ -317,8 +367,8 @@ impl ProjGradSolver {
 
 /// Estimates `λ_max(Q)` by power iteration from a cold deterministic
 /// start (exposed so tests can compare certified bounds against it).
-pub fn estimate_lmax<Q: QpOperator + ?Sized>(qp: &Q, iters: usize) -> f64 {
-    let mut ws = Workspace::default();
+pub fn estimate_lmax<S: Scalar, Q: QpOperator<S> + ?Sized>(qp: &Q, iters: usize) -> f64 {
+    let mut ws: Workspace<S> = Workspace::default();
     power_iterate(qp, iters, &mut ws, None)
 }
 
@@ -326,11 +376,11 @@ pub fn estimate_lmax<Q: QpOperator + ?Sized>(qp: &Q, iters: usize) -> f64 {
 /// the final iterate is left in `ws.pow` so callers can cache it as a
 /// seed. Early-exits once successive estimates agree to 0.1% (with a
 /// good seed that happens after a couple of products).
-fn power_iterate<Q: QpOperator + ?Sized>(
+fn power_iterate<S: Scalar, Q: QpOperator<S> + ?Sized>(
     qp: &Q,
     iters: usize,
-    ws: &mut Workspace,
-    seed: Option<&[f64]>,
+    ws: &mut Workspace<S>,
+    seed: Option<&[S]>,
 ) -> f64 {
     let n = qp.dim();
     if n == 0 {
@@ -338,29 +388,30 @@ fn power_iterate<Q: QpOperator + ?Sized>(
     }
     ws.pow.clear();
     match seed {
-        Some(v) if v.len() == n && vecops::norm2(v) > 1e-300 => {
+        Some(v) if v.len() == n && vecops::norm2(v) > S::NORM_FLOOR => {
             ws.pow.extend_from_slice(v);
         }
         _ => {
             // Deterministic pseudo-random start vector avoids adversarial
             // alignment with a null eigenvector while keeping runs
             // reproducible.
-            ws.pow
-                .extend((0..n).map(|i| ((i as f64 * 0.754_877_666 + 0.1).sin() + 1.5) / 2.0));
+            ws.pow.extend(
+                (0..n).map(|i| S::from_f64(((i as f64 * 0.754_877_666 + 0.1).sin() + 1.5) / 2.0)),
+            );
         }
     }
-    ws.pow_next.resize(n, 0.0);
+    ws.pow_next.resize(n, S::ZERO);
 
     let mut lmax = 1.0_f64;
     let mut lmax_prev = f64::NAN;
     for _ in 0..iters {
         qp.hess_matvec_into(&ws.pow, &mut ws.pow_next);
         let norm = vecops::norm2(&ws.pow_next);
-        if norm < 1e-300 {
+        if norm < S::NORM_FLOOR {
             return 1.0;
         }
-        lmax = norm / vecops::norm2(&ws.pow).max(1e-300);
-        let inv = 1.0 / norm;
+        lmax = norm.to_f64() / vecops::norm2(&ws.pow).to_f64().max(S::NORM_FLOOR.to_f64());
+        let inv = S::ONE / norm;
         for (p, &w) in ws.pow.iter_mut().zip(ws.pow_next.iter()) {
             *p = w * inv;
         }
@@ -371,9 +422,57 @@ fn power_iterate<Q: QpOperator + ?Sized>(
     }
     // Rayleigh quotient for a tighter final estimate.
     qp.hess_matvec_into(&ws.pow, &mut ws.pow_next);
-    let rq = vecops::dot(&ws.pow, &ws.pow_next) / vecops::dot(&ws.pow, &ws.pow).max(1e-300);
+    let rq = vecops::dot(&ws.pow, &ws.pow_next).to_f64()
+        / vecops::dot(&ws.pow, &ws.pow)
+            .to_f64()
+            .max(S::NORM_FLOOR.to_f64());
     // Small inflation guards against underestimation from finite iterations.
     (rq.max(lmax) * 1.01).max(1e-12)
+}
+
+/// One fused pass over the iterate triple computing `‖x₊ − y‖∞` and the
+/// gradient-mapping restart indicator `(y − x₊)·(x₊ − x)`, both in `f64`.
+///
+/// The dot uses 8 split accumulators reduced in a fixed order, so
+/// reduced-precision solves stay bitwise deterministic across runs and
+/// thread counts while long sums do not lose the sub-ulp increments the
+/// restart sign test depends on.
+fn diff_and_restart_dot<S: Scalar>(xn: &[S], y: &[S], x: &[S]) -> (f64, f64) {
+    const LANES: usize = 8;
+    let n = xn.len().min(y.len()).min(x.len());
+    let (xn, y, x) = (&xn[..n], &y[..n], &x[..n]);
+    // Both reductions carry per-lane accumulators: the dot so long sums
+    // keep f64 increments, the max so the loop has no serial dependency
+    // chain (max is order-independent, so lane-splitting is exact).
+    let mut dmax = [S::ZERO; LANES];
+    let mut acc = [0.0_f64; LANES];
+    let mut nc = xn.chunks_exact(LANES);
+    let mut yc = y.chunks_exact(LANES);
+    let mut oc = x.chunks_exact(LANES);
+    for ((ns, ys), os) in (&mut nc).zip(&mut yc).zip(&mut oc) {
+        for l in 0..LANES {
+            let d = ns[l] - ys[l];
+            dmax[l] = dmax[l].max(d.abs());
+            acc[l] += (-d).to_f64() * (ns[l] - os[l]).to_f64();
+        }
+    }
+    let mut diff = S::ZERO;
+    for &m in &dmax {
+        diff = diff.max(m);
+    }
+    let mut tail = 0.0_f64;
+    for ((&ni, &yi), &oi) in nc
+        .remainder()
+        .iter()
+        .zip(yc.remainder())
+        .zip(oc.remainder())
+    {
+        let d = ni - yi;
+        diff = diff.max(d.abs());
+        tail += (-d).to_f64() * (ni - oi).to_f64();
+    }
+    let dot = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    (diff.to_f64(), dot + tail)
 }
 
 #[cfg(test)]

@@ -58,5 +58,5 @@ pub use mem::{mem_pair, MemIo, MemPoller};
 pub use poller::EpollPoller;
 pub use poller::{PollEvent, Poller};
 pub use rt::{serve_tcp, ServeSummary};
-pub use server::{make_policy, PumpOutcome, ServeConfig, Server};
+pub use server::{make_policy, make_policy_with_profile, PumpOutcome, ServeConfig, Server};
 pub use swarm::{run_tcp_swarm, SwarmStatus, SwarmWorker};

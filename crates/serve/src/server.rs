@@ -65,11 +65,25 @@ impl Default for ServeConfig {
     }
 }
 
-/// Builds a policy by its CLI/admin name.
+/// Builds a policy by its CLI/admin name with the default (`f64_aos`)
+/// solver profile.
 pub fn make_policy(name: &str) -> Option<Box<dyn PowerPolicy>> {
+    make_policy_with_profile(name, perq_qp::SolverProfile::default())
+}
+
+/// Builds a policy by its CLI/admin name, running its QP solves under the
+/// given precision/layout profile. Closed-form policies (FOP) ignore the
+/// profile — they have no solver.
+pub fn make_policy_with_profile(
+    name: &str,
+    profile: perq_qp::SolverProfile,
+) -> Option<Box<dyn PowerPolicy>> {
     match name.to_ascii_lowercase().as_str() {
         "fop" | "fair" => Some(Box::new(FairPolicy::new())),
-        "perq" => Some(Box::new(PerqPolicy::new(PerqConfig::default()))),
+        "perq" => Some(Box::new(PerqPolicy::new(PerqConfig {
+            solver_profile: profile,
+            ..PerqConfig::default()
+        }))),
         _ => None,
     }
 }
@@ -494,10 +508,21 @@ impl<P: Poller> Server<P> {
                 .set_decide_deadline(Some(tick_start + self.cfg.decide_budget));
             let decide_start = Instant::now();
             let assignments = self.policy.assign(&ctx);
-            self.engine.observe(
-                "perq_serve_decide_seconds",
-                decide_start.elapsed().as_secs_f64(),
-            );
+            let decide_elapsed = decide_start.elapsed();
+            self.engine
+                .observe("perq_serve_decide_seconds", decide_elapsed.as_secs_f64());
+            // Decide latency split by the policy's numeric profile, so an
+            // f32/mixed rollout can be compared against the f64 reference
+            // from the same scrape (the recorder interns static names, so
+            // the label is baked into the metric name).
+            let latency_metric = match self.policy.solver_profile_label() {
+                "f64_soa" => "perq_serve_decide_latency_ms_f64_soa",
+                "f32_soa" => "perq_serve_decide_latency_ms_f32_soa",
+                "mixed_soa" => "perq_serve_decide_latency_ms_mixed_soa",
+                _ => "perq_serve_decide_latency_ms_f64_aos",
+            };
+            self.engine
+                .observe(latency_metric, decide_elapsed.as_secs_f64() * 1e3);
             self.policy.set_decide_deadline(None);
 
             let caps: Vec<f64> = if assignments.len() == views.len() {

@@ -122,6 +122,15 @@ pub trait PowerPolicy {
     /// to its best solution so far instead of overrunning the tick.
     /// Default: ignored — closed-form policies always finish instantly.
     fn set_decide_deadline(&mut self, _deadline: Option<std::time::Instant>) {}
+
+    /// Stable label of the numeric profile this policy decides with, used
+    /// to split decide-latency telemetry by precision/layout
+    /// (`f64_aos`, `f64_soa`, `f32_soa`, `mixed_soa`). Closed-form
+    /// policies compute in plain `f64`, so the default is the reference
+    /// label.
+    fn solver_profile_label(&self) -> &'static str {
+        "f64_aos"
+    }
 }
 
 /// The fairness-oriented policy (FOP): every busy node gets an equal share
