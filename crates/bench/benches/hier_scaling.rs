@@ -15,8 +15,8 @@
 //! `same_simulation` enclave results before its timing is recorded.
 
 use criterion::{criterion_group, Criterion};
-use perq_core::CouplingAuthority;
 use perq_bench::timing::wall_s;
+use perq_core::CouplingAuthority;
 use perq_sim::{
     parallel_for_mut, BudgetAuthority, ClusterConfig, EnclaveDemand, FairPolicy, GrantContext,
     HierResult, HierSim, HierTopology, JobSpec, PowerPolicy, SimEngine, SystemModel,
@@ -70,8 +70,6 @@ fn bench_hier(c: &mut Criterion) {
 
 criterion_group!(benches, bench_hier);
 
-
-
 /// The 64-enclave epoch loop timed at each enclave thread count, with
 /// the determinism cross-check. Returns JSON rows.
 fn epoch_section() -> Vec<String> {
@@ -92,7 +90,10 @@ fn epoch_section() -> Vec<String> {
             Some(reference) => {
                 assert_eq!(reference.rounds, result.rounds, "grant rounds diverged");
                 for (a, b) in reference.enclaves.iter().zip(result.enclaves.iter()) {
-                    assert!(a.same_simulation(b), "an enclave diverged at {threads} threads");
+                    assert!(
+                        a.same_simulation(b),
+                        "an enclave diverged at {threads} threads"
+                    );
                 }
             }
         }

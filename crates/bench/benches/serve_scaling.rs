@@ -91,8 +91,6 @@ fn round(rig: &mut Rig) -> (f64, u64) {
     (server_s, frames)
 }
 
-
-
 fn bench_serve(c: &mut Criterion) {
     let mut group = c.benchmark_group("serve_scaling");
     group.sample_size(20);

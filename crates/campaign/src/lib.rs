@@ -20,13 +20,19 @@
 
 pub use perq_sim::{parallel_for_mut, parallel_map};
 
+mod ablation;
+pub use ablation::{
+    ablation_policies, ablation_table, zoo_ablation_grid, AblationCell, AblationTable,
+};
+
 use perq_core::{
     baselines, train_node_model, train_node_model_with, CouplingAuthority, NodeModel, PerqConfig,
     PerqPolicy,
 };
+use perq_gym::{RewardSpec, ZooDriver, ZooSpec};
 use perq_sim::{
-    BudgetAuthority, Cluster, ClusterConfig, FairPolicy, FaultPlan, FaultRates, HierSim,
-    HierTopology, JobSpec, PowerPolicy, ProportionalAuthority, SimEngine, SimResult,
+    BudgetAuthority, BudgetSchedule, Cluster, ClusterConfig, FairPolicy, FaultPlan, FaultRates,
+    HierSim, HierTopology, JobSpec, PowerPolicy, ProportionalAuthority, SimEngine, SimResult,
     SwfImportSummary, SystemModel, TenantSpec, TraceGenerator, TraceSource,
 };
 use perq_telemetry::{FieldValue, Recorder};
@@ -89,6 +95,21 @@ pub enum PolicySpec {
         /// Node-model training recipe.
         model: ModelSpec,
     },
+    /// A policy-zoo citizen (`perq-gym`) driven through its
+    /// [`ZooDriver`] adapter: fair-share/greedy baselines, the
+    /// tabular-Q bandit, wrapped PERQ, or the forecaster hybrid —
+    /// under a selectable reward shaping whose scores land on the
+    /// scenario's recorder as `perq_gym_*` metrics.
+    Zoo {
+        /// Which zoo citizen runs.
+        zoo: ZooSpec,
+        /// Reward shaping the driver scores transitions with.
+        reward: RewardSpec,
+        /// Node-model recipe for the PERQ-based citizens; `None` for
+        /// the model-free ones (or to train inline from the citizen's
+        /// own training seed — deterministic, but uncached).
+        model: Option<ModelSpec>,
+    },
 }
 
 impl PolicySpec {
@@ -133,6 +154,25 @@ impl PolicySpec {
         PolicySpec::Perq { config, model }
     }
 
+    /// A zoo arm under the balanced default shaping, carrying the model
+    /// recipe the citizen needs (NPB at the citizen's training seed; the
+    /// model-free citizens carry none) so campaign grids share one
+    /// training run across zoo and plain-PERQ arms.
+    pub fn zoo(zoo: ZooSpec) -> Self {
+        let model = zoo.training_seed().map(|seed| ModelSpec::Npb { seed });
+        PolicySpec::Zoo {
+            zoo,
+            reward: RewardSpec::default(),
+            model,
+        }
+    }
+
+    /// [`PolicySpec::zoo`] with an explicit reward shaping.
+    pub fn zoo_with_reward(zoo: ZooSpec, reward: RewardSpec) -> Self {
+        let model = zoo.training_seed().map(|seed| ModelSpec::Npb { seed });
+        PolicySpec::Zoo { zoo, reward, model }
+    }
+
     /// Display name (also what `SimResult::policy` will report).
     pub fn name(&self) -> &'static str {
         match self {
@@ -141,6 +181,7 @@ impl PolicySpec {
             PolicySpec::Ljs => "LJS",
             PolicySpec::Srn => "SRN",
             PolicySpec::Perq { .. } => "PERQ",
+            PolicySpec::Zoo { zoo, .. } => zoo.name(),
         }
     }
 
@@ -148,6 +189,7 @@ impl PolicySpec {
     fn model_spec(&self) -> Option<&ModelSpec> {
         match self {
             PolicySpec::Perq { model, .. } => Some(model),
+            PolicySpec::Zoo { model, .. } => model.as_ref(),
             _ => None,
         }
     }
@@ -167,6 +209,14 @@ impl PolicySpec {
                     .get(&model_key(model))
                     .expect("engine pre-trains every referenced model");
                 Box::new(PerqPolicy::with_model(trained.clone(), config.clone()))
+            }
+            PolicySpec::Zoo { zoo, reward, model } => {
+                let trained = model.as_ref().map(|m| {
+                    models
+                        .get(&model_key(m))
+                        .expect("engine pre-trains every referenced model")
+                });
+                Box::new(ZooDriver::new(zoo.build(trained), reward.clone()))
             }
         }
     }
@@ -247,6 +297,14 @@ pub enum WorkloadSpec {
     /// behaviour).
     #[default]
     Synthetic,
+    /// A light, fixed-count synthetic stream from the same seeded
+    /// generator: the queue drains, so the scenario exercises
+    /// arrival/drain dynamics and idle headroom instead of the
+    /// paper's saturated queue.
+    SyntheticLight {
+        /// Number of jobs to generate.
+        jobs: usize,
+    },
     /// An SWF log replayed through `perq-trace` → [`TraceSource`].
     Swf {
         /// Path to the SWF file, resolved when the scenario runs.
@@ -402,6 +460,13 @@ pub struct Scenario {
     /// (the paper's setup; older scenario files deserialize to it).
     #[serde(default)]
     pub topology: TopologySpec,
+    /// Time-varying power budget (carbon-intensity or price curves).
+    /// `None` — the default, and what older scenario files deserialize
+    /// to — keeps the flat `wp_nodes · TDP` budget bit-identically.
+    /// Flat topologies only: enclave scenarios carry their budget
+    /// through the coordinator's grants instead.
+    #[serde(default)]
+    pub budget_schedule: Option<BudgetSchedule>,
 }
 
 impl Scenario {
@@ -428,7 +493,16 @@ impl Scenario {
             workload: WorkloadSpec::default(),
             engine: SimEngine::default(),
             topology: TopologySpec::default(),
+            budget_schedule: None,
         }
+    }
+
+    /// Installs a time-varying budget schedule (builder style). Only
+    /// valid on flat topologies — running an enclave scenario with a
+    /// schedule is a [`CampaignError`].
+    pub fn with_budget_schedule(mut self, schedule: BudgetSchedule) -> Self {
+        self.budget_schedule = Some(schedule);
+        self
     }
 
     /// Switches the scenario onto an SWF workload.
@@ -473,6 +547,10 @@ impl Scenario {
             WorkloadSpec::Synthetic => Ok((
                 TraceGenerator::new(self.system.clone(), self.seed)
                     .generate_saturating(config.nodes, self.duration_s),
+                None,
+            )),
+            WorkloadSpec::SyntheticLight { jobs } => Ok((
+                TraceGenerator::new(self.system.clone(), self.seed).generate(*jobs),
                 None,
             )),
             WorkloadSpec::Swf { path, options } => {
@@ -554,6 +632,15 @@ impl Scenario {
             summary.record_into(&recorder);
         }
         if let Some(topology) = self.topology.hier_topology() {
+            if self.budget_schedule.is_some() {
+                return Err(CampaignError {
+                    scenario: self.name.clone(),
+                    message: "budget schedules apply to flat topologies only; enclave \
+                              scenarios receive their time-varying budget through the \
+                              coordinator's grants"
+                        .into(),
+                });
+            }
             let authority = match &self.topology {
                 TopologySpec::Enclaves { authority, .. } => authority.build(),
                 TopologySpec::Flat => unreachable!("hier_topology returned Some"),
@@ -576,6 +663,9 @@ impl Scenario {
         }
         let mut policy = self.policy.build(models);
         let mut cluster = Cluster::new(config, jobs, self.seed).with_recorder(recorder);
+        if let Some(schedule) = &self.budget_schedule {
+            cluster = cluster.with_budget_schedule(schedule.clone());
+        }
         if let Some(faults) = &self.faults {
             cluster = cluster.with_fault_plan(faults.materialise(steps));
         }
@@ -702,8 +792,19 @@ pub fn try_run_campaign(
     recorder: &Recorder,
 ) -> Result<Vec<ScenarioOutcome>, CampaignError> {
     for scenario in scenarios {
-        if !matches!(scenario.workload, WorkloadSpec::Synthetic) {
+        if matches!(scenario.workload, WorkloadSpec::Swf { .. }) {
             scenario.jobs()?;
+        }
+        // Fail fast (with the scenario's name, before any training or
+        // worker spawn) instead of panicking inside a worker thread.
+        if scenario.budget_schedule.is_some() && scenario.topology.hier_topology().is_some() {
+            return Err(CampaignError {
+                scenario: scenario.name.clone(),
+                message: "budget schedules apply to flat topologies only; enclave \
+                          scenarios receive their time-varying budget through the \
+                          coordinator's grants"
+                    .into(),
+            });
         }
     }
     let models = train_referenced_models(scenarios, opts.threads);

@@ -47,7 +47,11 @@ fn hier_grid() -> Vec<Scenario> {
     .collect()
 }
 
-fn export(grid: &[Scenario], threads: usize, enclave_threads: usize) -> (Vec<String>, String, String) {
+fn export(
+    grid: &[Scenario],
+    threads: usize,
+    enclave_threads: usize,
+) -> (Vec<String>, String, String) {
     let recorder = Recorder::manual();
     let outcomes = run_campaign(
         grid,
@@ -62,7 +66,12 @@ fn export(grid: &[Scenario], threads: usize, enclave_threads: usize) -> (Vec<Str
     // the closure can return owned data.
     let results = outcomes
         .iter()
-        .map(|o| format!("{:?}", (&o.scenario.name, &o.result.records, &o.result.intervals)))
+        .map(|o| {
+            format!(
+                "{:?}",
+                (&o.scenario.name, &o.result.records, &o.result.intervals)
+            )
+        })
         .collect();
     (
         results,

@@ -135,6 +135,8 @@ mod tests {
             cap_max_w: 290.0,
             total_nodes: 32,
             wp_nodes: 16,
+            queue_depth: 0,
+            violation_s: 0.0,
             jobs,
         }
     }

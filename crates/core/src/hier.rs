@@ -120,10 +120,7 @@ impl CouplingAuthority {
         let n = demands.len();
         let budget = ctx.budget_w;
         let lo: Vec<f64> = demands.iter().map(|d| d.floor_w).collect();
-        let hi: Vec<f64> = demands
-            .iter()
-            .map(|d| d.ceil_w.max(d.floor_w))
-            .collect();
+        let hi: Vec<f64> = demands.iter().map(|d| d.ceil_w.max(d.floor_w)).collect();
         let weights: Vec<f64> = demands.iter().map(|d| d.weight.max(1e-9)).collect();
         let shares: Vec<f64> = demands
             .iter()
@@ -294,9 +291,8 @@ mod tests {
     #[test]
     fn saturated_demand_uses_whole_budget() {
         let mut auth = CouplingAuthority::new();
-        let demands: Vec<EnclaveDemand> = (0..4)
-            .map(|e| demand(e, 1.0, 16, 800.0, 4_640.0))
-            .collect();
+        let demands: Vec<EnclaveDemand> =
+            (0..4).map(|e| demand(e, 1.0, 16, 800.0, 4_640.0)).collect();
         let grants = auth.grant(&ctx(9_000.0), &demands);
         let total: f64 = grants.iter().sum();
         assert!(total <= 9_000.0 + 1e-6);

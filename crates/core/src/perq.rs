@@ -144,6 +144,29 @@ impl PerqPolicy {
     pub fn target_generator(&self) -> &TargetGenerator {
         &self.target_gen
     }
+
+    /// The MPC horizon length `m` — the length a seeded warm-start
+    /// trajectory must have.
+    pub fn horizon(&self) -> usize {
+        self.controller.settings().horizon
+    }
+
+    /// Seeds the FISTA warm start for a job before its next decision.
+    ///
+    /// Normally `prev_traj` is populated from the previous decision's
+    /// own solution, so a *new* job starts the solver from its current
+    /// cap held flat across the horizon. A forecaster that has seen the
+    /// job's application before (the gym's hybrid policy feeds
+    /// `perq-sysid` RLS demand predictions through here) can do better
+    /// by seeding the predicted cap-fraction trajectory instead. This
+    /// only moves the solver's starting point: under the iteration cap
+    /// (or a decide deadline) a closer seed yields an earlier, slightly
+    /// better iterate, which is exactly the hybrid's edge. Trajectories
+    /// whose length differs from [`Self::horizon`] are ignored at
+    /// decision time.
+    pub fn seed_warm_start(&mut self, job_id: u64, traj_frac: Vec<f64>) {
+        self.prev_traj.insert(job_id, traj_frac);
+    }
 }
 
 impl PowerPolicy for PerqPolicy {
@@ -496,6 +519,8 @@ mod tests {
                 cap_max_w: cap_max,
                 total_nodes: 16,
                 wp_nodes: 8,
+                queue_depth: 0,
+                violation_s: 0.0,
                 jobs: &jobs,
             };
             let out = perq.assign(&ctx);
@@ -550,6 +575,8 @@ mod tests {
                 cap_max_w: cap_max,
                 total_nodes: 4,
                 wp_nodes: 4,
+                queue_depth: 0,
+                violation_s: 0.0,
                 jobs: &jobs,
             };
             perq.assign(&ctx)[0].cap_w

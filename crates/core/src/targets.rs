@@ -122,6 +122,8 @@ mod tests {
             cap_max_w: 290.0,
             total_nodes: total,
             wp_nodes: wp,
+            queue_depth: 0,
+            violation_s: 0.0,
             jobs,
         }
     }

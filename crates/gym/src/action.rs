@@ -1,0 +1,314 @@
+use crate::obs::Observation;
+use serde::{Deserialize, Serialize};
+
+/// A zoo policy's decision: either explicit per-job power caps or one
+/// of a small set of discrete reallocation moves.
+///
+/// Both forms lower deterministically to per-job caps through
+/// [`Action::to_caps`], a pure function of the action and the
+/// observation — the environment never consults a clock or an RNG to
+/// interpret an action, which is what makes scripted action sequences
+/// replayable byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// Explicit per-node cap for each job, in the observation's job
+    /// order, watts. Values are clamped into `[cap_min_w, cap_max_w]`
+    /// exactly as the simulator would clamp them.
+    Caps(Vec<f64>),
+    /// A discrete reallocation move, lowered against the observation.
+    Macro(MacroAction),
+}
+
+/// The discrete action set — what the tabular bandit learns over.
+/// Small on purpose: four moves that span the policy space the paper's
+/// baselines cover (uniform fairness, efficiency greed, priority to
+/// new arrivals, slack reclamation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MacroAction {
+    /// Every busy node gets an equal share of the busy budget (FOP).
+    FairShare,
+    /// Budget flows to the jobs producing the most IPS per watt;
+    /// everyone else holds the floor cap.
+    GreedyEfficiency,
+    /// New arrivals get TDP to ramp up; established jobs split the
+    /// remainder evenly.
+    BoostNew,
+    /// Jobs observed drawing below their cap are pinned just above
+    /// their demand; the reclaimed headroom is spread over the rest.
+    ReclaimSlack,
+}
+
+/// All discrete moves, in the bandit's action-index order.
+pub const MACRO_ACTIONS: [MacroAction; 4] = [
+    MacroAction::FairShare,
+    MacroAction::GreedyEfficiency,
+    MacroAction::BoostNew,
+    MacroAction::ReclaimSlack,
+];
+
+impl Action {
+    /// Lowers the action to one clamped per-node cap per observed job.
+    ///
+    /// Panics if an explicit cap vector's length does not match the
+    /// observation's job count (an agent bug worth failing loudly on).
+    pub fn to_caps(&self, obs: &Observation) -> Vec<f64> {
+        match self {
+            Action::Caps(caps) => {
+                assert_eq!(
+                    caps.len(),
+                    obs.jobs.len(),
+                    "action carries {} caps for {} jobs",
+                    caps.len(),
+                    obs.jobs.len()
+                );
+                caps.iter()
+                    .map(|c| c.clamp(obs.cap_min_w, obs.cap_max_w))
+                    .collect()
+            }
+            Action::Macro(m) => m.to_caps(obs),
+        }
+    }
+}
+
+impl MacroAction {
+    /// Lowers the move to per-job caps. Every arm is conservative:
+    /// `Σ size · cap ≤ busy_budget_w` whenever the floor caps fit at
+    /// all, so no macro move can provoke a budget violation on its own.
+    pub fn to_caps(self, obs: &Observation) -> Vec<f64> {
+        let busy = obs.busy_nodes();
+        if busy == 0 {
+            return Vec::new();
+        }
+        match self {
+            MacroAction::FairShare => {
+                let share = (obs.busy_budget_w / busy as f64).clamp(obs.cap_min_w, obs.cap_max_w);
+                vec![share; obs.jobs.len()]
+            }
+            MacroAction::GreedyEfficiency => greedy_efficiency_caps(obs),
+            MacroAction::BoostNew => boost_new_caps(obs),
+            MacroAction::ReclaimSlack => reclaim_slack_caps(obs),
+        }
+    }
+}
+
+/// Floor everyone, then pour the remaining budget into jobs by
+/// descending measured IPS-per-watt (per node). Unmeasured jobs rank
+/// last; ties break on job id, so the order — and therefore the caps —
+/// is a pure function of the observation.
+pub(crate) fn greedy_efficiency_caps(obs: &Observation) -> Vec<f64> {
+    let n = obs.jobs.len();
+    let mut caps = vec![obs.cap_min_w; n];
+    let mut remaining = obs.busy_budget_w - obs.busy_nodes() as f64 * obs.cap_min_w;
+    if remaining <= 0.0 {
+        return caps;
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    let eff = |i: usize| -> f64 {
+        let j = &obs.jobs[i];
+        match (j.measured_ips, j.measured_power_w) {
+            (Some(ips), Some(p)) if p > 1.0 => ips / j.size as f64 / p,
+            // Unmeasured (new or blacked-out telemetry): rank below
+            // every measured job but above nothing measurable.
+            _ => -1.0,
+        }
+    };
+    order.sort_by(|&a, &b| {
+        eff(b)
+            .partial_cmp(&eff(a))
+            .unwrap()
+            .then(obs.jobs[a].id.cmp(&obs.jobs[b].id))
+    });
+    for i in order {
+        let size = obs.jobs[i].size as f64;
+        let extra = (obs.cap_max_w - obs.cap_min_w).min(remaining / size);
+        if extra <= 0.0 {
+            break;
+        }
+        caps[i] += extra;
+        remaining -= extra * size;
+    }
+    caps
+}
+
+/// New arrivals get TDP; established jobs split what is left evenly.
+fn boost_new_caps(obs: &Observation) -> Vec<f64> {
+    let new_nodes: usize = obs.jobs.iter().filter(|j| j.is_new).map(|j| j.size).sum();
+    let old_nodes = obs.busy_nodes() - new_nodes;
+    if old_nodes == 0 {
+        // Everyone is new: fair-share (TDP for all might blow the budget).
+        return MacroAction::FairShare.to_caps(obs);
+    }
+    let new_cap = if new_nodes == 0 {
+        obs.cap_max_w
+    } else {
+        // TDP if affordable, otherwise whatever leaves the floor for the rest.
+        let affordable = (obs.busy_budget_w - old_nodes as f64 * obs.cap_min_w) / new_nodes as f64;
+        affordable.clamp(obs.cap_min_w, obs.cap_max_w)
+    };
+    let rest = ((obs.busy_budget_w - new_nodes as f64 * new_cap) / old_nodes as f64)
+        .clamp(obs.cap_min_w, obs.cap_max_w);
+    obs.jobs
+        .iter()
+        .map(|j| if j.is_new { new_cap } else { rest })
+        .collect()
+}
+
+/// Pin observed under-drawers just above their demand; spread the
+/// reclaimed watts evenly over the other jobs.
+fn reclaim_slack_caps(obs: &Observation) -> Vec<f64> {
+    let margin = 0.05 * obs.cap_max_w;
+    // A job is slack when its drawn power sits well below its cap.
+    let slack: Vec<bool> = obs
+        .jobs
+        .iter()
+        .map(|j| matches!(j.measured_power_w, Some(p) if p + margin < j.current_cap_w))
+        .collect();
+    let slack_nodes: usize = obs
+        .jobs
+        .iter()
+        .zip(&slack)
+        .filter(|(_, &s)| s)
+        .map(|(j, _)| j.size)
+        .sum();
+    let other_nodes = obs.busy_nodes() - slack_nodes;
+    if slack_nodes == 0 || other_nodes == 0 {
+        return MacroAction::FairShare.to_caps(obs);
+    }
+    let mut caps = Vec::with_capacity(obs.jobs.len());
+    let mut spent = 0.0;
+    for (j, &s) in obs.jobs.iter().zip(&slack) {
+        if s {
+            let c = (j.measured_power_w.unwrap() + margin).clamp(obs.cap_min_w, obs.cap_max_w);
+            spent += j.size as f64 * c;
+            caps.push(c);
+        } else {
+            caps.push(f64::NAN); // filled below
+        }
+    }
+    let share =
+        ((obs.busy_budget_w - spent) / other_nodes as f64).clamp(obs.cap_min_w, obs.cap_max_w);
+    for c in &mut caps {
+        if c.is_nan() {
+            *c = share;
+        }
+    }
+    caps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::JobObs;
+
+    fn obs(jobs: Vec<JobObs>) -> Observation {
+        let committed = jobs
+            .iter()
+            .map(|j| j.size as f64 * j.current_cap_w)
+            .sum::<f64>();
+        Observation {
+            time_s: 0.0,
+            interval_s: 10.0,
+            busy_budget_w: 2320.0,
+            headroom_w: 2320.0 - committed,
+            cap_min_w: 90.0,
+            cap_max_w: 290.0,
+            total_nodes: 16,
+            wp_nodes: 8,
+            queue_depth: 0,
+            violation_s: 0.0,
+            jobs,
+        }
+    }
+
+    fn job(id: u64, size: usize) -> JobObs {
+        JobObs {
+            id,
+            size,
+            elapsed_s: 20.0,
+            measured_ips: Some(size as f64 * 1.0e9),
+            current_cap_w: 145.0,
+            measured_power_w: Some(140.0),
+            is_new: false,
+        }
+    }
+
+    fn total_commit(obs: &Observation, caps: &[f64]) -> f64 {
+        obs.jobs
+            .iter()
+            .zip(caps)
+            .map(|(j, c)| j.size as f64 * c)
+            .sum()
+    }
+
+    #[test]
+    fn all_macro_moves_respect_the_budget() {
+        let mut j0 = job(0, 8);
+        j0.measured_power_w = Some(100.0); // slack
+        let mut j1 = job(1, 4);
+        j1.is_new = true;
+        j1.measured_ips = None;
+        j1.measured_power_w = None;
+        let o = obs(vec![j0, j1, job(2, 4)]);
+        for m in MACRO_ACTIONS {
+            let caps = m.to_caps(&o);
+            assert_eq!(caps.len(), 3, "{m:?}");
+            for &c in &caps {
+                assert!((o.cap_min_w..=o.cap_max_w).contains(&c), "{m:?}: {c}");
+            }
+            assert!(
+                total_commit(&o, &caps) <= o.busy_budget_w + 1e-6,
+                "{m:?} over-committed: {}",
+                total_commit(&o, &caps)
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_pours_into_the_most_efficient_job() {
+        let mut fast = job(0, 4);
+        fast.measured_ips = Some(4.0 * 2.0e9);
+        // Big enough that the budget cannot lift everyone to TDP.
+        let mut slow = job(1, 8);
+        slow.measured_ips = Some(8.0 * 0.5e9);
+        let o = obs(vec![fast, slow]);
+        let caps = MacroAction::GreedyEfficiency.to_caps(&o);
+        assert!(caps[0] > caps[1], "efficient job must get more: {caps:?}");
+        assert_eq!(caps[0], 290.0, "budget suffices for TDP on the winner");
+    }
+
+    #[test]
+    fn reclaim_pins_slack_jobs_near_demand() {
+        let mut slacker = job(0, 8);
+        slacker.current_cap_w = 290.0;
+        slacker.measured_power_w = Some(120.0);
+        let o = obs(vec![slacker, job(1, 8)]);
+        let caps = MacroAction::ReclaimSlack.to_caps(&o);
+        assert!((caps[0] - (120.0 + 14.5)).abs() < 1e-9);
+        assert!(
+            caps[1] > 145.0,
+            "reclaimed watts must flow to the other job"
+        );
+    }
+
+    #[test]
+    fn explicit_caps_are_clamped_like_the_simulator() {
+        let o = obs(vec![job(0, 8)]);
+        let caps = Action::Caps(vec![500.0]).to_caps(&o);
+        assert_eq!(caps, vec![290.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "caps for")]
+    fn wrong_arity_panics() {
+        let o = obs(vec![job(0, 8)]);
+        Action::Caps(vec![145.0, 145.0]).to_caps(&o);
+    }
+
+    #[test]
+    fn macro_moves_are_pure() {
+        let o = obs(vec![job(0, 8), job(1, 4)]);
+        for m in MACRO_ACTIONS {
+            assert_eq!(m.to_caps(&o), m.to_caps(&o));
+        }
+    }
+}

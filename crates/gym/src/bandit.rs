@@ -1,0 +1,315 @@
+use crate::action::{Action, MACRO_ACTIONS};
+use crate::driver::ZooPolicy;
+use crate::obs::Observation;
+use perq_telemetry::Recorder;
+use serde::{Deserialize, Serialize};
+
+/// States: 3 headroom × 3 load × 4 queue buckets.
+const N_STATES: usize = 36;
+const N_ACTIONS: usize = MACRO_ACTIONS.len();
+
+/// Tabular-Q hyper-parameters. Pure data (serde), so a campaign
+/// scenario pins the learner completely.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BanditConfig {
+    /// Q-learning step size.
+    pub alpha: f64,
+    /// Discount factor.
+    pub gamma: f64,
+    /// Initial exploration rate.
+    pub epsilon0: f64,
+    /// Exploration floor.
+    pub epsilon_min: f64,
+    /// Multiplicative epsilon decay per decision.
+    pub epsilon_decay: f64,
+    /// Optimistic initial Q value (encourages trying every arm once).
+    pub optimism: f64,
+}
+
+impl Default for BanditConfig {
+    fn default() -> Self {
+        BanditConfig {
+            alpha: 0.2,
+            gamma: 0.9,
+            epsilon0: 0.25,
+            epsilon_min: 0.02,
+            epsilon_decay: 0.995,
+            optimism: 0.5,
+        }
+    }
+}
+
+/// The finalization mix of splitmix64 — the same bijective avalanche
+/// the simulator derives per-job seeds with. Counter-based: the k-th
+/// draw is `mix(seed ⊕ mix(k))`, so the stream is a pure function of
+/// (seed, k) with no RNG object to fall out of sync.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A tabular-Q / epsilon-greedy learner over the discrete
+/// [`MacroAction`](crate::MacroAction) set.
+///
+/// The state is a coarse bucketing of the observation — budget
+/// headroom (committed vs available), machine load, and queue
+/// pressure — 36 cells, which a few thousand decisions cover densely.
+/// Exploration uses a counter-based splitmix64 stream seeded at
+/// construction: same seed, same episode, same decisions, bit for bit.
+/// No external RNG crate is involved.
+///
+/// Learning telemetry lands on the attached recorder as
+/// `perq_gym_{episodes_total,epsilon,reward,q_updates_total}`.
+pub struct BanditAgent {
+    config: BanditConfig,
+    seed: u64,
+    q: [[f64; N_ACTIONS]; N_STATES],
+    /// (state, action) awaiting its reward.
+    pending: Option<(usize, usize)>,
+    pending_reward: Option<f64>,
+    draws: u64,
+    decisions: u64,
+    episodes: u64,
+    q_updates: u64,
+    recorder: Recorder,
+}
+
+impl BanditAgent {
+    /// A learner under `config`, drawing exploration from `seed`.
+    pub fn new(seed: u64, config: BanditConfig) -> Self {
+        let optimism = config.optimism;
+        BanditAgent {
+            config,
+            seed,
+            q: [[optimism; N_ACTIONS]; N_STATES],
+            pending: None,
+            pending_reward: None,
+            draws: 0,
+            decisions: 0,
+            episodes: 0,
+            q_updates: 0,
+            recorder: Recorder::noop(),
+        }
+    }
+
+    /// The next uniform draw in `[0, 1)`.
+    fn uniform(&mut self) -> f64 {
+        let bits = splitmix64(self.seed ^ splitmix64(self.draws));
+        self.draws += 1;
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Current exploration rate.
+    pub fn epsilon(&self) -> f64 {
+        (self.config.epsilon0 * self.config.epsilon_decay.powi(self.decisions as i32))
+            .max(self.config.epsilon_min)
+    }
+
+    /// Q-updates applied so far.
+    pub fn q_updates(&self) -> u64 {
+        self.q_updates
+    }
+
+    /// Discretizes an observation into one of the 36 state cells.
+    fn state_of(obs: &Observation) -> usize {
+        // Headroom as a fraction of the busy budget: over-committed /
+        // tight / slack.
+        let headroom_frac = obs.headroom_w / obs.busy_budget_w.max(1.0);
+        let h = if headroom_frac < 0.0 {
+            0
+        } else if headroom_frac < 0.15 {
+            1
+        } else {
+            2
+        };
+        // Machine load.
+        let load = obs.busy_nodes() as f64 / obs.total_nodes.max(1) as f64;
+        let l = if load < 0.4 {
+            0
+        } else if load < 0.9 {
+            1
+        } else {
+            2
+        };
+        // Queue pressure.
+        let q = match obs.queue_depth {
+            0 => 0,
+            1..=3 => 1,
+            4..=15 => 2,
+            _ => 3,
+        };
+        (h * 3 + l) * 4 + q
+    }
+
+    fn best_action(&self, s: usize) -> usize {
+        let mut best = 0;
+        for a in 1..N_ACTIONS {
+            if self.q[s][a] > self.q[s][best] {
+                best = a;
+            }
+        }
+        best
+    }
+}
+
+impl ZooPolicy for BanditAgent {
+    fn name(&self) -> &'static str {
+        "ZOO-BANDIT"
+    }
+
+    fn act(&mut self, obs: &Observation) -> Action {
+        let s = Self::state_of(obs);
+        // Close the previous transition: Q(s,a) ← Q + α(r + γ·maxQ(s') − Q).
+        if let (Some((ps, pa)), Some(r)) = (self.pending, self.pending_reward.take()) {
+            let target = r + self.config.gamma * self.q[s][self.best_action(s)];
+            self.q[ps][pa] += self.config.alpha * (target - self.q[ps][pa]);
+            self.q_updates += 1;
+            self.recorder.counter_inc("perq_gym_q_updates_total");
+        }
+        let eps = self.epsilon();
+        self.recorder.gauge_set("perq_gym_epsilon", eps);
+        let a = if self.uniform() < eps {
+            (self.uniform() * N_ACTIONS as f64) as usize % N_ACTIONS
+        } else {
+            self.best_action(s)
+        };
+        self.pending = Some((s, a));
+        self.decisions += 1;
+        Action::Macro(MACRO_ACTIONS[a])
+    }
+
+    fn reward(&mut self, r: f64) {
+        self.pending_reward = Some(r);
+    }
+
+    fn episode_started(&mut self) {
+        // The learned table persists; the dangling transition does not
+        // (its successor state belongs to a different episode).
+        self.pending = None;
+        self.pending_reward = None;
+        self.episodes += 1;
+        self.recorder.counter_inc("perq_gym_episodes_total");
+    }
+
+    fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::JobObs;
+
+    fn obs(busy: usize, queue: usize, headroom_w: f64) -> Observation {
+        Observation {
+            time_s: 0.0,
+            interval_s: 10.0,
+            busy_budget_w: 2320.0,
+            headroom_w,
+            cap_min_w: 90.0,
+            cap_max_w: 290.0,
+            total_nodes: 16,
+            wp_nodes: 8,
+            queue_depth: queue,
+            violation_s: 0.0,
+            jobs: vec![JobObs {
+                id: 0,
+                size: busy,
+                elapsed_s: 10.0,
+                measured_ips: Some(busy as f64 * 1.0e9),
+                current_cap_w: 145.0,
+                measured_power_w: Some(140.0),
+                is_new: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let run = |seed: u64| {
+            let mut agent = BanditAgent::new(seed, BanditConfig::default());
+            agent.episode_started();
+            let mut actions = Vec::new();
+            for k in 0..50 {
+                let o = obs(8 + (k % 8), k % 5, (k as f64) * 10.0 - 100.0);
+                actions.push(agent.act(&o));
+                agent.reward(0.1 * k as f64);
+            }
+            actions
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds must explore differently");
+    }
+
+    #[test]
+    fn learns_to_prefer_the_rewarded_arm() {
+        let cfg = BanditConfig {
+            epsilon0: 0.3,
+            epsilon_min: 0.0,
+            epsilon_decay: 0.97,
+            ..BanditConfig::default()
+        };
+        let mut agent = BanditAgent::new(3, cfg);
+        agent.episode_started();
+        let o = obs(12, 2, 100.0);
+        for _ in 0..400 {
+            let a = agent.act(&o);
+            // Only FairShare pays.
+            let r = if a == Action::Macro(MACRO_ACTIONS[0]) {
+                1.0
+            } else {
+                -0.5
+            };
+            agent.reward(r);
+        }
+        // Greedy choice in the trained state must be the paying arm.
+        let s = BanditAgent::state_of(&o);
+        assert_eq!(agent.best_action(s), 0, "q: {:?}", agent.q[s]);
+        assert!(agent.q_updates() > 300);
+    }
+
+    #[test]
+    fn epsilon_decays_to_the_floor() {
+        let mut agent = BanditAgent::new(1, BanditConfig::default());
+        agent.episode_started();
+        let e0 = agent.epsilon();
+        let o = obs(8, 0, 50.0);
+        for _ in 0..2000 {
+            agent.act(&o);
+            agent.reward(0.0);
+        }
+        assert!(agent.epsilon() < e0);
+        assert!((agent.epsilon() - BanditConfig::default().epsilon_min).abs() < 1e-12);
+    }
+
+    #[test]
+    fn episode_boundary_clears_pending_transition() {
+        let mut agent = BanditAgent::new(5, BanditConfig::default());
+        agent.episode_started();
+        agent.act(&obs(8, 0, 50.0));
+        agent.reward(1.0);
+        let updates_before = agent.q_updates();
+        agent.episode_started();
+        agent.act(&obs(8, 0, 50.0));
+        assert_eq!(
+            agent.q_updates(),
+            updates_before,
+            "a cross-episode transition must not be learned from"
+        );
+    }
+
+    #[test]
+    fn all_states_in_range() {
+        for busy in [1, 6, 15, 16] {
+            for queue in [0, 2, 7, 40] {
+                for headroom in [-500.0, 100.0, 1500.0] {
+                    let s = BanditAgent::state_of(&obs(busy, queue, headroom));
+                    assert!(s < N_STATES);
+                }
+            }
+        }
+    }
+}

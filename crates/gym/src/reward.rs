@@ -1,0 +1,177 @@
+use crate::obs::Observation;
+use perq_apps::BASE_NODE_IPS;
+use serde::{Deserialize, Serialize};
+
+/// Reward shaping weights — pure data, so campaign scenarios carry the
+/// shaping and two runs with equal specs score identically.
+///
+/// The per-decision reward for the action taken at decision `k` is
+/// computed when the next observation (decision `k+1`) arrives:
+///
+/// ```text
+/// r = w_progress   · Σ measured_ips / (N_WP · BASE_NODE_IPS)
+///   + w_completion · departures since the last decision
+///   − w_violation  · Δviolation_s / interval_s
+///   − w_fairness   · spread of per-node normalized IPS
+/// ```
+///
+/// The progress term is the system's delivered throughput normalized
+/// to what the worst-case-provisioned machine would deliver at TDP, so
+/// 1.0 means "as good as the unconstrained reference". The fairness
+/// spread is `max − min` over jobs with measurements, which is zero
+/// exactly when every job progresses at the same per-node rate — the
+/// quantity the paper's degradation metrics bound.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RewardSpec {
+    /// Weight on normalized delivered IPS.
+    pub w_progress: f64,
+    /// Weight per job departure (completions; crashes count too, which
+    /// an agent cannot influence but keeps the term observable).
+    pub w_completion: f64,
+    /// Penalty per interval-equivalent of budget violation.
+    pub w_violation: f64,
+    /// Penalty on the per-node progress spread.
+    pub w_fairness: f64,
+}
+
+impl Default for RewardSpec {
+    /// The balanced shaping: throughput and fairness both count, and
+    /// violations are heavily penalised (they are a hard constraint in
+    /// the paper, so no shaped gain should be worth one).
+    fn default() -> Self {
+        RewardSpec {
+            w_progress: 1.0,
+            w_completion: 1.0,
+            w_violation: 10.0,
+            w_fairness: 0.5,
+        }
+    }
+}
+
+impl RewardSpec {
+    /// Throughput-only shaping (the PERQ-T analogue).
+    pub fn throughput() -> Self {
+        RewardSpec {
+            w_progress: 1.0,
+            w_completion: 1.0,
+            w_violation: 10.0,
+            w_fairness: 0.0,
+        }
+    }
+
+    /// Fairness-dominated shaping.
+    pub fn fairness() -> Self {
+        RewardSpec {
+            w_progress: 0.25,
+            w_completion: 0.25,
+            w_violation: 10.0,
+            w_fairness: 2.0,
+        }
+    }
+
+    /// Scores the transition that ended at `obs`. `prev_violation_s` is
+    /// the cumulative violation seconds at the previous decision and
+    /// `departures` the jobs that left in between. Pure and total: any
+    /// observation yields a finite reward.
+    pub fn score(&self, obs: &Observation, prev_violation_s: f64, departures: usize) -> f64 {
+        let delivered: f64 = obs.jobs.iter().filter_map(|j| j.measured_ips).sum();
+        let progress = delivered / (obs.wp_nodes.max(1) as f64 * BASE_NODE_IPS);
+        let fresh_violation =
+            ((obs.violation_s - prev_violation_s) / obs.interval_s.max(1e-9)).max(0.0);
+        let rates: Vec<f64> = obs
+            .jobs
+            .iter()
+            .filter_map(|j| {
+                j.measured_ips
+                    .map(|ips| ips / j.size.max(1) as f64 / BASE_NODE_IPS)
+            })
+            .collect();
+        let spread = match rates.len() {
+            0 | 1 => 0.0,
+            _ => {
+                let max = rates.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+                max - min
+            }
+        };
+        self.w_progress * progress + self.w_completion * departures as f64
+            - self.w_violation * fresh_violation
+            - self.w_fairness * spread
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::JobObs;
+
+    fn obs(jobs: Vec<JobObs>, violation_s: f64) -> Observation {
+        Observation {
+            time_s: 100.0,
+            interval_s: 10.0,
+            busy_budget_w: 2320.0,
+            headroom_w: 0.0,
+            cap_min_w: 90.0,
+            cap_max_w: 290.0,
+            total_nodes: 16,
+            wp_nodes: 8,
+            queue_depth: 0,
+            violation_s,
+            jobs,
+        }
+    }
+
+    fn job(id: u64, size: usize, per_node_ips: f64) -> JobObs {
+        JobObs {
+            id,
+            size,
+            elapsed_s: 50.0,
+            measured_ips: Some(size as f64 * per_node_ips),
+            current_cap_w: 145.0,
+            measured_power_w: Some(140.0),
+            is_new: false,
+        }
+    }
+
+    #[test]
+    fn full_speed_balanced_run_scores_near_one() {
+        // 8 WP-nodes' worth of IPS, no violations, no spread.
+        let o = obs(
+            vec![job(0, 4, BASE_NODE_IPS), job(1, 4, BASE_NODE_IPS)],
+            0.0,
+        );
+        let r = RewardSpec::default().score(&o, 0.0, 0);
+        assert!((r - 1.0).abs() < 1e-9, "{r}");
+    }
+
+    #[test]
+    fn violations_dominate_shaped_gains() {
+        let o = obs(vec![job(0, 8, BASE_NODE_IPS)], 10.0);
+        let calm = RewardSpec::default().score(&o, 10.0, 0);
+        let fresh = RewardSpec::default().score(&o, 0.0, 0);
+        assert!(fresh < calm - 9.0, "one violated interval must cost ~10");
+    }
+
+    #[test]
+    fn unfair_progress_is_penalised_unless_disabled() {
+        let uneven = obs(vec![job(0, 4, 2.0e9), job(1, 4, 0.5e9)], 0.0);
+        let even = obs(vec![job(0, 4, 1.25e9), job(1, 4, 1.25e9)], 0.0);
+        let spec = RewardSpec::default();
+        assert!(spec.score(&even, 0.0, 0) > spec.score(&uneven, 0.0, 0));
+        let t = RewardSpec::throughput();
+        assert!((t.score(&even, 0.0, 0) - t.score(&uneven, 0.0, 0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn departures_add_reward() {
+        let o = obs(vec![job(0, 8, 1.0e9)], 0.0);
+        let spec = RewardSpec::default();
+        assert!(spec.score(&o, 0.0, 2) > spec.score(&o, 0.0, 0));
+    }
+
+    #[test]
+    fn empty_observation_scores_zero() {
+        let o = obs(Vec::new(), 0.0);
+        assert_eq!(RewardSpec::default().score(&o, 0.0, 0), 0.0);
+    }
+}

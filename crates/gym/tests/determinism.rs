@@ -1,0 +1,194 @@
+//! The gym determinism contract, pinned.
+//!
+//! - Same `(EnvConfig, RewardSpec, agent seed)` ⇒ byte-identical
+//!   observation streams (via serde_json), rewards, and telemetry
+//!   exports.
+//! - The step and event engines are observationally indistinguishable
+//!   to an agent.
+//! - The wrapped-PERQ zoo citizen reproduces plain PERQ exactly.
+
+use perq_core::{train_node_model, PerqConfig, PerqPolicy};
+use perq_gym::{
+    BudgetSchedule, EnvConfig, EnvWorkload, FaultRates, GymEnv, RewardSpec, SimEngine, ZooSpec,
+};
+use perq_telemetry::Recorder;
+use proptest::prelude::*;
+
+fn light_config(seed: u64) -> EnvConfig {
+    let mut config = EnvConfig::tardis(seed);
+    config.duration_s = 900.0;
+    config.workload = EnvWorkload::Light { jobs: 20 };
+    config
+}
+
+/// Runs `episodes` episodes of one agent and returns the serialized
+/// observation/action streams, per-episode rewards, and the telemetry
+/// export.
+fn run_trajectory(config: &EnvConfig, spec: &ZooSpec, episodes: usize) -> (String, String) {
+    let recorder = Recorder::manual();
+    let mut env = GymEnv::new(config.clone()).with_recorder(recorder.clone());
+    let mut agent = spec.build(None);
+    let mut stream = String::new();
+    for _ in 0..episodes {
+        let ep = env.run_episode(&mut *agent);
+        stream.push_str(&serde_json::to_string(&ep.transitions.observations).unwrap());
+        stream.push_str(&serde_json::to_string(&ep.transitions.actions).unwrap());
+        stream.push_str(&serde_json::to_string(&ep.transitions.rewards).unwrap());
+        stream.push_str(&format!("|total={:.12e}|", ep.total_reward));
+    }
+    (stream, recorder.export_prometheus())
+}
+
+#[test]
+fn bandit_trajectories_are_byte_identical_under_a_seed() {
+    let config = light_config(21);
+    let spec = ZooSpec::bandit(5);
+    let (stream_a, prom_a) = run_trajectory(&config, &spec, 3);
+    let (stream_b, prom_b) = run_trajectory(&config, &spec, 3);
+    assert_eq!(
+        stream_a, stream_b,
+        "observation/action/reward streams drifted"
+    );
+    assert_eq!(prom_a, prom_b, "telemetry export drifted");
+    assert!(prom_a.contains("perq_gym_episodes_total 3"), "{prom_a}");
+    assert!(prom_a.contains("perq_gym_q_updates_total"));
+    assert!(prom_a.contains("perq_gym_epsilon"));
+    assert!(prom_a.contains("perq_gym_reward_total"));
+}
+
+#[test]
+fn different_bandit_seeds_diverge() {
+    let config = light_config(21);
+    let (a, _) = run_trajectory(&config, &ZooSpec::bandit(5), 2);
+    let (b, _) = run_trajectory(&config, &ZooSpec::bandit(6), 2);
+    assert_ne!(a, b, "exploration must depend on the agent seed");
+}
+
+#[test]
+fn engines_are_observationally_indistinguishable() {
+    // A draining workload with a scheduled budget and adversarial
+    // telemetry — the regime where the engines' code paths differ most.
+    let mut config = light_config(33);
+    config.budget_schedule = Some(BudgetSchedule::diurnal(2320.0, 0.75, 1.0, 300.0, 900.0));
+    config.faults = Some((17, FaultRates::adversarial_telemetry()));
+    for spec in [ZooSpec::FairShare, ZooSpec::Greedy, ZooSpec::bandit(2)] {
+        let mut step = config.clone();
+        step.engine = SimEngine::Step;
+        let mut event = config.clone();
+        event.engine = SimEngine::Event;
+        let (stream_s, prom_s) = run_trajectory(&step, &spec, 2);
+        let (stream_e, prom_e) = run_trajectory(&event, &spec, 2);
+        assert_eq!(
+            stream_s, stream_e,
+            "{spec:?}: engine changed what the agent saw"
+        );
+        assert_eq!(
+            prom_s, prom_e,
+            "{spec:?}: engine changed the telemetry export"
+        );
+    }
+}
+
+#[test]
+fn wrapped_perq_reproduces_plain_perq() {
+    let config = light_config(44);
+    let perq_config = PerqConfig::default();
+    let (model, _) = train_node_model(perq_config.training_seed);
+
+    let mut plain = PerqPolicy::with_model(model.clone(), perq_config.clone());
+    let direct = config.build_cluster().run(&mut plain);
+
+    let mut env = GymEnv::new(config.clone());
+    let mut agent = ZooSpec::Perq {
+        config: perq_config,
+    }
+    .build(Some(&model));
+    let wrapped = env.run_episode(&mut *agent);
+
+    assert_eq!(wrapped.result.policy, "ZOO-PERQ");
+    // Identical up to the reported policy name.
+    let mut renamed = wrapped.result.clone();
+    renamed.policy = direct.policy.clone();
+    assert!(
+        direct.same_simulation(&renamed),
+        "the zoo wrapper must not change a single PERQ decision"
+    );
+}
+
+#[test]
+fn hybrid_is_perq_until_the_forecaster_gates_open() {
+    // With gating defaults the forecaster needs 8 clean samples; the
+    // very first decision of a fresh hybrid must therefore be pure PERQ.
+    let config = light_config(50);
+    let perq_config = PerqConfig::default();
+    let (model, _) = train_node_model(perq_config.training_seed);
+    let mut hybrid = ZooSpec::Hybrid {
+        config: perq_config.clone(),
+        lambda: 0.98,
+    }
+    .build(Some(&model));
+    let mut perq = ZooSpec::Perq {
+        config: perq_config,
+    }
+    .build(Some(&model));
+    let mut env_h = GymEnv::new(config.clone());
+    let mut env_p = GymEnv::new(config);
+    let ep_h = env_h.run_episode(&mut *hybrid);
+    let ep_p = env_p.run_episode(&mut *perq);
+    assert_eq!(
+        ep_h.transitions.actions.first(),
+        ep_p.transitions.actions.first(),
+        "before any samples the hybrid must act exactly like PERQ"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Env determinism over random seeds and regimes: two identically
+    /// configured runs of the same seeded agent are byte-identical.
+    #[test]
+    fn env_is_deterministic_over_random_regimes(
+        seed in 0u64..1000,
+        agent_seed in 0u64..1000,
+        jobs in 8usize..24,
+        diurnal in proptest::bool::ANY,
+        adversarial in proptest::bool::ANY,
+        event in proptest::bool::ANY,
+    ) {
+        let mut config = light_config(seed);
+        config.workload = EnvWorkload::Light { jobs };
+        if diurnal {
+            config.budget_schedule =
+                Some(BudgetSchedule::diurnal(2320.0, 0.8, 1.0, 450.0, 900.0));
+        }
+        if adversarial {
+            config.faults = Some((seed ^ 0xAD, FaultRates::adversarial_telemetry()));
+        }
+        if event {
+            config.engine = SimEngine::Event;
+        }
+        let spec = ZooSpec::bandit(agent_seed);
+        let (a, prom_a) = run_trajectory(&config, &spec, 1);
+        let (b, prom_b) = run_trajectory(&config, &spec, 1);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(prom_a, prom_b);
+    }
+}
+
+#[test]
+fn reward_shaping_changes_scores_not_the_simulation() {
+    let config = light_config(60);
+    let run = |reward: RewardSpec| {
+        let mut env = GymEnv::new(config.clone()).with_reward(reward);
+        let mut agent = ZooSpec::FairShare.build(None);
+        env.run_episode(&mut *agent)
+    };
+    let balanced = run(RewardSpec::default());
+    let throughput = run(RewardSpec::throughput());
+    assert!(balanced.result.same_simulation(&throughput.result));
+    assert_ne!(
+        balanced.total_reward, throughput.total_reward,
+        "different shapings must score the same trajectory differently"
+    );
+}

@@ -285,6 +285,8 @@ impl ProtoCluster {
                 cap_max_w: TDP_WATTS,
                 total_nodes: cfg.nodes,
                 wp_nodes: cfg.wp_nodes,
+                queue_depth: scheduler.pending(),
+                violation_s: violations as f64 * cfg.interval_s,
                 jobs: &views,
             };
             let t0 = Instant::now();

@@ -151,7 +151,11 @@ impl FrameEncoder {
     /// a caller that hands `out` to a single `write` call preserves the
     /// one-frame-one-write property [`FaultyTransport`]
     /// (crate::FaultyTransport) relies on.
-    pub fn encode_into<T: Serialize>(&self, value: &T, out: &mut Vec<u8>) -> Result<(), FrameError> {
+    pub fn encode_into<T: Serialize>(
+        &self,
+        value: &T,
+        out: &mut Vec<u8>,
+    ) -> Result<(), FrameError> {
         let payload = serde_json::to_vec(value)?;
         if payload.len() as u64 > MAX_FRAME as u64 {
             return Err(FrameError::Oversized(payload.len() as u32));

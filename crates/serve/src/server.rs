@@ -501,6 +501,11 @@ impl<P: Poller> Server<P> {
                 cap_max_w: TDP_WATTS,
                 total_nodes: views.len(),
                 wp_nodes: self.cfg.wp_nodes,
+                // The control plane has no batch queue and does not
+                // meter site-level violations; both observations read
+                // as "none so far".
+                queue_depth: 0,
+                violation_s: 0.0,
                 jobs: &views,
             };
             let fair = ctx.fair_cap_w();

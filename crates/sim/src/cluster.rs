@@ -1,3 +1,4 @@
+use crate::budget::BudgetSchedule;
 use crate::fault::{AppliedFault, FaultKind, FaultPlan};
 use crate::job::{JobOutcome, JobRecord, JobSpec, JobTrace, TracePoint};
 use crate::policy::{JobView, PolicyContext, PowerPolicy};
@@ -269,6 +270,14 @@ pub struct Cluster {
     /// `None` — the flat default — leaves every budget computation on
     /// the exact `config.budget_w()` float, so flat runs are untouched.
     budget_override_w: Option<f64>,
+    /// Time-varying budget curve (price/carbon markets). Consulted
+    /// after the coordinator override and before the flat
+    /// `config.budget_w()`; `None` keeps fixed-budget runs on the
+    /// exact pre-schedule float expressions.
+    budget_schedule: Option<BudgetSchedule>,
+    /// Cumulative simulated seconds spent above the budget so far —
+    /// surfaced to policies through `PolicyContext::violation_s`.
+    violation_s_total: f64,
     /// A previous run's interval log handed back for reuse. Year-long
     /// runs allocate a ~150 MB log; recycling it across repeated
     /// replays (benchmark medians, back-to-back what-if runs) skips
@@ -365,6 +374,8 @@ impl Cluster {
             recorder: Recorder::noop(),
             engine_recorder: Recorder::noop(),
             budget_override_w: None,
+            budget_schedule: None,
+            violation_s_total: 0.0,
             recycled_intervals: None,
             #[cfg(any(test, feature = "rescan-oracle"))]
             rescan_oracle: false,
@@ -448,13 +459,48 @@ impl Cluster {
         self.budget_override_w
     }
 
-    /// The power budget every per-interval computation uses: the
-    /// coordinator-granted override when one is set, the flat
-    /// `config.budget_w()` otherwise (the exact same float expression
-    /// as before the hierarchy existed, so flat runs are bit-identical).
+    /// Installs a time-varying budget schedule (builder style). Every
+    /// level of the schedule must at least idle the whole machine —
+    /// the same invariant [`ClusterConfig`] enforces on the flat budget
+    /// — so idle intervals can never violate regardless of where on
+    /// the curve they fall (which is what keeps the event engine's
+    /// bulk idle synthesis byte-identical to the stepper).
+    pub fn with_budget_schedule(mut self, schedule: BudgetSchedule) -> Self {
+        assert!(
+            self.config.nodes as f64 * self.config.idle_w <= schedule.min_budget_w(),
+            "schedule floor {} W cannot even idle {} nodes at {} W",
+            schedule.min_budget_w(),
+            self.config.nodes,
+            self.config.idle_w
+        );
+        self.budget_schedule = Some(schedule);
+        self
+    }
+
+    /// The budget schedule in force, if any.
+    pub fn budget_schedule(&self) -> Option<&BudgetSchedule> {
+        self.budget_schedule.as_ref()
+    }
+
+    /// The power budget in force at simulated time `t_s`: the
+    /// coordinator-granted override when one is set (an enclave's
+    /// grant already reflects whatever curve the coordinator follows),
+    /// then the schedule level at `t_s`, then the flat
+    /// `config.budget_w()` (the exact same float expression as before
+    /// schedules existed, so fixed-budget runs are bit-identical).
+    pub(crate) fn effective_budget_at(&self, t_s: f64) -> f64 {
+        if let Some(b) = self.budget_override_w {
+            return b;
+        }
+        match &self.budget_schedule {
+            Some(schedule) => schedule.budget_at(t_s),
+            None => self.config.budget_w(),
+        }
+    }
+
+    /// The budget in force at the current interval's start.
     pub(crate) fn effective_budget_w(&self) -> f64 {
-        self.budget_override_w
-            .unwrap_or_else(|| self.config.budget_w())
+        self.effective_budget_at(self.time_s)
     }
 
     /// Schedules via the pre-overhaul full-rescan + sort path instead of
@@ -578,9 +624,11 @@ impl Cluster {
         (self.config.duration_s / self.config.interval_s).ceil() as usize + 1
     }
 
-    /// Folds one interval log into the violation tallies and telemetry.
+    /// Folds one interval log into the violation tallies and telemetry,
+    /// and into the running total policies observe through
+    /// [`PolicyContext::violation_s`].
     pub(crate) fn tally_violation(
-        &self,
+        &mut self,
         log: &IntervalLog,
         violations: &mut usize,
         violation_s: &mut f64,
@@ -588,6 +636,7 @@ impl Cluster {
         if log.violation {
             *violations += 1;
             *violation_s += self.config.interval_s;
+            self.violation_s_total = *violation_s;
             if self.recorder.enabled() {
                 self.recorder
                     .counter_inc("perq_sim_budget_violations_total");
@@ -765,8 +814,12 @@ impl Cluster {
             self.recorder.set_time_s(last_t);
             self.recorder.counter_add("perq_sim_steps_total", skipped);
             self.recorder.gauge_set("perq_sim_power_w", idle_power);
+            // The stepper writes this gauge every idle interval; its
+            // last write is at `last_t`, so under a budget schedule the
+            // bulk path must read the curve there, not at the wake step
+            // the clock has already advanced to.
             self.recorder
-                .gauge_set("perq_sim_budget_w", self.effective_budget_w());
+                .gauge_set("perq_sim_budget_w", self.effective_budget_at(last_t));
             self.recorder
                 .gauge_set("perq_sim_committed_power_w", idle_power);
             self.recorder
@@ -849,6 +902,8 @@ impl Cluster {
             cap_max_w: self.config.tdp_w,
             total_nodes: self.config.nodes,
             wp_nodes: self.config.wp_nodes,
+            queue_depth: self.scheduler.pending(),
+            violation_s: self.violation_s_total,
             jobs: &self.scratch.views,
         };
         let decision_start = Instant::now();

@@ -126,6 +126,24 @@ impl FaultRates {
             max_crash_batch: 2,
         }
     }
+
+    /// Adversarial-telemetry rates: the machine itself is healthy (no
+    /// crashes, no kills) but the power/IPS instrumentation lies
+    /// constantly — frequent blackouts, frozen meters, and corrupted
+    /// readings. This is the gym's "lying telemetry" evaluation regime:
+    /// it isolates how much a policy's feedback path trusts its sensors,
+    /// without conflating that with capacity loss.
+    pub fn adversarial_telemetry() -> Self {
+        FaultRates {
+            node_crash: 0.0,
+            node_recover: 0.0,
+            telemetry_dropout: 0.30,
+            stale_power: 0.20,
+            corrupt_power: 0.20,
+            job_kill: 0.0,
+            max_crash_batch: 0,
+        }
+    }
 }
 
 /// A deterministic fault timeline: events sorted by step.

@@ -624,10 +624,8 @@ impl HierSim {
             "need exactly one policy per enclave"
         );
         let mut configs = partition_config(&config, topology.enclaves);
-        let assigned = assign_jobs_to_enclaves(
-            &jobs,
-            &configs.iter().map(|c| c.nodes).collect::<Vec<_>>(),
-        );
+        let assigned =
+            assign_jobs_to_enclaves(&jobs, &configs.iter().map(|c| c.nodes).collect::<Vec<_>>());
         let enclaves = configs
             .drain(..)
             .zip(assigned)
@@ -847,9 +845,12 @@ impl HierSim {
         let mut results = Vec::with_capacity(self.enclaves.len());
         for mut run in self.enclaves {
             let intervals = std::mem::take(&mut run.intervals);
-            let result =
-                run.cluster
-                    .finish(run.policy.name(), intervals, run.violations, run.violation_s);
+            let result = run.cluster.finish(
+                run.policy.name(),
+                intervals,
+                run.violations,
+                run.violation_s,
+            );
             // Fixed fold order — enclave index — so the merged export
             // is a pure function of the spec, not of thread timing.
             self.recorder.merge_from(&run.recorder);
@@ -1039,9 +1040,7 @@ mod tests {
             for (a, b) in serial.enclaves.iter().zip(&par.enclaves) {
                 assert!(a.same_simulation(b), "enclave diverged at {threads}");
             }
-            assert!(serial
-                .combined()
-                .same_simulation(&par.combined()));
+            assert!(serial.combined().same_simulation(&par.combined()));
         }
     }
 
@@ -1049,20 +1048,13 @@ mod tests {
     fn enclave_outage_reallocates_budget() {
         let system = SystemModel::tardis();
         let config = ClusterConfig::for_system(&system, 2.0, 1200.0);
-        let jobs =
-            TraceGenerator::new(system.clone(), 9).generate_saturating(config.nodes, 1200.0);
+        let jobs = TraceGenerator::new(system.clone(), 9).generate_saturating(config.nodes, 1200.0);
         let policies: Vec<Box<dyn PowerPolicy + Send>> =
             (0..2).map(|_| Box::new(FairPolicy::new()) as _).collect();
         let enclave_nodes = partition_config(&config, 2)[0].nodes;
-        let result = HierSim::new(
-            config.clone(),
-            jobs,
-            9,
-            HierTopology::enclaves(2),
-            policies,
-        )
-        .with_enclave_fault_plans(vec![enclave_outage_plan(enclave_nodes, 24, Some(72))])
-        .run();
+        let result = HierSim::new(config.clone(), jobs, 9, HierTopology::enclaves(2), policies)
+            .with_enclave_fault_plans(vec![enclave_outage_plan(enclave_nodes, 24, Some(72))])
+            .run();
         // During the outage the survivor's grant must absorb (nearly)
         // the whole budget; before it, both enclaves hold meaningful
         // shares.

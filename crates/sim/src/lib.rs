@@ -51,6 +51,7 @@
 //! assert!(result.budget_violations == 0);
 //! ```
 
+mod budget;
 mod cluster;
 mod event;
 mod fault;
@@ -63,13 +64,13 @@ mod scheduler;
 mod swf;
 mod trace;
 
+pub use budget::BudgetSchedule;
 pub use cluster::{Cluster, ClusterConfig, IntervalLog, SimResult};
 pub use event::SimEngine;
 pub use fault::{AppliedFault, FaultEvent, FaultKind, FaultPlan, FaultRates};
 pub use hier::{
-    assign_jobs_to_enclaves, enclave_outage_plan, partition_config, BudgetAuthority,
-    EnclaveDemand, GrantContext, GrantRound, HierResult, HierSim, HierTopology,
-    ProportionalAuthority, TenantSpec,
+    assign_jobs_to_enclaves, enclave_outage_plan, partition_config, BudgetAuthority, EnclaveDemand,
+    GrantContext, GrantRound, HierResult, HierSim, HierTopology, ProportionalAuthority, TenantSpec,
 };
 pub use job::{JobOutcome, JobRecord, JobSpec, JobTrace, TracePoint};
 pub use metrics::{

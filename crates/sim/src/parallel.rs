@@ -102,12 +102,7 @@ where
         .num_threads(threads)
         .build()
         .expect("rayon pool construction");
-    pool.install(|| {
-        items
-            .par_iter_mut()
-            .enumerate()
-            .for_each(|(i, t)| f(i, t))
-    });
+    pool.install(|| items.par_iter_mut().enumerate().for_each(|(i, t)| f(i, t)));
 }
 
 #[cfg(not(feature = "parallel"))]

@@ -51,6 +51,14 @@ pub struct PolicyContext<'a> {
     pub total_nodes: usize,
     /// Number of nodes in the worst-case-provisioned system (`N_WP`).
     pub wp_nodes: usize,
+    /// Jobs waiting in the scheduler queue (released but not started).
+    /// Zero in contexts without a batch queue (the live control plane).
+    pub queue_depth: usize,
+    /// Cumulative simulated time the system has spent above its power
+    /// budget so far this run, seconds. Grows monotonically; a policy
+    /// (or a learning agent shaping rewards) can difference successive
+    /// values to detect fresh violations.
+    pub violation_s: f64,
     /// Currently running jobs.
     pub jobs: &'a [JobView],
 }
@@ -179,6 +187,8 @@ mod tests {
             cap_max_w: 290.0,
             total_nodes: 16,
             wp_nodes: 8,
+            queue_depth: 0,
+            violation_s: 0.0,
             jobs,
         }
     }

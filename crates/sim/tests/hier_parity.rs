@@ -42,7 +42,11 @@ fn run_flat(
         cluster = cluster.with_fault_plan(plan.clone());
     }
     let result = cluster.run_engine(&mut FairPolicy::new(), engine);
-    (result, recorder.export_prometheus(), recorder.export_jsonl())
+    (
+        result,
+        recorder.export_prometheus(),
+        recorder.export_jsonl(),
+    )
 }
 
 /// Hierarchical run (FairPolicy in every enclave) with telemetry
@@ -68,7 +72,11 @@ fn run_hier(
         sim = sim.with_fault_plan(plan.clone());
     }
     let result = sim.run();
-    (result, recorder.export_prometheus(), recorder.export_jsonl())
+    (
+        result,
+        recorder.export_prometheus(),
+        recorder.export_jsonl(),
+    )
 }
 
 /// Asserts the one-enclave hierarchy reproduces the flat run to the

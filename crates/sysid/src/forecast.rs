@@ -1,0 +1,151 @@
+use crate::Rls;
+
+/// Online demand forecaster: a confidence-gated [`Rls`] affine map from
+/// an applied power-cap fraction to the demand fraction a job actually
+/// draws at it.
+///
+/// The gym's hybrid policy (perq-gym) trains one of these on every
+/// `(cap, measured power)` pair the fleet produces and uses the
+/// prediction to seed PERQ's MPC warm start for *newly arrived* jobs —
+/// the one decision where PERQ has no job-specific feedback yet. The
+/// regressor is `φ = [1, u]` with `u` the cap fraction and the output
+/// the consumed-power fraction, i.e. an affine demand curve: most HPC
+/// codes draw a roughly cap-independent base plus a cap-proportional
+/// dynamic share (the same structure `perq-apps` power profiles are
+/// built from), so two parameters capture the fleet-typical shape
+/// without waiting for per-job identification.
+///
+/// Predictions are clamped to the physical `[0, 1]` demand window, and
+/// [`DemandForecaster::confident`] gates them on both sample count and
+/// the RLS covariance trace, so a consumer can fall back to its
+/// uninformed default until the estimate has actually left the prior.
+/// Everything is deterministic: same observation sequence, same
+/// forecasts.
+#[derive(Debug, Clone)]
+pub struct DemandForecaster {
+    rls: Rls,
+    min_updates: usize,
+    max_cov_trace: f64,
+}
+
+impl DemandForecaster {
+    /// Creates a forecaster with exponential forgetting `lambda`
+    /// (follow workload drift) and the default confidence gate
+    /// (8 samples and a covariance trace below 1.0).
+    pub fn new(lambda: f64) -> Self {
+        DemandForecaster {
+            // p0 = 10: informative enough to move within a few samples,
+            // small enough that one outlier cannot swing the estimate.
+            rls: Rls::new(2, lambda, 10.0),
+            min_updates: 8,
+            max_cov_trace: 1.0,
+        }
+    }
+
+    /// Overrides the confidence gate: predictions are only trusted after
+    /// `min_updates` samples once the covariance trace is below
+    /// `max_cov_trace`.
+    pub fn with_gate(mut self, min_updates: usize, max_cov_trace: f64) -> Self {
+        self.min_updates = min_updates;
+        self.max_cov_trace = max_cov_trace;
+        self
+    }
+
+    /// Feeds one observation: a job ran at cap fraction `cap_frac` and
+    /// drew `demand_frac` of the cap window. Returns the a-priori
+    /// prediction error. Non-finite or out-of-window samples (corrupted
+    /// telemetry) are discarded without touching the estimate.
+    pub fn observe(&mut self, cap_frac: f64, demand_frac: f64) -> f64 {
+        if !cap_frac.is_finite()
+            || !demand_frac.is_finite()
+            || !(0.0..=1.0).contains(&cap_frac)
+            || !(0.0..=1.5).contains(&demand_frac)
+        {
+            return 0.0;
+        }
+        self.rls.update(&[1.0, cap_frac], demand_frac)
+    }
+
+    /// Predicted demand fraction at cap fraction `cap_frac`, clamped to
+    /// the physical window.
+    pub fn predict_frac(&self, cap_frac: f64) -> f64 {
+        self.rls.predict(&[1.0, cap_frac]).clamp(0.0, 1.0)
+    }
+
+    /// True once the estimate has seen enough data to trust.
+    pub fn confident(&self) -> bool {
+        self.rls.updates() >= self.min_updates && self.rls.covariance_trace() <= self.max_cov_trace
+    }
+
+    /// Observations absorbed so far.
+    pub fn updates(&self) -> usize {
+        self.rls.updates()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_an_affine_demand_curve() {
+        let mut f = DemandForecaster::new(1.0);
+        // demand = 0.2 + 0.6 · cap.
+        for k in 0..100 {
+            let u = ((k * 7) % 13) as f64 / 13.0;
+            f.observe(u, 0.2 + 0.6 * u);
+        }
+        // The p0 = 10 ridge prior leaves a small shrinkage bias.
+        assert!(f.confident());
+        assert!((f.predict_frac(0.5) - 0.5).abs() < 1e-2);
+        assert!((f.predict_frac(1.0) - 0.8).abs() < 1e-2);
+    }
+
+    #[test]
+    fn not_confident_before_enough_samples() {
+        let mut f = DemandForecaster::new(1.0);
+        assert!(!f.confident());
+        for _ in 0..3 {
+            f.observe(0.5, 0.4);
+        }
+        assert!(!f.confident(), "3 samples on one operating point is prior");
+    }
+
+    #[test]
+    fn rejects_corrupted_telemetry() {
+        let mut f = DemandForecaster::new(1.0);
+        for k in 0..50 {
+            let u = ((k * 5) % 11) as f64 / 11.0;
+            f.observe(u, 0.3 + 0.4 * u);
+        }
+        let before = f.predict_frac(0.5);
+        // A RAPL meter gone insane must be a no-op.
+        assert_eq!(f.observe(0.5, 40.0), 0.0);
+        assert_eq!(f.observe(f64::NAN, 0.5), 0.0);
+        assert_eq!(f.observe(-2.0, 0.5), 0.0);
+        assert_eq!(f.predict_frac(0.5), before);
+    }
+
+    #[test]
+    fn predictions_clamped_to_physical_window() {
+        let mut f = DemandForecaster::new(1.0);
+        for _ in 0..20 {
+            f.observe(0.1, 1.4); // extrapolates above 1 at high caps
+        }
+        assert!(f.predict_frac(1.0) <= 1.0);
+        assert!(f.predict_frac(0.0) >= 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_replay() {
+        let run = || {
+            let mut f = DemandForecaster::new(0.98);
+            for k in 0..200u64 {
+                let u = ((k * 7) % 13) as f64 / 13.0;
+                f.observe(u, 0.25 + 0.5 * u);
+            }
+            f.predict_frac(0.62).to_bits()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -25,6 +25,7 @@
 //! | **contribution** | [`core`] | PERQ target generator + MPC controller + baseline policies |
 //! | prototype | [`proto`] | TCP-connected miniature cluster (Tardis) |
 //! | service | [`serve`] | non-blocking control-plane: epoll event loop, batched decide ticks, /metrics, hot reload |
+//! | learning | [`gym`] | gym-style env over the simulator: typed observations/actions/rewards, policy zoo, deterministic episodes |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@
 
 pub use perq_apps as apps;
 pub use perq_core as core;
+pub use perq_gym as gym;
 pub use perq_linalg as linalg;
 pub use perq_proto as proto;
 pub use perq_qp as qp;
@@ -67,6 +69,7 @@ pub mod prelude {
     pub use perq_core::{
         baselines, train_node_model, MpcSettings, NodeModel, PerqConfig, PerqPolicy,
     };
+    pub use perq_gym::{EnvConfig, GymEnv, RewardSpec, ZooSpec};
     pub use perq_sim::{
         compare_fairness, Cluster, ClusterConfig, FairPolicy, JobSpec, PowerPolicy, SimResult,
         SystemModel, TraceGenerator,

@@ -124,6 +124,8 @@ fn oracle_policy_uses_oracle_and_perq_does_not_need_it() {
             cap_max_w: 290.0,
             total_nodes: 16,
             wp_nodes: 8,
+            queue_depth: 0,
+            violation_s: 0.0,
             jobs,
         }
     }
